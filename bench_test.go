@@ -1,0 +1,169 @@
+package switchqnet_test
+
+import (
+	"io"
+	"testing"
+
+	sq "switchqnet"
+	"switchqnet/internal/experiments"
+)
+
+// The benchmarks below regenerate the paper's tables and figures (run
+// with -bench to print timings; use cmd/qdcbench for the rendered
+// artifacts). Each iteration executes the experiment on the reduced
+// "quick" grid so `go test -bench=.` stays tractable; the full grids run
+// via `qdcbench -exp <id>`.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	run := experiments.Registry()[id]
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(io.Discard, experiments.RunConfig{Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the communication-budget profile (Fig. 2).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkTable2 regenerates the primary experiment (Table 2).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkTable3 regenerates the QEC integration (Table 3).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkFig8BufferSize regenerates the buffer-size sweep (Fig. 8a).
+func BenchmarkFig8BufferSize(b *testing.B) { benchExperiment(b, "fig8a") }
+
+// BenchmarkFig8LookAhead regenerates the look-ahead sweep (Fig. 8b).
+func BenchmarkFig8LookAhead(b *testing.B) { benchExperiment(b, "fig8b") }
+
+// BenchmarkFig9CommQubits regenerates the comm-qubit sweep (Fig. 9a).
+func BenchmarkFig9CommQubits(b *testing.B) { benchExperiment(b, "fig9a") }
+
+// BenchmarkFig9CrossLatency regenerates the cross-rack latency sweep (Fig. 9b).
+func BenchmarkFig9CrossLatency(b *testing.B) { benchExperiment(b, "fig9b") }
+
+// BenchmarkFig9InRackLatency regenerates the in-rack latency sweep (Fig. 9c).
+func BenchmarkFig9InRackLatency(b *testing.B) { benchExperiment(b, "fig9c") }
+
+// BenchmarkFig10CrossFidelity regenerates the cross-rack fidelity sweep (Fig. 10a).
+func BenchmarkFig10CrossFidelity(b *testing.B) { benchExperiment(b, "fig10a") }
+
+// BenchmarkFig10DistilledFidelity regenerates the distilled-fidelity sweep (Fig. 10b).
+func BenchmarkFig10DistilledFidelity(b *testing.B) { benchExperiment(b, "fig10b") }
+
+// BenchmarkFig10DistillK regenerates the pairs-per-distillation sweep (Fig. 10c).
+func BenchmarkFig10DistillK(b *testing.B) { benchExperiment(b, "fig10c") }
+
+// BenchmarkFig6 replays the motivating example (Fig. 6): the five-pair
+// program on the 2x2 QDC with link weight 1.
+func BenchmarkFig6(b *testing.B) {
+	arch, err := sq.NewArch(sq.ArchConfig{
+		Topology: "clos", Racks: 2, QPUsPerRack: 2,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2, LinkWeight: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands := []sq.Demand{
+		{ID: 0, A: 2, B: 3, Gates: 1}, {ID: 1, A: 2, B: 3, Gates: 1},
+		{ID: 2, A: 2, B: 3, Gates: 1}, {ID: 3, A: 1, B: 2, Gates: 1},
+		{ID: 4, A: 0, B: 2, Gates: 1},
+	}
+	p := sq.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sq.CompileDemands(demands, arch, p, sq.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks of the pipeline stages on program-480.
+
+func program480Arch(b *testing.B) *sq.Arch {
+	b.Helper()
+	arch, err := sq.NewArch(sq.ArchConfig{
+		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return arch
+}
+
+// BenchmarkCircuitQFT480 measures benchmark-circuit construction.
+func BenchmarkCircuitQFT480(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sq.Benchmark("qft", 480); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtractQFT480 measures communication extraction.
+func BenchmarkExtractQFT480(b *testing.B) {
+	arch := program480Arch(b)
+	circ, err := sq.Benchmark("qft", arch.TotalQubits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sq.ExtractDemands(circ, arch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleQFT480 measures the scheduler alone on preprocessed
+// demands.
+func BenchmarkScheduleQFT480(b *testing.B) {
+	arch := program480Arch(b)
+	circ, err := sq.Benchmark("qft", arch.TotalQubits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands, err := sq.ExtractDemands(circ, arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sq.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sq.CompileDemands(demands, arch, p, sq.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileRCA480 measures the full pipeline on the heaviest
+// physical benchmark.
+func BenchmarkCompileRCA480(b *testing.B) {
+	arch := program480Arch(b)
+	circ, err := sq.Benchmark("rca", arch.TotalQubits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sq.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sq.Compile(circ, arch, p, sq.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation regenerates the design-choice ablation study.
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }

@@ -1,0 +1,57 @@
+// Command qdcbench regenerates the tables and figures of the SwitchQNet
+// evaluation (Section 5). Each experiment id matches DESIGN.md's
+// per-experiment index:
+//
+//	qdcbench -exp tab2          # the primary experiment (Table 2)
+//	qdcbench -exp fig8a -quick  # buffer-size sweep, reduced grid
+//	qdcbench -exp all           # everything, in paper order
+//	qdcbench -list              # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"switchqnet/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2, tab2, fig8a, fig8b, fig9a-c, fig10a-c, tab3, ablation) or 'all'")
+	quick := flag.Bool("quick", false, "reduced benchmark set and sweep grids")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	charts := flag.Bool("charts", false, "append ASCII charts to sweep experiments")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+	cfg := experiments.RunConfig{Quick: *quick, CSV: *csv, Charts: *charts}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	reg := experiments.Registry()
+	ids := experiments.IDs()
+	if *exp != "all" {
+		if reg[*exp] == nil {
+			fmt.Fprintf(os.Stderr, "qdcbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		if err := reg[id](os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "qdcbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if !*csv {
+			fmt.Printf("[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+		}
+	}
+}

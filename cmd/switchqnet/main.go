@@ -1,0 +1,130 @@
+// Command switchqnet compiles one benchmark program onto a QDC
+// architecture and prints the schedule summary, optionally comparing
+// the SwitchQNet scheduler against the on-demand baseline:
+//
+//	switchqnet -bench qft -racks 4 -qpus 4 -data 30 -buffer 10
+//	switchqnet -bench rca -topo fat-tree -racks 8 -compare -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sq "switchqnet"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "qft", "benchmark: mct, qft, grover, rca")
+		qasmPath = flag.String("qasm", "", "compile an OpenQASM 2.0 file instead of a built-in benchmark")
+		topo     = flag.String("topo", "clos", "topology: clos, spine-leaf, fat-tree")
+		racks    = flag.Int("racks", 4, "number of racks")
+		qpus     = flag.Int("qpus", 4, "QPUs per rack")
+		data     = flag.Int("data", 30, "data qubits per QPU")
+		buffer   = flag.Int("buffer", 10, "buffer slots per QPU")
+		comm     = flag.Int("comm", 2, "communication qubits per QPU")
+		look     = flag.Int("lookahead", 10, "look-ahead depth")
+		distill  = flag.Int("distill", 2, "EPR pairs per post-split distillation (1 = off)")
+		baseline = flag.Bool("baseline", false, "use the on-demand baseline pipeline")
+		compare  = flag.Bool("compare", false, "run both pipelines and report the improvement")
+		verbose  = flag.Bool("v", false, "print the first scheduled generations")
+		timeline = flag.Bool("timeline", false, "print a per-QPU text timeline of the schedule")
+		traceOut = flag.String("trace", "", "write the compiled schedule as JSON to this file")
+	)
+	flag.Parse()
+
+	arch, err := sq.NewArch(sq.ArchConfig{
+		Topology: *topo, Racks: *racks, QPUsPerRack: *qpus,
+		DataQubits: *data, BufferSize: *buffer, CommQubits: *comm,
+	})
+	if err != nil {
+		fail(err)
+	}
+	var circ *sq.Circuit
+	if *qasmPath != "" {
+		f, err := os.Open(*qasmPath)
+		if err != nil {
+			fail(err)
+		}
+		circ, err = sq.ParseQASM(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var err error
+		circ, err = sq.Benchmark(*bench, arch.TotalQubits())
+		if err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("program: %s (%d gates) on %s\n", circ.Name, len(circ.Gates), arch)
+
+	params := sq.DefaultParams()
+	opts := sq.DefaultOptions()
+	opts.LookAhead = *look
+	opts.DistillK = *distill
+
+	var ours, base *sq.Compiled
+	if !*baseline || *compare {
+		if ours, err = sq.Compile(circ, arch, params, opts); err != nil {
+			fail(err)
+		}
+	}
+	if *baseline || *compare {
+		if base, err = sq.CompileBaseline(circ, arch, params); err != nil {
+			fail(err)
+		}
+	}
+	if ours != nil {
+		report("switchqnet", ours)
+	}
+	if base != nil {
+		report("baseline", base)
+	}
+	if *compare {
+		fmt.Printf("improvement: %.2fx\n", sq.Improvement(base.Summary, ours.Summary))
+	}
+	c := ours
+	if c == nil {
+		c = base
+	}
+	if *verbose {
+		n := min(len(c.Result.Gens), 20)
+		fmt.Printf("first %d generations:\n", n)
+		for _, g := range c.Result.Gens[:n] {
+			fmt.Printf("  d%-5d %-13s (%d-%d) [%7d, %7d] us reconfig=%v\n",
+				g.Demand, g.Kind, g.A, g.B, g.Start, g.End, g.Reconfig)
+		}
+	}
+	if *timeline {
+		if err := sq.WriteTimeline(os.Stdout, c.Result, arch, 100); err != nil {
+			fail(err)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := sq.WriteScheduleJSON(f, c.Result); err != nil {
+			fail(err)
+		}
+		fmt.Printf("schedule written to %s\n", *traceOut)
+	}
+}
+
+func report(name string, c *sq.Compiled) {
+	s := c.Summary
+	fmt.Printf("%s: demands=%d (cross=%d, in-rack=%d) latency=%.1f (x reconfig) "+
+		"splits=%d distilled=%d epr-overhead=%.2f%% wait=%.2f retry=%.2f\n",
+		name, len(c.Demands), s.CrossRackEPR, s.InRackEPR, s.Latency,
+		s.Splits, s.DistilledEPR, s.EPROverheadPct, s.AvgWaitTime, s.RetryOverhead)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "switchqnet:", err)
+	os.Exit(1)
+}

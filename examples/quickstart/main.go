@@ -1,0 +1,60 @@
+// Quickstart: compile one benchmark onto the paper's primary QDC
+// (4 racks x 4 QPUs, CLOS core) and compare the SwitchQNet scheduler
+// against the on-demand baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sq "switchqnet"
+)
+
+func main() {
+	// The program-480 architecture of Table 1: 4 racks of 4 QPUs, each
+	// QPU with 30 data qubits, a 10-slot EPR buffer and 2 communication
+	// qubits, joined by a CLOS switch network.
+	arch, err := sq.NewArch(sq.ArchConfig{
+		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 480-qubit approximate QFT spanning all 16 QPUs.
+	circ, err := sq.Benchmark("qft", arch.TotalQubits())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("program: %s, %d gates on %s\n\n", circ.Name, len(circ.Gates), arch)
+
+	params := sq.DefaultParams() // 0.1 ms in-rack, 1 ms reconfig, 10 ms cross-rack
+
+	ours, err := sq.Compile(circ, arch, params, sq.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sq.CompileBaseline(circ, arch, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SwitchQNet: %d EPR demands (%d cross-rack), latency %.1f reconfig units\n",
+		len(ours.Demands), ours.Summary.CrossRackEPR, ours.Summary.Latency)
+	fmt.Printf("            %d splits, EPR overhead %.2f%%, wait %.2f, retry %.2f\n",
+		ours.Summary.Splits, ours.Summary.EPROverheadPct,
+		ours.Summary.AvgWaitTime, ours.Summary.RetryOverhead)
+	fmt.Printf("baseline:   %d EPR demands, latency %.1f reconfig units\n",
+		len(base.Demands), base.Summary.Latency)
+	fmt.Printf("\nimprovement: %.2fx (paper reports 8.02x on average)\n",
+		sq.Improvement(base.Summary, ours.Summary))
+
+	// Estimated fidelity of the pairs the program consumes, assuming a
+	// 100 ms memory coherence time.
+	fid := sq.FidelityAt(ours.Result, 100_000)
+	fmt.Printf("mean consumed-EPR fidelity: %.4f (min %.4f, %d%% of cross-rack pairs split)\n",
+		fid.Mean, fid.Min, int(100*fid.SplitShare))
+}

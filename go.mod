@@ -1,0 +1,3 @@
+module switchqnet
+
+go 1.22

@@ -1,0 +1,213 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteQASM serializes the circuit as OpenQASM 2.0 using one quantum
+// register q[NumQubits]. Every gate kind of the IR maps to a standard
+// qelib1 gate (cp is emitted as cu1, its qelib1 name).
+func (c *Circuit) WriteQASM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n// %s\nqreg q[%d];\n", c.Name, c.NumQubits)
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case RZ:
+			fmt.Fprintf(bw, "rz(%.17g) q[%d];\n", g.Param, g.Q0)
+		case CP:
+			fmt.Fprintf(bw, "cu1(%.17g) q[%d],q[%d];\n", g.Param, g.Q0, g.Q1)
+		case CX:
+			fmt.Fprintf(bw, "cx q[%d],q[%d];\n", g.Q0, g.Q1)
+		case CZ:
+			fmt.Fprintf(bw, "cz q[%d],q[%d];\n", g.Q0, g.Q1)
+		default:
+			fmt.Fprintf(bw, "%s q[%d];\n", g.Kind, g.Q0)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseQASM reads the OpenQASM 2.0 subset WriteQASM emits (plus ccx,
+// which is lowered through AppendToffoli): a single qreg, the qelib1
+// gates h/x/z/s/sdg/t/tdg/rz/cx/cz/cu1/cp/ccx, and comments. It is a
+// line-oriented parser sufficient for round-tripping benchmark circuits
+// and importing externally generated ones.
+func ParseQASM(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	c := New("qasm", 0)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "//"); i >= 0 {
+			if c.Name == "qasm" && i == 0 && lineNo <= 3 {
+				c.Name = strings.TrimSpace(line[2:])
+			}
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" || strings.HasPrefix(line, "OPENQASM") || strings.HasPrefix(line, "include") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ";")
+		switch {
+		case strings.HasPrefix(line, "qreg"):
+			n, err := parseQreg(line)
+			if err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %w", lineNo, err)
+			}
+			c.NumQubits = n
+		case strings.HasPrefix(line, "creg"), strings.HasPrefix(line, "barrier"),
+			strings.HasPrefix(line, "measure"):
+			// Ignored: classical registers and measurement do not affect
+			// communication scheduling.
+		default:
+			if err := parseGate(c, line); err != nil {
+				return nil, fmt.Errorf("circuit: line %d: %w", lineNo, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c.NumQubits == 0 {
+		return nil, fmt.Errorf("circuit: QASM input has no qreg declaration")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseQreg extracts N from "qreg q[N]".
+func parseQreg(line string) (int, error) {
+	open := strings.Index(line, "[")
+	close := strings.Index(line, "]")
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("malformed qreg %q", line)
+	}
+	n, err := strconv.Atoi(line[open+1 : close])
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("malformed qreg size in %q", line)
+	}
+	return n, nil
+}
+
+// parseGate parses one gate application line.
+func parseGate(c *Circuit, line string) error {
+	// Split "name(param) operands" into name, optional param, operands.
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return fmt.Errorf("malformed gate %q", line)
+	}
+	head, rest := line[:sp], strings.TrimSpace(line[sp+1:])
+	name, param := head, 0.0
+	if i := strings.Index(head, "("); i >= 0 {
+		j := strings.LastIndex(head, ")")
+		if j < i {
+			return fmt.Errorf("malformed parameter in %q", line)
+		}
+		var err error
+		param, err = parseAngle(head[i+1 : j])
+		if err != nil {
+			return fmt.Errorf("bad angle in %q: %w", line, err)
+		}
+		name = head[:i]
+	}
+	var qubits []int
+	for _, op := range strings.Split(rest, ",") {
+		q, err := parseOperand(strings.TrimSpace(op))
+		if err != nil {
+			return fmt.Errorf("bad operand in %q: %w", line, err)
+		}
+		qubits = append(qubits, q)
+	}
+	need := map[string]int{
+		"h": 1, "x": 1, "z": 1, "s": 1, "sdg": 1, "t": 1, "tdg": 1, "rz": 1,
+		"cx": 2, "cz": 2, "cu1": 2, "cp": 2, "ccx": 3,
+	}
+	if want, ok := need[name]; !ok {
+		return fmt.Errorf("unsupported gate %q", name)
+	} else if len(qubits) != want {
+		return fmt.Errorf("gate %q wants %d operands, got %d", name, want, len(qubits))
+	}
+	switch name {
+	case "h":
+		c.Append(Single(H, qubits[0]))
+	case "x":
+		c.Append(Single(X, qubits[0]))
+	case "z":
+		c.Append(Single(Z, qubits[0]))
+	case "s":
+		c.Append(Single(S, qubits[0]))
+	case "sdg":
+		c.Append(Single(Sdg, qubits[0]))
+	case "t":
+		c.Append(Single(T, qubits[0]))
+	case "tdg":
+		c.Append(Single(Tdg, qubits[0]))
+	case "rz":
+		c.Append(Gate{Kind: RZ, Q0: int32(qubits[0]), Q1: -1, Param: param})
+	case "cx":
+		c.Append(Two(CX, qubits[0], qubits[1]))
+	case "cz":
+		c.Append(Two(CZ, qubits[0], qubits[1]))
+	case "cu1", "cp":
+		c.Append(TwoP(CP, qubits[0], qubits[1], param))
+	case "ccx":
+		c.AppendToffoli(qubits[0], qubits[1], qubits[2])
+	}
+	return nil
+}
+
+// parseOperand extracts N from "q[N]".
+func parseOperand(op string) (int, error) {
+	open := strings.Index(op, "[")
+	close := strings.Index(op, "]")
+	if open < 0 || close < open {
+		return 0, fmt.Errorf("malformed operand %q", op)
+	}
+	return strconv.Atoi(op[open+1 : close])
+}
+
+// parseAngle evaluates the restricted angle grammar QASM files commonly
+// use: a float literal, "pi", or "pi/N", "-pi/N", "N*pi/M".
+func parseAngle(s string) (float64, error) {
+	s = strings.ReplaceAll(strings.TrimSpace(s), " ", "")
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return v, nil
+	}
+	sign := 1.0
+	if strings.HasPrefix(s, "-") {
+		sign, s = -1, s[1:]
+	}
+	num, den := s, ""
+	if i := strings.Index(s, "/"); i >= 0 {
+		num, den = s[:i], s[i+1:]
+	}
+	factor := 1.0
+	if i := strings.Index(num, "*"); i >= 0 {
+		f, err := strconv.ParseFloat(num[:i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad angle %q", s)
+		}
+		factor, num = f, num[i+1:]
+	}
+	if num != "pi" {
+		return 0, fmt.Errorf("bad angle %q", s)
+	}
+	v := sign * factor * math.Pi
+	if den != "" {
+		d, err := strconv.ParseFloat(den, 64)
+		if err != nil || d == 0 {
+			return 0, fmt.Errorf("bad angle denominator %q", s)
+		}
+		v /= d
+	}
+	return v, nil
+}

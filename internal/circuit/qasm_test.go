@@ -1,0 +1,161 @@
+package circuit
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, c *Circuit) *Circuit {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.WriteQASM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseQASM(&buf)
+	if err != nil {
+		t.Fatalf("ParseQASM: %v\nqasm:\n%s", err, buf.String())
+	}
+	return got
+}
+
+func TestQASMRoundTripSmall(t *testing.T) {
+	c := New("roundtrip", 4)
+	c.Append(
+		Single(H, 0), Single(X, 1), Single(Z, 2), Single(S, 3),
+		Single(Sdg, 0), Single(T, 1), Single(Tdg, 2),
+		Gate{Kind: RZ, Q0: 3, Q1: -1, Param: 0.125},
+		Two(CX, 0, 1), Two(CZ, 1, 2), TwoP(CP, 2, 3, math.Pi/8),
+	)
+	got := roundTrip(t, c)
+	if got.NumQubits != c.NumQubits {
+		t.Fatalf("qubits = %d, want %d", got.NumQubits, c.NumQubits)
+	}
+	if len(got.Gates) != len(c.Gates) {
+		t.Fatalf("gates = %d, want %d", len(got.Gates), len(c.Gates))
+	}
+	for i := range c.Gates {
+		if got.Gates[i].Kind != c.Gates[i].Kind || got.Gates[i].Q0 != c.Gates[i].Q0 ||
+			got.Gates[i].Q1 != c.Gates[i].Q1 {
+			t.Errorf("gate %d = %+v, want %+v", i, got.Gates[i], c.Gates[i])
+		}
+		if math.Abs(got.Gates[i].Param-c.Gates[i].Param) > 1e-15 {
+			t.Errorf("gate %d param = %v, want %v", i, got.Gates[i].Param, c.Gates[i].Param)
+		}
+	}
+	if got.Name != "roundtrip" {
+		t.Errorf("name = %q", got.Name)
+	}
+}
+
+func TestQASMRoundTripBenchmarks(t *testing.T) {
+	for _, name := range []string{"mct", "qft"} {
+		c, err := Benchmark(name, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := roundTrip(t, c)
+		if len(got.Gates) != len(c.Gates) || got.NumQubits != c.NumQubits {
+			t.Errorf("%s: %d gates/%d qubits, want %d/%d",
+				name, len(got.Gates), got.NumQubits, len(c.Gates), c.NumQubits)
+		}
+		if got.Stats().TwoQubit != c.Stats().TwoQubit {
+			t.Errorf("%s: two-qubit count changed", name)
+		}
+	}
+}
+
+func TestParseQASMExternalForm(t *testing.T) {
+	src := `OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+ccx q[0], q[1], q[2];
+cp(pi/4) q[0],q[2];
+rz(-pi/2) q[1];
+cu1(2*pi/8) q[1],q[2];
+barrier q;
+measure q[0] -> c[0];
+`
+	c, err := ParseQASM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumQubits != 3 {
+		t.Errorf("qubits = %d", c.NumQubits)
+	}
+	s := c.Stats()
+	// ccx lowers to 15 gates; plus h, cp, rz, cu1.
+	if s.Gates != 15+4 {
+		t.Errorf("gates = %d, want 19", s.Gates)
+	}
+	var angles []float64
+	for _, g := range c.Gates {
+		if g.Kind == CP || g.Kind == RZ {
+			angles = append(angles, g.Param)
+		}
+	}
+	want := []float64{math.Pi / 4, -math.Pi / 2, math.Pi / 4}
+	if len(angles) != len(want) {
+		t.Fatalf("angles = %v", angles)
+	}
+	for i := range want {
+		if math.Abs(angles[i]-want[i]) > 1e-12 {
+			t.Errorf("angle %d = %v, want %v", i, angles[i], want[i])
+		}
+	}
+}
+
+func TestParseQASMErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no qreg", "OPENQASM 2.0;\nh q[0];\n"},
+		{"unknown gate", "qreg q[2];\nfoo q[0];\n"},
+		{"bad operand count", "qreg q[2];\ncx q[0];\n"},
+		{"qubit out of range", "qreg q[2];\nh q[5];\n"},
+		{"bad angle", "qreg q[2];\nrz(nope) q[0];\n"},
+		{"malformed qreg", "qreg q[x];\n"},
+		{"zero qreg", "qreg q[0];\n"},
+		{"bad operand", "qreg q[2];\nh q0;\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseQASM(strings.NewReader(tc.src)); err == nil {
+				t.Errorf("accepted %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseAngleGrammar(t *testing.T) {
+	cases := map[string]float64{
+		"0.5":      0.5,
+		"pi":       math.Pi,
+		"-pi":      -math.Pi,
+		"pi/2":     math.Pi / 2,
+		"-pi/4":    -math.Pi / 4,
+		"3*pi/4":   3 * math.Pi / 4,
+		"0.25*pi":  math.Pi / 4,
+		"1e-3":     0.001,
+		"-0.125":   -0.125,
+		"2*pi/128": math.Pi / 64,
+	}
+	for s, want := range cases {
+		got, err := parseAngle(s)
+		if err != nil {
+			t.Errorf("parseAngle(%q): %v", s, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("parseAngle(%q) = %v, want %v", s, got, want)
+		}
+	}
+	for _, bad := range []string{"", "pi/0", "two*pi", "pi/x", "x"} {
+		if _, err := parseAngle(bad); err == nil {
+			t.Errorf("parseAngle(%q) accepted", bad)
+		}
+	}
+}

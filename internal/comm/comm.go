@@ -1,0 +1,319 @@
+// Package comm is the preprocessing stage of Section 4.1: it turns a
+// placed circuit into the ordered list of EPR-pair demands the
+// SwitchQNet scheduler consumes. Following the buffer-aware compilation
+// of QuComm/AutoComm it aggregates bursts of remote gates sharing a
+// control qubit into single Cat-protocol pairs, and migrates qubits via
+// the TP protocol when a window of upcoming gates favors the remote QPU.
+// The pass assumes full logical connectivity between QPUs, as the paper
+// prescribes for reconfigurable QDC networks.
+package comm
+
+import (
+	"fmt"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/place"
+	"switchqnet/internal/topology"
+)
+
+// Options tunes the extraction pass.
+type Options struct {
+	// TPWindow is how many upcoming two-qubit gates on a qubit are
+	// examined when deciding whether to teleport it (default 20).
+	TPWindow int
+	// TPThreshold is the minimum number of gates in the window that must
+	// favor the destination QPU to justify a TP migration (default 4).
+	TPThreshold int
+	// DisableTP forces Cat-only extraction.
+	DisableTP bool
+	// DisableCatAggregation emits one EPR demand per remote gate instead
+	// of merging bursts sharing a control. Burst aggregation provisions a
+	// shared cat state ahead of the gates that use it — a look-ahead the
+	// on-demand baseline does not have — so the baseline pipeline runs
+	// with this (and DisableTP) set.
+	DisableCatAggregation bool
+	// MaxMigrants caps how many foreign data qubits a QPU may host at
+	// once, protecting its buffer allocation (default: half the buffer).
+	MaxMigrants int
+}
+
+// DefaultOptions returns the defaults used in the evaluation.
+func DefaultOptions() Options {
+	return Options{TPWindow: 20, TPThreshold: 4}
+}
+
+// BaselineOptions returns the extraction used for the paper's on-demand
+// baseline: one EPR pair per remote gate, no teleportation migration —
+// the preprocessing a scheduler without look-ahead can actually exploit.
+func BaselineOptions() Options {
+	o := DefaultOptions()
+	o.DisableTP = true
+	o.DisableCatAggregation = true
+	return o
+}
+
+// Extract produces the EPR demand list for circuit c placed by p on
+// arch. The returned demands are in program order (the order the
+// communications are first needed), as required by the DAG construction
+// of Section 4.1.
+func Extract(c *circuit.Circuit, p place.Placement, arch *topology.Arch, opts Options) ([]epr.Demand, error) {
+	if len(p) < c.NumQubits {
+		return nil, fmt.Errorf("comm: placement covers %d qubits, circuit has %d", len(p), c.NumQubits)
+	}
+	if opts.TPWindow <= 0 {
+		opts.TPWindow = 20
+	}
+	if opts.TPThreshold <= 0 {
+		opts.TPThreshold = 4
+	}
+	if opts.MaxMigrants <= 0 {
+		opts.MaxMigrants = arch.BufferSize / 2
+	}
+
+	e := extractor{
+		circ: c, arch: arch, opts: opts,
+		cur:      append(place.Placement(nil), p...),
+		home:     p,
+		open:     make(map[int32]int), // control qubit -> open demand index
+		migrants: make([]int, arch.NumQPUs()),
+		nextTwoQ: buildNextTwoQ(c),
+	}
+	return e.run()
+}
+
+// buildNextTwoQ returns, for each gate index, the index of the next
+// two-qubit gate touching each of its operands (or -1), enabling O(1)
+// window walks during TP decisions.
+func buildNextTwoQ(c *circuit.Circuit) []int32 {
+	// next[i] = next two-qubit gate index after i that shares a qubit
+	// with gate i's first operand. We instead store per-qubit chains:
+	// chain[g] packs, for the gate at index g, the next two-qubit gate
+	// touching Q0 and Q1. Encoded as two int32 per gate.
+	chain := make([]int32, 2*len(c.Gates))
+	last := make(map[int32]int32) // qubit -> most recent gate index seen (walking backward)
+	for i := range chain {
+		chain[i] = -1
+	}
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		if !g.TwoQubit() {
+			// Single-qubit gates still break Cat blocks but do not
+			// participate in window counting.
+			continue
+		}
+		if n, ok := last[g.Q0]; ok {
+			chain[2*i] = n
+		}
+		if n, ok := last[g.Q1]; ok {
+			chain[2*i+1] = n
+		}
+		last[g.Q0] = int32(i)
+		last[g.Q1] = int32(i)
+	}
+	return chain
+}
+
+type extractor struct {
+	circ *circuit.Circuit
+	arch *topology.Arch
+	opts Options
+
+	cur  place.Placement // dynamic placement (mutated by TP migrations)
+	home place.Placement // original placement
+
+	demands []epr.Demand
+	// open maps a candidate control qubit to the index (into demands) of
+	// its open Cat block. Symmetric gates (CZ/CP) open a block under
+	// both operands until the first absorption fixes the root; a block
+	// therefore has one or two keys, tracked in openKeys.
+	open     map[int32]int
+	openPair map[int][2]int  // demand index -> QPU pair at open time
+	openKeys map[int][]int32 // demand index -> candidate root qubits
+	migrants []int           // per-QPU count of hosted foreign qubits
+
+	nextTwoQ []int32
+}
+
+func (e *extractor) run() ([]epr.Demand, error) {
+	e.openPair = make(map[int][2]int)
+	e.openKeys = make(map[int][]int32)
+	for i, g := range e.circ.Gates {
+		if !g.TwoQubit() {
+			// A local gate on a control qubit breaks its cat state.
+			e.closeBlocksTouching(g.Q0, -1)
+			continue
+		}
+		a, b := e.cur[g.Q0], e.cur[g.Q1]
+		if a == b {
+			// Local two-qubit gate: still breaks cat blocks rooted at
+			// either operand.
+			e.closeBlocksTouching(g.Q0, -1)
+			e.closeBlocksTouching(g.Q1, -1)
+			continue
+		}
+		// Try to absorb into an open Cat block controlled by either
+		// operand over the same QPU pair.
+		if !e.opts.DisableCatAggregation {
+			if idx, ok := e.open[g.Q0]; ok && e.pairMatches(idx, a, b) {
+				e.fixRoot(idx, g.Q0)
+				e.closeBlocksTouching(g.Q1, idx)
+				e.demands[idx].Gates++
+				continue
+			}
+			if symmetric(g.Kind) {
+				if idx, ok := e.open[g.Q1]; ok && e.pairMatches(idx, a, b) {
+					e.fixRoot(idx, g.Q1)
+					e.closeBlocksTouching(g.Q0, idx)
+					e.demands[idx].Gates++
+					continue
+				}
+			}
+		}
+		// The gate needs a new communication. Close stale blocks on both
+		// operands first.
+		e.closeBlocksTouching(g.Q0, -1)
+		e.closeBlocksTouching(g.Q1, -1)
+
+		if !e.opts.DisableTP {
+			if moved := e.tryMigrate(int32(i), g); moved {
+				continue // gate became local after teleportation
+			}
+		}
+		// Open a Cat block controlled by g.Q0 (the control for CX;
+		// either operand works for the symmetric CZ/CP kinds).
+		id := len(e.demands)
+		e.demands = append(e.demands, epr.Demand{
+			ID: id, A: a, B: b, Protocol: epr.Cat,
+			CrossRack: e.arch.RackOf(a) != e.arch.RackOf(b),
+			Gates:     1,
+		})
+		if !e.opts.DisableCatAggregation {
+			e.open[g.Q0] = id
+			e.openPair[id] = [2]int{a, b}
+			e.openKeys[id] = append(e.openKeys[id], g.Q0)
+			if symmetric(g.Kind) {
+				// Either operand of a symmetric gate may turn out to be
+				// the repeating control; keep both candidates until an
+				// absorption decides.
+				e.open[g.Q1] = id
+				e.openKeys[id] = append(e.openKeys[id], g.Q1)
+			}
+		}
+	}
+	return e.demands, nil
+}
+
+// pairMatches reports whether open demand idx connects QPUs a and b.
+func (e *extractor) pairMatches(idx int, a, b int) bool {
+	pr := e.openPair[idx]
+	return (pr[0] == a && pr[1] == b) || (pr[0] == b && pr[1] == a)
+}
+
+// closeBlocksTouching removes qubit q as a candidate root of its open
+// Cat block, unless that block is the one being absorbed into (keep).
+// When the block has another candidate root it survives under that
+// root; otherwise it is closed.
+func (e *extractor) closeBlocksTouching(q int32, keep int) {
+	idx, ok := e.open[q]
+	if !ok || idx == keep {
+		return
+	}
+	delete(e.open, q)
+	keys := e.openKeys[idx][:0]
+	for _, k := range e.openKeys[idx] {
+		if k != q {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		delete(e.openKeys, idx)
+		delete(e.openPair, idx)
+		return
+	}
+	e.openKeys[idx] = keys
+}
+
+// fixRoot commits block idx to root q, dropping any other candidate.
+func (e *extractor) fixRoot(idx int, q int32) {
+	for _, k := range e.openKeys[idx] {
+		if k != q {
+			delete(e.open, k)
+		}
+	}
+	e.openKeys[idx] = append(e.openKeys[idx][:0], q)
+}
+
+// symmetric reports whether the gate kind is control-symmetric, so a
+// Cat block may be rooted at either operand.
+func symmetric(k circuit.GateKind) bool { return k == circuit.CZ || k == circuit.CP }
+
+// tryMigrate decides whether to teleport one operand of gate g (at
+// index gi) to the other operand's QPU. It emits a TP demand and updates
+// the dynamic placement when the upcoming-gate window favors migration.
+func (e *extractor) tryMigrate(gi int32, g circuit.Gate) bool {
+	// Score both directions; migrate the qubit whose window benefit is
+	// larger, if it clears the threshold.
+	s0 := e.migrationScore(gi, g.Q0, e.cur[g.Q1])
+	s1 := e.migrationScore(gi, g.Q1, e.cur[g.Q0])
+	q, dst, score := g.Q0, e.cur[g.Q1], s0
+	if s1 > s0 {
+		q, dst, score = g.Q1, e.cur[g.Q0], s1
+	}
+	if score < e.opts.TPThreshold {
+		return false
+	}
+	if e.migrants[dst] >= e.opts.MaxMigrants {
+		return false
+	}
+	src := e.cur[q]
+	id := len(e.demands)
+	e.demands = append(e.demands, epr.Demand{
+		ID: id, A: src, B: dst, Protocol: epr.TP,
+		CrossRack: e.arch.RackOf(src) != e.arch.RackOf(dst),
+		Gates:     1,
+	})
+	// Any cat block rooted at the migrating qubit is now stale.
+	e.closeBlocksTouching(q, -1)
+	if e.home[q] == dst {
+		// Returning home frees a migrant slot at the current host.
+		if e.migrants[src] > 0 {
+			e.migrants[src]--
+		}
+	} else {
+		e.migrants[dst]++
+	}
+	e.cur[q] = dst
+	return true
+}
+
+// migrationScore counts, within the TP window of upcoming two-qubit
+// gates touching q, how many would become local if q moved to dst,
+// minus how many would become remote (they are local at q's current
+// QPU). The walk stops early if q's partner pattern changes rack.
+func (e *extractor) migrationScore(gi int32, q int32, dst int) int {
+	cur := e.cur[q]
+	score := 0
+	idx := gi
+	for steps := 0; steps < e.opts.TPWindow && idx >= 0; steps++ {
+		g := e.circ.Gates[idx]
+		var partner int32
+		var next int32
+		switch {
+		case g.Q0 == q:
+			partner, next = g.Q1, e.nextTwoQ[2*idx]
+		case g.Q1 == q:
+			partner, next = g.Q0, e.nextTwoQ[2*idx+1]
+		default:
+			return score // chain broken
+		}
+		switch e.cur[partner] {
+		case dst:
+			score++
+		case cur:
+			score--
+		}
+		idx = next
+	}
+	return score
+}

@@ -1,0 +1,6 @@
+package core
+
+// debugStuck, when non-nil, is invoked with the engine each time the
+// scheduler detects a stuck state, before the retry reversion. Tests use
+// it to inspect deadlock causes.
+var debugStuck func(*engine)

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/netstate"
+	"switchqnet/internal/topology"
+)
+
+// status is a demand's lifecycle state.
+type status uint8
+
+const (
+	stPending   status = iota // not yet scheduled
+	stScheduled               // generation (or split) in flight
+	stStored                  // pair generated, waiting in buffer
+	stConsumed                // pair consumed by its communication
+)
+
+// demandState is the mutable per-demand scheduling state.
+type demandState struct {
+	status status
+	// pendPreds counts direct predecessors still pending (working-DAG
+	// in-degree: the front layer of Section 4.2 has pendPreds == 0).
+	pendPreds int16
+	// consPreds counts direct predecessors not yet consumed (true
+	// dependency for consumption).
+	consPreds int16
+	// commHeldA/commHeldB record the front-layer exemption: the pair
+	// half stays on a communication qubit instead of a buffer slot.
+	commHeldA, commHeldB bool
+	splitID              int32 // index into splits, or -1
+	readyAt              hw.Time
+	consumedAt           hw.Time
+}
+
+// splitState tracks one cross-rack split (Section 4.3).
+type splitState struct {
+	demand            int32
+	busy, helper, far int32 // QPU ids: in-rack side, borrowed QPU, remote side
+	k                 int   // pairs per distillation
+	// mBusy, mHelper, mFar are the buffer reservations of Section 4.3,
+	// consumed incrementally as the post-split pairs take their slots.
+	mBusy, mHelper, mFar int
+	crossDone, inDone    bool
+	crossReady           hw.Time
+	inReady              hw.Time
+	inScheduled          bool
+}
+
+// evKind is the type of a completion event.
+type evKind uint8
+
+const (
+	evGenDone   evKind = iota // regular generation finished (ref = demand)
+	evCrossDone               // split's substitute cross-rack pair done (ref = split)
+	evInDone                  // split's distilled in-rack pair done (ref = split)
+)
+
+type event struct {
+	t    hw.Time
+	seq  int32
+	kind evKind
+	ref  int32
+}
+
+// eventHeap is a binary min-heap ordered by (t, seq).
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h).less(parent, i) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// engineState is everything the retry mechanism must checkpoint.
+type engineState struct {
+	net    *netstate.State
+	ds     []demandState
+	splits []splitState
+	parts  []int32 // split ids whose in-rack parts await scheduling
+	// outstanding is the per-QPU ledger of pending buffer releases; it
+	// backs the projected_buffer computation of Section 4.3.
+	outstanding [][]relEntry
+	frontier    map[int32]struct{}
+	events      eventHeap
+	ready       []int32 // stored demands with consPreds == 0, pending consumption
+	gens        []GenEvent
+	consumed    int
+	strictNext  int32
+	seq         int32
+	slices      int // scheduling passes executed in this timeline
+	splitCount  int
+	extraInRack int
+}
+
+func (s *engineState) clone() *engineState {
+	c := &engineState{
+		net:         s.net.Clone(),
+		ds:          append([]demandState(nil), s.ds...),
+		splits:      append([]splitState(nil), s.splits...),
+		parts:       append([]int32(nil), s.parts...),
+		outstanding: make([][]relEntry, len(s.outstanding)),
+		frontier:    make(map[int32]struct{}, len(s.frontier)),
+		events:      append(eventHeap(nil), s.events...),
+		ready:       append([]int32(nil), s.ready...),
+		gens:        append([]GenEvent(nil), s.gens...),
+		consumed:    s.consumed,
+		strictNext:  s.strictNext,
+		seq:         s.seq,
+		slices:      s.slices,
+		splitCount:  s.splitCount,
+		extraInRack: s.extraInRack,
+	}
+	for k := range s.frontier {
+		c.frontier[k] = struct{}{}
+	}
+	for q, entries := range s.outstanding {
+		c.outstanding[q] = append([]relEntry(nil), entries...)
+	}
+	return c
+}
+
+// engine drives one compilation.
+type engine struct {
+	dag  *epr.DAG
+	arch *topology.Arch
+	p    hw.Params
+	opts Options
+
+	st *engineState
+
+	// Retry bookkeeping (outside the checkpointed state).
+	checkpoint0     *engineState
+	checkpoint      *engineState
+	revertCount     int
+	retries         int
+	totalSlices     int
+	override        Strategy
+	overrideUntil   hw.Time
+	overrideActive  bool
+	overrideForever bool
+	routeFail       map[[2]int]bool // per-pass negative route cache
+}
+
+// Compile schedules the demand list on the architecture and returns the
+// compiled communication schedule. It is deterministic: identical inputs
+// produce identical results.
+func Compile(demands []epr.Demand, arch *topology.Arch, p hw.Params, opts Options) (*Result, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.normalize(arch.CommQubits, arch.BufferSize); err != nil {
+		return nil, err
+	}
+	// Normalize the CrossRack flags against the architecture rather than
+	// trusting the caller.
+	ds := make([]epr.Demand, len(demands))
+	for i, d := range demands {
+		if d.A < 0 || d.A >= arch.NumQPUs() || d.B < 0 || d.B >= arch.NumQPUs() {
+			return nil, fmt.Errorf("core: demand %d endpoints (%d, %d) outside %d QPUs", i, d.A, d.B, arch.NumQPUs())
+		}
+		d.CrossRack = !arch.Net.InRack(d.A, d.B)
+		ds[i] = d
+	}
+	dag, err := epr.BuildDAG(ds)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{dag: dag, arch: arch, p: p, opts: opts}
+	e.init()
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+func (e *engine) init() {
+	n := e.dag.Len()
+	st := &engineState{
+		net:         netstate.New(e.arch, e.p),
+		ds:          make([]demandState, n),
+		outstanding: make([][]relEntry, e.arch.NumQPUs()),
+		frontier:    make(map[int32]struct{}),
+	}
+	for i := 0; i < n; i++ {
+		st.ds[i] = demandState{
+			status:    stPending,
+			pendPreds: int16(len(e.dag.Preds[i])),
+			consPreds: int16(len(e.dag.Preds[i])),
+			splitID:   -1,
+		}
+		if st.ds[i].pendPreds == 0 {
+			st.frontier[int32(i)] = struct{}{}
+		}
+	}
+	e.st = st
+	e.checkpoint0 = st.clone()
+	e.checkpoint = e.checkpoint0
+}
+
+// strategy returns the discipline in force at the current time.
+func (e *engine) strategy() Strategy {
+	if e.overrideForever {
+		return e.override
+	}
+	if e.overrideActive {
+		if e.st.net.Now < e.overrideUntil {
+			return e.override
+		}
+		e.overrideActive = false
+	}
+	return e.opts.Strategy
+}
+
+func (e *engine) run() error {
+	for {
+		e.pass()
+		if e.st.consumed == e.dag.Len() {
+			return nil
+		}
+		if len(e.st.events) == 0 {
+			if err := e.retry(); err != nil {
+				return err
+			}
+			continue
+		}
+		e.advance()
+		e.maybeCheckpoint()
+	}
+}
+
+// advance pops every event at the next event time, processes the
+// completions and runs the consumption cascade.
+func (e *engine) advance() {
+	st := e.st
+	t := st.events[0].t
+	st.net.Now = t
+	for len(st.events) > 0 && st.events[0].t == t {
+		ev := st.events.pop()
+		switch ev.kind {
+		case evGenDone:
+			e.genDone(ev.ref, t)
+		case evCrossDone:
+			e.crossDone(ev.ref, t)
+		case evInDone:
+			e.inDone(ev.ref, t)
+		}
+	}
+	e.consumeCascade(t)
+}
+
+// genDone completes a regular generation: communication qubits are
+// freed (unless holding the pair under the front-layer exemption) and
+// the pair is stored.
+func (e *engine) genDone(demand int32, t hw.Time) {
+	st := e.st
+	d := &st.ds[demand]
+	dm := e.dag.Demands[demand]
+	if !d.commHeldA {
+		st.net.QPUs[dm.A].FreeComm++
+	}
+	if !d.commHeldB {
+		st.net.QPUs[dm.B].FreeComm++
+	}
+	d.status = stStored
+	d.readyAt = t
+	if d.consPreds == 0 {
+		st.ready = append(st.ready, demand)
+	}
+}
+
+// crossDone completes a split's substitute cross-rack pair.
+func (e *engine) crossDone(split int32, t hw.Time) {
+	st := e.st
+	s := &st.splits[split]
+	st.net.QPUs[s.far].FreeComm++
+	st.net.QPUs[s.helper].FreeComm++
+	s.crossDone = true
+	s.crossReady = t
+	if s.inDone {
+		e.mergeSplit(split, t)
+	}
+}
+
+// inDone completes a split's distilled in-rack pair (the last of its k
+// collective generations).
+func (e *engine) inDone(split int32, t hw.Time) {
+	st := e.st
+	s := &st.splits[split]
+	st.net.QPUs[s.busy].FreeComm++
+	st.net.QPUs[s.helper].FreeComm++
+	// The distillation working slots free on each side (zero when the
+	// split was not distilled).
+	st.net.QPUs[s.busy].FreeBuf += e.takeReleases(int(s.busy), relDistill, split)
+	st.net.QPUs[s.helper].FreeBuf += e.takeReleases(int(s.helper), relDistill, split)
+	s.inDone = true
+	s.inReady = t
+	if s.crossDone {
+		e.mergeSplit(split, t)
+	}
+}
+
+// mergeSplit performs the entanglement swap on the helper QPU: its two
+// halves are measured away (freeing two buffer slots) and the merged
+// pair becomes a stored demand.
+func (e *engine) mergeSplit(split int32, t hw.Time) {
+	st := e.st
+	s := &st.splits[split]
+	st.net.QPUs[s.helper].FreeBuf += e.takeReleases(int(s.helper), relSwap, split)
+	d := &st.ds[s.demand]
+	d.status = stStored
+	d.readyAt = t
+	if d.consPreds == 0 {
+		st.ready = append(st.ready, s.demand)
+	}
+}
+
+// consumeCascade consumes every stored demand whose predecessors are all
+// consumed, repeatedly, releasing buffer per protocol (Section 4.3's
+// projected-buffer rules: Cat +1 each side, TP +2 source / +0
+// destination).
+func (e *engine) consumeCascade(t hw.Time) {
+	st := e.st
+	for len(st.ready) > 0 {
+		id := st.ready[len(st.ready)-1]
+		st.ready = st.ready[:len(st.ready)-1]
+		d := &st.ds[id]
+		if d.status != stStored || d.consPreds != 0 {
+			continue
+		}
+		dm := e.dag.Demands[id]
+		d.status = stConsumed
+		d.consumedAt = t
+		st.consumed++
+		e.releaseEndpoint(dm, dm.A, d.commHeldA)
+		e.releaseEndpoint(dm, dm.B, d.commHeldB)
+		for _, succ := range e.dag.Succs[id] {
+			sd := &st.ds[succ]
+			sd.consPreds--
+			if sd.consPreds == 0 && sd.status == stStored {
+				st.ready = append(st.ready, succ)
+			}
+		}
+	}
+	for st.strictNext < int32(e.dag.Len()) && st.ds[st.strictNext].status == stConsumed {
+		st.strictNext++
+	}
+}
+
+// bufferRelease returns the buffer slots consumption frees on QPU q for
+// demand dm, given whether the half was held on a comm qubit.
+func bufferRelease(dm epr.Demand, q int, commHeld bool) int {
+	var r int
+	switch {
+	case dm.Protocol == epr.Cat:
+		r = 1
+	case q == dm.A: // TP source: half slot + departed data qubit
+		r = 2
+	default: // TP destination: half slot is taken over by arriving data
+		r = 0
+	}
+	if commHeld {
+		r-- // the half never occupied a buffer slot
+	}
+	return r
+}
+
+func (e *engine) releaseEndpoint(dm epr.Demand, q int, commHeld bool) {
+	st := e.st
+	st.net.QPUs[q].FreeBuf += e.takeReleases(q, relConsume, int32(dm.ID))
+	if commHeld {
+		st.net.QPUs[q].FreeComm++
+	}
+}
+
+func (e *engine) maybeCheckpoint() {
+	if e.st.slices-e.checkpoint.slices >= e.opts.CheckpointEvery {
+		e.checkpoint = e.st.clone()
+		e.revertCount = 0
+	}
+}
+
+// retry implements the auto-retry of Section 4.5: revert to a saved
+// state and downgrade the strategy, escalating to strict on-demand from
+// the initial state if the issue persists.
+func (e *engine) retry() error {
+	if debugStuck != nil {
+		debugStuck(e)
+	}
+	e.retries++
+	if e.retries > e.opts.MaxRetries {
+		return fmt.Errorf("core: compilation stuck after %d retries (strategy %v, %d/%d demands consumed)",
+			e.retries-1, e.strategy(), e.st.consumed, e.dag.Len())
+	}
+	e.revertCount++
+	switch {
+	case e.revertCount == 1:
+		e.st = e.checkpoint.clone()
+		e.override = StrategyBufferAssisted
+		e.overrideUntil = e.st.net.Now + e.opts.RecoveryWindow
+		e.overrideActive = true
+	case e.revertCount == 2:
+		e.st = e.checkpoint.clone()
+		e.override = StrategyStrict
+		e.overrideUntil = e.st.net.Now + 4*e.opts.RecoveryWindow
+		e.overrideActive = true
+	default:
+		e.st = e.checkpoint0.clone()
+		e.checkpoint = e.checkpoint0
+		e.override = StrategyStrict
+		e.overrideForever = true
+	}
+	return nil
+}
+
+// result assembles the Result from the final state.
+func (e *engine) result() *Result {
+	st := e.st
+	r := &Result{
+		Demands:         e.dag.Demands,
+		Gens:            st.gens,
+		ReadyAt:         make([]hw.Time, e.dag.Len()),
+		ConsumedAt:      make([]hw.Time, e.dag.Len()),
+		CommHeld:        make([][2]bool, e.dag.Len()),
+		Splits:          st.splitCount,
+		ExtraInRack:     st.extraInRack,
+		Reconfigs:       st.net.Reconfigs,
+		Retries:         e.retries,
+		EventsProcessed: e.totalSlices,
+		EventsFinal:     st.slices,
+		Params:          e.p,
+		Opts:            e.opts,
+	}
+	if e.opts.DistillK >= 2 {
+		r.DistilledPairs = st.splitCount
+	}
+	for i := range r.ReadyAt {
+		r.ReadyAt[i] = st.ds[i].readyAt
+		r.ConsumedAt[i] = st.ds[i].consumedAt
+		r.CommHeld[i] = [2]bool{st.ds[i].commHeldA, st.ds[i].commHeldB}
+		if st.ds[i].consumedAt > r.Makespan {
+			r.Makespan = st.ds[i].consumedAt
+		}
+	}
+	sort.SliceStable(r.Gens, func(i, j int) bool {
+		if r.Gens[i].Start != r.Gens[j].Start {
+			return r.Gens[i].Start < r.Gens[j].Start
+		}
+		return r.Gens[i].Demand < r.Gens[j].Demand
+	})
+	return r
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+)
+
+func TestEventHeapOrdering(t *testing.T) {
+	var h eventHeap
+	times := []hw.Time{50, 10, 30, 10, 70, 20, 10}
+	for i, tm := range times {
+		h.push(event{t: tm, seq: int32(i)})
+	}
+	var got []hw.Time
+	var seqs []int32
+	for len(h) > 0 {
+		ev := h.pop()
+		got = append(got, ev.t)
+		seqs = append(seqs, ev.seq)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("pop order not sorted: %v", got)
+	}
+	// Equal times pop in push (seq) order: the three t=10 events were
+	// pushed with seqs 1, 3, 6.
+	if seqs[0] != 1 || seqs[1] != 3 || seqs[2] != 6 {
+		t.Errorf("tie-break order = %v", seqs[:3])
+	}
+}
+
+func TestEventHeapProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var h eventHeap
+		for i, v := range raw {
+			h.push(event{t: hw.Time(v % 1000), seq: int32(i)})
+		}
+		prev := event{t: -1, seq: -1}
+		for len(h) > 0 {
+			ev := h.pop()
+			if ev.t < prev.t || (ev.t == prev.t && ev.seq < prev.seq) {
+				return false
+			}
+			prev = ev
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLedgerAddTakeRoundTrip(t *testing.T) {
+	e := &engine{st: &engineState{outstanding: make([][]relEntry, 3)}}
+	e.addRelease(0, relConsume, 7, 2)
+	e.addRelease(0, relConsume, 8, 1)
+	e.addRelease(0, relSwap, 3, 1)
+	e.addRelease(0, relDistill, 3, 1)
+	e.addRelease(1, relConsume, 7, 1)
+	e.addRelease(2, relConsume, 9, 0) // zero amounts are dropped
+
+	if got := e.takeReleases(0, relConsume, 7); got != 2 {
+		t.Errorf("takeReleases(consume 7) = %d, want 2", got)
+	}
+	if got := e.takeReleases(0, relConsume, 7); got != 0 {
+		t.Errorf("second take = %d, want 0", got)
+	}
+	if got := e.takeReleases(0, relSwap, 3); got != 1 {
+		t.Errorf("takeReleases(swap 3) = %d, want 1", got)
+	}
+	if got := e.takeReleases(0, relDistill, 3); got != 1 {
+		t.Errorf("takeReleases(distill 3) = %d, want 1", got)
+	}
+	if len(e.st.outstanding[0]) != 1 { // consume 8 remains
+		t.Errorf("remaining entries = %v", e.st.outstanding[0])
+	}
+	if len(e.st.outstanding[2]) != 0 {
+		t.Errorf("zero-amount entry was stored: %v", e.st.outstanding[2])
+	}
+}
+
+func TestBufferReleaseTable(t *testing.T) {
+	cat := epr.Demand{ID: 0, A: 1, B: 2, Protocol: epr.Cat}
+	tp := epr.Demand{ID: 1, A: 1, B: 2, Protocol: epr.TP}
+	cases := []struct {
+		dm       epr.Demand
+		q        int
+		commHeld bool
+		want     int
+	}{
+		{cat, 1, false, 1},
+		{cat, 2, false, 1},
+		{cat, 1, true, 0},
+		{tp, 1, false, 2}, // TP source frees half + departed data
+		{tp, 2, false, 0}, // TP destination keeps the slot for the data
+		{tp, 1, true, 1},
+	}
+	for _, tc := range cases {
+		if got := bufferRelease(tc.dm, tc.q, tc.commHeld); got != tc.want {
+			t.Errorf("bufferRelease(%v, q=%d, held=%v) = %d, want %d",
+				tc.dm.Protocol, tc.q, tc.commHeld, got, tc.want)
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}
+	if err := o.normalize(2, 10); err != nil {
+		t.Fatal(err)
+	}
+	if o.LookAhead != 1 || o.DistillK != 1 {
+		t.Errorf("normalized = %+v", o)
+	}
+	if o.SoftThreshold != 8 { // max(2, 10-2)
+		t.Errorf("SoftThreshold = %d, want 8", o.SoftThreshold)
+	}
+	o = Options{SoftThreshold: 5, MaxRetries: -1}
+	if err := o.normalize(2, 10); err == nil {
+		t.Error("negative MaxRetries accepted")
+	}
+	o = Options{SoftThreshold: 5}
+	if err := o.normalize(6, 4); err != nil {
+		t.Fatal(err)
+	}
+	if o.SoftThreshold != 5 {
+		t.Errorf("explicit threshold overridden: %d", o.SoftThreshold)
+	}
+}
+
+// windowEngine builds an engine around a demand list without running it.
+func windowEngine(t *testing.T, demands []epr.Demand) *engine {
+	t.Helper()
+	a := arch(t, 2, 2, 30, 10, 2)
+	dag, err := epr.BuildDAG(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	if err := opts.normalize(a.CommQubits, a.BufferSize); err != nil {
+		t.Fatal(err)
+	}
+	e := &engine{dag: dag, arch: a, p: hw.Default(), opts: opts}
+	e.init()
+	return e
+}
+
+func TestWindowDepthLimit(t *testing.T) {
+	// A pure chain on one QPU pair: window depth l exposes exactly l nodes.
+	var ds []epr.Demand
+	for i := 0; i < 8; i++ {
+		ds = append(ds, dmd(i, 0, 1, epr.Cat))
+	}
+	e := windowEngine(t, ds)
+	for _, l := range []int{1, 3, 8, 20} {
+		w := e.window(l)
+		want := min(l, 8)
+		if len(w) != want {
+			t.Errorf("window(%d) = %d nodes, want %d", l, len(w), want)
+		}
+		// Must be in id order for a chain.
+		for i := 1; i < len(w); i++ {
+			if w[i] < w[i-1] {
+				t.Errorf("window(%d) out of order: %v", l, w)
+			}
+		}
+	}
+}
+
+func TestWindowSkipsScheduledNodes(t *testing.T) {
+	ds := []epr.Demand{
+		dmd(0, 0, 1, epr.Cat),
+		dmd(1, 0, 1, epr.Cat),
+		dmd(2, 0, 1, epr.Cat),
+	}
+	e := windowEngine(t, ds)
+	e.markScheduled(0)
+	w := e.window(10)
+	if len(w) != 2 || w[0] != 1 || w[1] != 2 {
+		t.Errorf("window after scheduling d0 = %v, want [1 2]", w)
+	}
+	if _, in := e.st.frontier[0]; in {
+		t.Error("scheduled demand still in frontier")
+	}
+	if _, in := e.st.frontier[1]; !in {
+		t.Error("successor did not enter frontier")
+	}
+}
+
+func TestWindowParallelBlocks(t *testing.T) {
+	// Two blocks of 3 same-pair demands: each block is one layer.
+	var ds []epr.Demand
+	for i := 0; i < 6; i++ {
+		d := dmd(i, 0, 1, epr.Cat)
+		d.Block = 1 + i/3
+		ds = append(ds, d)
+	}
+	e := windowEngine(t, ds)
+	if w := e.window(1); len(w) != 3 {
+		t.Errorf("window(1) = %d nodes, want the 3-demand front block", len(w))
+	}
+	if w := e.window(2); len(w) != 6 {
+		t.Errorf("window(2) = %d nodes, want both blocks", len(w))
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	ds := []epr.Demand{dmd(0, 0, 1, epr.Cat), dmd(1, 1, 2, epr.Cat)}
+	e := windowEngine(t, ds)
+	e.addRelease(0, relConsume, 0, 1)
+	e.st.parts = append(e.st.parts, 5)
+	c := e.st.clone()
+	// Mutate the original in every checkpointed dimension.
+	e.markScheduled(0)
+	e.st.parts[0] = 9
+	e.takeReleases(0, relConsume, 0)
+	e.st.seq = 99
+	if c.ds[0].status != stPending {
+		t.Error("clone demand state mutated")
+	}
+	if _, in := c.frontier[0]; !in {
+		t.Error("clone frontier mutated")
+	}
+	if c.parts[0] != 5 {
+		t.Error("clone parts mutated")
+	}
+	if len(c.outstanding[0]) != 1 {
+		t.Error("clone ledger mutated")
+	}
+	if c.seq == 99 {
+		t.Error("clone counters mutated")
+	}
+}

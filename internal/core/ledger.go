@@ -1,0 +1,53 @@
+package core
+
+// relKind classifies a pending buffer release.
+type relKind uint8
+
+const (
+	// relConsume frees when the tagged demand is consumed. Whether it is
+	// safe to count toward a projected buffer depends on who is asking:
+	// a split of demand d must not count releases from demands ordered
+	// after d, because their consumption may transitively wait on d
+	// (Section 4.3's deadlock scenario, Fig. 7(b)).
+	relConsume relKind = iota
+	// relSwap frees at a split's entanglement swap — purely
+	// generation-driven, always safe to count.
+	relSwap
+	// relDistill frees when a split's distillation completes — also
+	// generation-driven and always safe.
+	relDistill
+)
+
+// relEntry is one pending buffer release on a QPU.
+type relEntry struct {
+	kind relKind
+	// ref is the consuming demand id for relConsume, or the split id for
+	// relSwap/relDistill.
+	ref    int32
+	amount int8
+}
+
+// addRelease records a pending release of amount slots on QPU q.
+func (e *engine) addRelease(q int, kind relKind, ref int32, amount int) {
+	if amount <= 0 {
+		return
+	}
+	e.st.outstanding[q] = append(e.st.outstanding[q], relEntry{kind: kind, ref: ref, amount: int8(amount)})
+}
+
+// takeReleases removes every entry on QPU q matching (kind, ref) and
+// returns the total released amount.
+func (e *engine) takeReleases(q int, kind relKind, ref int32) int {
+	entries := e.st.outstanding[q]
+	total := 0
+	out := entries[:0]
+	for _, en := range entries {
+		if en.kind == kind && en.ref == ref {
+			total += int(en.amount)
+			continue
+		}
+		out = append(out, en)
+	}
+	e.st.outstanding[q] = out
+	return total
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+)
+
+// GenKind classifies a scheduled EPR generation.
+type GenKind uint8
+
+const (
+	// GenRegular is a demand generated directly between its endpoints.
+	GenRegular GenKind = iota
+	// GenSplitCross is the substitute cross-rack pair of a split.
+	GenSplitCross
+	// GenSplitInRack is the kept post-split in-rack pair (distilled).
+	GenSplitInRack
+	// GenDistillCopy is a sacrificial in-rack pair consumed by
+	// distillation.
+	GenDistillCopy
+)
+
+// String implements fmt.Stringer.
+func (k GenKind) String() string {
+	switch k {
+	case GenRegular:
+		return "regular"
+	case GenSplitCross:
+		return "split-cross"
+	case GenSplitInRack:
+		return "split-in-rack"
+	case GenDistillCopy:
+		return "distill-copy"
+	default:
+		return fmt.Sprintf("GenKind(%d)", uint8(k))
+	}
+}
+
+// GenEvent is one scheduled EPR generation in the compiled schedule.
+type GenEvent struct {
+	// Demand is the demand id this generation serves.
+	Demand int32
+	Kind   GenKind
+	// A, B are the QPUs the pair is generated between (for split parts
+	// these differ from the demand's endpoints).
+	A, B int32
+	// Start, End delimit the generation on its channel. Start already
+	// accounts for any switch reconfiguration preceding it.
+	Start, End hw.Time
+	// Channel identifies the configured channel used.
+	Channel int32
+	// Reconfig records whether this generation triggered a new channel
+	// configuration (i.e. paid one reconfiguration latency).
+	Reconfig bool
+	// InRack records whether the generated pair is in-rack.
+	InRack bool
+}
+
+// Duration returns End - Start.
+func (g GenEvent) Duration() hw.Time { return g.End - g.Start }
+
+// Result is a compiled communication schedule plus its accounting.
+type Result struct {
+	// Demands is the input demand list.
+	Demands []epr.Demand
+	// Gens lists every scheduled generation in schedule order.
+	Gens []GenEvent
+	// Makespan is the time the last demand is consumed: the overall
+	// communication latency of the program.
+	Makespan hw.Time
+	// ReadyAt[i] is when demand i's pair was fully generated (including
+	// entanglement swapping for split pairs).
+	ReadyAt []hw.Time
+	// ConsumedAt[i] is when demand i's pair was consumed by its
+	// communication.
+	ConsumedAt []hw.Time
+	// CommHeld[i] records, per endpoint (A, B), whether demand i's pair
+	// half stayed on a communication qubit instead of a buffer slot (the
+	// front-layer exemption of Section 4.2).
+	CommHeld [][2]bool
+
+	// Splits counts cross-rack demands realized through a split.
+	Splits int
+	// DistilledPairs counts post-split in-rack pairs that were distilled
+	// (the "#distilled EPR" column of Table 2).
+	DistilledPairs int
+	// ExtraInRack counts all additional in-rack generations incurred by
+	// splits (kept pairs plus sacrificial copies).
+	ExtraInRack int
+	// Reconfigs counts switch reconfigurations in the final schedule.
+	Reconfigs int
+
+	// Retries counts retry reversions; EventsProcessed and EventsFinal
+	// feed the retry-overhead metric (tried time steps over final time
+	// steps, Section 5.1).
+	Retries         int
+	EventsProcessed int
+	EventsFinal     int
+
+	// Params and Opts echo the compilation inputs.
+	Params hw.Params
+	Opts   Options
+}
+
+// RetryOverhead returns the compilation-time overhead of the retry
+// mechanism: total time steps tried over time steps in the result
+// (1.0 when no retry occurred).
+func (r *Result) RetryOverhead() float64 {
+	if r.EventsFinal == 0 {
+		return 1
+	}
+	return float64(r.EventsProcessed) / float64(r.EventsFinal)
+}
+
+// AvgWaitTime returns the mean buffer wait (consumption minus readiness)
+// over all demands, in time units.
+func (r *Result) AvgWaitTime() float64 {
+	if len(r.Demands) == 0 {
+		return 0
+	}
+	var sum hw.Time
+	for i := range r.Demands {
+		sum += r.ConsumedAt[i] - r.ReadyAt[i]
+	}
+	return float64(sum) / float64(len(r.Demands))
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+)
+
+func TestRetryEscalation(t *testing.T) {
+	ds := []epr.Demand{dmd(0, 0, 1, epr.Cat)}
+	e := windowEngine(t, ds)
+
+	if got := e.strategy(); got != StrategyFull {
+		t.Fatalf("initial strategy = %v", got)
+	}
+	// First stuck: revert to checkpoint, buffer-assisted recovery window.
+	if err := e.retry(); err != nil {
+		t.Fatal(err)
+	}
+	if e.strategy() != StrategyBufferAssisted {
+		t.Errorf("after retry 1: %v, want buffer-assisted", e.strategy())
+	}
+	// Second stuck at the same checkpoint: strict window.
+	if err := e.retry(); err != nil {
+		t.Fatal(err)
+	}
+	if e.strategy() != StrategyStrict {
+		t.Errorf("after retry 2: %v, want strict", e.strategy())
+	}
+	// Third: restart from the initial state, strict forever.
+	if err := e.retry(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.overrideForever || e.strategy() != StrategyStrict {
+		t.Errorf("after retry 3: forever=%v strategy=%v", e.overrideForever, e.strategy())
+	}
+	if e.st.slices != e.checkpoint0.slices {
+		t.Errorf("state not reverted to checkpoint0")
+	}
+}
+
+func TestRetryWindowExpires(t *testing.T) {
+	ds := []epr.Demand{dmd(0, 0, 1, epr.Cat)}
+	e := windowEngine(t, ds)
+	if err := e.retry(); err != nil {
+		t.Fatal(err)
+	}
+	if e.strategy() != StrategyBufferAssisted {
+		t.Fatalf("override not active")
+	}
+	// Advance past the recovery window: the configured strategy returns.
+	e.st.net.Now = e.overrideUntil + 1
+	if got := e.strategy(); got != StrategyFull {
+		t.Errorf("after window expiry: %v, want full", got)
+	}
+}
+
+func TestRetryExhaustionReturnsError(t *testing.T) {
+	e := windowEngine(t, []epr.Demand{dmd(0, 0, 1, epr.Cat)})
+	e.opts.MaxRetries = 2
+	for i := 0; i < 2; i++ {
+		if err := e.retry(); err != nil {
+			t.Fatalf("retry %d: %v", i, err)
+		}
+	}
+	err := e.retry()
+	if err == nil || !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("exhaustion error = %v", err)
+	}
+}
+
+func TestInfeasibleProgramFailsCleanly(t *testing.T) {
+	// A one-way teleport stream into a QPU with too little buffer is
+	// physically infeasible: every TP consumes one destination slot
+	// permanently. The compiler must report a stuck compilation rather
+	// than loop or panic.
+	a := arch(t, 2, 2, 10, 3, 2)
+	var ds []epr.Demand
+	for i := 0; i < 6; i++ {
+		ds = append(ds, dmd(i, 0, 1, epr.TP))
+	}
+	opts := DefaultOptions()
+	opts.MaxRetries = 4
+	_, err := Compile(ds, a, hw.Default(), opts)
+	if err == nil || !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("err = %v, want stuck-compilation error", err)
+	}
+}
+
+func TestCheckpointRefreshResetsRevertCount(t *testing.T) {
+	ds := []epr.Demand{dmd(0, 0, 1, epr.Cat)}
+	e := windowEngine(t, ds)
+	if err := e.retry(); err != nil {
+		t.Fatal(err)
+	}
+	if e.revertCount != 1 {
+		t.Fatalf("revertCount = %d", e.revertCount)
+	}
+	// Simulate enough progress for a fresh checkpoint.
+	e.st.slices = e.checkpoint.slices + e.opts.CheckpointEvery
+	e.maybeCheckpoint()
+	if e.revertCount != 0 {
+		t.Errorf("revertCount not reset on fresh checkpoint")
+	}
+	if e.checkpoint == e.checkpoint0 {
+		t.Errorf("checkpoint not advanced")
+	}
+}
+
+func TestRecoverableContentionSucceedsWithoutRetries(t *testing.T) {
+	// Heavy same-pair contention with a tiny buffer: the scheduler must
+	// finish without invoking the retry machinery.
+	a := arch(t, 2, 2, 10, 2, 2)
+	var ds []epr.Demand
+	for i := 0; i < 40; i++ {
+		ds = append(ds, dmd(i, i%4, (i+1)%4, epr.Cat))
+	}
+	r, err := Compile(ds, a, hw.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Retries != 0 {
+		t.Errorf("retries = %d, want 0", r.Retries)
+	}
+	if r.RetryOverhead() != 1 {
+		t.Errorf("retry overhead = %v", r.RetryOverhead())
+	}
+}

@@ -1,0 +1,532 @@
+package core
+
+import (
+	"sort"
+
+	"switchqnet/internal/distill"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/netstate"
+)
+
+// pass runs one scheduling time slice (Section 4.5): round one schedules
+// regular pairs (and pending post-split in-rack parts) over the
+// look-ahead window greedily until no pair qualifies; round two splits
+// congested cross-rack pairs and schedules their substitute parts.
+func (e *engine) pass() {
+	e.st.slices++
+	e.totalSlices++
+	e.routeFail = make(map[[2]int]bool)
+
+	strat := e.strategy()
+	if strat == StrategyStrict {
+		e.strictPass()
+		return
+	}
+	if !e.opts.KeepChannels {
+		e.st.net.CloseIdleChannels()
+	}
+	lookAhead := e.opts.LookAhead
+	collection := e.opts.Collection
+	if strat == StrategyBufferAssisted {
+		lookAhead = 1
+		collection = false
+	}
+	window := e.window(lookAhead)
+	for {
+		n := e.scheduleParts(collection)
+		for _, id := range window {
+			if e.st.ds[id].status != stPending {
+				continue
+			}
+			if e.tryScheduleDemand(id, collection) {
+				n++
+			}
+		}
+		if n == 0 {
+			break
+		}
+		window = e.window(lookAhead)
+	}
+	if strat == StrategyFull && e.opts.Split {
+		split := false
+		for _, id := range e.window(lookAhead) {
+			d := e.st.ds[id]
+			if d.status != stPending || !e.dag.Demands[id].CrossRack {
+				continue
+			}
+			if e.trySplit(id, collection) {
+				split = true
+			}
+		}
+		if split {
+			for e.scheduleParts(collection) > 0 {
+			}
+		}
+	}
+}
+
+// strictPass schedules at most the single next demand in preprocessed
+// order, right before it is required — the guaranteed-progress fallback.
+// Leftover split parts from before a retry reversion are still honored:
+// they are obligations of already-scheduled demands.
+func (e *engine) strictPass() {
+	st := e.st
+	for e.scheduleParts(false) > 0 {
+	}
+	if st.strictNext >= int32(e.dag.Len()) {
+		return
+	}
+	id := st.strictNext
+	d := &st.ds[id]
+	if d.status != stPending || d.consPreds != 0 {
+		return
+	}
+	e.tryScheduleDemand(id, false)
+}
+
+// window returns pending demands within the first depth layers of the
+// working DAG (scheduled nodes removed), ordered by (layer, id).
+func (e *engine) window(depth int) []int32 {
+	st := e.st
+	front := make([]int32, 0, len(st.frontier))
+	for id := range st.frontier {
+		front = append(front, id)
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i] < front[j] })
+	if depth <= 1 {
+		return front
+	}
+	type qn struct {
+		id int32
+		d  int32
+	}
+	depthOf := make(map[int32]int32, len(front)*depth)
+	queue := make([]qn, 0, len(front)*depth)
+	for _, id := range front {
+		depthOf[id] = 0
+		queue = append(queue, qn{id, 0})
+	}
+	out := append([]int32(nil), front...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if int(cur.d) >= depth-1 {
+			continue
+		}
+		for _, succ := range e.dag.Succs[cur.id] {
+			if st.ds[succ].status != stPending {
+				continue
+			}
+			if _, seen := depthOf[succ]; seen {
+				continue
+			}
+			// A successor joins the window only when all of its pending
+			// predecessors are already in it.
+			sd := int32(0)
+			ok := true
+			for _, p := range e.dag.Preds[succ] {
+				if st.ds[p].status != stPending {
+					continue
+				}
+				pd, in := depthOf[p]
+				if !in {
+					ok = false
+					break
+				}
+				if pd+1 > sd {
+					sd = pd + 1
+				}
+			}
+			if !ok || int(sd) > depth-1 {
+				continue
+			}
+			depthOf[succ] = sd
+			queue = append(queue, qn{succ, sd})
+			out = append(out, succ)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := depthOf[out[i]], depthOf[out[j]]
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// genLatency returns the raw generation latency for a pair between a
+// and b.
+func (e *engine) genLatency(a, b int) hw.Time {
+	if e.arch.Net.InRack(a, b) {
+		return e.p.InRackLatency
+	}
+	return e.p.CrossRackLatency
+}
+
+// demandLatency is genLatency with the on-request base-pair distillation
+// of Section 3 applied: distilling a pair from k raw copies costs k
+// sequential generations on the channel.
+func (e *engine) demandLatency(a, b int) hw.Time {
+	if e.arch.Net.InRack(a, b) {
+		return e.p.InRackLatency * hw.Time(e.opts.DistillInRackK)
+	}
+	return e.p.CrossRackLatency * hw.Time(e.opts.DistillCrossK)
+}
+
+// reusableChannel returns a live channel between a and b that a new
+// generation may join: in-rack channels accept queued generations (the
+// collective generation of Section 3), while cross-rack channels are
+// only reused when idle — queueing a 10 ms cross-rack generation behind
+// another would serialize exactly what the compiler wants to overlap.
+func (e *engine) reusableChannel(a, b int, collection bool) *netstate.Channel {
+	if !collection {
+		return nil
+	}
+	live := e.st.net.LiveChannel(a, b)
+	if live == nil {
+		return nil
+	}
+	if live.InRack || live.Idle(e.st.net.Now) {
+		return live
+	}
+	return nil
+}
+
+// acquireChannel returns a channel to generate between a and b on,
+// reusing a live channel when collection allows it, or opening a new
+// one. It returns (nil, false) when no channel can be established.
+func (e *engine) acquireChannel(a, b int, collection bool) (ch *netstate.Channel, opened bool) {
+	st := e.st
+	if live := e.reusableChannel(a, b, collection); live != nil {
+		return live, false
+	}
+	key := [2]int{min(a, b), max(a, b)}
+	if e.routeFail[key] {
+		return nil, false
+	}
+	ch = st.net.OpenChannel(a, b)
+	if ch == nil {
+		e.routeFail[key] = true
+		return nil, false
+	}
+	return ch, true
+}
+
+// channelAvailable is the non-mutating precheck of scheduling condition
+// (3): a live channel to share, or a routable path plus a free BSM.
+func (e *engine) channelAvailable(a, b int, collection bool) bool {
+	st := e.st
+	if e.reusableChannel(a, b, collection) != nil {
+		return true
+	}
+	key := [2]int{min(a, b), max(a, b)}
+	if e.routeFail[key] {
+		return false
+	}
+	if st.net.CanRoute(a, b) {
+		return true
+	}
+	e.routeFail[key] = true
+	return false
+}
+
+// tryScheduleDemand applies the scheduling conditions of Section 4.2 to
+// demand id and schedules its generation if they hold.
+func (e *engine) tryScheduleDemand(id int32, collection bool) bool {
+	st := e.st
+	dm := e.dag.Demands[id]
+	d := &st.ds[id]
+	qa, qb := &st.net.QPUs[dm.A], &st.net.QPUs[dm.B]
+
+	// Condition (1): available communication qubits on both QPUs.
+	if qa.FreeComm < 1 || qb.FreeComm < 1 {
+		return false
+	}
+	// Condition (4) + buffer feasibility. Buffer slots reserved for
+	// pending split parts (Section 4.3) are off limits to regular pairs,
+	// keeping FreeBuf >= Reserved at all times. Front-layer pairs that
+	// are immediately consumable may hold the pair on the communication
+	// qubit if no unreserved slot is free; TP destinations always need a
+	// buffer slot for the arriving data.
+	front := d.pendPreds == 0
+	exempt := front && d.consPreds == 0
+	heldA, heldB := false, false
+	if qa.FreeBuf-qa.Reserved < 1 {
+		if !exempt || !canCommHold(dm, dm.A) {
+			return false
+		}
+		heldA = true
+	}
+	if qb.FreeBuf-qb.Reserved < 1 {
+		if !exempt || !canCommHold(dm, dm.B) {
+			return false
+		}
+		heldB = true
+	}
+	if !front {
+		// Soft condition: retain buffer+comm slack for front-layer pairs.
+		if qa.FreeBuf-qa.Reserved-1+qa.FreeComm-1 < e.opts.SoftThreshold ||
+			qb.FreeBuf-qb.Reserved-1+qb.FreeComm-1 < e.opts.SoftThreshold {
+			return false
+		}
+	}
+	// Conditions (2) and (3): BSM and optical channel.
+	if !e.channelAvailable(dm.A, dm.B, collection) {
+		return false
+	}
+	ch, opened := e.acquireChannel(dm.A, dm.B, collection)
+	if ch == nil {
+		return false
+	}
+	start, end := st.net.EnqueueGeneration(ch, e.demandLatency(dm.A, dm.B))
+
+	qa.FreeComm--
+	qb.FreeComm--
+	if heldA {
+		d.commHeldA = true
+	} else {
+		qa.FreeBuf--
+	}
+	if heldB {
+		d.commHeldB = true
+	} else {
+		qb.FreeBuf--
+	}
+	e.addRelease(dm.A, relConsume, id, bufferRelease(dm, dm.A, heldA))
+	e.addRelease(dm.B, relConsume, id, bufferRelease(dm, dm.B, heldB))
+
+	e.markScheduled(id)
+	st.seq++
+	st.events.push(event{t: end, seq: st.seq, kind: evGenDone, ref: id})
+	st.gens = append(st.gens, GenEvent{
+		Demand: id, Kind: GenRegular,
+		A: int32(dm.A), B: int32(dm.B),
+		Start: start, End: end,
+		Channel: int32(ch.ID), Reconfig: opened, InRack: !dm.CrossRack,
+	})
+	return true
+}
+
+// canCommHold reports whether the pair half on QPU q may stay on a
+// communication qubit until consumption (not possible on a TP
+// destination, where the arriving data needs a computation qubit). The
+// caller additionally requires the demand to be consumable on arrival
+// (all predecessors consumed), so the hold is bounded by one generation
+// and can never participate in a buffer-wait cycle.
+func canCommHold(dm epr.Demand, q int) bool {
+	return dm.Protocol == epr.Cat || q == dm.A
+}
+
+// markScheduled removes a demand from the working DAG: successors'
+// pending in-degrees drop and may join the frontier.
+func (e *engine) markScheduled(id int32) {
+	st := e.st
+	st.ds[id].status = stScheduled
+	delete(st.frontier, id)
+	for _, succ := range e.dag.Succs[id] {
+		sd := &st.ds[succ]
+		sd.pendPreds--
+		if sd.pendPreds == 0 && sd.status == stPending {
+			st.frontier[succ] = struct{}{}
+		}
+	}
+}
+
+// trySplit applies the split conditions of Section 4.3 to a congested
+// cross-rack demand: it schedules a substitute cross-rack pair through a
+// helper QPU in the busy endpoint's rack now, reserves buffer for the
+// post-split pairs, and queues the distilled in-rack part.
+func (e *engine) trySplit(id int32, collection bool) bool {
+	st := e.st
+	dm := e.dag.Demands[id]
+	// Prefer treating the endpoint with fewer free resources as busy.
+	order := [2][2]int{{dm.A, dm.B}, {dm.B, dm.A}}
+	scoreA := busyScore(st.net.QPUs[dm.A])
+	scoreB := busyScore(st.net.QPUs[dm.B])
+	if scoreB > scoreA {
+		order[0], order[1] = order[1], order[0]
+	}
+	for _, pair := range order {
+		busy, far := pair[0], pair[1]
+		if e.trySplitAt(id, busy, far, collection) {
+			return true
+		}
+	}
+	return false
+}
+
+func busyScore(q netstate.QPU) int {
+	s := 0
+	if q.FreeComm == 0 {
+		s += 2
+	}
+	if q.FreeBuf == 0 {
+		s++
+	}
+	return s
+}
+
+func (e *engine) trySplitAt(id int32, busy, far int, collection bool) bool {
+	st := e.st
+	qf := &st.net.QPUs[far]
+	// The far endpoint must be able to generate the substitute pair now
+	// (its buffer is covered by the m-slot condition below).
+	if qf.FreeComm < 1 {
+		return false
+	}
+	res := distill.Reserve(e.opts.DistillK, e.opts.DistillStrategy)
+	rack := e.arch.RackOf(busy)
+	for idx := 0; idx < e.arch.QPUsPerRack; idx++ {
+		helper := e.arch.QPUID(rack, idx)
+		if helper == busy {
+			continue
+		}
+		qh := &st.net.QPUs[helper]
+		// Hard split condition: an available communication qubit on the
+		// helper.
+		if qh.FreeComm < 1 {
+			continue
+		}
+		// Buffer condition (Section 4.3, strengthened): every QPU
+		// involved in the post-split pairs must have m unreserved buffer
+		// slots available right now. The paper reserves against the
+		// projected buffer instead; backing reservations with current
+		// slots keeps FreeBuf >= Reserved invariant, so a queued in-rack
+		// part can never starve on buffer (the projected variant's rare
+		// circular waits — Fig. 7 — would otherwise surface here and
+		// burn retries).
+		qb := &st.net.QPUs[busy]
+		if qb.FreeBuf-qb.Reserved < res.Busy ||
+			qh.FreeBuf-qh.Reserved < res.Helper ||
+			qf.FreeBuf-qf.Reserved < res.Far {
+			continue
+		}
+		if !e.channelAvailable(far, helper, collection) {
+			continue
+		}
+		ch, opened := e.acquireChannel(far, helper, collection)
+		if ch == nil {
+			continue
+		}
+		// Commit the split: reserve m slots on each involved QPU, then
+		// consume the far and helper reservations for the substitute
+		// pair's halves immediately.
+		qb.Reserved += res.Busy
+		qh.Reserved += res.Helper
+		qf.Reserved += res.Far
+
+		start, end := st.net.EnqueueGeneration(ch, e.demandLatency(far, helper))
+		qf.FreeComm--
+		qh.FreeComm--
+		qf.FreeBuf--
+		qf.Reserved--
+		qh.FreeBuf--
+		qh.Reserved--
+		dm := e.dag.Demands[id]
+		// The far half survives into the merged pair: it releases per the
+		// demand's protocol. The helper's half frees at the swap.
+		splitID := int32(len(st.splits))
+		e.addRelease(far, relConsume, id, bufferRelease(dm, far, false))
+		e.addRelease(helper, relSwap, splitID, 1)
+
+		st.splits = append(st.splits, splitState{
+			demand: id, busy: int32(busy), helper: int32(helper), far: int32(far),
+			k: e.opts.DistillK, mBusy: res.Busy, mHelper: res.Helper, mFar: res.Far,
+		})
+		st.ds[id].splitID = splitID
+		st.parts = append(st.parts, splitID)
+		st.splitCount++
+		e.markScheduled(id)
+		st.seq++
+		st.events.push(event{t: end, seq: st.seq, kind: evCrossDone, ref: splitID})
+		st.gens = append(st.gens, GenEvent{
+			Demand: id, Kind: GenSplitCross,
+			A: int32(far), B: int32(helper),
+			Start: start, End: end,
+			Channel: int32(ch.ID), Reconfig: opened, InRack: false,
+		})
+		return true
+	}
+	return false
+}
+
+// scheduleParts tries to schedule every queued post-split in-rack part:
+// the kept pair plus its k-1 sacrificial copies, generated collectively
+// on one in-rack channel. It returns how many parts were scheduled.
+func (e *engine) scheduleParts(collection bool) int {
+	st := e.st
+	n := 0
+	remaining := st.parts[:0]
+	for _, splitID := range st.parts {
+		if e.tryScheduleInPart(splitID, collection) {
+			n++
+		} else {
+			remaining = append(remaining, splitID)
+		}
+	}
+	st.parts = remaining
+	return n
+}
+
+func (e *engine) tryScheduleInPart(splitID int32, collection bool) bool {
+	st := e.st
+	s := &st.splits[splitID]
+	busy, helper := int(s.busy), int(s.helper)
+	qb, qh := &st.net.QPUs[busy], &st.net.QPUs[helper]
+	// The busy side stores the kept half plus the distillation working
+	// slots (m_busy); the helper's cross-half slot was already taken at
+	// split time, leaving m_helper - 1 to fill. Both are backed by the
+	// reservation taken at split commit, so these checks can only fail
+	// if an invariant broke elsewhere.
+	needB, needH := s.mBusy, s.mHelper-1
+	if qb.FreeComm < 1 || qh.FreeComm < 1 {
+		return false
+	}
+	if qb.FreeBuf < needB || qh.FreeBuf < needH {
+		return false
+	}
+	if !e.channelAvailable(busy, helper, collection) {
+		return false
+	}
+	ch, opened := e.acquireChannel(busy, helper, collection)
+	if ch == nil {
+		return false
+	}
+	dm := e.dag.Demands[s.demand]
+	lat := e.genLatency(busy, helper)
+	var lastEnd hw.Time
+	for i := 0; i < s.k; i++ {
+		start, end := st.net.EnqueueGeneration(ch, lat)
+		lastEnd = end
+		kind := GenSplitInRack
+		if i > 0 {
+			kind = GenDistillCopy
+		}
+		st.gens = append(st.gens, GenEvent{
+			Demand: s.demand, Kind: kind,
+			A: s.busy, B: s.helper,
+			Start: start, End: end,
+			Channel: int32(ch.ID), Reconfig: opened && i == 0, InRack: true,
+		})
+	}
+	qb.FreeComm--
+	qh.FreeComm--
+	qb.FreeBuf -= needB
+	qb.Reserved -= needB
+	qh.FreeBuf -= needH
+	qh.Reserved -= needH
+	// The busy half survives into the merged pair (demand protocol);
+	// the helper's in-rack half frees at the swap; the distillation
+	// working slots on each side free when distillation completes.
+	e.addRelease(busy, relConsume, int32(s.demand), bufferRelease(dm, busy, false))
+	e.addRelease(helper, relSwap, splitID, 1)
+	e.addRelease(busy, relDistill, splitID, needB-1)
+	e.addRelease(helper, relDistill, splitID, needH-1)
+	s.inScheduled = true
+	st.extraInRack += s.k
+	st.seq++
+	st.events.push(event{t: lastEnd, seq: st.seq, kind: evInDone, ref: splitID})
+	return true
+}

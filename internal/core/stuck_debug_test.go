@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/place"
+	"switchqnet/internal/topology"
+)
+
+// TestDebugStuckQFT is a manual diagnostic: run with
+// SWITCHQNET_DEBUG=1 go test -run TestDebugStuckQFT -v ./internal/core/
+func TestDebugStuckQFT(t *testing.T) {
+	if os.Getenv("SWITCHQNET_DEBUG") == "" {
+		t.Skip("diagnostic test; set SWITCHQNET_DEBUG=1")
+	}
+	arch, err := topology.NewArch("clos", 4, 4, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := circuit.QFT(480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := place.Blocks(circ.NumQubits, arch)
+	demands, err := comm.Extract(circ, pl, arch, comm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	debugStuck = func(e *engine) {
+		calls++
+		if calls > 1 {
+			return
+		}
+		st := e.st
+		fmt.Printf("STUCK at t=%d consumed=%d/%d strategy=%v parts=%d\n",
+			st.net.Now, st.consumed, e.dag.Len(), e.strategy(), len(st.parts))
+		var statusCount [4]int
+		for _, d := range st.ds {
+			statusCount[d.status]++
+		}
+		fmt.Printf("status: pending=%d scheduled=%d stored=%d consumed=%d\n",
+			statusCount[0], statusCount[1], statusCount[2], statusCount[3])
+		for q, s := range st.net.QPUs {
+			fmt.Printf("QPU %2d: comm=%d buf=%d reserved=%d ledger=%d\n",
+				q, s.FreeComm, s.FreeBuf, s.Reserved, len(st.outstanding[q]))
+		}
+		// Show some frontier demands and why they fail.
+		n := 0
+		for id := range st.frontier {
+			if n >= 8 {
+				break
+			}
+			dm := e.dag.Demands[id]
+			fmt.Printf("frontier d%d: %v  commA=%d commB=%d bufA=%d bufB=%d route=%v consPreds=%d\n",
+				id, dm, st.net.QPUs[dm.A].FreeComm, st.net.QPUs[dm.B].FreeComm,
+				st.net.QPUs[dm.A].FreeBuf, st.net.QPUs[dm.B].FreeBuf,
+				st.net.CanRoute(dm.A, dm.B), st.ds[id].consPreds)
+			n++
+		}
+		// Stored-but-unconsumed demands blocked on what?
+		n = 0
+		for id := range st.ds {
+			d := st.ds[id]
+			if d.status == stStored && n < 8 {
+				fmt.Printf("stored d%d consPreds=%d\n", id, d.consPreds)
+				n++
+			}
+			if d.status == stScheduled && n < 16 {
+				fmt.Printf("scheduled d%d splitID=%d\n", id, d.splitID)
+				n++
+			}
+		}
+	}
+	defer func() { debugStuck = nil }()
+	opts := DefaultOptions()
+	opts.MaxRetries = 1
+	_, err = Compile(demands, arch, hw.Default(), opts)
+	fmt.Println("compile err:", err, "stuck calls:", calls)
+}

@@ -1,0 +1,35 @@
+package distill
+
+import (
+	"math"
+
+	"switchqnet/internal/hw"
+)
+
+// Decohere returns the fidelity of a Werner pair after being stored for
+// wait time in a memory with coherence time tau: under depolarizing
+// memory noise the Werner fidelity relaxes toward the maximally mixed
+// value 1/4,
+//
+//	F(t) = 1/4 + (F0 - 1/4) * exp(-t / tau).
+//
+// This backs the paper's remark that the impact of buffer wait time
+// depends on the QPU technology's coherence time (Section 5.1). A
+// non-positive tau means no decoherence.
+func Decohere(f float64, wait, tau hw.Time) float64 {
+	if tau <= 0 || wait <= 0 {
+		return f
+	}
+	return 0.25 + (f-0.25)*math.Exp(-float64(wait)/float64(tau))
+}
+
+// Swap returns the fidelity of the pair produced by entanglement
+// swapping two Werner pairs with fidelities f1 and f2:
+//
+//	F = f1*f2 + (1 - f1)(1 - f2)/3.
+//
+// This is the fidelity of the merged pair a cross-rack split produces
+// from its substitute cross-rack pair and its distilled in-rack pair.
+func Swap(f1, f2 float64) float64 {
+	return f1*f2 + (1-f1)*(1-f2)/3
+}

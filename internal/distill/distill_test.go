@@ -1,0 +1,156 @@
+package distill
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPurifyMatchesPaperNumbers(t *testing.T) {
+	f, p := Purify(0.95, 0.95)
+	// The recurrence gives 0.96497, which the paper rounds to "> 96.5%".
+	if f < 0.9649 || f > 0.966 {
+		t.Errorf("Purify(0.95, 0.95) fidelity = %v, want ~0.965", f)
+	}
+	if math.Abs(p-0.936) > 0.001 {
+		t.Errorf("Purify(0.95, 0.95) success = %v, want ~0.936", p)
+	}
+}
+
+func TestPurifyImprovesAboveHalf(t *testing.T) {
+	// BBPSSW improves fidelity whenever F > 0.5 for equal inputs.
+	for _, f0 := range []float64{0.55, 0.7, 0.85, 0.95, 0.99} {
+		f, p := Purify(f0, f0)
+		if f <= f0 {
+			t.Errorf("Purify(%v) = %v, expected improvement", f0, f)
+		}
+		if p <= 0 || p > 1 {
+			t.Errorf("Purify(%v) success prob %v outside (0,1]", f0, p)
+		}
+	}
+}
+
+func TestPurifyFixedPointAtOne(t *testing.T) {
+	f, p := Purify(1, 1)
+	if math.Abs(f-1) > 1e-12 || math.Abs(p-1) > 1e-12 {
+		t.Errorf("Purify(1,1) = %v, %v, want 1, 1", f, p)
+	}
+}
+
+func TestKPairNoDistillation(t *testing.T) {
+	f, p := KPair(0.95, 1, Sequential)
+	if f != 0.95 || p != 1 {
+		t.Errorf("KPair(k=1) = %v, %v, want identity", f, p)
+	}
+	f, p = KPair(0.95, 0, Parallel)
+	if f != 0.95 || p != 1 {
+		t.Errorf("KPair(k=0) = %v, %v, want identity", f, p)
+	}
+}
+
+func TestKPairSequentialMonotonicInK(t *testing.T) {
+	prev := 0.0
+	for k := 1; k <= 10; k++ {
+		f, p := KPair(0.95, k, Sequential)
+		if f < prev {
+			t.Errorf("sequential: fidelity decreased at k=%d: %v < %v", k, f, prev)
+		}
+		if p <= 0 || p > 1 {
+			t.Errorf("sequential: success prob %v outside (0,1] at k=%d", p, k)
+		}
+		prev = f
+	}
+}
+
+func TestKPairParallelNeverBelowInput(t *testing.T) {
+	// Parallel tournaments are not monotonic in k (odd leftovers merge at
+	// a later level), but the output never drops below the raw fidelity.
+	for k := 1; k <= 10; k++ {
+		f, p := KPair(0.95, k, Parallel)
+		if f < 0.95 {
+			t.Errorf("parallel: k=%d fidelity %v below raw 0.95", k, f)
+		}
+		if p <= 0 || p > 1 {
+			t.Errorf("parallel: success prob %v outside (0,1] at k=%d", p, k)
+		}
+	}
+}
+
+func TestKPairSequentialVsParallelAgreeAtTwo(t *testing.T) {
+	fs, ps := KPair(0.9, 2, Sequential)
+	fp, pp := KPair(0.9, 2, Parallel)
+	if math.Abs(fs-fp) > 1e-12 || math.Abs(ps-pp) > 1e-12 {
+		t.Errorf("k=2 strategies disagree: seq %v/%v par %v/%v", fs, ps, fp, pp)
+	}
+}
+
+func TestPairsFor(t *testing.T) {
+	if k := PairsFor(0.95, 0.95, Sequential, 10); k != 1 {
+		t.Errorf("PairsFor(target already met) = %d, want 1", k)
+	}
+	if k := PairsFor(0.95, 0.9649, Sequential, 10); k != 2 {
+		t.Errorf("PairsFor(0.95 -> 0.9649) = %d, want 2", k)
+	}
+	// Sequential distillation with fresh 0.95 pairs has a fixed point
+	// below 0.975; the parallel tournament reaches it at k=4.
+	if k := PairsFor(0.95, 0.975, Parallel, 10); k != 4 {
+		t.Errorf("PairsFor(0.95 -> 0.975, parallel) = %d, want 4", k)
+	}
+	if k := PairsFor(0.95, 0.9999, Sequential, 3); k != 0 {
+		t.Errorf("PairsFor(unreachable) = %d, want 0", k)
+	}
+}
+
+func TestReserveMatchesPaper(t *testing.T) {
+	// Section 4.3: basic split m_A=1, m_A'=2, m_B=1.
+	r := Reserve(1, Sequential)
+	if r != (Reservation{Busy: 1, Helper: 2, Far: 1}) {
+		t.Errorf("Reserve(k=1) = %+v", r)
+	}
+	// Section 4.4 sequential: m_A=2, m_A'=3, m_B=1 regardless of k.
+	for _, k := range []int{2, 3, 5, 10} {
+		r = Reserve(k, Sequential)
+		if r != (Reservation{Busy: 2, Helper: 3, Far: 1}) {
+			t.Errorf("Reserve(k=%d, seq) = %+v, want {2 3 1}", k, r)
+		}
+	}
+	// Section 4.4 parallel: m_A=k, m_A'=k+1, m_B=1.
+	r = Reserve(4, Parallel)
+	if r != (Reservation{Busy: 4, Helper: 5, Far: 1}) {
+		t.Errorf("Reserve(k=4, par) = %+v, want {4 5 1}", r)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Sequential.String() != "sequential" || Parallel.String() != "parallel" {
+		t.Errorf("Strategy strings: %v, %v", Sequential, Parallel)
+	}
+	if s := Strategy(7).String(); s != "Strategy(7)" {
+		t.Errorf("unknown strategy string = %q", s)
+	}
+}
+
+func TestPurifyPropertyOutputInRange(t *testing.T) {
+	f := func(a, b uint16) bool {
+		f1 := 0.5 + float64(a%500)/1000.0
+		f2 := 0.5 + float64(b%500)/1000.0
+		fo, p := Purify(f1, f2)
+		return fo > 0 && fo <= 1 && p > 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPurifySymmetric(t *testing.T) {
+	f := func(a, b uint16) bool {
+		f1 := 0.5 + float64(a%500)/1000.0
+		f2 := 0.5 + float64(b%500)/1000.0
+		fo1, p1 := Purify(f1, f2)
+		fo2, p2 := Purify(f2, f1)
+		return math.Abs(fo1-fo2) < 1e-12 && math.Abs(p1-p2) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package epr defines the EPR-pair demand list and its dependency DAG —
+// the interface between the preprocessing stage (Section 4.1) and the
+// SwitchQNet scheduler. Each demand is one EPR pair required by an
+// inter-QPU communication block, labeled with its protocol (Cat or TP);
+// the DAG imposes a dependency whenever the QPUs of two demands overlap,
+// with edges from earlier to later pairs in the preprocessed order.
+package epr
+
+import "fmt"
+
+// Protocol is the communication protocol a demand's EPR pair serves
+// (Section 2.1).
+type Protocol uint8
+
+const (
+	// Cat realizes a block of remote control gates sharing one control
+	// qubit without moving data. Consuming it frees one buffer slot on
+	// each endpoint.
+	Cat Protocol = iota
+	// TP teleports a data qubit from QPU A to QPU B. Consuming it frees
+	// two slots on A (the EPR half plus the departed data qubit) and
+	// none on B (the freed half is taken by the arriving data).
+	TP
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case Cat:
+		return "cat"
+	case TP:
+		return "tp"
+	default:
+		return fmt.Sprintf("Protocol(%d)", uint8(p))
+	}
+}
+
+// Demand is one required EPR pair between QPUs A and B. For TP the data
+// qubit moves from A to B.
+type Demand struct {
+	ID       int
+	A, B     int
+	Protocol Protocol
+	// CrossRack records whether A and B sit in different racks.
+	CrossRack bool
+	// Gates is the number of remote gates this pair realizes (>= 1);
+	// informational, used by reports.
+	Gates int
+	// Block groups demands that one communication operation consumes
+	// together (e.g. the d pairs of a lattice-surgery merge): demands in
+	// the same positive block are mutually independent in the DAG. Zero
+	// means the demand is its own block.
+	Block int
+}
+
+// String implements fmt.Stringer.
+func (d Demand) String() string {
+	kind := "in-rack"
+	if d.CrossRack {
+		kind = "cross-rack"
+	}
+	return fmt.Sprintf("epr#%d %s %s (%d<->%d)", d.ID, kind, d.Protocol, d.A, d.B)
+}
+
+// Involves reports whether the demand touches QPU q.
+func (d Demand) Involves(q int) bool { return d.A == q || d.B == q }
+
+// DAG is the dependency graph over a demand list. Edges are the
+// transitive reduction of the paper's overlap rule: for each QPU, each
+// demand depends on the previous demand in list order touching that
+// QPU. This keeps the graph linear in size while preserving reachability
+// (overlap dependencies compose along per-QPU chains).
+type DAG struct {
+	Demands []Demand
+	// Preds[i] lists the direct predecessors of demand i (0, 1 or 2).
+	Preds [][]int32
+	// Succs[i] lists the direct successors of demand i.
+	Succs [][]int32
+	// Layer[i] is the longest-path depth of demand i from the roots.
+	Layer []int32
+}
+
+// BuildDAG constructs the dependency DAG for the demand list. Demand IDs
+// must equal their indices. Demands sharing a positive Block are treated
+// as one parallel group: they depend on the previous group touching each
+// of their QPUs, not on each other.
+func BuildDAG(demands []Demand) (*DAG, error) {
+	d := &DAG{
+		Demands: demands,
+		Preds:   make([][]int32, len(demands)),
+		Succs:   make([][]int32, len(demands)),
+		Layer:   make([]int32, len(demands)),
+	}
+	// Per QPU: the block currently accumulating and the previous block's
+	// demands, which the current block's members depend on.
+	type chain struct {
+		curBlock int
+		cur      []int32
+		prev     []int32
+	}
+	chains := make(map[int]*chain)
+	addEdge := func(from, to int32) {
+		for _, p := range d.Preds[to] {
+			if p == from {
+				return
+			}
+		}
+		d.Preds[to] = append(d.Preds[to], from)
+		d.Succs[from] = append(d.Succs[from], to)
+	}
+	for i, dm := range demands {
+		if dm.ID != i {
+			return nil, fmt.Errorf("epr: demand at index %d has ID %d", i, dm.ID)
+		}
+		if dm.A == dm.B {
+			return nil, fmt.Errorf("epr: demand %d has equal endpoints %d", i, dm.A)
+		}
+		id := int32(i)
+		block := dm.Block
+		if block <= 0 {
+			block = -(i + 1) // singleton block
+		}
+		for _, q := range [2]int{dm.A, dm.B} {
+			c := chains[q]
+			if c == nil {
+				c = &chain{curBlock: block}
+				chains[q] = c
+			} else if c.curBlock != block {
+				c.prev = c.cur
+				c.cur = nil
+				c.curBlock = block
+			}
+			for _, p := range c.prev {
+				addEdge(p, id)
+			}
+			c.cur = append(c.cur, id)
+		}
+		layer := int32(0)
+		for _, p := range d.Preds[id] {
+			if d.Layer[p]+1 > layer {
+				layer = d.Layer[p] + 1
+			}
+		}
+		d.Layer[id] = layer
+	}
+	return d, nil
+}
+
+// Len returns the number of demands.
+func (d *DAG) Len() int { return len(d.Demands) }
+
+// Counts tallies the demand mix.
+type Counts struct {
+	Total, InRack, CrossRack int
+	Cat, TP                  int
+}
+
+// Count summarizes a demand list.
+func Count(demands []Demand) Counts {
+	var c Counts
+	c.Total = len(demands)
+	for _, d := range demands {
+		if d.CrossRack {
+			c.CrossRack++
+		} else {
+			c.InRack++
+		}
+		if d.Protocol == Cat {
+			c.Cat++
+		} else {
+			c.TP++
+		}
+	}
+	return c
+}

@@ -1,0 +1,235 @@
+package epr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func demand(id, a, b int, p Protocol) Demand {
+	return Demand{ID: id, A: a, B: b, Protocol: p, Gates: 1}
+}
+
+func TestBuildDAGChains(t *testing.T) {
+	demands := []Demand{
+		demand(0, 0, 1, Cat), // touches 0,1
+		demand(1, 2, 3, Cat), // independent of 0
+		demand(2, 1, 2, Cat), // depends on 0 (QPU 1) and 1 (QPU 2)
+		demand(3, 0, 3, TP),  // depends on 0 (QPU 0) and 1 (QPU 3)
+		demand(4, 1, 2, Cat), // depends on 2 only (chain rule)
+	}
+	d, err := BuildDAG(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPreds := [][]int32{nil, nil, {0, 1}, {0, 1}, {2}}
+	for i, want := range wantPreds {
+		got := d.Preds[i]
+		if len(got) != len(want) {
+			t.Errorf("Preds[%d] = %v, want %v", i, got, want)
+			continue
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("Preds[%d] = %v, want %v", i, got, want)
+			}
+		}
+	}
+	wantLayers := []int32{0, 0, 1, 1, 2}
+	for i, want := range wantLayers {
+		if d.Layer[i] != want {
+			t.Errorf("Layer[%d] = %d, want %d", i, d.Layer[i], want)
+		}
+	}
+}
+
+func TestBuildDAGDedupSharedPred(t *testing.T) {
+	// Demand 1 shares both QPUs with demand 0: only one edge.
+	demands := []Demand{demand(0, 0, 1, Cat), demand(1, 0, 1, Cat)}
+	d, err := BuildDAG(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Preds[1]) != 1 || d.Preds[1][0] != 0 {
+		t.Errorf("Preds[1] = %v, want [0]", d.Preds[1])
+	}
+	if len(d.Succs[0]) != 1 {
+		t.Errorf("Succs[0] = %v, want one edge", d.Succs[0])
+	}
+}
+
+func TestBuildDAGRejectsBadDemands(t *testing.T) {
+	if _, err := BuildDAG([]Demand{demand(5, 0, 1, Cat)}); err == nil {
+		t.Error("mismatched ID accepted")
+	}
+	if _, err := BuildDAG([]Demand{demand(0, 2, 2, Cat)}); err == nil {
+		t.Error("self-pair accepted")
+	}
+}
+
+func TestBuildDAGEmpty(t *testing.T) {
+	d, err := BuildDAG(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Errorf("empty DAG Len = %d", d.Len())
+	}
+}
+
+func TestCount(t *testing.T) {
+	demands := []Demand{
+		{ID: 0, A: 0, B: 1, Protocol: Cat},
+		{ID: 1, A: 0, B: 4, Protocol: TP, CrossRack: true},
+		{ID: 2, A: 2, B: 3, Protocol: Cat},
+	}
+	c := Count(demands)
+	if c.Total != 3 || c.InRack != 2 || c.CrossRack != 1 || c.Cat != 2 || c.TP != 1 {
+		t.Errorf("Count = %+v", c)
+	}
+}
+
+func TestDemandHelpers(t *testing.T) {
+	d := Demand{ID: 3, A: 1, B: 5, Protocol: TP, CrossRack: true}
+	if !d.Involves(1) || !d.Involves(5) || d.Involves(2) {
+		t.Error("Involves wrong")
+	}
+	if d.String() == "" || Cat.String() != "cat" || TP.String() != "tp" {
+		t.Error("String() wrong")
+	}
+	if Protocol(9).String() != "Protocol(9)" {
+		t.Error("unknown protocol String() wrong")
+	}
+}
+
+func TestDAGLayerMonotonicProperty(t *testing.T) {
+	// Property: in any random demand list, each demand's layer is
+	// strictly greater than all of its predecessors' layers, and edges
+	// only point forward.
+	f := func(seed int64) bool {
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int((rng >> 33) % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		demands := make([]Demand, 50)
+		for i := range demands {
+			a := next(8)
+			b := (a + 1 + next(7)) % 8
+			demands[i] = Demand{ID: i, A: a, B: b, Protocol: Protocol(next(2))}
+		}
+		d, err := BuildDAG(demands)
+		if err != nil {
+			return false
+		}
+		for i := range demands {
+			for _, p := range d.Preds[i] {
+				if p >= int32(i) || d.Layer[p] >= d.Layer[i] {
+					return false
+				}
+			}
+			for _, s := range d.Succs[i] {
+				if s <= int32(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDAGPredSuccSymmetry(t *testing.T) {
+	demands := []Demand{
+		demand(0, 0, 1, Cat), demand(1, 1, 2, Cat), demand(2, 0, 2, TP),
+		demand(3, 3, 4, Cat), demand(4, 2, 3, Cat),
+	}
+	d, err := BuildDAG(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range demands {
+		for _, p := range d.Preds[i] {
+			found := false
+			for _, s := range d.Succs[p] {
+				if s == int32(i) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d in Preds but not Succs", p, i)
+			}
+		}
+	}
+}
+
+func TestBuildDAGBlocks(t *testing.T) {
+	// Two 3-demand blocks on the same pair: members of block 1 are
+	// mutually independent; every member of block 2 depends on every
+	// member of block 1.
+	var demands []Demand
+	for i := 0; i < 6; i++ {
+		demands = append(demands, Demand{ID: i, A: 0, B: 1, Protocol: Cat, Block: 1 + i/3})
+	}
+	d, err := BuildDAG(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if len(d.Preds[i]) != 0 {
+			t.Errorf("block-1 member %d has preds %v", i, d.Preds[i])
+		}
+		if d.Layer[i] != 0 {
+			t.Errorf("block-1 member %d layer %d", i, d.Layer[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if len(d.Preds[i]) != 3 {
+			t.Errorf("block-2 member %d preds %v, want all of block 1", i, d.Preds[i])
+		}
+		if d.Layer[i] != 1 {
+			t.Errorf("block-2 member %d layer %d", i, d.Layer[i])
+		}
+	}
+}
+
+func TestBuildDAGBlockPartialOverlap(t *testing.T) {
+	// Block 1 touches QPUs (0,1); a singleton on (1,2) must depend on
+	// every block-1 member (via QPU 1) but not on QPU-0 history.
+	demands := []Demand{
+		{ID: 0, A: 0, B: 1, Protocol: Cat, Block: 1},
+		{ID: 1, A: 0, B: 1, Protocol: Cat, Block: 1},
+		{ID: 2, A: 1, B: 2, Protocol: Cat},
+		{ID: 3, A: 3, B: 4, Protocol: Cat},
+	}
+	d, err := BuildDAG(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Preds[2]) != 2 {
+		t.Errorf("Preds[2] = %v, want both block members", d.Preds[2])
+	}
+	if len(d.Preds[3]) != 0 {
+		t.Errorf("Preds[3] = %v, want none", d.Preds[3])
+	}
+}
+
+func TestBuildDAGZeroBlockIsSingleton(t *testing.T) {
+	// Block 0 (unset) must not group demands.
+	demands := []Demand{
+		{ID: 0, A: 0, B: 1, Protocol: Cat},
+		{ID: 1, A: 0, B: 1, Protocol: Cat},
+	}
+	d, err := BuildDAG(demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Preds[1]) != 1 {
+		t.Errorf("Preds[1] = %v, want chain edge", d.Preds[1])
+	}
+}

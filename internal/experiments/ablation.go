@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+)
+
+// AblationVariant is one scheduler configuration with a single design
+// choice removed (or the full/baseline reference points).
+type AblationVariant struct {
+	Name string
+	Opts core.Options
+	// BaselineExtract runs the variant on the per-gate baseline demand
+	// list instead of the aggregated one.
+	BaselineExtract bool
+}
+
+// AblationVariants enumerates the ablations of the compiler's design
+// choices: each removes exactly one mechanism from the full scheduler.
+func AblationVariants() []AblationVariant {
+	full := core.DefaultOptions()
+
+	noCollection := full
+	noCollection.Collection = false
+
+	noSplit := full
+	noSplit.Split = false
+
+	noKeepAlive := full
+	noKeepAlive.KeepChannels = false
+
+	noLookAhead := full
+	noLookAhead.LookAhead = 1
+
+	noDistill := full
+	noDistill.DistillK = 1
+
+	deepPrefetch := full
+	deepPrefetch.SoftThreshold = 2 // the paper's lower bound: prefetch greedily
+
+	return []AblationVariant{
+		{Name: "full", Opts: full},
+		{Name: "-collection", Opts: noCollection},
+		{Name: "-split", Opts: noSplit},
+		{Name: "-keep-alive", Opts: noKeepAlive},
+		{Name: "-look-ahead", Opts: noLookAhead},
+		{Name: "-distill", Opts: noDistill},
+		{Name: "thr=comm (greedy prefetch)", Opts: deepPrefetch},
+		{Name: "baseline", Opts: core.BaselineOptions(), BaselineExtract: true},
+	}
+}
+
+// AblationRow is one (benchmark, variant) measurement.
+type AblationRow struct {
+	Benchmark string
+	Variant   string
+	Summary   metrics.Summary
+}
+
+// AblationRows runs every ablation variant on program-480.
+func AblationRows(quick bool) ([]AblationRow, error) {
+	s := Program480()
+	arch, err := s.Arch()
+	if err != nil {
+		return nil, err
+	}
+	p := hw.Default()
+	benches := Benchmarks()
+	if quick {
+		benches = []string{"MCT", "QFT"}
+	}
+	var rows []AblationRow
+	for _, bench := range benches {
+		for _, v := range AblationVariants() {
+			xopts := comm.DefaultOptions()
+			if v.BaselineExtract {
+				xopts = comm.BaselineOptions()
+			}
+			res, err := compilePipeline(bench, arch, p, v.Opts, xopts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %s/%s: %w", bench, v.Name, err)
+			}
+			rows = append(rows, AblationRow{
+				Benchmark: bench, Variant: v.Name, Summary: metrics.Summarize(res),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Ablation renders the design-choice ablation study.
+func Ablation(w io.Writer, cfg RunConfig) error {
+	rows, err := AblationRows(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("Ablation: each design choice removed in isolation (program-480; "+
+		"latency in reconfiguration units)",
+		"Benchmark", "Variant", "Latency", "vs full", "Splits", "EPR-Ovh%", "Wait", "Reconfigs")
+	fullLatency := map[string]float64{}
+	for _, r := range rows {
+		if r.Variant == "full" {
+			fullLatency[r.Benchmark] = r.Summary.Latency
+		}
+	}
+	prev := ""
+	for _, r := range rows {
+		bench := ""
+		if r.Benchmark != prev {
+			bench = r.Benchmark
+			prev = r.Benchmark
+		}
+		rel := "1.00x"
+		if f := fullLatency[r.Benchmark]; f > 0 {
+			rel = fmt.Sprintf("%.2fx", r.Summary.Latency/f)
+		}
+		t.AddRow(bench, r.Variant, r.Summary.Latency, rel,
+			r.Summary.Splits, r.Summary.EPROverheadPct, r.Summary.AvgWaitTime, r.Summary.Reconfigs)
+	}
+	return cfg.render(t, w)
+}

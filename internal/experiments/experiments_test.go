@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+)
+
+func TestSettingsMatchTable1(t *testing.T) {
+	groups := Table2Groups()
+	if len(groups) != 5 {
+		t.Fatalf("groups = %d, want 5", len(groups))
+	}
+	// Every program label's width suffix must match the architecture's
+	// total data-qubit capacity (Table 1's construction).
+	for _, g := range groups {
+		for _, s := range g.Settings {
+			arch, err := s.Arch()
+			if err != nil {
+				t.Fatalf("%s: %v", s.Label, err)
+			}
+			label := strings.TrimSuffix(s.Label, "*")
+			want, err := strconv.Atoi(label[strings.LastIndex(label, "-")+1:])
+			if err != nil {
+				t.Fatalf("%s: unparsable width: %v", s.Label, err)
+			}
+			if got := arch.TotalQubits(); got != want {
+				t.Errorf("%s: width %d, label says %d", s.Label, got, want)
+			}
+		}
+	}
+	s := Program480()
+	if s.TotalQubits() != 480 || s.BufferSize != 10 {
+		t.Errorf("Program480 = %+v", s)
+	}
+}
+
+func TestBenchLabel(t *testing.T) {
+	s := Program480()
+	if got := BenchLabel("MCT", s); got != "MCT-480" {
+		t.Errorf("BenchLabel = %q", got)
+	}
+	star := clos("program-720*", 4, 6, 30, 10)
+	if got := BenchLabel("RCA", star); got != "RCA-720*" {
+		t.Errorf("BenchLabel = %q", got)
+	}
+}
+
+func TestRunBenchmarkShape(t *testing.T) {
+	o, err := RunBenchmark("MCT", clos("test-80", 2, 2, 20, 7), hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Improvement() <= 1 {
+		t.Errorf("improvement = %.2f, want > 1", o.Improvement())
+	}
+	if o.Ours.RetryOverhead < 1 || o.Baseline.RetryOverhead < 1 {
+		t.Error("retry overhead below 1")
+	}
+}
+
+func TestTable2QuickShape(t *testing.T) {
+	rows, groups, err := Table2Rows(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || len(rows) != len(groups) {
+		t.Fatalf("rows/groups = %d/%d", len(rows), len(groups))
+	}
+	for _, o := range rows {
+		if o.Improvement() <= 1 {
+			t.Errorf("%s on %s: improvement %.2f, want > 1",
+				o.Benchmark, o.Setting.Label, o.Improvement())
+		}
+		if o.Ours.AvgWaitTime < 0 {
+			t.Errorf("negative wait time")
+		}
+	}
+	var buf bytes.Buffer
+	if err := Table2(&buf, RunConfig{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mean improvement") {
+		t.Error("summary line missing")
+	}
+}
+
+func TestTable3QuickShape(t *testing.T) {
+	rows, err := Table3Rows(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Improvement() <= 1 {
+			t.Errorf("QEC %s: improvement %.2f, want > 1", r.Benchmark, r.Improvement())
+		}
+		if r.Stats.Merges == 0 {
+			t.Errorf("QEC %s: no merges", r.Benchmark)
+		}
+		// Every demand comes from a d=5 merge.
+		total := r.Ours.CrossRackEPR + r.Ours.InRackEPR
+		if total != 5*r.Stats.Merges {
+			t.Errorf("QEC %s: %d demands, want 5 x %d merges", r.Benchmark, total, r.Stats.Merges)
+		}
+	}
+}
+
+func TestFig2QuickShape(t *testing.T) {
+	rows, err := Fig2Rows(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.InRackPct+r.CrossRackPct < 99.9 || r.InRackPct+r.CrossRackPct > 100.1 {
+			t.Errorf("%s: EPR percentages do not sum to 100: %+v", r.Benchmark, r)
+		}
+		sum := r.CrossLatencyPct + r.ReconfigLatencyPct + r.InRackLatencyPct
+		if sum < 99.0 || sum > 101.0 {
+			t.Errorf("%s: latency attribution sums to %.1f", r.Benchmark, sum)
+		}
+		// The paper's headline: cross-rack pairs are a minority of pairs
+		// but a majority driver of latency alongside reconfiguration.
+		if r.CrossLatencyPct+r.ReconfigLatencyPct < 50 {
+			t.Errorf("%s: cross+reconfig latency only %.1f%%", r.Benchmark, r.CrossLatencyPct+r.ReconfigLatencyPct)
+		}
+	}
+}
+
+func TestFig8aTurningPoint(t *testing.T) {
+	pts, benches, err := Fig8aPoints(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger buffers never hurt: latency at buffer 10 <= latency at 2.
+	for _, b := range benches {
+		small, large := pts[0].Ours[b], pts[len(pts)-1].Ours[b]
+		if large > small*1.1 {
+			t.Errorf("%s: latency grew with buffer: %.1f -> %.1f", b, small, large)
+		}
+	}
+}
+
+func TestFig8bLookAheadHelps(t *testing.T) {
+	pts, benches, err := Fig8bPoints(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		shallow, deep := pts[0].Ours[b], pts[len(pts)-1].Ours[b]
+		if deep > shallow*1.1 {
+			t.Errorf("%s: deeper look-ahead hurt: %.1f -> %.1f", b, shallow, deep)
+		}
+	}
+}
+
+func TestFig9bLatencyGrowsWithCrossLatency(t *testing.T) {
+	pts, benches, err := Fig9bPoints(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		if pts[1].Ours[b] < pts[0].Ours[b] {
+			t.Errorf("%s: latency fell as cross-rack latency grew", b)
+		}
+		if pts[1].Baseline[b] < pts[0].Baseline[b] {
+			t.Errorf("%s: baseline latency fell as cross-rack latency grew", b)
+		}
+	}
+}
+
+func TestFig10aOverheadGrowsTowardEqualFidelity(t *testing.T) {
+	pts, benches, err := Fig10aPoints(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		lo, hi := pts[0].Overhead[b], pts[len(pts)-1].Overhead[b]
+		if hi < lo {
+			t.Errorf("%s: overhead fell as cross fidelity approached in-rack: %.2f -> %.2f", b, lo, hi)
+		}
+	}
+}
+
+func TestFig10bOverheadFallsWithDistilledFidelity(t *testing.T) {
+	pts, benches, err := Fig10bPoints(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range benches {
+		lo, hi := pts[0].Overhead[b], pts[len(pts)-1].Overhead[b]
+		if hi > lo {
+			t.Errorf("%s: overhead grew with distilled fidelity: %.2f -> %.2f", b, lo, hi)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	for _, id := range IDs() {
+		if reg[id] == nil {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(reg) != len(IDs()) {
+		t.Errorf("registry has %d entries, IDs() %d", len(reg), len(IDs()))
+	}
+}
+
+func TestAllRunnersQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for id, run := range Registry() {
+		id, run := id, run
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, RunConfig{Quick: true, Charts: true}); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s: no output", id)
+			}
+		})
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	rows, err := AblationRows(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byVariant[r.Benchmark] == nil {
+			byVariant[r.Benchmark] = map[string]float64{}
+		}
+		byVariant[r.Benchmark][r.Variant] = r.Summary.Latency
+	}
+	for bench, v := range byVariant {
+		full := v["full"]
+		if full <= 0 {
+			t.Fatalf("%s: no full latency", bench)
+		}
+		// The baseline is the worst configuration; no single ablation
+		// should be slower than it.
+		for name, lat := range v {
+			if name == "baseline" {
+				if lat < full {
+					t.Errorf("%s: baseline (%.1f) faster than full (%.1f)", bench, lat, full)
+				}
+				continue
+			}
+			if lat > v["baseline"] {
+				t.Errorf("%s: ablation %s (%.1f) slower than baseline (%.1f)", bench, name, lat, v["baseline"])
+			}
+		}
+		// Disabling splits must not create splits.
+		for _, r := range rows {
+			if r.Benchmark == bench && r.Variant == "-split" && r.Summary.Splits != 0 {
+				t.Errorf("%s: -split variant has %d splits", bench, r.Summary.Splits)
+			}
+		}
+	}
+}

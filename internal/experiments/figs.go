@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+)
+
+// SweepPoint is one x-value of a sensitivity curve: per-benchmark
+// baseline latency, our latency, and the improvement factor.
+type SweepPoint struct {
+	X        float64
+	Baseline map[string]float64
+	Ours     map[string]float64
+}
+
+// Improvement returns baseline/ours for one benchmark at this point.
+func (p SweepPoint) Improvement(bench string) float64 {
+	if p.Ours[bench] == 0 {
+		return 1
+	}
+	return p.Baseline[bench] / p.Ours[bench]
+}
+
+// sweep evaluates one experiment point per x value. configure returns
+// the setting, hardware parameters and scheduler options for an x.
+func sweep(xs []float64, benches []string,
+	configure func(x float64) (Setting, hw.Params, core.Options)) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, x := range xs {
+		s, p, opts := configure(x)
+		pt := SweepPoint{X: x, Baseline: map[string]float64{}, Ours: map[string]float64{}}
+		for _, bench := range benches {
+			o, err := RunBenchmark(bench, s, p, opts)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: sweep x=%v: %w", x, err)
+			}
+			pt.Baseline[bench] = o.Baseline.Latency
+			pt.Ours[bench] = o.Ours.Latency
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// renderSweep prints a sweep as a table (one row per x, latency and
+// improvement per benchmark), optionally followed by an ASCII chart of
+// the improvement curves.
+func renderSweep(w io.Writer, cfg RunConfig, title, xLabel string, points []SweepPoint, benches []string) error {
+	headers := []string{xLabel}
+	for _, b := range benches {
+		headers = append(headers, b+":base", b+":ours", b+":improv")
+	}
+	t := metrics.NewTable(title, headers...)
+	for _, p := range points {
+		row := []any{p.X}
+		for _, b := range benches {
+			row = append(row, p.Baseline[b], p.Ours[b], fmt.Sprintf("%.2fx", p.Improvement(b)))
+		}
+		t.AddRow(row...)
+	}
+	if err := cfg.render(t, w); err != nil {
+		return err
+	}
+	if cfg.Charts && !cfg.CSV {
+		ch := metrics.NewChart("improvement factor vs "+xLabel, 60, 10, false)
+		for _, b := range benches {
+			s := metrics.Series{Name: b}
+			for _, p := range points {
+				s.X = append(s.X, p.X)
+				s.Y = append(s.Y, p.Improvement(b))
+			}
+			if err := ch.Add(s); err != nil {
+				return err
+			}
+		}
+		return ch.Render(w)
+	}
+	return nil
+}
+
+func sweepBenches(quick bool) []string {
+	if quick {
+		return []string{"MCT", "QFT"}
+	}
+	return Benchmarks()
+}
+
+// Fig8aPoints sweeps the buffer size on program-480.
+func Fig8aPoints(quick bool) ([]SweepPoint, []string, error) {
+	xs := []float64{1, 2, 4, 7, 10, 15, 20, 25, 30}
+	if quick {
+		xs = []float64{2, 10}
+	}
+	benches := sweepBenches(quick)
+	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+		s := Program480()
+		s.BufferSize = int(x)
+		return s, hw.Default(), core.DefaultOptions()
+	})
+	return pts, benches, err
+}
+
+// Fig8a renders the buffer-size sweep (Fig. 8(a)).
+func Fig8a(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig8aPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	return renderSweep(w, cfg, "Fig 8(a): latency vs buffer size (program-480)", "buffer", pts, benches)
+}
+
+// Fig8bPoints sweeps the look-ahead depth on program-480.
+func Fig8bPoints(quick bool) ([]SweepPoint, []string, error) {
+	xs := []float64{1, 2, 3, 5, 7, 10, 15, 20, 30}
+	if quick {
+		xs = []float64{1, 10}
+	}
+	benches := sweepBenches(quick)
+	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+		opts := core.DefaultOptions()
+		opts.LookAhead = int(x)
+		return Program480(), hw.Default(), opts
+	})
+	return pts, benches, err
+}
+
+// Fig8b renders the look-ahead sweep (Fig. 8(b)).
+func Fig8b(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig8bPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	return renderSweep(w, cfg, "Fig 8(b): latency vs look-ahead depth (program-480)", "look-ahead", pts, benches)
+}
+
+// Fig9aPoints sweeps the number of communication qubits per QPU.
+func Fig9aPoints(quick bool) ([]SweepPoint, []string, error) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	if quick {
+		xs = []float64{1, 4}
+	}
+	benches := sweepBenches(quick)
+	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+		s := Program480()
+		s.CommQubits = int(x)
+		return s, hw.Default(), core.DefaultOptions()
+	})
+	return pts, benches, err
+}
+
+// Fig9a renders the communication-qubit sweep (Fig. 9(a)).
+func Fig9a(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig9aPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	return renderSweep(w, cfg, "Fig 9(a): latency vs #communication qubits per QPU (program-480)", "#comm", pts, benches)
+}
+
+// Fig9bPoints sweeps the cross-rack EPR latency (in reconfiguration
+// units).
+func Fig9bPoints(quick bool) ([]SweepPoint, []string, error) {
+	xs := []float64{5, 10, 15, 20, 25, 30}
+	if quick {
+		xs = []float64{5, 20}
+	}
+	benches := sweepBenches(quick)
+	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+		p := hw.Default()
+		p.CrossRackLatency = hw.Time(x * float64(p.ReconfigLatency))
+		return Program480(), p, core.DefaultOptions()
+	})
+	return pts, benches, err
+}
+
+// Fig9b renders the cross-rack latency sweep (Fig. 9(b)).
+func Fig9b(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig9bPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	return renderSweep(w, cfg, "Fig 9(b): latency vs cross-rack EPR latency / reconfiguration (program-480)", "ratio", pts, benches)
+}
+
+// Fig9cPoints sweeps the in-rack EPR latency (in reconfiguration units).
+func Fig9cPoints(quick bool) ([]SweepPoint, []string, error) {
+	xs := []float64{0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
+	if quick {
+		xs = []float64{0.05, 0.5}
+	}
+	benches := sweepBenches(quick)
+	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+		p := hw.Default()
+		p.InRackLatency = hw.Time(x * float64(p.ReconfigLatency))
+		return Program480(), p, core.DefaultOptions()
+	})
+	return pts, benches, err
+}
+
+// Fig9c renders the in-rack latency sweep (Fig. 9(c)).
+func Fig9c(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig9cPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	return renderSweep(w, cfg, "Fig 9(c): latency vs in-rack EPR latency / reconfiguration (program-480)", "ratio", pts, benches)
+}
+
+// OverheadPoint is one x-value of a fidelity-sensitivity curve: EPR
+// overhead percentage per benchmark.
+type OverheadPoint struct {
+	X        float64
+	Overhead map[string]float64
+}
+
+// fidelitySweep compiles each benchmark once with the SwitchQNet
+// pipeline and reweighs its EPR overhead under swept fidelities.
+func fidelitySweep(xs []float64, benches []string, reweigh func(x float64) hw.Params) ([]OverheadPoint, error) {
+	s := Program480()
+	arch, err := s.Arch()
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[string]*core.Result)
+	for _, bench := range benches {
+		res, err := compilePipeline(bench, arch, hw.Default(), core.DefaultOptions(), comm.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		results[bench] = res
+	}
+	var pts []OverheadPoint
+	for _, x := range xs {
+		p := reweigh(x)
+		pt := OverheadPoint{X: x, Overhead: map[string]float64{}}
+		for _, bench := range benches {
+			pt.Overhead[bench] = metrics.SummarizeWith(results[bench], p).EPROverheadPct
+		}
+		pts = append(pts, pt)
+	}
+	return pts, nil
+}
+
+func renderOverheadSweep(w io.Writer, cfg RunConfig, title, xLabel string, pts []OverheadPoint, benches []string) error {
+	headers := []string{xLabel}
+	for _, b := range benches {
+		headers = append(headers, b+":ovh%")
+	}
+	t := metrics.NewTable(title, headers...)
+	for _, p := range pts {
+		row := []any{p.X}
+		for _, b := range benches {
+			row = append(row, p.Overhead[b])
+		}
+		t.AddRow(row...)
+	}
+	return cfg.render(t, w)
+}
+
+// Fig10aPoints sweeps the cross-rack EPR fidelity from 0.75 to 0.95.
+func Fig10aPoints(quick bool) ([]OverheadPoint, []string, error) {
+	xs := []float64{0.75, 0.80, 0.85, 0.90, 0.95}
+	if quick {
+		xs = []float64{0.75, 0.95}
+	}
+	benches := sweepBenches(quick)
+	pts, err := fidelitySweep(xs, benches, func(x float64) hw.Params {
+		p := hw.Default()
+		p.FCrossRack = x
+		return p
+	})
+	return pts, benches, err
+}
+
+// Fig10a renders the cross-rack fidelity sensitivity (Fig. 10(a)).
+func Fig10a(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig10aPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	return renderOverheadSweep(w, cfg, "Fig 10(a): EPR overhead vs cross-rack fidelity (in-rack fixed at 0.95)",
+		"F_cross", pts, benches)
+}
+
+// Fig10bPoints sweeps the distilled in-rack fidelity 0.95 to 0.995.
+func Fig10bPoints(quick bool) ([]OverheadPoint, []string, error) {
+	xs := []float64{0.95, 0.96, 0.965, 0.975, 0.985, 0.995}
+	if quick {
+		xs = []float64{0.95, 0.995}
+	}
+	benches := sweepBenches(quick)
+	pts, err := fidelitySweep(xs, benches, func(x float64) hw.Params {
+		p := hw.Default()
+		p.FDistilled = x
+		return p
+	})
+	return pts, benches, err
+}
+
+// Fig10b renders the distilled fidelity sensitivity (Fig. 10(b)).
+func Fig10b(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig10bPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	return renderOverheadSweep(w, cfg, "Fig 10(b): EPR overhead vs distilled in-rack fidelity",
+		"F_distilled", pts, benches)
+}
+
+// Fig10cPoints sweeps the number of EPR pairs per distillation (1 = no
+// distillation) and reports our latency.
+func Fig10cPoints(quick bool) ([]SweepPoint, []string, error) {
+	xs := []float64{1, 2, 3, 4, 6, 8, 10}
+	if quick {
+		xs = []float64{1, 3}
+	}
+	benches := sweepBenches(quick)
+	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+		opts := core.DefaultOptions()
+		opts.DistillK = int(x)
+		return Program480(), hw.Default(), opts
+	})
+	return pts, benches, err
+}
+
+// Fig10c renders the latency cost of deeper distillation (Fig. 10(c)).
+func Fig10c(w io.Writer, cfg RunConfig) error {
+	pts, benches, err := Fig10cPoints(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	if err := renderSweep(w, cfg, "Fig 10(c): latency vs #EPR pairs per distillation (program-480)", "k", pts, benches); err != nil {
+		return err
+	}
+	if cfg.CSV {
+		return nil
+	}
+	// Average latency increase from k=1 to the largest k.
+	first, last := pts[0], pts[len(pts)-1]
+	var inc, n float64
+	for _, b := range benches {
+		if first.Ours[b] > 0 {
+			inc += (last.Ours[b] - first.Ours[b]) / first.Ours[b]
+			n++
+		}
+	}
+	_, err = fmt.Fprintf(w, "mean latency increase k=%.0f -> k=%.0f: %.1f%% (paper: 7.4%% at k=10)\n",
+		first.X, last.X, 100*inc/n)
+	return err
+}

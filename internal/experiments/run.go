@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+	"switchqnet/internal/place"
+	"switchqnet/internal/topology"
+)
+
+// Outcome is one baseline-vs-SwitchQNet comparison.
+type Outcome struct {
+	Benchmark string
+	Setting   Setting
+	Baseline  metrics.Summary
+	Ours      metrics.Summary
+}
+
+// Improvement is the baseline-over-ours latency factor.
+func (o Outcome) Improvement() float64 { return metrics.Improvement(o.Baseline, o.Ours) }
+
+// compilePipeline extracts a benchmark's demands with the given
+// preprocessing and compiles them.
+func compilePipeline(bench string, arch *topology.Arch, p hw.Params,
+	opts core.Options, xopts comm.Options) (*core.Result, error) {
+	circ, err := circuit.Benchmark(bench, arch.TotalQubits())
+	if err != nil {
+		return nil, err
+	}
+	pl, err := place.Blocks(circ.NumQubits, arch)
+	if err != nil {
+		return nil, err
+	}
+	demands, err := comm.Extract(circ, pl, arch, xopts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(demands, arch, p, opts)
+}
+
+// RunBenchmark compiles one benchmark on one setting with both
+// pipelines and returns the comparison.
+func RunBenchmark(bench string, s Setting, p hw.Params, opts core.Options) (Outcome, error) {
+	arch, err := s.Arch()
+	if err != nil {
+		return Outcome{}, err
+	}
+	ours, err := compilePipeline(bench, arch, p, opts, comm.DefaultOptions())
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: %s on %s (ours): %w", bench, s.Label, err)
+	}
+	base, err := compilePipeline(bench, arch, p, core.BaselineOptions(), comm.BaselineOptions())
+	if err != nil {
+		return Outcome{}, fmt.Errorf("experiments: %s on %s (baseline): %w", bench, s.Label, err)
+	}
+	return Outcome{
+		Benchmark: bench, Setting: s,
+		Baseline: metrics.Summarize(base),
+		Ours:     metrics.Summarize(ours),
+	}, nil
+}
+
+// RunConfig controls how an experiment runs and renders.
+type RunConfig struct {
+	// Quick reduces benchmark sets and sweep grids (used by tests and
+	// the benchmark harness).
+	Quick bool
+	// CSV emits machine-readable CSV instead of the aligned text table.
+	CSV bool
+	// Charts appends an ASCII chart of each sweep (ignored with CSV).
+	Charts bool
+}
+
+// render writes a table in the configured format.
+func (cfg RunConfig) render(t *metrics.Table, w io.Writer) error {
+	if cfg.CSV {
+		return t.RenderCSV(w)
+	}
+	return t.Render(w)
+}
+
+// Runner executes one named experiment, writing its rendered output.
+type Runner func(w io.Writer, cfg RunConfig) error
+
+// Registry maps experiment ids (DESIGN.md's index) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig2":     Fig2,
+		"tab2":     Table2,
+		"tab3":     Table3,
+		"fig8a":    Fig8a,
+		"fig8b":    Fig8b,
+		"fig9a":    Fig9a,
+		"fig9b":    Fig9b,
+		"fig9c":    Fig9c,
+		"fig10a":   Fig10a,
+		"fig10b":   Fig10b,
+		"fig10c":   Fig10c,
+		"ablation": Ablation,
+	}
+}
+
+// IDs returns the experiment ids in presentation order.
+func IDs() []string {
+	return []string{"fig2", "tab2", "fig8a", "fig8b", "fig9a", "fig9b", "fig9c",
+		"fig10a", "fig10b", "fig10c", "tab3", "ablation"}
+}

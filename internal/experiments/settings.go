@@ -1,0 +1,95 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5): the communication-budget profile (Fig. 2), the
+// primary comparison (Table 2), the hyper-parameter sweeps (Fig. 8), the
+// sensitivity analyses (Fig. 9 and Fig. 10) and the QEC integration
+// (Table 3). Each experiment has a typed runner plus a text renderer
+// used by cmd/qdcbench and the repository's benchmark harness.
+package experiments
+
+import (
+	"fmt"
+
+	"switchqnet/internal/topology"
+)
+
+// Setting is one architecture row of Table 1.
+type Setting struct {
+	// Label is the paper's program name, e.g. "program-480".
+	Label    string
+	Topology string
+	Racks    int
+	// QPUsPerRack, DataQubits, BufferSize, CommQubits follow Table 1.
+	QPUsPerRack, DataQubits, BufferSize, CommQubits int
+}
+
+// TotalQubits is the program width the setting hosts.
+func (s Setting) TotalQubits() int { return s.Racks * s.QPUsPerRack * s.DataQubits }
+
+// Arch instantiates the setting's architecture.
+func (s Setting) Arch() (*topology.Arch, error) {
+	return topology.New(topology.Config{
+		Topology: s.Topology, Racks: s.Racks, QPUsPerRack: s.QPUsPerRack,
+		DataQubits: s.DataQubits, BufferSize: s.BufferSize, CommQubits: s.CommQubits,
+	})
+}
+
+// clos is shorthand for a CLOS setting.
+func clos(label string, racks, perRack, data, buffer int) Setting {
+	return Setting{
+		Label: label, Topology: "clos", Racks: racks, QPUsPerRack: perRack,
+		DataQubits: data, BufferSize: buffer, CommQubits: 2,
+	}
+}
+
+// Program480 is the primary experiment's setting, used by every
+// hyper-parameter and sensitivity sweep.
+func Program480() Setting { return clos("program-480", 4, 4, 30, 10) }
+
+// Group is one block of Table 2 rows.
+type Group struct {
+	Name     string
+	Settings []Setting
+}
+
+// Table2Groups returns the five experiment groups of Table 2 (Table 1's
+// settings).
+func Table2Groups() []Group {
+	return []Group{
+		{Name: "Increase #qubits/QPU", Settings: []Setting{
+			clos("program-480", 4, 4, 30, 10),
+			clos("program-608", 4, 4, 38, 12),
+			clos("program-720", 4, 4, 45, 15),
+		}},
+		{Name: "Increase #QPUs/rack", Settings: []Setting{
+			clos("program-360", 4, 3, 30, 10),
+			clos("program-480", 4, 4, 30, 10),
+			clos("program-600", 4, 5, 30, 10),
+			clos("program-720*", 4, 6, 30, 10),
+		}},
+		{Name: "Increase #racks", Settings: []Setting{
+			clos("program-240", 4, 3, 20, 7),
+			clos("program-540", 9, 3, 20, 7),
+			clos("program-960", 16, 3, 20, 7),
+		}},
+		{Name: "Spine-leaf topology", Settings: []Setting{{
+			Label: "spine-leaf-720", Topology: "spine-leaf", Racks: 6, QPUsPerRack: 4,
+			DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		}}},
+		{Name: "Fat-tree topology", Settings: []Setting{{
+			Label: "fat-tree-960", Topology: "fat-tree", Racks: 8, QPUsPerRack: 4,
+			DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		}}},
+	}
+}
+
+// Benchmarks lists the benchmark programs in Table 2's order.
+func Benchmarks() []string { return []string{"MCT", "QFT", "Grover", "RCA"} }
+
+// BenchLabel renders the "MCT-480"-style row label.
+func BenchLabel(bench string, s Setting) string {
+	suffix := ""
+	if s.Label[len(s.Label)-1] == '*' {
+		suffix = "*"
+	}
+	return fmt.Sprintf("%s-%d%s", bench, s.TotalQubits(), suffix)
+}

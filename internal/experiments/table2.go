@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+)
+
+// Table2Rows runs the primary experiment and returns one outcome per
+// (group, setting, benchmark) row. In quick mode only the first setting
+// of each group runs, with the MCT and QFT benchmarks.
+func Table2Rows(quick bool) ([]Outcome, []string, error) {
+	p := hw.Default()
+	opts := core.DefaultOptions()
+	var (
+		rows   []Outcome
+		groups []string
+	)
+	benches := Benchmarks()
+	if quick {
+		benches = []string{"MCT", "QFT"}
+	}
+	for _, g := range Table2Groups() {
+		settings := g.Settings
+		if quick {
+			settings = settings[:1]
+		}
+		for _, bench := range benches {
+			for _, s := range settings {
+				o, err := RunBenchmark(bench, s, p, opts)
+				if err != nil {
+					return nil, nil, err
+				}
+				rows = append(rows, o)
+				groups = append(groups, g.Name)
+			}
+		}
+	}
+	return rows, groups, nil
+}
+
+// Table2 renders the primary experiment in the paper's Table 2 layout.
+func Table2(w io.Writer, cfg RunConfig) error {
+	rows, groups, err := Table2Rows(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("Table 2: SwitchQNet vs buffer-assisted on-demand baseline "+
+		"(latency and wait time in units of reconfiguration latency)",
+		"Experiment", "Benchmark", "Base:Latency", "Ours:Latency", "Improv.",
+		"#cross", "#in-rack", "#distilled", "EPR-Ovh%", "Base:Wait", "Ours:Wait", "Retry")
+	var sumImpr float64
+	prevGroup := ""
+	for i, o := range rows {
+		group := ""
+		if groups[i] != prevGroup {
+			group = groups[i]
+			prevGroup = groups[i]
+		}
+		t.AddRow(group, BenchLabel(o.Benchmark, o.Setting),
+			o.Baseline.Latency, o.Ours.Latency,
+			fmt.Sprintf("%.2fx", o.Improvement()),
+			o.Ours.CrossRackEPR, o.Ours.InRackEPR, o.Ours.DistilledEPR,
+			o.Ours.EPROverheadPct, o.Baseline.AvgWaitTime, o.Ours.AvgWaitTime,
+			o.Ours.RetryOverhead)
+		sumImpr += o.Improvement()
+	}
+	if err := cfg.render(t, w); err != nil {
+		return err
+	}
+	if cfg.CSV {
+		return nil
+	}
+	_, err = fmt.Fprintf(w, "mean improvement: %.2fx over %d rows (paper: 8.02x)\n",
+		sumImpr/float64(len(rows)), len(rows))
+	return err
+}

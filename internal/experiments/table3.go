@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+	"switchqnet/internal/place"
+	"switchqnet/internal/qec"
+)
+
+// Table3Row is one QEC-integration comparison.
+type Table3Row struct {
+	Benchmark string
+	Stats     qec.Stats
+	Baseline  metrics.Summary
+	Ours      metrics.Summary
+}
+
+// Improvement is the baseline-over-ours latency factor.
+func (r Table3Row) Improvement() float64 { return metrics.Improvement(r.Baseline, r.Ours) }
+
+// Table3Rows runs the QEC integration (Section 5.5): 64 algorithmic
+// qubits in distance-5 surface code patches on 4 racks x 4 QPUs, EPR
+// demands from lattice-surgery merges. In quick mode only MCT and RCA
+// run.
+func Table3Rows(quick bool) ([]Table3Row, error) {
+	arch, err := qec.Arch("clos", 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	cfg := qec.DefaultConfig()
+	p := hw.Default()
+	benches := Benchmarks()
+	if quick {
+		benches = []string{"MCT", "RCA"}
+	}
+	var rows []Table3Row
+	for _, bench := range benches {
+		circ, err := qec.Benchmark(bench, arch.TotalQubits())
+		if err != nil {
+			return nil, err
+		}
+		pl, err := place.Blocks(circ.NumQubits, arch)
+		if err != nil {
+			return nil, err
+		}
+		demands, stats, err := qec.Lower(circ, pl, arch, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ours, err := core.Compile(demands, arch, p, core.DefaultOptions())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: QEC %s (ours): %w", bench, err)
+		}
+		base, err := core.Compile(demands, arch, p, core.BaselineOptions())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: QEC %s (baseline): %w", bench, err)
+		}
+		rows = append(rows, Table3Row{
+			Benchmark: bench, Stats: stats,
+			Baseline: metrics.Summarize(base),
+			Ours:     metrics.Summarize(ours),
+		})
+	}
+	return rows, nil
+}
+
+// Table3 renders the QEC integration results in the paper's layout.
+func Table3(w io.Writer, cfg RunConfig) error {
+	rows, err := Table3Rows(cfg.Quick)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable("Table 3: QEC integration, surface code d=5, 64 algorithmic qubits "+
+		"(latency and wait in reconfiguration units)",
+		"Benchmark", "Merges", "T-count", "Base:Latency", "Ours:Latency", "Improv.",
+		"#cross", "#in-rack", "#distilled", "EPR-Ovh%", "Base:Wait", "Ours:Wait", "Retry")
+	var sum float64
+	for _, r := range rows {
+		t.AddRow(r.Benchmark+"-64", r.Stats.Merges, r.Stats.TCount,
+			r.Baseline.Latency, r.Ours.Latency,
+			fmt.Sprintf("%.2fx", r.Improvement()),
+			r.Ours.CrossRackEPR, r.Ours.InRackEPR, r.Ours.DistilledEPR,
+			r.Ours.EPROverheadPct, r.Baseline.AvgWaitTime, r.Ours.AvgWaitTime,
+			r.Ours.RetryOverhead)
+		sum += r.Improvement()
+	}
+	if err := cfg.render(t, w); err != nil {
+		return err
+	}
+	if cfg.CSV {
+		return nil
+	}
+	_, err = fmt.Fprintf(w, "mean improvement: %.2fx (paper: 4.89x)\n", sum/float64(len(rows)))
+	return err
+}

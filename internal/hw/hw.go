@@ -1,0 +1,143 @@
+// Package hw defines the hardware parameter model of a quantum data
+// center (QDC) as described in Section 2.2 of the SwitchQNet paper:
+// latencies for in-rack EPR generation, switch reconfiguration and
+// cross-rack EPR generation, plus EPR fidelities and the closed-form
+// repeat-until-success rate model.
+//
+// All times are integer microseconds (type Time) so schedules are exact
+// and deterministic. The paper's defaults are 0.1 ms / 1 ms / 10 ms.
+package hw
+
+import "fmt"
+
+// Time is a point in time or a duration, in microseconds.
+type Time int64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000
+)
+
+// Params captures every hardware knob the compiler and the experiments
+// vary: the three latencies of the QDC communication stack and the
+// fidelities of the three EPR pair classes the paper accounts for.
+type Params struct {
+	// InRackLatency is the mean time to generate one in-rack EPR pair
+	// through the ToR switch (tau_ToR, paper default 0.1 ms).
+	InRackLatency Time
+	// ReconfigLatency is the time to reconfigure an optical switch to
+	// establish a new channel (paper default 1 ms).
+	ReconfigLatency Time
+	// CrossRackLatency is the mean time to generate one cross-rack EPR
+	// pair through core switches and QFCs (tau_inter, paper default 10 ms).
+	CrossRackLatency Time
+
+	// FInRack is the fidelity of a raw in-rack EPR pair (paper: 0.95).
+	FInRack float64
+	// FCrossRack is the fidelity of a raw cross-rack EPR pair after the
+	// two QFC conversions (paper: 0.85).
+	FCrossRack float64
+	// FDistilled is the fidelity of a distilled in-rack EPR pair
+	// (paper: > 0.965 for two-copy distillation of 0.95 pairs).
+	FDistilled float64
+}
+
+// Default returns the hardware parameters used in the paper's primary
+// experiment (Section 5.1).
+func Default() Params {
+	return Params{
+		InRackLatency:    100 * Microsecond,
+		ReconfigLatency:  1 * Millisecond,
+		CrossRackLatency: 10 * Millisecond,
+		FInRack:          0.95,
+		FCrossRack:       0.85,
+		FDistilled:       0.965,
+	}
+}
+
+// Validate reports an error if the parameter set is not physically
+// meaningful (non-positive latencies or fidelities outside (0, 1]).
+func (p Params) Validate() error {
+	if p.InRackLatency <= 0 || p.ReconfigLatency <= 0 || p.CrossRackLatency <= 0 {
+		return fmt.Errorf("hw: latencies must be positive: in-rack %d, reconfig %d, cross-rack %d",
+			p.InRackLatency, p.ReconfigLatency, p.CrossRackLatency)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"FInRack", p.FInRack}, {"FCrossRack", p.FCrossRack}, {"FDistilled", p.FDistilled}} {
+		if f.v <= 0 || f.v > 1 {
+			return fmt.Errorf("hw: fidelity %s = %v outside (0, 1]", f.name, f.v)
+		}
+	}
+	if p.FCrossRack > p.FInRack {
+		return fmt.Errorf("hw: cross-rack fidelity %v exceeds in-rack fidelity %v", p.FCrossRack, p.FInRack)
+	}
+	return nil
+}
+
+// Weight returns the weighted-infidelity accounting factor of an EPR
+// pair with fidelity f, normalized so a raw cross-rack pair weighs 1
+// (Section 5.1: cross-rack 1, in-rack 0.33, distilled 0.23).
+func (p Params) Weight(f float64) float64 {
+	return (1 - f) / (1 - p.FCrossRack)
+}
+
+// InRackWeight is Weight(FInRack).
+func (p Params) InRackWeight() float64 { return p.Weight(p.FInRack) }
+
+// DistilledWeight is Weight(FDistilled).
+func (p Params) DistilledWeight() float64 { return p.Weight(p.FDistilled) }
+
+// Normalized converts a duration to reconfiguration-latency units, the
+// unit used by every latency and wait-time column in the paper.
+func (p Params) Normalized(d Time) float64 {
+	return float64(d) / float64(p.ReconfigLatency)
+}
+
+// RateModel is the closed-form EPR generation model of Section 2.2: a
+// repeat-until-success protocol whose per-attempt success probability is
+// p = 2*alpha*eta, with alpha the initial superposition parameter and
+// eta the overall photon transmission rate.
+type RateModel struct {
+	// Alpha is the initial state parameter sqrt(alpha)|up> + ... (paper: 0.05).
+	Alpha float64
+	// Eta is the photon transmission rate, i.e. 1 - loss (paper: 0.1 for 10 dB).
+	Eta float64
+	// AttemptTime is the operation time of one attempt, tau_0 (paper: 1 us).
+	AttemptTime Time
+}
+
+// DefaultRateModel returns the paper's in-rack rate model parameters
+// (alpha = 0.05, eta = 0.1, tau0 = 1 us), which yield tau_ToR = 0.1 ms.
+func DefaultRateModel() RateModel {
+	return RateModel{Alpha: 0.05, Eta: 0.1, AttemptTime: 1 * Microsecond}
+}
+
+// SuccessProbability returns the per-attempt success probability
+// p = 2 * alpha * eta.
+func (m RateModel) SuccessProbability() float64 {
+	return 2 * m.Alpha * m.Eta
+}
+
+// MeanLatency returns the expected time to a successful EPR generation,
+// tau = tau0 / p, rounded to the nearest microsecond.
+func (m RateModel) MeanLatency() Time {
+	p := m.SuccessProbability()
+	if p <= 0 {
+		return 0
+	}
+	return Time(float64(m.AttemptTime)/p + 0.5)
+}
+
+// Fidelity returns the post-selected EPR fidelity F = 1 - alpha from
+// the false-positive analysis of Section 2.2.
+func (m RateModel) Fidelity() float64 { return 1 - m.Alpha }
+
+// CrossRack derives the cross-rack variant of the model: the paper adds
+// 20 dB of loss (a factor-100 rate reduction) from the second NIR switch
+// and the two QFC devices.
+func (m RateModel) CrossRack() RateModel {
+	return RateModel{Alpha: m.Alpha, Eta: m.Eta / 100, AttemptTime: m.AttemptTime}
+}

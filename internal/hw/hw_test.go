@@ -1,0 +1,161 @@
+package hw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	p := Default()
+	if p.InRackLatency != 100 {
+		t.Errorf("InRackLatency = %d us, want 100", p.InRackLatency)
+	}
+	if p.ReconfigLatency != 1000 {
+		t.Errorf("ReconfigLatency = %d us, want 1000", p.ReconfigLatency)
+	}
+	if p.CrossRackLatency != 10000 {
+		t.Errorf("CrossRackLatency = %d us, want 10000", p.CrossRackLatency)
+	}
+	if p.FInRack != 0.95 || p.FCrossRack != 0.85 {
+		t.Errorf("fidelities = %v/%v, want 0.95/0.85", p.FInRack, p.FCrossRack)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Default().Validate() = %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero in-rack", func(p *Params) { p.InRackLatency = 0 }},
+		{"negative reconfig", func(p *Params) { p.ReconfigLatency = -1 }},
+		{"zero cross-rack", func(p *Params) { p.CrossRackLatency = 0 }},
+		{"fidelity above one", func(p *Params) { p.FInRack = 1.2 }},
+		{"zero fidelity", func(p *Params) { p.FCrossRack = 0 }},
+		{"cross above in-rack", func(p *Params) { p.FCrossRack = 0.99; p.FInRack = 0.95 }},
+		{"bad distilled", func(p *Params) { p.FDistilled = -0.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Default()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate() accepted invalid params %+v", p)
+			}
+		})
+	}
+}
+
+func TestWeightsMatchPaperTable(t *testing.T) {
+	p := Default()
+	// Paper Section 5.1: weights 1, 0.33, 0.23 for 15%, 5%, 3.5% infidelity.
+	if w := p.Weight(p.FCrossRack); math.Abs(w-1) > 1e-12 {
+		t.Errorf("cross-rack weight = %v, want 1", w)
+	}
+	if w := p.InRackWeight(); math.Abs(w-1.0/3.0) > 1e-9 {
+		t.Errorf("in-rack weight = %v, want 0.333...", w)
+	}
+	if w := p.DistilledWeight(); math.Abs(w-0.035/0.15) > 1e-9 {
+		t.Errorf("distilled weight = %v, want %v", w, 0.035/0.15)
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	p := Default()
+	if got := p.Normalized(p.ReconfigLatency); got != 1 {
+		t.Errorf("Normalized(reconfig) = %v, want 1", got)
+	}
+	if got := p.Normalized(p.CrossRackLatency); got != 10 {
+		t.Errorf("Normalized(cross) = %v, want 10", got)
+	}
+	if got := p.Normalized(p.InRackLatency); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Normalized(in-rack) = %v, want 0.1", got)
+	}
+}
+
+func TestRateModelMatchesSection2(t *testing.T) {
+	m := DefaultRateModel()
+	if p := m.SuccessProbability(); math.Abs(p-0.01) > 1e-12 {
+		t.Errorf("success probability = %v, want 0.01", p)
+	}
+	// tau_ToR = tau0 / p = 1us / 0.01 = 100 us = 0.1 ms.
+	if tau := m.MeanLatency(); tau != 100 {
+		t.Errorf("in-rack mean latency = %d us, want 100", tau)
+	}
+	if f := m.Fidelity(); math.Abs(f-0.95) > 1e-12 {
+		t.Errorf("fidelity = %v, want 0.95", f)
+	}
+	// Cross-rack: rate reduced by 100x -> tau_inter = 10 ms.
+	cr := m.CrossRack()
+	if tau := cr.MeanLatency(); tau != 10000 {
+		t.Errorf("cross-rack mean latency = %d us, want 10000", tau)
+	}
+}
+
+func TestRateModelZeroProbability(t *testing.T) {
+	m := RateModel{Alpha: 0, Eta: 0.1, AttemptTime: 1}
+	if tau := m.MeanLatency(); tau != 0 {
+		t.Errorf("MeanLatency with p=0 should be 0 sentinel, got %d", tau)
+	}
+}
+
+func TestWeightMonotonicProperty(t *testing.T) {
+	p := Default()
+	// Higher fidelity always means lower weight; weight is linear in infidelity.
+	f := func(a, b uint16) bool {
+		fa := 0.5 + float64(a%500)/1000.0 // in [0.5, 1)
+		fb := 0.5 + float64(b%500)/1000.0
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return p.Weight(fa) >= p.Weight(fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanLatencyInverseInEta(t *testing.T) {
+	// Halving eta doubles the mean latency (property of tau = tau0/(2 alpha eta)).
+	f := func(k uint8) bool {
+		eta := 0.05 + float64(k%100)/1000.0
+		m1 := RateModel{Alpha: 0.05, Eta: eta, AttemptTime: 1000}
+		m2 := RateModel{Alpha: 0.05, Eta: eta / 2, AttemptTime: 1000}
+		t1, t2 := m1.MeanLatency(), m2.MeanLatency()
+		// Allow rounding slack of 1 us on the doubled value.
+		d := t2 - 2*t1
+		return d >= -2 && d <= 2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := DefaultRateModel()
+	got := m.SimulateMean(rng, 200000)
+	want := float64(m.MeanLatency())
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("simulated mean %v deviates from closed-form %v by > 2%%", got, want)
+	}
+}
+
+func TestSampleEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	zero := RateModel{Alpha: 0, Eta: 0.1, AttemptTime: 5}
+	if s := zero.Sample(rng); s != 0 {
+		t.Errorf("Sample with p=0 = %d", s)
+	}
+	sure := RateModel{Alpha: 5, Eta: 0.2, AttemptTime: 7} // p >= 1
+	if s := sure.Sample(rng); s != 7 {
+		t.Errorf("Sample with p>=1 = %d, want one attempt", s)
+	}
+	if m := sure.SimulateMean(rng, 0); m != 0 {
+		t.Errorf("SimulateMean(n=0) = %v", m)
+	}
+}

@@ -1,0 +1,34 @@
+package hw
+
+import "math/rand"
+
+// Sample draws one EPR generation time from the repeat-until-success
+// process: attempts are geometrically distributed with the model's
+// per-attempt success probability, each attempt costing AttemptTime.
+// It validates the closed-form MeanLatency by simulation.
+func (m RateModel) Sample(rng *rand.Rand) Time {
+	p := m.SuccessProbability()
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return m.AttemptTime
+	}
+	attempts := Time(1)
+	for rng.Float64() >= p {
+		attempts++
+	}
+	return attempts * m.AttemptTime
+}
+
+// SimulateMean estimates the mean generation time over n samples.
+func (m RateModel) SimulateMean(rng *rand.Rand, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	var sum Time
+	for i := 0; i < n; i++ {
+		sum += m.Sample(rng)
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve of a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart renders an ASCII line chart of the series — enough to eyeball
+// the shape of the paper's figures in a terminal. Each series is drawn
+// with its own marker (its name's first letter); Y can be log-scaled
+// for latency curves spanning orders of magnitude.
+type Chart struct {
+	Title         string
+	Width, Height int
+	LogY          bool
+	series        []Series
+}
+
+// NewChart creates a chart with the given dimensions (minimums 20x5).
+func NewChart(title string, width, height int, logY bool) *Chart {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	return &Chart{Title: title, Width: width, Height: height, LogY: logY}
+}
+
+// Add appends a series; X and Y must have equal lengths.
+func (c *Chart) Add(s Series) error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("metrics: series %q has %d x values and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	c.series = append(c.series, s)
+	return nil
+}
+
+func (c *Chart) yTransform(v float64) float64 {
+	if c.LogY {
+		if v <= 0 {
+			return 0
+		}
+		return math.Log10(v)
+	}
+	return v
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.series {
+		for i := range s.X {
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			y := c.yTransform(s.Y[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if points == 0 {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for _, s := range c.series {
+		marker := byte('*')
+		if len(s.Name) > 0 {
+			marker = s.Name[0]
+		}
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(c.Width-1)))
+			row := int(math.Round((c.yTransform(s.Y[i]) - ymin) / (ymax - ymin) * float64(c.Height-1)))
+			grid[c.Height-1-row][col] = marker
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLabel := func(row int) float64 {
+		frac := float64(c.Height-1-row) / float64(c.Height-1)
+		v := ymin + frac*(ymax-ymin)
+		if c.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r := range grid {
+		fmt.Fprintf(&b, "%10.2f |%s\n", yLabel(r), grid[r])
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", c.Width))
+	fmt.Fprintf(&b, "%10s  %-*.6g%*.6g\n", "", c.Width/2, xmin, c.Width-c.Width/2, xmax)
+	var names []string
+	for _, s := range c.series {
+		marker := "*"
+		if len(s.Name) > 0 {
+			marker = s.Name[:1]
+		}
+		names = append(names, fmt.Sprintf("%s=%s", marker, s.Name))
+	}
+	fmt.Fprintf(&b, "%10s  legend: %s\n", "", strings.Join(names, "  "))
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRendersSeries(t *testing.T) {
+	c := NewChart("test chart", 40, 8, false)
+	if err := c.Add(Series{Name: "up", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(Series{Name: "down", X: []float64{1, 2, 3, 4}, Y: []float64{4, 3, 2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "test chart") || !strings.Contains(out, "legend: u=up  d=down") {
+		t.Errorf("chart output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 rows + axis + x labels + legend.
+	if len(lines) != 1+8+3 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// The rising series ends top-right; the falling one starts top-left.
+	top := lines[1]
+	if !strings.Contains(top, "u") || !strings.Contains(top, "d") {
+		t.Errorf("top row missing extremes: %q", top)
+	}
+}
+
+func TestChartLogScale(t *testing.T) {
+	c := NewChart("log", 30, 6, true)
+	if err := c.Add(Series{Name: "s", X: []float64{1, 2, 3}, Y: []float64{10, 1000, 100000}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "100000") {
+		t.Errorf("log chart missing top label:\n%s", buf.String())
+	}
+}
+
+func TestChartErrors(t *testing.T) {
+	c := NewChart("", 0, 0, false)
+	if err := c.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Errorf("empty chart output = %q", buf.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored title", "x", "y")
+	tab.AddRow(1, 2.5)
+	tab.AddRow("a,b", "quote\"q")
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "ignored title") {
+		t.Error("CSV contains title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 || lines[0] != "x,y" {
+		t.Errorf("CSV:\n%s", out)
+	}
+	if !strings.Contains(lines[2], `"a,b"`) {
+		t.Errorf("CSV quoting wrong: %q", lines[2])
+	}
+}

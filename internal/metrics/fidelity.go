@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"switchqnet/internal/core"
+	"switchqnet/internal/distill"
+	"switchqnet/internal/hw"
+)
+
+// FidelityReport estimates the EPR fidelity the program actually
+// consumes, accounting for the realization of each demand (raw pair or
+// split-and-swapped pair) and for decoherence during buffer wait. It
+// turns the paper's separately reported overheads (extra pairs, wait
+// time) into one figure of merit for a given memory coherence time.
+type FidelityReport struct {
+	// Mean and Min are over all consumed demands.
+	Mean, Min float64
+	// MeanCross and MeanInRack split the mean by demand class.
+	MeanCross, MeanInRack float64
+	// SplitShare is the fraction of cross-rack demands realized by a
+	// split (their fidelity includes the swap).
+	SplitShare float64
+}
+
+// FidelityAt computes the report for a compiled schedule under memory
+// coherence time tau (0 disables decoherence). Base fidelities come
+// from the schedule's hardware parameters; split realizations combine
+// the substitute cross-rack pair with the distilled in-rack pair via
+// the entanglement-swap formula.
+func FidelityAt(r *core.Result, tau hw.Time) FidelityReport {
+	p := r.Params
+	// Identify split demands from the generation kinds.
+	split := make(map[int32]bool)
+	for _, g := range r.Gens {
+		if g.Kind == core.GenSplitCross {
+			split[g.Demand] = true
+		}
+	}
+	inFid := p.FInRack
+	if r.Opts.DistillK >= 2 {
+		inFid = p.FDistilled
+	}
+	// On-request distillation of base pairs (Section 3's extension).
+	baseCross, _ := distill.KPair(p.FCrossRack, r.Opts.DistillCrossK, r.Opts.DistillStrategy)
+	baseIn, _ := distill.KPair(p.FInRack, r.Opts.DistillInRackK, r.Opts.DistillStrategy)
+	rep := FidelityReport{Min: 1}
+	var nCross, nIn, splits int
+	for i, dm := range r.Demands {
+		var f float64
+		switch {
+		case split[int32(i)]:
+			f = distill.Swap(baseCross, inFid)
+			splits++
+		case dm.CrossRack:
+			f = baseCross
+		default:
+			f = baseIn
+		}
+		f = distill.Decohere(f, r.ConsumedAt[i]-r.ReadyAt[i], tau)
+		rep.Mean += f
+		if f < rep.Min {
+			rep.Min = f
+		}
+		if dm.CrossRack {
+			rep.MeanCross += f
+			nCross++
+		} else {
+			rep.MeanInRack += f
+			nIn++
+		}
+	}
+	n := len(r.Demands)
+	if n == 0 {
+		rep.Min = 0
+		return rep
+	}
+	rep.Mean /= float64(n)
+	if nCross > 0 {
+		rep.MeanCross /= float64(nCross)
+		rep.SplitShare = float64(splits) / float64(nCross)
+	}
+	if nIn > 0 {
+		rep.MeanInRack /= float64(nIn)
+	}
+	return rep
+}

@@ -1,0 +1,173 @@
+// Package metrics computes the four evaluation metrics of Section 5.1
+// from a compiled schedule: overall communication latency (normalized by
+// reconfiguration latency), weighted EPR overhead, average buffer wait
+// time, and retry overhead. It also provides the plain-text table
+// renderer the benchmark harness uses to regenerate the paper's tables.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+)
+
+// Summary holds one row of Table 2/3 for a single compilation.
+type Summary struct {
+	// Latency is the overall communication latency in units of switch
+	// reconfiguration latency.
+	Latency float64
+	// CrossRackEPR and InRackEPR count the program's demands by class
+	// (the pre-split communication requirements).
+	CrossRackEPR, InRackEPR int
+	// DistilledEPR counts additional distilled in-rack pairs introduced
+	// by cross-rack splits.
+	DistilledEPR int
+	// EPROverheadPct is the weighted additional EPR cost in percent:
+	// distilled pairs at their infidelity weight over the weighted base
+	// demand (cross-rack weight 1, in-rack 0.33, distilled 0.23 at the
+	// paper's fidelities).
+	EPROverheadPct float64
+	// AvgWaitTime is the mean buffer wait of EPR pairs before
+	// consumption, normalized by reconfiguration latency.
+	AvgWaitTime float64
+	// RetryOverhead is tried time steps over final time steps (1.0 when
+	// no retry occurred).
+	RetryOverhead float64
+	// Splits counts split cross-rack pairs; Reconfigs counts switch
+	// reconfigurations in the final schedule.
+	Splits, Reconfigs int
+	// Retries counts retry reversions during compilation.
+	Retries int
+}
+
+// Summarize computes the Summary of a compilation result.
+func Summarize(r *core.Result) Summary { return SummarizeWith(r, r.Params) }
+
+// SummarizeWith computes the Summary under alternative hardware
+// parameters — the fidelity sensitivity analyses (Fig. 10) reweigh the
+// same schedule with different EPR fidelities.
+func SummarizeWith(r *core.Result, p hw.Params) Summary {
+	counts := epr.Count(r.Demands)
+	s := Summary{
+		Latency:       p.Normalized(r.Makespan),
+		CrossRackEPR:  counts.CrossRack,
+		InRackEPR:     counts.InRack,
+		DistilledEPR:  r.DistilledPairs,
+		AvgWaitTime:   r.AvgWaitTime() / float64(p.ReconfigLatency),
+		RetryOverhead: r.RetryOverhead(),
+		Splits:        r.Splits,
+		Reconfigs:     r.Reconfigs,
+		Retries:       r.Retries,
+	}
+	base := float64(counts.CrossRack) + p.InRackWeight()*float64(counts.InRack)
+	if base > 0 {
+		extraKept := float64(r.Splits - r.DistilledPairs) // undistilled kept pairs (k = 1)
+		extra := p.DistilledWeight()*float64(r.DistilledPairs) + p.InRackWeight()*extraKept
+		s.EPROverheadPct = 100 * extra / base
+	}
+	return s
+}
+
+// Improvement returns baseline latency over optimized latency.
+func Improvement(baseline, ours Summary) float64 {
+	if ours.Latency == 0 {
+		return 1
+	}
+	return baseline.Latency / ours.Latency
+}
+
+// Table is a minimal fixed-width text table used by the experiment
+// harness to print paper-style tables.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// formatFloat renders floats compactly: two decimals, trimming trailing
+// zeros but keeping at least one decimal digit for readability.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	return s
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// RenderCSV writes the table as CSV (header row first, no title).
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

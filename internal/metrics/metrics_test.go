@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+func compiled(t *testing.T, demands []epr.Demand, opts core.Options) *core.Result {
+	t.Helper()
+	arch, err := topology.NewArch("clos", 2, 2, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Compile(demands, arch, hw.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	demands := []epr.Demand{
+		{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+		{ID: 1, A: 0, B: 2, Protocol: epr.Cat, Gates: 1},
+	}
+	r := compiled(t, demands, core.DefaultOptions())
+	s := Summarize(r)
+	if s.InRackEPR != 1 || s.CrossRackEPR != 1 {
+		t.Errorf("counts = %+v", s)
+	}
+	if s.Latency <= 0 {
+		t.Errorf("latency = %v", s.Latency)
+	}
+	if s.RetryOverhead != 1 {
+		t.Errorf("retry = %v", s.RetryOverhead)
+	}
+	if s.EPROverheadPct != 0 {
+		t.Errorf("overhead = %v with no splits", s.EPROverheadPct)
+	}
+}
+
+func TestEPROverheadWeights(t *testing.T) {
+	// Synthetic result: 10 cross, 30 in-rack demands, 5 distilled pairs.
+	r := &core.Result{Params: hw.Default(), DistilledPairs: 5, Splits: 5}
+	for i := 0; i < 40; i++ {
+		d := epr.Demand{ID: i, A: 0, B: 1}
+		if i < 10 {
+			d.CrossRack = true
+		}
+		r.Demands = append(r.Demands, d)
+	}
+	r.ReadyAt = make([]hw.Time, 40)
+	r.ConsumedAt = make([]hw.Time, 40)
+	s := Summarize(r)
+	p := hw.Default()
+	want := 100 * (p.DistilledWeight() * 5) / (10 + p.InRackWeight()*30)
+	if math.Abs(s.EPROverheadPct-want) > 1e-9 {
+		t.Errorf("overhead = %v, want %v", s.EPROverheadPct, want)
+	}
+	// Undistilled splits (k=1) weigh as raw in-rack pairs.
+	r.DistilledPairs = 0
+	s = Summarize(r)
+	want = 100 * (p.InRackWeight() * 5) / (10 + p.InRackWeight()*30)
+	if math.Abs(s.EPROverheadPct-want) > 1e-9 {
+		t.Errorf("k=1 overhead = %v, want %v", s.EPROverheadPct, want)
+	}
+}
+
+func TestSummarizeWithReweighsOnly(t *testing.T) {
+	demands := []epr.Demand{{ID: 0, A: 0, B: 2, Protocol: epr.Cat, Gates: 1}}
+	r := compiled(t, demands, core.DefaultOptions())
+	alt := hw.Default()
+	alt.FCrossRack = 0.90
+	a, b := Summarize(r), SummarizeWith(r, alt)
+	if a.Latency != b.Latency {
+		t.Errorf("latency changed under reweighing: %v vs %v", a.Latency, b.Latency)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if v := Improvement(Summary{Latency: 100}, Summary{Latency: 25}); v != 4 {
+		t.Errorf("Improvement = %v", v)
+	}
+	if v := Improvement(Summary{Latency: 100}, Summary{}); v != 1 {
+		t.Errorf("Improvement with zero ours = %v", v)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("T", "a", "bbbb", "c")
+	tab.AddRow(1, 2.5, "x")
+	tab.AddRow("yy", 3.25, 7)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "T") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "2.50") {
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestFidelityAtRawPairs(t *testing.T) {
+	demands := []epr.Demand{
+		{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1}, // in-rack
+		{ID: 1, A: 0, B: 2, Protocol: epr.Cat, Gates: 1}, // cross-rack
+	}
+	r := compiled(t, demands, core.DefaultOptions())
+	rep := FidelityAt(r, 0) // no decoherence
+	p := hw.Default()
+	if math.Abs(rep.MeanInRack-p.FInRack) > 1e-9 {
+		t.Errorf("in-rack fidelity = %v, want %v", rep.MeanInRack, p.FInRack)
+	}
+	// No splits should have occurred for two independent pairs.
+	if rep.SplitShare == 0 {
+		if math.Abs(rep.MeanCross-p.FCrossRack) > 1e-9 {
+			t.Errorf("cross fidelity = %v, want %v", rep.MeanCross, p.FCrossRack)
+		}
+	}
+	if rep.Min > rep.Mean {
+		t.Errorf("min %v > mean %v", rep.Min, rep.Mean)
+	}
+}
+
+func TestFidelityAtDecoherencePenalty(t *testing.T) {
+	demands := []epr.Demand{
+		{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+		{ID: 1, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+		{ID: 2, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+	}
+	r := compiled(t, demands, core.DefaultOptions())
+	noDec := FidelityAt(r, 0)
+	short := FidelityAt(r, 10*hw.Millisecond)
+	if short.Mean > noDec.Mean {
+		t.Errorf("decoherence increased fidelity: %v > %v", short.Mean, noDec.Mean)
+	}
+	long := FidelityAt(r, 1000*hw.Millisecond)
+	if long.Mean < short.Mean {
+		t.Errorf("longer coherence decreased fidelity: %v < %v", long.Mean, short.Mean)
+	}
+}
+
+func TestFidelityAtEmpty(t *testing.T) {
+	r := &core.Result{Params: hw.Default()}
+	rep := FidelityAt(r, 0)
+	if rep.Mean != 0 || rep.Min != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+}
+
+func TestFidelityAtBaseDistillation(t *testing.T) {
+	demands := []epr.Demand{{ID: 0, A: 0, B: 2, Protocol: epr.Cat, Gates: 1}}
+	arch, err := topology.NewArch("clos", 2, 2, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.DistillCrossK = 2
+	r, err := core.Compile(demands, arch, hw.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Compile(demands, arch, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distilled := FidelityAt(r, 0)
+	raw := FidelityAt(plain, 0)
+	if distilled.MeanCross <= raw.MeanCross {
+		t.Errorf("cross distillation did not improve fidelity: %v vs %v",
+			distilled.MeanCross, raw.MeanCross)
+	}
+	// The latency cost shows up in the schedule.
+	if r.Makespan <= plain.Makespan {
+		t.Errorf("distilled makespan %d not above raw %d", r.Makespan, plain.Makespan)
+	}
+}

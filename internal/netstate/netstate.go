@@ -1,0 +1,302 @@
+// Package netstate tracks the dynamic resource state of a QDC during
+// scheduling: free communication qubits and buffer slots per QPU
+// (including the reserved_buffer and projected_buffer bookkeeping of
+// Section 4.3), free BSM devices per ToR, residual fiber capacity, and
+// the set of currently configured optical channels with their
+// reconfiguration costs. The whole state is deep-copyable to support
+// the retry mechanism's checkpoints (Section 4.5).
+package netstate
+
+import (
+	"fmt"
+	"sort"
+
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// QPU is the per-QPU mutable resource state. The projected_buffer of
+// Section 4.3 is tracked by the scheduler's per-QPU release ledger, not
+// here, because it must distinguish which pending releases are safe to
+// count for a given split.
+type QPU struct {
+	// FreeComm is the number of idle communication qubits.
+	FreeComm int
+	// FreeBuf is the number of free buffer slots.
+	FreeBuf int
+	// Reserved is the reserved_buffer of Section 4.3: slots promised to
+	// in-flight splits, subtracted from the projected buffer when
+	// deciding whether further splits are allowed.
+	Reserved int
+}
+
+// Channel is a configured optical path between two QPUs. It pins one
+// unit of capacity on every edge of its path and one BSM on rack
+// BSMRack for its lifetime.
+type Channel struct {
+	ID      int
+	A, B    int // QPU endpoints (A < B)
+	Path    []int
+	BSMRack int
+	InRack  bool
+	// ReadyAt is when the switches finish reconfiguring.
+	ReadyAt hw.Time
+	// BusyUntil is the end of the last generation queued on the channel.
+	BusyUntil hw.Time
+}
+
+// Idle reports whether the channel has no generation in flight at time t.
+func (c *Channel) Idle(t hw.Time) bool { return c.BusyUntil <= t }
+
+// State is the complete dynamic network state.
+type State struct {
+	Arch   *topology.Arch
+	Params hw.Params
+	Now    hw.Time
+
+	QPUs     []QPU
+	EdgeFree []int
+	BSMFree  []int
+
+	channels map[int]*Channel
+	// byPair maps a canonical QPU pair to a live channel id for
+	// collection lookups (at most one live channel per pair is indexed).
+	byPair map[[2]int]int
+	nextID int
+
+	// Reconfigs counts switch reconfigurations performed (for Fig. 2's
+	// latency attribution and overhead reporting).
+	Reconfigs int
+}
+
+// New initializes the state for an architecture at time 0.
+func New(arch *topology.Arch, p hw.Params) *State {
+	s := &State{
+		Arch:     arch,
+		Params:   p,
+		QPUs:     make([]QPU, arch.NumQPUs()),
+		EdgeFree: make([]int, len(arch.Net.Edges)),
+		BSMFree:  make([]int, arch.Racks),
+		channels: make(map[int]*Channel),
+		byPair:   make(map[[2]int]int),
+	}
+	for i := range s.QPUs {
+		s.QPUs[i] = QPU{FreeComm: arch.CommQubits, FreeBuf: arch.BufferSize}
+	}
+	for i, e := range arch.Net.Edges {
+		s.EdgeFree[i] = e.Cap
+	}
+	for r := range s.BSMFree {
+		s.BSMFree[r] = arch.Net.BSMsPerRack
+	}
+	return s
+}
+
+// Clone deep-copies the state for checkpointing.
+func (s *State) Clone() *State {
+	c := &State{
+		Arch: s.Arch, Params: s.Params, Now: s.Now,
+		QPUs:      append([]QPU(nil), s.QPUs...),
+		EdgeFree:  append([]int(nil), s.EdgeFree...),
+		BSMFree:   append([]int(nil), s.BSMFree...),
+		channels:  make(map[int]*Channel, len(s.channels)),
+		byPair:    make(map[[2]int]int, len(s.byPair)),
+		nextID:    s.nextID,
+		Reconfigs: s.Reconfigs,
+	}
+	for id, ch := range s.channels {
+		cc := *ch
+		cc.Path = append([]int(nil), ch.Path...)
+		c.channels[id] = &cc
+	}
+	for k, v := range s.byPair {
+		c.byPair[k] = v
+	}
+	return c
+}
+
+func pairKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// LiveChannel returns the live channel between QPUs a and b, or nil.
+func (s *State) LiveChannel(a, b int) *Channel {
+	if id, ok := s.byPair[pairKey(a, b)]; ok {
+		return s.channels[id]
+	}
+	return nil
+}
+
+// Channel returns a channel by id, or nil.
+func (s *State) Channel(id int) *Channel { return s.channels[id] }
+
+// NumChannels returns the number of live channels.
+func (s *State) NumChannels() int { return len(s.channels) }
+
+// CanRoute reports whether a path between a and b could be established
+// right now, possibly after tearing down idle channels (without actually
+// doing either).
+func (s *State) CanRoute(a, b int) bool {
+	if s.Arch.Net.FindPath(s.EdgeFree, a, b) != nil && s.bsmAvailable(a, b) {
+		return true
+	}
+	// Capacity or BSMs are exhausted right now, but OpenChannel may
+	// reclaim both from idle channels — credit them before deciding.
+	res := append([]int(nil), s.EdgeFree...)
+	bsm := append([]int(nil), s.BSMFree...)
+	for _, ch := range s.channelsByID() {
+		if !ch.Idle(s.Now) {
+			continue
+		}
+		for _, eid := range ch.Path {
+			res[eid]++
+		}
+		bsm[ch.BSMRack]++
+	}
+	if s.Arch.Net.FindPath(res, a, b) == nil {
+		return false
+	}
+	return bsm[s.Arch.RackOf(a)] > 0 || bsm[s.Arch.RackOf(b)] > 0
+}
+
+func (s *State) bsmAvailable(a, b int) bool {
+	return s.BSMFree[s.Arch.RackOf(a)] > 0 || s.BSMFree[s.Arch.RackOf(b)] > 0
+}
+
+// channelsByID returns live channels sorted by id for determinism.
+func (s *State) channelsByID() []*Channel {
+	ids := make([]int, 0, len(s.channels))
+	for id := range s.channels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Channel, len(ids))
+	for i, id := range ids {
+		out[i] = s.channels[id]
+	}
+	return out
+}
+
+// OpenChannel configures a new channel between QPUs a and b, tearing
+// down idle channels (least-recently-busy first) if capacity or BSMs are
+// exhausted. The new channel's ReadyAt includes one reconfiguration
+// latency. It returns nil if no path exists even after teardowns.
+func (s *State) OpenChannel(a, b int) *Channel {
+	path := s.Arch.Net.FindPath(s.EdgeFree, a, b)
+	for path == nil || !s.bsmAvailable(a, b) {
+		if !s.closeOneIdle() {
+			return nil
+		}
+		path = s.Arch.Net.FindPath(s.EdgeFree, a, b)
+	}
+	rack := s.Arch.RackOf(a)
+	if s.BSMFree[rack] == 0 {
+		rack = s.Arch.RackOf(b)
+	}
+	s.BSMFree[rack]--
+	for _, eid := range path {
+		s.EdgeFree[eid]--
+	}
+	s.Reconfigs++
+	ch := &Channel{
+		ID: s.nextID, A: min(a, b), B: max(a, b), Path: path,
+		BSMRack: rack, InRack: s.Arch.Net.InRack(a, b),
+		ReadyAt: s.Now + s.Params.ReconfigLatency,
+	}
+	ch.BusyUntil = ch.ReadyAt
+	s.nextID++
+	s.channels[ch.ID] = ch
+	s.byPair[pairKey(a, b)] = ch.ID
+	return ch
+}
+
+// closeOneIdle tears down the idle channel with the earliest BusyUntil
+// (ties broken by id). It returns false if no channel is idle.
+func (s *State) closeOneIdle() bool {
+	var victim *Channel
+	for _, ch := range s.channelsByID() {
+		if !ch.Idle(s.Now) {
+			continue
+		}
+		if victim == nil || ch.BusyUntil < victim.BusyUntil {
+			victim = ch
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	s.CloseChannel(victim.ID)
+	return true
+}
+
+// CloseChannel releases a channel's capacity and BSM.
+func (s *State) CloseChannel(id int) {
+	ch, ok := s.channels[id]
+	if !ok {
+		return
+	}
+	for _, eid := range ch.Path {
+		s.EdgeFree[eid]++
+	}
+	s.BSMFree[ch.BSMRack]++
+	delete(s.channels, id)
+	key := pairKey(ch.A, ch.B)
+	if s.byPair[key] == id {
+		delete(s.byPair, key)
+	}
+}
+
+// CloseIdleChannels tears down every channel idle at the current time.
+// The baseline strategies use this to model per-request reconfiguration.
+func (s *State) CloseIdleChannels() {
+	for _, ch := range s.channelsByID() {
+		if ch.Idle(s.Now) {
+			s.CloseChannel(ch.ID)
+		}
+	}
+}
+
+// EnqueueGeneration appends one EPR generation of the given duration to
+// the channel's pipeline and returns its start and end times.
+func (s *State) EnqueueGeneration(ch *Channel, d hw.Time) (start, end hw.Time) {
+	start = ch.BusyUntil
+	if start < s.Now {
+		start = s.Now
+	}
+	if start < ch.ReadyAt {
+		start = ch.ReadyAt
+	}
+	end = start + d
+	ch.BusyUntil = end
+	return start, end
+}
+
+// Validate checks resource invariants (never negative, never above
+// capacity).
+func (s *State) Validate() error {
+	for i, q := range s.QPUs {
+		if q.FreeComm < 0 || q.FreeComm > s.Arch.CommQubits {
+			return fmt.Errorf("netstate: QPU %d FreeComm = %d outside [0, %d]", i, q.FreeComm, s.Arch.CommQubits)
+		}
+		if q.FreeBuf < 0 {
+			return fmt.Errorf("netstate: QPU %d FreeBuf = %d < 0", i, q.FreeBuf)
+		}
+		if q.Reserved < 0 {
+			return fmt.Errorf("netstate: QPU %d Reserved negative: %+v", i, q)
+		}
+	}
+	for i, free := range s.EdgeFree {
+		if free < 0 || free > s.Arch.Net.Edges[i].Cap {
+			return fmt.Errorf("netstate: edge %d residual %d outside [0, %d]", i, free, s.Arch.Net.Edges[i].Cap)
+		}
+	}
+	for r, free := range s.BSMFree {
+		if free < 0 || free > s.Arch.Net.BSMsPerRack {
+			return fmt.Errorf("netstate: rack %d BSMs %d outside [0, %d]", r, free, s.Arch.Net.BSMsPerRack)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package netstate
+
+import (
+	"testing"
+
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+func newState(t *testing.T, racks, perRack int) *State {
+	t.Helper()
+	arch, err := topology.NewArch("clos", racks, perRack, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(arch, hw.Default())
+}
+
+func TestNewInitialResources(t *testing.T) {
+	s := newState(t, 4, 4)
+	if len(s.QPUs) != 16 {
+		t.Fatalf("QPUs = %d", len(s.QPUs))
+	}
+	for i, q := range s.QPUs {
+		if q.FreeComm != 2 || q.FreeBuf != 10 || q.Reserved != 0 {
+			t.Errorf("QPU %d initial state = %+v", i, q)
+		}
+	}
+	for r, b := range s.BSMFree {
+		if b != 8 {
+			t.Errorf("rack %d BSMs = %d, want 8", r, b)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenChannelInRack(t *testing.T) {
+	s := newState(t, 2, 2)
+	ch := s.OpenChannel(0, 1)
+	if ch == nil {
+		t.Fatal("no channel")
+	}
+	if !ch.InRack || ch.BSMRack != 0 {
+		t.Errorf("channel = %+v", ch)
+	}
+	if ch.ReadyAt != s.Params.ReconfigLatency {
+		t.Errorf("ReadyAt = %d, want %d", ch.ReadyAt, s.Params.ReconfigLatency)
+	}
+	if s.Reconfigs != 1 {
+		t.Errorf("Reconfigs = %d", s.Reconfigs)
+	}
+	if got := s.LiveChannel(1, 0); got != ch {
+		t.Error("LiveChannel lookup failed (order-insensitive)")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenChannelCrossRack(t *testing.T) {
+	s := newState(t, 2, 2)
+	ch := s.OpenChannel(0, 3)
+	if ch == nil {
+		t.Fatal("no channel")
+	}
+	if ch.InRack {
+		t.Error("cross-rack channel marked in-rack")
+	}
+	if len(ch.Path) != 4 {
+		t.Errorf("path length = %d, want 4", len(ch.Path))
+	}
+}
+
+func TestEnqueueGenerationPipelines(t *testing.T) {
+	s := newState(t, 2, 2)
+	ch := s.OpenChannel(0, 1)
+	s1, e1 := s.EnqueueGeneration(ch, 100)
+	s2, e2 := s.EnqueueGeneration(ch, 100)
+	if s1 != ch.ReadyAt || e1 != s1+100 {
+		t.Errorf("first gen [%d, %d], want start at ReadyAt %d", s1, e1, ch.ReadyAt)
+	}
+	if s2 != e1 || e2 != s2+100 {
+		t.Errorf("second gen [%d, %d], want back-to-back after %d", s2, e2, e1)
+	}
+	if ch.BusyUntil != e2 {
+		t.Errorf("BusyUntil = %d, want %d", ch.BusyUntil, e2)
+	}
+}
+
+func TestChannelCapacityExhaustionAndTeardown(t *testing.T) {
+	s := newState(t, 2, 2)
+	// QPU 0 uplink capacity is 2: two channels from QPU 0 succeed.
+	c1 := s.OpenChannel(0, 1)
+	c2 := s.OpenChannel(0, 2)
+	if c1 == nil || c2 == nil {
+		t.Fatal("expected two channels")
+	}
+	// Third channel from QPU 0 must tear down an idle channel. Both are
+	// idle only after their reconfig window; advance past that.
+	s.Now = c2.ReadyAt + 1
+	c3 := s.OpenChannel(0, 3)
+	if c3 == nil {
+		t.Fatal("expected teardown to free capacity")
+	}
+	if s.NumChannels() != 2 {
+		t.Errorf("live channels = %d, want 2", s.NumChannels())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenChannelFailsWhenBusy(t *testing.T) {
+	s := newState(t, 2, 2)
+	c1 := s.OpenChannel(0, 1)
+	c2 := s.OpenChannel(0, 2)
+	// Keep both channels busy forever; no teardown possible.
+	s.EnqueueGeneration(c1, 1<<40)
+	s.EnqueueGeneration(c2, 1<<40)
+	s.Now = 10
+	if ch := s.OpenChannel(0, 3); ch != nil {
+		t.Errorf("channel opened despite saturated busy uplink: %+v", ch)
+	}
+}
+
+func TestCanRouteMatchesOpenChannel(t *testing.T) {
+	s := newState(t, 2, 2)
+	c1 := s.OpenChannel(0, 1)
+	c2 := s.OpenChannel(0, 2)
+	s.EnqueueGeneration(c1, 1<<40)
+	s.EnqueueGeneration(c2, 1<<40)
+	s.Now = 10
+	if s.CanRoute(0, 3) {
+		t.Error("CanRoute true but uplink saturated by busy channels")
+	}
+	if !s.CanRoute(1, 2) {
+		t.Error("CanRoute false for available pair")
+	}
+}
+
+func TestCloseIdleChannels(t *testing.T) {
+	s := newState(t, 2, 2)
+	c1 := s.OpenChannel(0, 1)
+	c2 := s.OpenChannel(2, 3)
+	s.EnqueueGeneration(c2, 1<<30)
+	s.Now = c1.ReadyAt + 1
+	s.CloseIdleChannels()
+	if s.NumChannels() != 1 {
+		t.Errorf("live channels = %d, want 1 (busy one kept)", s.NumChannels())
+	}
+	if s.Channel(c2.ID) == nil {
+		t.Error("busy channel was closed")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := newState(t, 2, 2)
+	ch := s.OpenChannel(0, 1)
+	s.QPUs[0].FreeComm--
+	c := s.Clone()
+	// Mutate the original.
+	s.QPUs[0].FreeComm--
+	s.EnqueueGeneration(ch, 500)
+	s.CloseChannel(ch.ID)
+	// Clone must be unaffected.
+	if c.QPUs[0].FreeComm != 1 {
+		t.Errorf("clone FreeComm = %d, want 1", c.QPUs[0].FreeComm)
+	}
+	cch := c.Channel(ch.ID)
+	if cch == nil {
+		t.Fatal("clone lost channel")
+	}
+	if cch.BusyUntil != ch.ReadyAt {
+		t.Errorf("clone BusyUntil = %d, want %d", cch.BusyUntil, ch.ReadyAt)
+	}
+	if c.LiveChannel(0, 1) == nil {
+		t.Error("clone lost pair index")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	s := newState(t, 2, 2)
+	s.QPUs[0].FreeComm = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative FreeComm accepted")
+	}
+	s.QPUs[0].FreeComm = 0
+	s.EdgeFree[0] = 99
+	if err := s.Validate(); err == nil {
+		t.Error("over-capacity edge accepted")
+	}
+	s.EdgeFree[0] = s.Arch.Net.Edges[0].Cap
+	s.BSMFree[0] = -2
+	if err := s.Validate(); err == nil {
+		t.Error("negative BSMs accepted")
+	}
+}
+
+func TestBSMPreferenceFallsBack(t *testing.T) {
+	s := newState(t, 2, 2)
+	// Exhaust rack 0's BSMs.
+	s.BSMFree[0] = 0
+	ch := s.OpenChannel(0, 2) // cross-rack: rack 0 preferred, rack 1 fallback
+	if ch == nil {
+		t.Fatal("no channel")
+	}
+	if ch.BSMRack != 1 {
+		t.Errorf("BSMRack = %d, want fallback to rack 1", ch.BSMRack)
+	}
+}
+
+func TestCanRouteCreditsIdleBSMs(t *testing.T) {
+	// With many comm qubits per QPU, idle channels can pin every BSM of
+	// a rack while fiber capacity remains: CanRoute must still report
+	// true because OpenChannel would tear the idle channels down.
+	arch, err := topology.NewArch("clos", 2, 4, 30, 10, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(arch, hw.Default())
+	// Open channels until rack 0 has no free BSMs (8 BSMs per rack).
+	pairs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {0, 1}, {2, 3}}
+	for _, p := range pairs {
+		if ch := s.OpenChannel(p[0], p[1]); ch == nil {
+			t.Fatalf("channel %v failed", p)
+		}
+	}
+	if s.BSMFree[0] != 0 {
+		t.Fatalf("rack 0 BSMs = %d, want 0", s.BSMFree[0])
+	}
+	// All channels idle once their reconfigurations finish.
+	s.Now = 10 * s.Params.ReconfigLatency
+	if !s.CanRoute(0, 1) {
+		t.Error("CanRoute false despite reclaimable idle BSMs")
+	}
+	if ch := s.OpenChannel(0, 1); ch == nil {
+		t.Error("OpenChannel failed despite reclaimable idle BSMs")
+	}
+}

@@ -1,0 +1,106 @@
+// Package photonic models the EPR-pair generation protocol of Fig. 5:
+// two communication qubits are prepared in sqrt(a)|up> + sqrt(1-a)|down>,
+// each emits a photon when in |up>, the photons interfere on a beam
+// splitter, and a single detector click post-selects the spin-spin state
+// onto |phi+> = (|up,down> + |down,up>)/sqrt(2).
+//
+// Enumerating the outcome tree reproduces the closed-form figures the
+// paper quotes in Section 2.2: with photon transmission eta and
+// threshold (non-number-resolving) detectors,
+//
+//	P(click)  = 2a(1-a) eta  +  a^2 eta (2 - eta)   ~= 2 a eta
+//	Fidelity  = 2a(1-a) eta / P(click)              ~= 1 - a
+//
+// The a^2 term is the false-positive |up,up> branch: both spins emitted
+// a photon but the detectors could not tell (one photon was lost, or
+// Hong-Ou-Mandel bunching sent both into one detector).
+package photonic
+
+import "math/rand"
+
+// Protocol describes one attempt of the heralded generation scheme.
+type Protocol struct {
+	// Alpha is the |up> preparation weight (the paper's alpha = 0.05).
+	Alpha float64
+	// Eta is the end-to-end photon transmission probability.
+	Eta float64
+	// NumberResolving models photon-number-resolving detectors, which
+	// reject the two-photon bunching branch and raise the fidelity.
+	NumberResolving bool
+}
+
+// Outcome is the analytic result of the protocol.
+type Outcome struct {
+	// SuccessProb is the probability an attempt heralds a pair.
+	SuccessProb float64
+	// Fidelity is the heralded pair's overlap with |phi+>.
+	Fidelity float64
+	// FalsePositive is the probability mass of heralds from the
+	// |up,up> branch (the infidelity source).
+	FalsePositive float64
+}
+
+// Analyze enumerates the branch probabilities exactly.
+func (p Protocol) Analyze() Outcome {
+	a, eta := p.Alpha, p.Eta
+	// Branch 1: exactly one spin emitted (probability 2a(1-a)); the
+	// single photon must survive to herald.
+	signal := 2 * a * (1 - a) * eta
+	// Branch 2: both spins emitted (probability a^2). One photon lost:
+	// 2 eta (1-eta) -> an indistinguishable single click. Both photons
+	// arrive (eta^2): Hong-Ou-Mandel interference bunches them into one
+	// output port; a threshold detector still reports a single click,
+	// while a number-resolving detector rejects the event.
+	fp := a * a * 2 * eta * (1 - eta)
+	if !p.NumberResolving {
+		fp += a * a * eta * eta
+	}
+	out := Outcome{SuccessProb: signal + fp, FalsePositive: fp}
+	if out.SuccessProb > 0 {
+		out.Fidelity = signal / out.SuccessProb
+	}
+	return out
+}
+
+// Sample simulates one attempt; it returns whether a pair was heralded
+// and whether the heralded pair was genuine (the |phi+> branch).
+func (p Protocol) Sample(rng *rand.Rand) (heralded, genuine bool) {
+	up0 := rng.Float64() < p.Alpha
+	up1 := rng.Float64() < p.Alpha
+	switch {
+	case up0 != up1:
+		// One photon: herald iff it survives.
+		return rng.Float64() < p.Eta, true
+	case up0 && up1:
+		s0 := rng.Float64() < p.Eta
+		s1 := rng.Float64() < p.Eta
+		switch {
+		case s0 != s1:
+			return true, false // one lost: looks like a single photon
+		case s0 && s1:
+			// Both arrive and bunch; threshold detectors are fooled.
+			return !p.NumberResolving, false
+		}
+	}
+	return false, false
+}
+
+// Simulate estimates the outcome over n attempts.
+func (p Protocol) Simulate(rng *rand.Rand, n int) Outcome {
+	var heralds, genuine int
+	for i := 0; i < n; i++ {
+		h, g := p.Sample(rng)
+		if h {
+			heralds++
+			if g {
+				genuine++
+			}
+		}
+	}
+	out := Outcome{SuccessProb: float64(heralds) / float64(n)}
+	if heralds > 0 {
+		out.Fidelity = float64(genuine) / float64(heralds)
+		out.FalsePositive = float64(heralds-genuine) / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package photonic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperFigures(t *testing.T) {
+	// Section 2.2: alpha = 0.05, eta = 0.1 gives p ~ 2 alpha eta = 0.01
+	// and F = 1 - alpha = 0.95.
+	p := Protocol{Alpha: 0.05, Eta: 0.1}
+	out := p.Analyze()
+	if math.Abs(out.SuccessProb-2*0.05*0.1) > 0.001 {
+		t.Errorf("success prob = %v, want ~0.01", out.SuccessProb)
+	}
+	if math.Abs(out.Fidelity-0.95) > 0.005 {
+		t.Errorf("fidelity = %v, want ~0.95", out.Fidelity)
+	}
+}
+
+func TestExactBranchAccounting(t *testing.T) {
+	p := Protocol{Alpha: 0.2, Eta: 0.3}
+	out := p.Analyze()
+	signal := 2 * 0.2 * 0.8 * 0.3
+	fp := 0.2 * 0.2 * (2*0.3*0.7 + 0.3*0.3)
+	if math.Abs(out.SuccessProb-(signal+fp)) > 1e-12 {
+		t.Errorf("success = %v, want %v", out.SuccessProb, signal+fp)
+	}
+	if math.Abs(out.FalsePositive-fp) > 1e-12 {
+		t.Errorf("false positives = %v, want %v", out.FalsePositive, fp)
+	}
+	if math.Abs(out.Fidelity-signal/(signal+fp)) > 1e-12 {
+		t.Errorf("fidelity = %v", out.Fidelity)
+	}
+}
+
+func TestNumberResolvingImprovesFidelity(t *testing.T) {
+	base := Protocol{Alpha: 0.1, Eta: 0.5}
+	nr := base
+	nr.NumberResolving = true
+	a, b := base.Analyze(), nr.Analyze()
+	if b.Fidelity <= a.Fidelity {
+		t.Errorf("number-resolving fidelity %v not above threshold %v", b.Fidelity, a.Fidelity)
+	}
+	if b.SuccessProb >= a.SuccessProb {
+		t.Errorf("number-resolving success %v not below threshold %v", b.SuccessProb, a.SuccessProb)
+	}
+}
+
+func TestFidelityApproaches1MinusAlpha(t *testing.T) {
+	// In the low-loss-dominated regime (eta -> 0) the fidelity tends to
+	// 1 - alpha exactly: F = (1-a) / (1 - a + a(2-eta)/2 * ...)
+	f := func(k uint8) bool {
+		a := 0.01 + float64(k%50)/200.0 // alpha in [0.01, 0.26)
+		out := Protocol{Alpha: a, Eta: 1e-6}.Analyze()
+		// As eta -> 0: F = (1-a)/(1-a+a) = 1-a.
+		return math.Abs(out.Fidelity-(1-a)) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := Protocol{Alpha: 0.1, Eta: 0.2}
+	want := p.Analyze()
+	got := p.Simulate(rng, 500000)
+	if math.Abs(got.SuccessProb-want.SuccessProb)/want.SuccessProb > 0.03 {
+		t.Errorf("simulated success %v vs analytic %v", got.SuccessProb, want.SuccessProb)
+	}
+	if math.Abs(got.Fidelity-want.Fidelity) > 0.01 {
+		t.Errorf("simulated fidelity %v vs analytic %v", got.Fidelity, want.Fidelity)
+	}
+}
+
+func TestDegenerateProtocols(t *testing.T) {
+	if out := (Protocol{Alpha: 0, Eta: 0.5}).Analyze(); out.SuccessProb != 0 || out.Fidelity != 0 {
+		t.Errorf("alpha=0 outcome = %+v", out)
+	}
+	rng := rand.New(rand.NewSource(1))
+	out := (Protocol{Alpha: 0, Eta: 0.5}).Simulate(rng, 100)
+	if out.SuccessProb != 0 {
+		t.Errorf("alpha=0 simulated success = %v", out.SuccessProb)
+	}
+}
+
+func TestConsistencyWithHWRateModel(t *testing.T) {
+	// The hw package's p = 2 alpha eta is the small-alpha limit of the
+	// exact branch count; they agree to within alpha^2 terms.
+	a, eta := 0.05, 0.1
+	exact := Protocol{Alpha: a, Eta: eta}.Analyze().SuccessProb
+	approx := 2 * a * eta
+	if math.Abs(exact-approx)/approx > a {
+		t.Errorf("exact %v vs hw model %v differ beyond O(alpha)", exact, approx)
+	}
+}

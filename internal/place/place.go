@@ -1,0 +1,198 @@
+// Package place assigns program qubits to QPUs. SwitchQNet itself is
+// placement-agnostic (Section 2.3 calls placement orthogonal), but the
+// pipeline needs one: we provide the contiguous block placement the
+// paper's benchmark tables imply (total qubits = #QPUs x data qubits)
+// plus a greedy swap refinement that reduces remote-gate count.
+package place
+
+import (
+	"fmt"
+	"sort"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/topology"
+)
+
+// Placement maps program qubit index to global QPU index.
+type Placement []int
+
+// Blocks places qubits contiguously: the first DataQubits qubits on QPU
+// 0, the next on QPU 1, and so on. The circuit must fit the machine.
+func Blocks(numQubits int, arch *topology.Arch) (Placement, error) {
+	capacity := arch.NumQPUs() * arch.DataQubits
+	if numQubits > capacity {
+		return nil, fmt.Errorf("place: %d qubits exceed capacity %d (%d QPUs x %d data qubits)",
+			numQubits, capacity, arch.NumQPUs(), arch.DataQubits)
+	}
+	p := make(Placement, numQubits)
+	for q := range p {
+		p[q] = q / arch.DataQubits
+	}
+	return p, nil
+}
+
+// Validate checks that the placement respects per-QPU data capacity.
+func (p Placement) Validate(arch *topology.Arch) error {
+	load := make([]int, arch.NumQPUs())
+	for q, qpu := range p {
+		if qpu < 0 || qpu >= arch.NumQPUs() {
+			return fmt.Errorf("place: qubit %d on missing QPU %d", q, qpu)
+		}
+		load[qpu]++
+	}
+	for qpu, l := range load {
+		if l > arch.DataQubits {
+			return fmt.Errorf("place: QPU %d holds %d qubits, capacity %d", qpu, l, arch.DataQubits)
+		}
+	}
+	return nil
+}
+
+// Cost summarizes the communication a placement induces.
+type Cost struct {
+	// Remote is the number of two-qubit gates whose operands sit on
+	// different QPUs.
+	Remote int
+	// CrossRack is the subset of Remote whose operands sit on different
+	// racks.
+	CrossRack int
+}
+
+// CostOf counts remote and cross-rack two-qubit gates under p.
+func CostOf(c *circuit.Circuit, p Placement, arch *topology.Arch) Cost {
+	var cost Cost
+	for _, g := range c.Gates {
+		if !g.TwoQubit() {
+			continue
+		}
+		a, b := p[g.Q0], p[g.Q1]
+		if a == b {
+			continue
+		}
+		cost.Remote++
+		if arch.RackOf(a) != arch.RackOf(b) {
+			cost.CrossRack++
+		}
+	}
+	return cost
+}
+
+// affinity builds the symmetric qubit-interaction weight map: w[u][v] =
+// number of two-qubit gates between u and v.
+func affinity(c *circuit.Circuit) map[int32]map[int32]int {
+	w := make(map[int32]map[int32]int)
+	add := func(u, v int32) {
+		m := w[u]
+		if m == nil {
+			m = make(map[int32]int)
+			w[u] = m
+		}
+		m[v]++
+	}
+	for _, g := range c.Gates {
+		if !g.TwoQubit() {
+			continue
+		}
+		add(g.Q0, g.Q1)
+		add(g.Q1, g.Q0)
+	}
+	return w
+}
+
+// externalCost returns the weighted number of remote interactions qubit
+// u has under p, and cross-rack interactions weighted double (they are
+// 100x slower, but a modest factor keeps in-rack locality too).
+func externalCost(u int32, w map[int32]map[int32]int, p Placement, arch *topology.Arch) int {
+	cost := 0
+	for v, cnt := range w[u] {
+		a, b := p[u], p[v]
+		if a == b {
+			continue
+		}
+		cost += cnt
+		if arch.RackOf(a) != arch.RackOf(b) {
+			cost += cnt
+		}
+	}
+	return cost
+}
+
+// RefineSwaps greedily swaps qubit pairs across QPUs while each swap
+// strictly reduces the weighted remote cost, for at most maxPasses
+// passes. It mutates and returns p. The search considers, for each
+// qubit with remote interactions, swaps with qubits on the QPUs it
+// talks to, taking the first improving swap (first-improvement
+// hill climbing) — deterministic and fast enough for the paper's
+// program sizes.
+func RefineSwaps(c *circuit.Circuit, p Placement, arch *topology.Arch, maxPasses int) Placement {
+	w := affinity(c)
+	// Qubits with any remote interaction, in deterministic order.
+	byQPU := make([][]int32, arch.NumQPUs())
+	for q := range p {
+		byQPU[p[q]] = append(byQPU[p[q]], int32(q))
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		candidates := make([]int32, 0, len(p))
+		for q := range p {
+			if externalCost(int32(q), w, p, arch) > 0 {
+				candidates = append(candidates, int32(q))
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			ci := externalCost(candidates[i], w, p, arch)
+			cj := externalCost(candidates[j], w, p, arch)
+			if ci != cj {
+				return ci > cj
+			}
+			return candidates[i] < candidates[j]
+		})
+		for _, u := range candidates {
+			// Try moving u next to its heaviest remote partner by
+			// swapping with some qubit on that partner's QPU.
+			target, best := -1, 0
+			perQPU := make(map[int]int)
+			for v, cnt := range w[u] {
+				if p[v] != p[u] {
+					perQPU[p[v]] += cnt
+				}
+			}
+			for qpu, cnt := range perQPU {
+				if cnt > best || (cnt == best && qpu < target) {
+					best, target = cnt, qpu
+				}
+			}
+			if target < 0 {
+				continue
+			}
+			before := externalCost(u, w, p, arch)
+			for _, x := range byQPU[target] {
+				beforeX := externalCost(x, w, p, arch)
+				p[u], p[x] = p[x], p[u]
+				after := externalCost(u, w, p, arch) + externalCost(x, w, p, arch)
+				if after < before+beforeX {
+					improved = true
+					// Update byQPU membership.
+					replace(byQPU[p[x]], u, x)
+					replace(byQPU[p[u]], x, u)
+					break
+				}
+				p[u], p[x] = p[x], p[u] // revert
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return p
+}
+
+// replace swaps the first occurrence of old with new in s.
+func replace(s []int32, old, new int32) {
+	for i, v := range s {
+		if v == old {
+			s[i] = new
+			return
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package place
+
+import (
+	"testing"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/topology"
+)
+
+func testArch(t *testing.T) *topology.Arch {
+	t.Helper()
+	a, err := topology.NewArch("clos", 2, 2, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestBlocksPlacement(t *testing.T) {
+	arch := testArch(t)
+	p, err := Blocks(16, arch) // exactly fills 4 QPUs x 4 qubits
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(arch); err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 0 || p[3] != 0 || p[4] != 1 || p[15] != 3 {
+		t.Errorf("block placement wrong: %v", p)
+	}
+}
+
+func TestBlocksOverflow(t *testing.T) {
+	arch := testArch(t)
+	if _, err := Blocks(17, arch); err == nil {
+		t.Error("oversubscribed placement accepted")
+	}
+}
+
+func TestValidateCatchesOverload(t *testing.T) {
+	arch := testArch(t)
+	p := Placement{0, 0, 0, 0, 0} // 5 qubits on QPU 0, capacity 4
+	if err := p.Validate(arch); err == nil {
+		t.Error("overloaded QPU accepted")
+	}
+	p = Placement{9}
+	if err := p.Validate(arch); err == nil {
+		t.Error("missing QPU accepted")
+	}
+}
+
+func TestCostOf(t *testing.T) {
+	arch := testArch(t)
+	c := circuit.New("c", 16)
+	c.Append(
+		circuit.Two(circuit.CX, 0, 1),  // local
+		circuit.Two(circuit.CX, 0, 4),  // remote, in-rack (QPU 0-1, rack 0)
+		circuit.Two(circuit.CX, 0, 8),  // remote, cross-rack
+		circuit.Single(circuit.H, 0),   // not counted
+		circuit.Two(circuit.CX, 12, 8), // remote, in-rack (rack 1)
+	)
+	p, _ := Blocks(16, arch)
+	cost := CostOf(c, p, arch)
+	if cost.Remote != 3 || cost.CrossRack != 1 {
+		t.Errorf("CostOf = %+v, want Remote 3 CrossRack 1", cost)
+	}
+}
+
+func TestRefineSwapsImproves(t *testing.T) {
+	arch := testArch(t)
+	// Qubits 0 and 4 interact heavily but start on different QPUs;
+	// qubit 1 never interacts. A single swap of 1 and 4 makes it local.
+	c := circuit.New("c", 16)
+	for i := 0; i < 10; i++ {
+		c.Append(circuit.Two(circuit.CX, 0, 4))
+	}
+	p, _ := Blocks(16, arch)
+	before := CostOf(c, p, arch)
+	p = RefineSwaps(c, p, arch, 4)
+	after := CostOf(c, p, arch)
+	if after.Remote >= before.Remote {
+		t.Errorf("refinement did not improve: before %+v after %+v", before, after)
+	}
+	if err := p.Validate(arch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRefineSwapsNoRegressionOnLocalCircuit(t *testing.T) {
+	arch := testArch(t)
+	c := circuit.New("c", 16)
+	c.Append(circuit.Two(circuit.CX, 0, 1), circuit.Two(circuit.CX, 2, 3))
+	p, _ := Blocks(16, arch)
+	p = RefineSwaps(c, p, arch, 4)
+	if cost := CostOf(c, p, arch); cost.Remote != 0 {
+		t.Errorf("refinement broke a fully local circuit: %+v", cost)
+	}
+}
+
+func TestRefineSwapsDeterministic(t *testing.T) {
+	arch := testArch(t)
+	c, err := circuit.QFT(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, _ := Blocks(16, arch)
+	p2, _ := Blocks(16, arch)
+	p1 = RefineSwaps(c, p1, arch, 3)
+	p2 = RefineSwaps(c, p2, arch, 3)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("refinement nondeterministic at qubit %d: %d vs %d", i, p1[i], p2[i])
+		}
+	}
+}

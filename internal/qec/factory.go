@@ -1,0 +1,50 @@
+package qec
+
+import "switchqnet/internal/hw"
+
+// Factory models the magic-state factory at each QPU's periphery
+// (Section 5.5): logical T gates consume magic states produced locally,
+// so they never generate EPR traffic, but a too-slow factory would gate
+// the schedule on state production instead of communication.
+type Factory struct {
+	// Rate is the number of magic states each QPU's factory distills per
+	// millisecond. A 15-to-1 distillation pipeline at d = 5 produces on
+	// the order of one state per few code cycles; the default of 1/ms is
+	// deliberately conservative.
+	Rate float64
+	// Buffer is the number of pre-distilled states available at program
+	// start per QPU.
+	Buffer int
+}
+
+// DefaultFactory returns the conservative default (1 state/ms, 4
+// buffered states per QPU).
+func DefaultFactory() Factory { return Factory{Rate: 1, Buffer: 4} }
+
+// FactoryReport compares a program's magic-state demand against the
+// factories' aggregate production over the compiled makespan.
+type FactoryReport struct {
+	// TCount is the program's total magic-state demand.
+	TCount int
+	// Capacity is the number of states the factories can supply within
+	// the makespan (production plus initial buffers).
+	Capacity int
+	// Utilization is TCount / Capacity (may exceed 1 when factory-bound).
+	Utilization float64
+	// Bound reports whether magic-state production, not communication,
+	// limits the program.
+	Bound bool
+}
+
+// Evaluate computes the report for a decomposition compiled into a
+// schedule of the given makespan on numQPUs QPUs.
+func (f Factory) Evaluate(stats Stats, makespan hw.Time, numQPUs int) FactoryReport {
+	produced := f.Rate * float64(makespan) / float64(hw.Millisecond) * float64(numQPUs)
+	capacity := int(produced) + f.Buffer*numQPUs
+	rep := FactoryReport{TCount: stats.TCount, Capacity: capacity}
+	if capacity > 0 {
+		rep.Utilization = float64(stats.TCount) / float64(capacity)
+	}
+	rep.Bound = stats.TCount > capacity
+	return rep
+}

@@ -1,0 +1,169 @@
+// Package qec implements the QEC integration of Section 5.5: programs
+// are decomposed into the Clifford+T basis, logical qubits are encoded
+// in distance-d surface code patches (4 algorithmic qubits per QPU),
+// logical two-qubit operations are realized by lattice surgery, and a
+// magic-state factory at each QPU's periphery supplies logical T gates
+// locally. A remote lattice-surgery merge between QPUs consumes d EPR
+// pairs (one per syndrome-measurement round along the merged boundary),
+// which is the demand stream this package hands to the scheduler.
+// Buffered EPR halves live in [[72, 12, 6]] LDPC-encoded logical qubits,
+// giving each QPU a 12-slot buffer.
+package qec
+
+import (
+	"fmt"
+	"math"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/place"
+	"switchqnet/internal/topology"
+)
+
+// Config parameterizes the fault-tolerant mapping.
+type Config struct {
+	// Distance is the surface code distance d (paper: 5). A remote
+	// lattice-surgery merge consumes Distance EPR pairs.
+	Distance int
+	// RotationTCount is the number of T gates a gridsynth-style
+	// decomposition spends per arbitrary RZ rotation (local cost only;
+	// it contributes to the T-count statistic, not to communication).
+	RotationTCount int
+}
+
+// DefaultConfig returns the paper's Table 3 configuration.
+func DefaultConfig() Config {
+	return Config{Distance: 5, RotationTCount: 30}
+}
+
+// Stats summarizes the fault-tolerant decomposition.
+type Stats struct {
+	// TCount is the total logical T gates (magic states consumed).
+	TCount int
+	// Merges is the number of lattice-surgery merges between QPUs.
+	Merges int
+	// LocalTwoQubit counts two-qubit logical gates inside one QPU.
+	LocalTwoQubit int
+	// CliffordGates counts single-qubit Clifford operations.
+	CliffordGates int
+}
+
+// CliffordT lowers a circuit to the Clifford+T basis {H, S, Sdg, T,
+// Tdg, X, Z, CX}: CZ becomes H-CX-H, CP becomes two CXs plus three RZ
+// rotations, and each non-trivial RZ is accounted as a gridsynth
+// sequence (kept as a single RZ marker gate; its T-cost is counted in
+// Stats, and it is local either way).
+func CliffordT(c *circuit.Circuit) *circuit.Circuit {
+	out := circuit.New(c.Name+"+cliffordT", c.NumQubits)
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case circuit.CZ:
+			out.Append(circuit.Single(circuit.H, int(g.Q1)))
+			out.Append(circuit.Two(circuit.CX, int(g.Q0), int(g.Q1)))
+			out.Append(circuit.Single(circuit.H, int(g.Q1)))
+		case circuit.CP:
+			// CP(theta) = Rz_c(theta/2) Rz_t(theta/2) CX Rz_t(-theta/2) CX.
+			out.Append(circuit.Gate{Kind: circuit.RZ, Q0: g.Q0, Q1: -1, Param: g.Param / 2})
+			out.Append(circuit.Gate{Kind: circuit.RZ, Q0: g.Q1, Q1: -1, Param: g.Param / 2})
+			out.Append(circuit.Two(circuit.CX, int(g.Q0), int(g.Q1)))
+			out.Append(circuit.Gate{Kind: circuit.RZ, Q0: g.Q1, Q1: -1, Param: -g.Param / 2})
+			out.Append(circuit.Two(circuit.CX, int(g.Q0), int(g.Q1)))
+		default:
+			out.Append(g)
+		}
+	}
+	return out
+}
+
+// rzTCost returns the T-count of one RZ rotation: 0 for Clifford angles
+// (multiples of pi/2), 1 for exact T angles (odd multiples of pi/4),
+// and the gridsynth budget otherwise.
+func rzTCost(angle float64, budget int) int {
+	const eps = 1e-9
+	quarter := angle / (math.Pi / 2)
+	if math.Abs(quarter-math.Round(quarter)) < eps {
+		return 0
+	}
+	eighth := angle / (math.Pi / 4)
+	if math.Abs(eighth-math.Round(eighth)) < eps {
+		return 1
+	}
+	return budget
+}
+
+// Lower computes the fault-tolerant demand stream of a circuit: every
+// two-qubit logical gate whose operands sit on different QPUs becomes a
+// lattice-surgery merge consuming cfg.Distance EPR pairs between those
+// QPUs. It returns the demands and decomposition statistics.
+func Lower(c *circuit.Circuit, pl place.Placement, arch *topology.Arch, cfg Config) ([]epr.Demand, Stats, error) {
+	if cfg.Distance < 1 {
+		return nil, Stats{}, fmt.Errorf("qec: code distance %d, want >= 1", cfg.Distance)
+	}
+	if len(pl) < c.NumQubits {
+		return nil, Stats{}, fmt.Errorf("qec: placement covers %d qubits, circuit has %d", len(pl), c.NumQubits)
+	}
+	ct := CliffordT(c)
+	var (
+		demands []epr.Demand
+		stats   Stats
+	)
+	for _, g := range ct.Gates {
+		switch {
+		case g.Kind == circuit.T || g.Kind == circuit.Tdg:
+			stats.TCount++
+		case g.Kind == circuit.RZ:
+			stats.TCount += rzTCost(g.Param, cfg.RotationTCount)
+		case g.Kind == circuit.CX:
+			a, b := pl[g.Q0], pl[g.Q1]
+			if a == b {
+				stats.LocalTwoQubit++
+				continue
+			}
+			stats.Merges++
+			// One EPR pair per syndrome round of the merged boundary.
+			// The d pairs are consumed together by the merge, so they
+			// form one parallel block in the dependency DAG.
+			for i := 0; i < cfg.Distance; i++ {
+				id := len(demands)
+				demands = append(demands, epr.Demand{
+					ID: id, A: a, B: b, Protocol: epr.Cat,
+					CrossRack: arch.RackOf(a) != arch.RackOf(b),
+					Gates:     1,
+					Block:     stats.Merges,
+				})
+			}
+		default:
+			stats.CliffordGates++
+		}
+	}
+	return demands, stats, nil
+}
+
+// Benchmark builds the Table 3 benchmark programs over algQubits
+// algorithmic qubits. Unlike the physical-level benchmarks, Grover and
+// RCA run a single iteration (Table 3's EPR counts imply unrepeated
+// circuits) and QFT is exact (no AQFT truncation).
+func Benchmark(name string, algQubits int) (*circuit.Circuit, error) {
+	switch name {
+	case "mct", "MCT":
+		return circuit.MCT(algQubits)
+	case "qft", "QFT":
+		return circuit.QFT(algQubits)
+	case "grover", "Grover":
+		return circuit.Grover(algQubits, 1)
+	case "rca", "RCA":
+		return circuit.RCA(algQubits, 1)
+	default:
+		return nil, fmt.Errorf("qec: unknown benchmark %q", name)
+	}
+}
+
+// Arch builds the Table 3 architecture: topology racks x qpusPerRack
+// QPUs, 4 algorithmic logical qubits per QPU, a 12-logical-qubit LDPC
+// buffer, 2 communication qubits.
+func Arch(topo string, racks, qpusPerRack int) (*topology.Arch, error) {
+	return topology.New(topology.Config{
+		Topology: topo, Racks: racks, QPUsPerRack: qpusPerRack,
+		DataQubits: 4, BufferSize: 12, CommQubits: 2,
+	})
+}

@@ -1,0 +1,223 @@
+package qec
+
+import (
+	"math"
+	"testing"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/place"
+)
+
+func TestCliffordTLowering(t *testing.T) {
+	c := circuit.New("c", 3)
+	c.Append(
+		circuit.Two(circuit.CZ, 0, 1),
+		circuit.TwoP(circuit.CP, 1, 2, math.Pi/8),
+		circuit.Single(circuit.T, 0),
+	)
+	ct := CliffordT(c)
+	if err := ct.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := ct.Stats()
+	// CZ -> H CX H; CP -> 2 CX + 3 RZ; plus the original T.
+	if s.KindCounts[circuit.CX] != 3 {
+		t.Errorf("CX count = %d, want 3", s.KindCounts[circuit.CX])
+	}
+	if s.KindCounts[circuit.RZ] != 3 {
+		t.Errorf("RZ count = %d, want 3", s.KindCounts[circuit.RZ])
+	}
+	if s.KindCounts[circuit.CZ] != 0 || s.KindCounts[circuit.CP] != 0 {
+		t.Error("CZ/CP survived lowering")
+	}
+}
+
+func TestRzTCost(t *testing.T) {
+	cases := []struct {
+		angle float64
+		want  int
+	}{
+		{math.Pi, 0},          // Z: Clifford
+		{math.Pi / 2, 0},      // S: Clifford
+		{-math.Pi / 2, 0},     // Sdg
+		{math.Pi / 4, 1},      // T
+		{-3 * math.Pi / 4, 1}, // T-like
+		{math.Pi / 8, 30},     // generic rotation
+		{0.3, 30},
+	}
+	for _, tc := range cases {
+		if got := rzTCost(tc.angle, 30); got != tc.want {
+			t.Errorf("rzTCost(%v) = %d, want %d", tc.angle, got, tc.want)
+		}
+	}
+}
+
+func TestLowerEmitsDistancePairsPerMerge(t *testing.T) {
+	arch, err := Arch("clos", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New("c", 8)
+	c.Append(
+		circuit.Two(circuit.CX, 0, 1), // qubits 0,1 on QPU 0: local
+		circuit.Two(circuit.CX, 0, 4), // QPU 0 -> QPU 1: merge
+		circuit.Two(circuit.CX, 0, 4), // second merge, fresh pairs
+	)
+	pl, err := place.Blocks(8, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, stats, err := Lower(c, pl, arch, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merges != 2 || stats.LocalTwoQubit != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if len(demands) != 2*5 {
+		t.Fatalf("demands = %d, want 10 (2 merges x d=5)", len(demands))
+	}
+	for i, d := range demands {
+		if d.ID != i || d.Protocol != epr.Cat {
+			t.Errorf("demand %d = %+v", i, d)
+		}
+	}
+}
+
+func TestLowerRejectsBadConfig(t *testing.T) {
+	arch, _ := Arch("clos", 4, 4)
+	c := circuit.New("c", 4)
+	pl, _ := place.Blocks(4, arch)
+	if _, _, err := Lower(c, pl, arch, Config{Distance: 0}); err == nil {
+		t.Error("zero distance accepted")
+	}
+	if _, _, err := Lower(c, place.Placement{0}, arch, DefaultConfig()); err == nil {
+		t.Error("short placement accepted")
+	}
+}
+
+func TestBenchmarkVariants(t *testing.T) {
+	for _, name := range []string{"mct", "qft", "grover", "rca"} {
+		c, err := Benchmark(name, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c.NumQubits != 64 {
+			t.Errorf("%s qubits = %d", name, c.NumQubits)
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := Benchmark("nope", 64); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	// Table 3 Grover/RCA are single-iteration: far smaller than the
+	// physical 100-iteration benchmarks at the same width.
+	g1, _ := Benchmark("grover", 64)
+	g100, _ := circuit.Grover(64, 100)
+	if len(g1.Gates)*50 > len(g100.Gates) {
+		t.Errorf("single-iteration Grover too large: %d vs %d", len(g1.Gates), len(g100.Gates))
+	}
+}
+
+func TestArchTable3(t *testing.T) {
+	arch, err := Arch("clos", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.DataQubits != 4 || arch.BufferSize != 12 || arch.CommQubits != 2 {
+		t.Errorf("arch = %+v", arch)
+	}
+	if arch.TotalQubits() != 64 {
+		t.Errorf("TotalQubits = %d, want 64 algorithmic qubits", arch.TotalQubits())
+	}
+}
+
+// TestTable3EndToEnd compiles a QEC benchmark end to end and checks the
+// shape of Table 3: ours beats baseline, no retries, wait times small.
+func TestTable3EndToEnd(t *testing.T) {
+	arch, err := Arch("clos", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Benchmark("rca", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Blocks(64, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, stats, err := Lower(c, pl, arch, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merges == 0 || stats.TCount == 0 {
+		t.Fatalf("degenerate decomposition: %+v", stats)
+	}
+	ours, err := core.Compile(demands, arch, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Compile(demands, arch, hw.Default(), core.BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ours.Makespan >= base.Makespan {
+		t.Errorf("ours %d not better than baseline %d", ours.Makespan, base.Makespan)
+	}
+	if ours.Retries != 0 {
+		t.Errorf("retries = %d", ours.Retries)
+	}
+}
+
+func TestFactoryEvaluate(t *testing.T) {
+	f := Factory{Rate: 1, Buffer: 2}
+	stats := Stats{TCount: 100}
+	// 10 ms makespan, 4 QPUs: 40 produced + 8 buffered = 48 capacity.
+	rep := f.Evaluate(stats, 10*hw.Millisecond, 4)
+	if rep.Capacity != 48 {
+		t.Errorf("capacity = %d, want 48", rep.Capacity)
+	}
+	if !rep.Bound {
+		t.Error("100 > 48 should be factory-bound")
+	}
+	// Longer makespan removes the bound.
+	rep = f.Evaluate(stats, 100*hw.Millisecond, 4)
+	if rep.Bound {
+		t.Errorf("not bound expected: %+v", rep)
+	}
+	if rep.Utilization <= 0 || rep.Utilization >= 1 {
+		t.Errorf("utilization = %v", rep.Utilization)
+	}
+}
+
+func TestFactoryOnTable3Workload(t *testing.T) {
+	arch, err := Arch("clos", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := Benchmark("rca", arch.TotalQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := place.Blocks(circ.NumQubits, arch)
+	demands, stats, err := Lower(circ, pl, arch, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Compile(demands, arch, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := DefaultFactory().Evaluate(stats, r.Makespan, arch.NumQPUs())
+	// The paper's premise: communication, not magic-state production,
+	// dominates — the factories keep up over the compiled makespan.
+	if rep.Bound {
+		t.Errorf("factory-bound at Table 3 scale: %+v", rep)
+	}
+}

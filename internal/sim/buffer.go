@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"sort"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// bufEvent is one change to a QPU's used buffer slots.
+type bufEvent struct {
+	t     hw.Time
+	delta int
+	qpu   int
+}
+
+// splitShape is the reconstructed realization of a split demand, derived
+// purely from its generation events.
+type splitShape struct {
+	busy, helper, far int
+	crossEnd          hw.Time
+	inStart, inEnd    hw.Time
+	copies            int
+}
+
+// reconstructSplit derives the split roles from a demand's generations:
+// the helper is the QPU common to the substitute cross-rack pair and the
+// kept in-rack pair; the in-rack pair's other endpoint is the busy QPU.
+func reconstructSplit(gens []core.GenEvent) (splitShape, bool) {
+	var s splitShape
+	var cross, kept *core.GenEvent
+	for i := range gens {
+		switch gens[i].Kind {
+		case core.GenSplitCross:
+			cross = &gens[i]
+		case core.GenSplitInRack:
+			kept = &gens[i]
+		case core.GenDistillCopy:
+			s.copies++
+			if gens[i].End > s.inEnd {
+				s.inEnd = gens[i].End
+			}
+		}
+	}
+	if cross == nil || kept == nil {
+		return s, false
+	}
+	s.crossEnd = cross.End
+	s.inStart = kept.Start
+	if kept.End > s.inEnd {
+		s.inEnd = kept.End
+	}
+	switch {
+	case kept.A == cross.A || kept.A == cross.B:
+		s.helper, s.busy = int(kept.A), int(kept.B)
+	case kept.B == cross.A || kept.B == cross.B:
+		s.helper, s.busy = int(kept.B), int(kept.A)
+	default:
+		return s, false
+	}
+	s.far = int(cross.A)
+	if s.far == s.helper {
+		s.far = int(cross.B)
+	}
+	return s, true
+}
+
+// release returns the buffer slots consumption frees on QPU q for
+// demand dm (Section 4.3's projected-buffer rules), adjusted for the
+// front-layer comm-qubit exemption.
+func release(dm epr.Demand, q int, commHeld bool) int {
+	var r int
+	switch {
+	case dm.Protocol == epr.Cat:
+		r = 1
+	case q == dm.A:
+		r = 2
+	default:
+		r = 0
+	}
+	if commHeld {
+		r--
+	}
+	return r
+}
+
+// checkBufferOccupancy replays the buffer usage the schedule implies and
+// verifies it never exceeds each QPU's buffer size. It mirrors the
+// engine's accounting but derives everything from the Result alone:
+// regular halves occupy a slot from generation end to consumption
+// (unless comm-held); split realizations additionally occupy the
+// helper's two swap slots and the distillation working slots. TP
+// consumption shifts net occupancy between source and destination.
+func checkBufferOccupancy(res *core.Result, arch *topology.Arch, add func(hw.Time, string, ...any)) {
+	byDemand := make([][]core.GenEvent, len(res.Demands))
+	for _, g := range res.Gens {
+		byDemand[g.Demand] = append(byDemand[g.Demand], g)
+	}
+	var events []bufEvent
+	push := func(t hw.Time, delta, qpu int) {
+		if delta != 0 {
+			events = append(events, bufEvent{t, delta, qpu})
+		}
+	}
+	for i, dm := range res.Demands {
+		gens := byDemand[i]
+		if len(gens) == 0 {
+			continue
+		}
+		heldA, heldB := false, false
+		if i < len(res.CommHeld) {
+			heldA, heldB = res.CommHeld[i][0], res.CommHeld[i][1]
+		}
+		if len(gens) == 1 && gens[0].Kind == core.GenRegular {
+			g := gens[0]
+			if !heldA {
+				push(g.End, +1, dm.A)
+			}
+			if !heldB {
+				push(g.End, +1, dm.B)
+			}
+			push(res.ConsumedAt[i], -release(dm, dm.A, heldA), dm.A)
+			push(res.ConsumedAt[i], -release(dm, dm.B, heldB), dm.B)
+			continue
+		}
+		s, ok := reconstructSplit(gens)
+		if !ok {
+			add(gens[0].Start, "demand %d: cannot reconstruct split realization", i)
+			continue
+		}
+		// Substitute cross pair: halves at far and helper.
+		push(s.crossEnd, +1, s.far)
+		push(s.crossEnd, +1, s.helper)
+		// Kept in-rack pair plus distillation working slot on each side.
+		push(s.inStart, +1, s.busy)
+		push(s.inStart, +1, s.helper)
+		if s.copies > 0 {
+			push(s.inStart, +1, s.busy)
+			push(s.inStart, +1, s.helper)
+			push(s.inEnd, -1, s.busy)
+			push(s.inEnd, -1, s.helper)
+		}
+		// Entanglement swap frees the helper's two halves.
+		merge := s.crossEnd
+		if s.inEnd > merge {
+			merge = s.inEnd
+		}
+		push(merge, -2, s.helper)
+		// Consumption of the merged pair.
+		push(res.ConsumedAt[i], -release(dm, s.far, false), s.far)
+		push(res.ConsumedAt[i], -release(dm, s.busy, false), s.busy)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // frees before takes
+	})
+	used := make([]int, arch.NumQPUs())
+	reported := make([]bool, arch.NumQPUs())
+	for _, ev := range events {
+		used[ev.qpu] += ev.delta
+		if used[ev.qpu] > arch.BufferSize && !reported[ev.qpu] {
+			add(ev.t, "QPU %d buffer occupancy %d exceeds size %d", ev.qpu, used[ev.qpu], arch.BufferSize)
+			reported[ev.qpu] = true
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// TestRandomProgramsAllStrategiesValidate is the fuzz-style property
+// test of the whole scheduler: random demand lists over random small
+// architectures must compile under every strategy, and the resulting
+// schedules must pass every independent invariant check. TP directions
+// are balanced per QPU pair so the programs stay physically feasible.
+func TestRandomProgramsAllStrategiesValidate(t *testing.T) {
+	p := hw.Default()
+	topos := []string{"clos", "spine-leaf", "fat-tree"}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		racks := 2 + 2*rng.Intn(2) // 2 or 4
+		perRack := 2 + rng.Intn(3) // 2..4
+		buffer := 2 + rng.Intn(9)  // 2..10
+		comm := 1 + rng.Intn(3)    // 1..3
+		arch, err := topology.New(topology.Config{
+			Topology: topos[rng.Intn(len(topos))], Racks: racks, QPUsPerRack: perRack,
+			DataQubits: 20, BufferSize: buffer, CommQubits: comm,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := arch.NumQPUs()
+		nd := 20 + rng.Intn(120)
+		demands := make([]epr.Demand, 0, nd)
+		// Track net TP flow per QPU to keep data occupancy bounded.
+		flow := make([]int, n)
+		for i := 0; i < nd; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			d := epr.Demand{ID: i, A: a, B: b, Protocol: epr.Cat, Gates: 1 + rng.Intn(3)}
+			if rng.Intn(4) == 0 {
+				// TP only when the destination has room for another
+				// migrant (keep net inflow below half the buffer).
+				if flow[b]+1 <= buffer/2 {
+					d.Protocol = epr.TP
+					flow[b]++
+					flow[a]--
+				}
+			}
+			if rng.Intn(5) == 0 && i > 0 {
+				// Occasionally group consecutive same-pair demands.
+				prev := demands[len(demands)-1]
+				if prev.A == d.A && prev.B == d.B && prev.Protocol == epr.Cat && d.Protocol == epr.Cat {
+					d.Block = prev.Block
+					if d.Block == 0 {
+						d.Block = i // open a new shared block
+						demands[len(demands)-1].Block = i
+					}
+				}
+			}
+			demands = append(demands, d)
+		}
+		for _, opts := range []core.Options{
+			core.DefaultOptions(), core.BaselineOptions(), core.StrictOptions(),
+		} {
+			opts.MaxRetries = 12
+			r, err := core.Compile(demands, arch, p, opts)
+			if err != nil {
+				t.Fatalf("seed %d %v on %s: %v", seed, opts.Strategy, arch, err)
+			}
+			rep := Validate(r, arch, p)
+			if err := rep.Err(); err != nil {
+				for _, v := range rep.Violations[:min(len(rep.Violations), 5)] {
+					t.Log(v)
+				}
+				t.Fatalf("seed %d %v on %s: %v", seed, opts.Strategy, arch, err)
+			}
+			for i := range demands {
+				if r.ConsumedAt[i] == 0 {
+					t.Fatalf("seed %d %v: demand %d never consumed", seed, opts.Strategy, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramsFullNeverSlowerThanStrict checks the optimization
+// hierarchy on random programs: the full scheduler must never produce a
+// longer makespan than the strict on-demand fallback.
+func TestRandomProgramsFullNeverSlowerThanStrict(t *testing.T) {
+	p := hw.Default()
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		arch, err := topology.NewArch("clos", 2, 3, 20, 7, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := arch.NumQPUs()
+		var demands []epr.Demand
+		for i := 0; i < 60; i++ {
+			a := rng.Intn(n)
+			b := (a + 1 + rng.Intn(n-1)) % n
+			demands = append(demands, epr.Demand{ID: i, A: a, B: b, Protocol: epr.Cat, Gates: 1})
+		}
+		full, err := core.Compile(demands, arch, p, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict, err := core.Compile(demands, arch, p, core.StrictOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Makespan > strict.Makespan {
+			t.Errorf("seed %d: full %d slower than strict %d", seed, full.Makespan, strict.Makespan)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package sim independently validates a compiled schedule: it replays
+// the generation events against the architecture and checks every
+// resource and ordering invariant the scheduler is supposed to maintain.
+// It shares no code with the scheduler's bookkeeping, so a bug in the
+// engine's resource accounting shows up as a validation error here.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// Violation is one invariant breach found during validation.
+type Violation struct {
+	Time hw.Time
+	Msg  string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("t=%d: %s", v.Time, v.Msg) }
+
+// Report is the outcome of a validation run.
+type Report struct {
+	Violations []Violation
+	// PeakConcurrentGens is the maximum number of overlapping
+	// generations observed (a utilization statistic).
+	PeakConcurrentGens int
+}
+
+// Err returns an error summarizing the violations, or nil.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("sim: %d violations, first: %s", len(r.Violations), r.Violations[0])
+}
+
+// Validate replays the result's generations and consumptions.
+func Validate(res *core.Result, arch *topology.Arch, p hw.Params) *Report {
+	rep := &Report{}
+	add := func(t hw.Time, format string, args ...any) {
+		if len(rep.Violations) < 64 {
+			rep.Violations = append(rep.Violations, Violation{Time: t, Msg: fmt.Sprintf(format, args...)})
+		}
+	}
+
+	checkGenShape(res, arch, p, add)
+	checkConsumptionOrder(res, arch, add)
+	checkDemandCoverage(res, add)
+	rep.PeakConcurrentGens = checkCommQubits(res, arch, add)
+	checkChannelExclusivity(res, add)
+	checkBufferOccupancy(res, arch, add)
+	return rep
+}
+
+// checkGenShape verifies each generation's duration and rack labeling.
+func checkGenShape(res *core.Result, arch *topology.Arch, p hw.Params, add func(hw.Time, string, ...any)) {
+	for i, g := range res.Gens {
+		if g.Start < 0 || g.End <= g.Start {
+			add(g.Start, "gen %d has bad interval [%d, %d]", i, g.Start, g.End)
+			continue
+		}
+		inRack := arch.Net.InRack(int(g.A), int(g.B))
+		if inRack != g.InRack {
+			add(g.Start, "gen %d rack label %v, topology says %v", i, g.InRack, inRack)
+		}
+		want := p.CrossRackLatency
+		if inRack {
+			want = p.InRackLatency
+		}
+		// On-request base-pair distillation (Options.DistillCrossK /
+		// DistillInRackK) lengthens regular and substitute-cross
+		// generations; post-split in-rack generations are raw pairs.
+		switch g.Kind {
+		case core.GenRegular:
+			if inRack {
+				want *= hw.Time(res.Opts.DistillInRackK)
+			} else {
+				want *= hw.Time(res.Opts.DistillCrossK)
+			}
+		case core.GenSplitCross:
+			want *= hw.Time(res.Opts.DistillCrossK)
+		}
+		if g.Duration() != want {
+			add(g.Start, "gen %d duration %d, want %d", i, g.Duration(), want)
+		}
+		if g.Demand < 0 || int(g.Demand) >= len(res.Demands) {
+			add(g.Start, "gen %d references demand %d of %d", i, g.Demand, len(res.Demands))
+		}
+		if g.Kind == core.GenRegular {
+			dm := res.Demands[g.Demand]
+			if (int(g.A) != dm.A || int(g.B) != dm.B) && (int(g.A) != dm.B || int(g.B) != dm.A) {
+				add(g.Start, "gen %d endpoints (%d,%d) differ from demand %v", i, g.A, g.B, dm)
+			}
+		}
+	}
+}
+
+// checkConsumptionOrder verifies each demand is consumed after it is
+// ready and after every demand it depends on (QPU-overlap order).
+func checkConsumptionOrder(res *core.Result, arch *topology.Arch, add func(hw.Time, string, ...any)) {
+	// Per QPU, demands of one block are mutually unordered; each block
+	// must consume no earlier than every member of the previous block
+	// touching the QPU.
+	type chain struct {
+		curBlock int
+		cur      []int
+		prev     []int
+	}
+	chains := make(map[int]*chain)
+	for i, dm := range res.Demands {
+		if res.ConsumedAt[i] < res.ReadyAt[i] {
+			add(res.ConsumedAt[i], "demand %d consumed at %d before ready at %d", i, res.ConsumedAt[i], res.ReadyAt[i])
+		}
+		block := dm.Block
+		if block <= 0 {
+			block = -(i + 1)
+		}
+		for _, q := range [2]int{dm.A, dm.B} {
+			c := chains[q]
+			if c == nil {
+				c = &chain{curBlock: block}
+				chains[q] = c
+			} else if c.curBlock != block {
+				c.prev = c.cur
+				c.cur = nil
+				c.curBlock = block
+			}
+			for _, prev := range c.prev {
+				if res.ConsumedAt[i] < res.ConsumedAt[prev] {
+					add(res.ConsumedAt[i], "demand %d consumed before overlapping predecessor %d", i, prev)
+				}
+			}
+			c.cur = append(c.cur, i)
+		}
+		if res.ConsumedAt[i] > res.Makespan {
+			add(res.ConsumedAt[i], "demand %d consumed after makespan %d", i, res.Makespan)
+		}
+	}
+}
+
+// checkDemandCoverage verifies every demand has the generations its
+// realization requires: one regular generation, or a split set (one
+// substitute cross pair, one kept in-rack pair, k-1 copies).
+func checkDemandCoverage(res *core.Result, add func(hw.Time, string, ...any)) {
+	type cover struct {
+		regular, cross, kept, copies int
+		lastEnd                      hw.Time
+	}
+	covers := make([]cover, len(res.Demands))
+	for _, g := range res.Gens {
+		c := &covers[g.Demand]
+		switch g.Kind {
+		case core.GenRegular:
+			c.regular++
+		case core.GenSplitCross:
+			c.cross++
+		case core.GenSplitInRack:
+			c.kept++
+		case core.GenDistillCopy:
+			c.copies++
+		}
+		if g.End > c.lastEnd {
+			c.lastEnd = g.End
+		}
+	}
+	k := res.Opts.DistillK
+	for i, c := range covers {
+		switch {
+		case c.regular == 1 && c.cross == 0 && c.kept == 0 && c.copies == 0:
+			// plain realization
+		case c.regular == 0 && c.cross == 1 && c.kept == 1 && c.copies == k-1:
+			// split realization
+		default:
+			add(0, "demand %d has inconsistent generations: %+v (k=%d)", i, c, k)
+			continue
+		}
+		if res.ReadyAt[i] != c.lastEnd {
+			add(c.lastEnd, "demand %d ready at %d but last generation ends at %d", i, res.ReadyAt[i], c.lastEnd)
+		}
+	}
+}
+
+// genInterval is a generation's comm-qubit occupancy.
+type genInterval struct {
+	t     hw.Time
+	delta int
+	qpu   int
+}
+
+// checkCommQubits replays comm-qubit occupancy per QPU: during a
+// generation both endpoints hold one communication qubit. It returns the
+// peak number of concurrent generations.
+func checkCommQubits(res *core.Result, arch *topology.Arch, add func(hw.Time, string, ...any)) int {
+	var events []genInterval
+	for _, g := range res.Gens {
+		events = append(events,
+			genInterval{g.Start, +1, int(g.A)}, genInterval{g.End, -1, int(g.A)},
+			genInterval{g.Start, +1, int(g.B)}, genInterval{g.End, -1, int(g.B)},
+		)
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].delta < events[j].delta // releases before acquires
+	})
+	held := make([]int, arch.NumQPUs())
+	active, peak := 0, 0
+	for _, ev := range events {
+		held[ev.qpu] += ev.delta
+		active += ev.delta
+		if active/2 > peak {
+			peak = active / 2
+		}
+		if held[ev.qpu] > arch.CommQubits {
+			add(ev.t, "QPU %d holds %d concurrent generations, has %d comm qubits", ev.qpu, held[ev.qpu], arch.CommQubits)
+		}
+	}
+	return peak
+}
+
+// checkChannelExclusivity verifies generations on one channel never
+// overlap in time (a channel serves one generation at a time).
+func checkChannelExclusivity(res *core.Result, add func(hw.Time, string, ...any)) {
+	byChannel := make(map[int32][]core.GenEvent)
+	for _, g := range res.Gens {
+		byChannel[g.Channel] = append(byChannel[g.Channel], g)
+	}
+	for ch, gens := range byChannel {
+		sort.Slice(gens, func(i, j int) bool { return gens[i].Start < gens[j].Start })
+		for i := 1; i < len(gens); i++ {
+			if gens[i].Start < gens[i-1].End {
+				add(gens[i].Start, "channel %d overlapping generations [%d,%d] and [%d,%d]",
+					ch, gens[i-1].Start, gens[i-1].End, gens[i].Start, gens[i].End)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/place"
+	"switchqnet/internal/topology"
+)
+
+func arch44(t *testing.T) *topology.Arch {
+	t.Helper()
+	a, err := topology.NewArch("clos", 4, 4, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func compileBench(t *testing.T, name string, a *topology.Arch, opts core.Options, xopts comm.Options) *core.Result {
+	t.Helper()
+	c, err := circuit.Benchmark(name, a.TotalQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Blocks(c.NumQubits, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, err := comm.Extract(c, pl, a, xopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := core.Compile(demands, a, hw.Default(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestValidateAllBenchmarksAllStrategies is the main integration test:
+// every benchmark compiled with every strategy must produce a schedule
+// that passes independent validation.
+func TestValidateAllBenchmarksAllStrategies(t *testing.T) {
+	a := arch44(t)
+	p := hw.Default()
+	for _, bench := range []string{"mct", "qft", "grover", "rca"} {
+		for _, cfg := range []struct {
+			name  string
+			opts  core.Options
+			xopts comm.Options
+		}{
+			{"full", core.DefaultOptions(), comm.DefaultOptions()},
+			{"baseline", core.BaselineOptions(), comm.BaselineOptions()},
+			{"strict", core.StrictOptions(), comm.BaselineOptions()},
+		} {
+			t.Run(bench+"/"+cfg.name, func(t *testing.T) {
+				if testing.Short() && (bench == "grover" || bench == "rca") && cfg.name != "full" {
+					t.Skip("short mode")
+				}
+				r := compileBench(t, bench, a, cfg.opts, cfg.xopts)
+				rep := Validate(r, a, p)
+				if err := rep.Err(); err != nil {
+					for _, v := range rep.Violations[:min(len(rep.Violations), 10)] {
+						t.Log(v)
+					}
+					t.Fatal(err)
+				}
+				if rep.PeakConcurrentGens < 1 {
+					t.Error("no generations observed")
+				}
+			})
+		}
+	}
+}
+
+func TestValidateOtherTopologies(t *testing.T) {
+	p := hw.Default()
+	for _, topo := range []string{"spine-leaf", "fat-tree"} {
+		a, err := topology.NewArch(topo, 6, 4, 30, 10, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := compileBench(t, "qft", a, core.DefaultOptions(), comm.DefaultOptions())
+		if err := Validate(r, a, p).Err(); err != nil {
+			t.Errorf("%s: %v", topo, err)
+		}
+	}
+}
+
+func TestValidateCatchesCorruptSchedules(t *testing.T) {
+	a := arch44(t)
+	p := hw.Default()
+	fresh := func() *core.Result {
+		demands := []epr.Demand{
+			{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+			{ID: 1, A: 1, B: 4, Protocol: epr.Cat, Gates: 1},
+		}
+		r, err := core.Compile(demands, a, p, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if err := Validate(fresh(), a, p).Err(); err != nil {
+		t.Fatalf("clean schedule rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(*core.Result)
+	}{
+		{"bad duration", func(r *core.Result) { r.Gens[0].End = r.Gens[0].Start + 1 }},
+		{"wrong rack label", func(r *core.Result) { r.Gens[0].InRack = !r.Gens[0].InRack }},
+		{"consumed before ready", func(r *core.Result) { r.ConsumedAt[0] = r.ReadyAt[0] - 1 }},
+		{"order violation", func(r *core.Result) {
+			r.ConsumedAt[1] = r.ConsumedAt[0] - 1
+			r.ReadyAt[1] = r.ConsumedAt[0] - 1
+		}},
+		{"missing generation", func(r *core.Result) { r.Gens = r.Gens[:1] }},
+		{"channel overlap", func(r *core.Result) {
+			r.Gens[1].Channel = r.Gens[0].Channel
+			r.Gens[1].Start = r.Gens[0].Start
+			r.Gens[1].End = r.Gens[0].End
+			r.ReadyAt[1] = r.Gens[1].End
+			r.ConsumedAt[1] = r.ConsumedAt[0]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := fresh()
+			tc.corrupt(r)
+			if err := Validate(r, a, p).Err(); err == nil {
+				t.Error("corrupt schedule accepted")
+			}
+		})
+	}
+}
+
+func TestValidateCommQubitOveruse(t *testing.T) {
+	a := arch44(t)
+	p := hw.Default()
+	// Hand-build a schedule where QPU 0 runs three concurrent gens with
+	// only two comm qubits.
+	res := &core.Result{
+		Demands: []epr.Demand{
+			{ID: 0, A: 0, B: 1, Protocol: epr.Cat},
+			{ID: 1, A: 0, B: 2, Protocol: epr.Cat},
+			{ID: 2, A: 0, B: 3, Protocol: epr.Cat},
+		},
+		Gens: []core.GenEvent{
+			{Demand: 0, A: 0, B: 1, Start: 0, End: 100, Channel: 0, InRack: true},
+			{Demand: 1, A: 0, B: 2, Start: 0, End: 100, Channel: 1, InRack: true},
+			{Demand: 2, A: 0, B: 3, Start: 0, End: 100, Channel: 2, InRack: true},
+		},
+		ReadyAt:    []hw.Time{100, 100, 100},
+		ConsumedAt: []hw.Time{100, 100, 100},
+		Makespan:   100,
+		Params:     p,
+		Opts:       core.DefaultOptions(),
+	}
+	rep := Validate(res, a, p)
+	found := false
+	for _, v := range rep.Violations {
+		if v.Time == 0 && len(v.Msg) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("comm qubit overuse not detected")
+	}
+}
+
+func TestBufferOccupancyCheckCatchesOverflow(t *testing.T) {
+	a := arch44(t)
+	p := hw.Default()
+	// Hand-build a schedule storing more halves on QPU 0 than its buffer
+	// (10): 11 pairs generated at t=100, all consumed at t=999999.
+	res := &core.Result{Params: p, Opts: core.DefaultOptions()}
+	for i := 0; i < 11; i++ {
+		res.Demands = append(res.Demands, epr.Demand{ID: i, A: 0, B: 1 + i%3, Protocol: epr.Cat})
+		res.Gens = append(res.Gens, core.GenEvent{
+			Demand: int32(i), A: 0, B: int32(1 + i%3),
+			Start: hw.Time(i * 100), End: hw.Time(i*100 + 100),
+			Channel: int32(i), InRack: true,
+		})
+		res.ReadyAt = append(res.ReadyAt, hw.Time(i*100+100))
+		res.ConsumedAt = append(res.ConsumedAt, 999999)
+		res.CommHeld = append(res.CommHeld, [2]bool{})
+	}
+	res.Makespan = 999999
+	rep := Validate(res, a, p)
+	found := false
+	for _, v := range rep.Violations {
+		if len(v.Msg) > 0 && v.Time > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("buffer overflow not detected")
+	}
+}
+
+func TestSplitReconstruction(t *testing.T) {
+	gens := []core.GenEvent{
+		{Kind: core.GenSplitCross, A: 0, B: 3, Start: 1000, End: 11000},
+		{Kind: core.GenSplitInRack, A: 2, B: 3, Start: 12000, End: 12100},
+		{Kind: core.GenDistillCopy, A: 2, B: 3, Start: 12100, End: 12200},
+	}
+	s, ok := reconstructSplit(gens)
+	if !ok {
+		t.Fatal("reconstruction failed")
+	}
+	if s.helper != 3 || s.busy != 2 || s.far != 0 {
+		t.Errorf("roles = helper %d busy %d far %d, want 3/2/0", s.helper, s.busy, s.far)
+	}
+	if s.copies != 1 || s.crossEnd != 11000 || s.inEnd != 12200 {
+		t.Errorf("shape = %+v", s)
+	}
+	// Missing kept pair -> failure.
+	if _, ok := reconstructSplit(gens[:1]); ok {
+		t.Error("incomplete split reconstructed")
+	}
+}

@@ -1,0 +1,176 @@
+// Package statevec is a dense statevector simulator for small circuits.
+// It exists to verify the benchmark generators semantically: that MCT
+// computes the AND of its controls, that the ripple-carry adder adds,
+// that Grover iterations amplify the marked state, and that the QFT is
+// the discrete Fourier transform. It is a test substrate, not a
+// performance tool: memory is O(2^n), practical to ~20 qubits.
+package statevec
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"switchqnet/internal/circuit"
+)
+
+// State is a statevector over n qubits. Qubit 0 is the least significant
+// bit of the basis-state index.
+type State struct {
+	n   int
+	amp []complex128
+}
+
+// New returns |0...0> over n qubits.
+func New(n int) (*State, error) {
+	if n < 1 || n > 24 {
+		return nil, fmt.Errorf("statevec: %d qubits outside [1, 24]", n)
+	}
+	s := &State{n: n, amp: make([]complex128, 1<<uint(n))}
+	s.amp[0] = 1
+	return s, nil
+}
+
+// NewBasis returns |index> over n qubits.
+func NewBasis(n int, index uint64) (*State, error) {
+	s, err := New(n)
+	if err != nil {
+		return nil, err
+	}
+	if index >= uint64(len(s.amp)) {
+		return nil, fmt.Errorf("statevec: basis index %d outside %d qubits", index, n)
+	}
+	s.amp[0] = 0
+	s.amp[index] = 1
+	return s, nil
+}
+
+// NumQubits returns the register width.
+func (s *State) NumQubits() int { return s.n }
+
+// Amplitude returns the amplitude of basis state index.
+func (s *State) Amplitude(index uint64) complex128 { return s.amp[index] }
+
+// Probability returns |amplitude|^2 of basis state index.
+func (s *State) Probability(index uint64) float64 {
+	a := s.amp[index]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// apply1 applies the 2x2 unitary u to qubit q.
+func (s *State) apply1(q int, u [2][2]complex128) {
+	bit := uint64(1) << uint(q)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&bit != 0 {
+			continue
+		}
+		j := i | bit
+		a0, a1 := s.amp[i], s.amp[j]
+		s.amp[i] = u[0][0]*a0 + u[0][1]*a1
+		s.amp[j] = u[1][0]*a0 + u[1][1]*a1
+	}
+}
+
+// applyControlledPhase multiplies basis states where both qubits are 1
+// by the phase factor.
+func (s *State) applyControlledPhase(c, t int, phase complex128) {
+	mask := uint64(1)<<uint(c) | uint64(1)<<uint(t)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&mask == mask {
+			s.amp[i] *= phase
+		}
+	}
+}
+
+// applyCX flips the target where the control is 1.
+func (s *State) applyCX(c, t int) {
+	cbit := uint64(1) << uint(c)
+	tbit := uint64(1) << uint(t)
+	for i := uint64(0); i < uint64(len(s.amp)); i++ {
+		if i&cbit != 0 && i&tbit == 0 {
+			j := i | tbit
+			s.amp[i], s.amp[j] = s.amp[j], s.amp[i]
+		}
+	}
+}
+
+// Apply runs one gate.
+func (s *State) Apply(g circuit.Gate) error {
+	if int(g.Q0) >= s.n || (g.TwoQubit() && int(g.Q1) >= s.n) {
+		return fmt.Errorf("statevec: gate %v outside %d qubits", g, s.n)
+	}
+	inv := complex(1/math.Sqrt2, 0)
+	switch g.Kind {
+	case circuit.H:
+		s.apply1(int(g.Q0), [2][2]complex128{{inv, inv}, {inv, -inv}})
+	case circuit.X:
+		s.apply1(int(g.Q0), [2][2]complex128{{0, 1}, {1, 0}})
+	case circuit.Z:
+		s.apply1(int(g.Q0), [2][2]complex128{{1, 0}, {0, -1}})
+	case circuit.S:
+		s.apply1(int(g.Q0), [2][2]complex128{{1, 0}, {0, complex(0, 1)}})
+	case circuit.Sdg:
+		s.apply1(int(g.Q0), [2][2]complex128{{1, 0}, {0, complex(0, -1)}})
+	case circuit.T:
+		s.apply1(int(g.Q0), [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}})
+	case circuit.Tdg:
+		s.apply1(int(g.Q0), [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}})
+	case circuit.RZ:
+		// Global-phase-free convention: diag(1, e^{i theta}).
+		s.apply1(int(g.Q0), [2][2]complex128{{1, 0}, {0, cmplx.Exp(complex(0, g.Param))}})
+	case circuit.CX:
+		s.applyCX(int(g.Q0), int(g.Q1))
+	case circuit.CZ:
+		s.applyControlledPhase(int(g.Q0), int(g.Q1), -1)
+	case circuit.CP:
+		s.applyControlledPhase(int(g.Q0), int(g.Q1), cmplx.Exp(complex(0, g.Param)))
+	default:
+		return fmt.Errorf("statevec: unsupported gate kind %v", g.Kind)
+	}
+	return nil
+}
+
+// Run applies every gate of the circuit.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.NumQubits > s.n {
+		return fmt.Errorf("statevec: circuit needs %d qubits, state has %d", c.NumQubits, s.n)
+	}
+	for _, g := range c.Gates {
+		if err := s.Apply(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fidelity returns |<a|b>|^2.
+func Fidelity(a, b *State) (float64, error) {
+	if a.n != b.n {
+		return 0, fmt.Errorf("statevec: width mismatch %d vs %d", a.n, b.n)
+	}
+	var dot complex128
+	for i := range a.amp {
+		dot += cmplx.Conj(a.amp[i]) * b.amp[i]
+	}
+	return real(dot)*real(dot) + imag(dot)*imag(dot), nil
+}
+
+// Norm returns the squared norm (should stay 1 under unitaries).
+func (s *State) Norm() float64 {
+	var n float64
+	for _, a := range s.amp {
+		n += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return n
+}
+
+// MeasureAll returns the most probable basis state and its probability.
+func (s *State) MeasureAll() (uint64, float64) {
+	best, bestP := uint64(0), 0.0
+	for i := range s.amp {
+		if p := s.Probability(uint64(i)); p > bestP {
+			best, bestP = uint64(i), p
+		}
+	}
+	return best, bestP
+}

@@ -1,0 +1,344 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"switchqnet/internal/circuit"
+)
+
+func run(t *testing.T, c *circuit.Circuit, input uint64) *State {
+	t.Helper()
+	s, err := NewBasis(c.NumQubits, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestBellPair(t *testing.T) {
+	c := circuit.New("bell", 2)
+	c.Append(circuit.Single(circuit.H, 0), circuit.Two(circuit.CX, 0, 1))
+	s := run(t, c, 0)
+	if p00, p11 := s.Probability(0), s.Probability(3); math.Abs(p00-0.5) > 1e-12 || math.Abs(p11-0.5) > 1e-12 {
+		t.Errorf("Bell probabilities = %v, %v", p00, p11)
+	}
+	if p := s.Probability(1) + s.Probability(2); p > 1e-12 {
+		t.Errorf("odd-parity probability = %v", p)
+	}
+}
+
+func TestToffoliTruthTable(t *testing.T) {
+	c := circuit.New("ccx", 3)
+	c.AppendToffoli(0, 1, 2)
+	for input := uint64(0); input < 8; input++ {
+		s := run(t, c, input)
+		want := input
+		if input&3 == 3 {
+			want ^= 4
+		}
+		got, p := s.MeasureAll()
+		if got != want || p < 1-1e-9 {
+			t.Errorf("CCX|%03b> = |%03b> (p=%v), want |%03b>", input, got, p, want)
+		}
+	}
+}
+
+// mctLayout mirrors the interleaved chain layout of circuit.MCT.
+func mctLayout(total int) (ctl func(int) int, target int, nCtl int) {
+	nCtl = total / 2
+	ctl = func(i int) int {
+		if i <= 1 {
+			return i
+		}
+		return 2*i - 1
+	}
+	return ctl, total - 1, nCtl
+}
+
+func TestMCTComputesAND(t *testing.T) {
+	const total = 8
+	c, err := circuit.MCT(total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, target, nCtl := mctLayout(total)
+	// Try every control pattern: the target flips iff all controls are 1,
+	// and every ancilla is restored to 0.
+	for pattern := 0; pattern < 1<<nCtl; pattern++ {
+		var input uint64
+		for i := 0; i < nCtl; i++ {
+			if pattern&(1<<i) != 0 {
+				input |= 1 << uint(ctl(i))
+			}
+		}
+		s := run(t, c, input)
+		want := input
+		if pattern == 1<<nCtl-1 {
+			want |= 1 << uint(target)
+		}
+		got, p := s.MeasureAll()
+		if got != want || p < 1-1e-9 {
+			t.Errorf("MCT pattern %04b: got |%08b> (p=%v), want |%08b>", pattern, got, p, want)
+		}
+	}
+}
+
+// rcaLayout mirrors circuit.RCA's interleaved register layout.
+func rcaLayout(total int) (m int, a, b func(int) int, carryOut int) {
+	m = (total - 2) / 2
+	b = func(i int) int { return 1 + 2*i }
+	a = func(i int) int { return 2 + 2*i }
+	return m, a, b, total - 1
+}
+
+func TestRCAAddsCorrectly(t *testing.T) {
+	const total = 8 // m = 3: 3-bit operands
+	c, err := circuit.RCA(total, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, aBit, bBit, carryOut := rcaLayout(total)
+	for av := 0; av < 1<<m; av++ {
+		for bv := 0; bv < 1<<m; bv++ {
+			var input uint64
+			for i := 0; i < m; i++ {
+				if av&(1<<i) != 0 {
+					input |= 1 << uint(aBit(i))
+				}
+				if bv&(1<<i) != 0 {
+					input |= 1 << uint(bBit(i))
+				}
+			}
+			s := run(t, c, input)
+			got, p := s.MeasureAll()
+			if p < 1-1e-9 {
+				t.Fatalf("RCA %d+%d: not a basis state (p=%v)", av, bv, p)
+			}
+			sum := av + bv
+			// Decode: b register holds the sum, a is preserved.
+			var gotSum, gotA int
+			for i := 0; i < m; i++ {
+				if got&(1<<uint(bBit(i))) != 0 {
+					gotSum |= 1 << i
+				}
+				if got&(1<<uint(aBit(i))) != 0 {
+					gotA |= 1 << i
+				}
+			}
+			if got&(1<<uint(carryOut)) != 0 {
+				gotSum |= 1 << m
+			}
+			if gotSum != sum || gotA != av {
+				t.Errorf("RCA %d+%d: sum=%d a=%d, want sum=%d a=%d", av, bv, gotSum, gotA, sum, av)
+			}
+		}
+	}
+}
+
+func TestGroverAmplifiesAllOnes(t *testing.T) {
+	const total = 6 // n = 4 search qubits
+	search := func(i int) int {
+		if i <= 1 {
+			return i
+		}
+		return 2*i - 1
+	}
+	var marked uint64
+	for i := 0; i < 4; i++ {
+		marked |= 1 << uint(search(i))
+	}
+	prev := 1.0 / 16
+	for _, iters := range []int{1, 2} {
+		c, err := circuit.Grover(total, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := run(t, c, 0)
+		p := s.Probability(marked)
+		if p <= prev {
+			t.Errorf("Grover %d iterations: P(marked) = %v, want > %v", iters, p, prev)
+		}
+		prev = p
+	}
+	// After 2 iterations of a 4-qubit search: sin^2(5 asin(1/4)) ~ 0.908.
+	if prev < 0.85 {
+		t.Errorf("P(marked) after 2 iterations = %v, want > 0.85", prev)
+	}
+}
+
+// inverse returns the adjoint circuit: reversed gates with conjugated
+// parameters.
+func inverse(c *circuit.Circuit) *circuit.Circuit {
+	inv := circuit.New(c.Name+"-dg", c.NumQubits)
+	for i := len(c.Gates) - 1; i >= 0; i-- {
+		g := c.Gates[i]
+		switch g.Kind {
+		case circuit.S:
+			g.Kind = circuit.Sdg
+		case circuit.Sdg:
+			g.Kind = circuit.S
+		case circuit.T:
+			g.Kind = circuit.Tdg
+		case circuit.Tdg:
+			g.Kind = circuit.T
+		case circuit.RZ, circuit.CP:
+			g.Param = -g.Param
+		}
+		inv.Append(g)
+	}
+	return inv
+}
+
+func TestQFTInverseIsIdentity(t *testing.T) {
+	c, err := circuit.QFT(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range []uint64{0, 1, 13, 42, 63} {
+		s := run(t, c, input)
+		if err := s.Run(inverse(c)); err != nil {
+			t.Fatal(err)
+		}
+		if p := s.Probability(input); p < 1-1e-9 {
+			t.Errorf("QFT then inverse on |%d>: P = %v", input, p)
+		}
+	}
+}
+
+func TestQFTUniformMagnitudes(t *testing.T) {
+	c, err := circuit.QFT(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run(t, c, 19)
+	want := 1.0 / 32
+	for i := uint64(0); i < 32; i++ {
+		if math.Abs(s.Probability(i)-want) > 1e-12 {
+			t.Fatalf("QFT output not uniform at %d: %v", i, s.Probability(i))
+		}
+	}
+}
+
+func TestQFTMatchesDFT(t *testing.T) {
+	// The swap-free QFT treats qubit 0 (processed first) as the most
+	// significant input bit, so with our little-endian basis indexing it
+	// maps |x> to the DFT of the bit-reversed input:
+	// amp(k) = exp(2*pi*i * rev(x) * k / N) / sqrt(N).
+	const n = 4
+	const N = 1 << n
+	c, err := circuit.QFT(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := func(k uint64) uint64 {
+		var r uint64
+		for i := 0; i < n; i++ {
+			if k&(1<<uint(i)) != 0 {
+				r |= 1 << uint(n-1-i)
+			}
+		}
+		return r
+	}
+	for x := uint64(0); x < N; x++ {
+		s := run(t, c, x)
+		for k := uint64(0); k < N; k++ {
+			phase := 2 * math.Pi * float64(rev(x)) * float64(k) / N
+			wantRe, wantIm := math.Cos(phase)/math.Sqrt(N), math.Sin(phase)/math.Sqrt(N)
+			got := s.Amplitude(k)
+			if math.Abs(real(got)-wantRe) > 1e-9 || math.Abs(imag(got)-wantIm) > 1e-9 {
+				t.Fatalf("QFT|%d> amplitude at %d = %v, want (%v, %v)", x, k, got, wantRe, wantIm)
+			}
+		}
+	}
+}
+
+func TestNormPreservedUnderRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := circuit.New("random", 6)
+	kinds := []circuit.GateKind{circuit.H, circuit.X, circuit.Z, circuit.S, circuit.T,
+		circuit.Tdg, circuit.CX, circuit.CZ, circuit.CP, circuit.RZ}
+	for i := 0; i < 300; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		q0 := rng.Intn(6)
+		if k.TwoQubit() {
+			q1 := (q0 + 1 + rng.Intn(5)) % 6
+			c.Append(circuit.TwoP(k, q0, q1, rng.Float64()*math.Pi))
+		} else {
+			c.Append(circuit.Gate{Kind: k, Q0: int32(q0), Q1: -1, Param: rng.Float64() * math.Pi})
+		}
+	}
+	s := run(t, c, 11)
+	if math.Abs(s.Norm()-1) > 1e-9 {
+		t.Errorf("norm drifted to %v", s.Norm())
+	}
+}
+
+func TestStateErrors(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("0 qubits accepted")
+	}
+	if _, err := New(30); err == nil {
+		t.Error("30 qubits accepted")
+	}
+	if _, err := NewBasis(2, 7); err == nil {
+		t.Error("out-of-range basis accepted")
+	}
+	s, _ := New(2)
+	if err := s.Apply(circuit.Two(circuit.CX, 0, 5)); err == nil {
+		t.Error("out-of-range gate accepted")
+	}
+	big := circuit.New("big", 4)
+	if err := s.Run(big); err == nil {
+		t.Error("oversized circuit accepted")
+	}
+}
+
+func TestFidelityHelper(t *testing.T) {
+	a, _ := NewBasis(3, 5)
+	b, _ := NewBasis(3, 5)
+	f, err := Fidelity(a, b)
+	if err != nil || math.Abs(f-1) > 1e-12 {
+		t.Errorf("Fidelity(same) = %v, %v", f, err)
+	}
+	c, _ := NewBasis(3, 2)
+	if f, _ := Fidelity(a, c); f > 1e-12 {
+		t.Errorf("Fidelity(orthogonal) = %v", f)
+	}
+	d, _ := New(2)
+	if _, err := Fidelity(a, d); err == nil {
+		t.Error("width mismatch accepted")
+	}
+}
+
+func TestGHZState(t *testing.T) {
+	c, err := circuit.GHZ(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run(t, c, 0)
+	all := uint64(1)<<6 - 1
+	if p0, p1 := s.Probability(0), s.Probability(all); math.Abs(p0-0.5) > 1e-12 || math.Abs(p1-0.5) > 1e-12 {
+		t.Errorf("GHZ probabilities = %v, %v, want 0.5 each", p0, p1)
+	}
+}
+
+func TestBVRecoversSecret(t *testing.T) {
+	for _, secret := range []uint64{0, 1, 0b1011, 0b11111} {
+		c, err := circuit.BV(5, secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := run(t, c, 0)
+		// The phase qubit (bit 5) stays in |->; the input register is
+		// deterministic: its marginal must put all mass on the secret.
+		p := s.Probability(secret) + s.Probability(secret|1<<5)
+		if p < 1-1e-9 {
+			t.Errorf("BV(%b): P(inputs = secret) = %v, want 1", secret, p)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package topology
+
+import "fmt"
+
+// Arch describes one experimental architecture configuration (a row of
+// Table 1): rack and QPU counts, per-QPU qubit budget and the switch
+// network joining them.
+type Arch struct {
+	// Racks and QPUsPerRack define the QPU grid.
+	Racks, QPUsPerRack int
+	// DataQubits is the number of computation (data) qubits per QPU.
+	DataQubits int
+	// BufferSize is the number of computation qubits initially allocated
+	// as EPR buffer per QPU (paper: 25% of total computation qubits).
+	BufferSize int
+	// CommQubits is the number of dedicated communication qubits per QPU
+	// (paper: 2).
+	CommQubits int
+	// LinkWeight is the multiplexing weight w of each QPU-to-ToR fiber
+	// bundle (Fig. 4). The evaluation uses CommQubits so every
+	// communication qubit can work in parallel; the Fig. 6 motivating
+	// example uses 1.
+	LinkWeight int
+	// Net is the switch network.
+	Net *Network
+}
+
+// NumQPUs returns the total QPU count.
+func (a *Arch) NumQPUs() int { return a.Racks * a.QPUsPerRack }
+
+// TotalQubits returns the total data-qubit capacity of the QDC.
+func (a *Arch) TotalQubits() int { return a.NumQPUs() * a.DataQubits }
+
+// QPUID maps (rack, index-in-rack) to the global QPU index.
+func (a *Arch) QPUID(rack, idx int) int { return rack*a.QPUsPerRack + idx }
+
+// RackOf returns the rack of a global QPU index.
+func (a *Arch) RackOf(qpu int) int { return qpu / a.QPUsPerRack }
+
+// Validate checks the configuration and its network.
+func (a *Arch) Validate() error {
+	if a.Racks < 1 || a.QPUsPerRack < 1 {
+		return fmt.Errorf("topology: arch needs >= 1 rack and >= 1 QPU per rack, got %dx%d", a.Racks, a.QPUsPerRack)
+	}
+	if a.DataQubits < 1 || a.CommQubits < 1 {
+		return fmt.Errorf("topology: arch needs >= 1 data and comm qubit per QPU, got %d/%d", a.DataQubits, a.CommQubits)
+	}
+	// The buffer may exceed the data-qubit count: in the QEC integration
+	// (Section 5.5) buffers are separate LDPC-encoded logical qubits.
+	if a.BufferSize < 0 {
+		return fmt.Errorf("topology: buffer size %d, want >= 0", a.BufferSize)
+	}
+	if a.LinkWeight < 1 {
+		return fmt.Errorf("topology: link weight %d, want >= 1", a.LinkWeight)
+	}
+	if a.Net == nil {
+		return fmt.Errorf("topology: arch has no network")
+	}
+	if a.Net.NumQPUs() != a.NumQPUs() {
+		return fmt.Errorf("topology: network has %d QPUs, arch %d", a.Net.NumQPUs(), a.NumQPUs())
+	}
+	if a.Net.NumRacks() != a.Racks {
+		return fmt.Errorf("topology: network has %d racks, arch %d", a.Net.NumRacks(), a.Racks)
+	}
+	return a.Net.Validate()
+}
+
+// String implements fmt.Stringer.
+func (a *Arch) String() string {
+	return fmt.Sprintf("%s %dx%d QPUs, %d data + %d buffer + %d comm qubits/QPU",
+		a.Net.Topology, a.Racks, a.QPUsPerRack, a.DataQubits, a.BufferSize, a.CommQubits)
+}
+
+// baseRacks creates the nodes and QPU-ToR edges common to every
+// topology: one ToR per rack with BSMsPerRack = 2 x QPUs per rack
+// (Section 5.1), each QPU attached with the link multiplexing weight
+// (the evaluation uses the comm-qubit count so all communication qubits
+// in a rack can work in parallel).
+func baseRacks(name string, racks, qpusPerRack, linkWeight int) *Network {
+	n := &Network{Topology: name, BSMsPerRack: 2 * qpusPerRack}
+	n.torNode = make([]int, racks)
+	n.qpuNode = make([]int, 0, racks*qpusPerRack)
+	for r := 0; r < racks; r++ {
+		tor := n.addNode(Node{Kind: KindToR, Rack: r, Index: r})
+		n.torNode[r] = tor
+		for q := 0; q < qpusPerRack; q++ {
+			qpu := n.addNode(Node{Kind: KindQPU, Rack: r, Index: q})
+			n.qpuNode = append(n.qpuNode, qpu)
+			n.addEdge(qpu, tor, linkWeight)
+		}
+	}
+	return n
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// NewCLOS builds the CLOS core layer of the primary experiment (Fig. 1):
+// four core switches, each ToR connected to every core with enough
+// aggregate capacity for all communication qubits in the rack (full
+// bisection bandwidth).
+func NewCLOS(racks, qpusPerRack, linkWeight int) *Network {
+	n := baseRacks("clos", racks, qpusPerRack, linkWeight)
+	const cores = 4
+	up := ceilDiv(qpusPerRack*linkWeight, cores)
+	coreIDs := make([]int, cores)
+	for c := 0; c < cores; c++ {
+		coreIDs[c] = n.addNode(Node{Kind: KindCore, Rack: -1, Index: c})
+	}
+	for r := 0; r < racks; r++ {
+		for _, c := range coreIDs {
+			n.addEdge(n.torNode[r], c, up)
+		}
+	}
+	return n
+}
+
+// NewSpineLeaf builds a two-spine spine-leaf core: every ToR (leaf)
+// connects to both spines with half the rack's communication capacity
+// each (full bisection through two spines).
+func NewSpineLeaf(racks, qpusPerRack, linkWeight int) *Network {
+	n := baseRacks("spine-leaf", racks, qpusPerRack, linkWeight)
+	const spines = 2
+	up := ceilDiv(qpusPerRack*linkWeight, spines)
+	for s := 0; s < spines; s++ {
+		spine := n.addNode(Node{Kind: KindCore, Rack: -1, Index: s})
+		for r := 0; r < racks; r++ {
+			n.addEdge(n.torNode[r], spine, up)
+		}
+	}
+	return n
+}
+
+// NewFatTree builds a three-level fat tree: racks are grouped into pods
+// of two, each pod has two aggregation switches, and two core switches
+// join the pods. The aggregation-to-core links carry half the pod's
+// demand, giving the 2:1 oversubscription typical of fat trees — the
+// source of the extra contention (and retries) Table 2 shows on this
+// topology. racks must be even.
+func NewFatTree(racks, qpusPerRack, linkWeight int) (*Network, error) {
+	if racks%2 != 0 {
+		return nil, fmt.Errorf("topology: fat tree needs an even rack count, got %d", racks)
+	}
+	n := baseRacks("fat-tree", racks, qpusPerRack, linkWeight)
+	rackCap := qpusPerRack * linkWeight
+	torUp := ceilDiv(rackCap, 2) // ToR to each of its 2 aggs
+	aggUp := ceilDiv(rackCap, 4) // agg to each of the 2 cores: 2:1 oversubscription
+	pods := racks / 2
+	core0 := n.addNode(Node{Kind: KindCore, Rack: -1, Index: 0})
+	core1 := n.addNode(Node{Kind: KindCore, Rack: -1, Index: 1})
+	for p := 0; p < pods; p++ {
+		agg0 := n.addNode(Node{Kind: KindAgg, Rack: p, Index: 0})
+		agg1 := n.addNode(Node{Kind: KindAgg, Rack: p, Index: 1})
+		for r := 2 * p; r < 2*p+2; r++ {
+			n.addEdge(n.torNode[r], agg0, torUp)
+			n.addEdge(n.torNode[r], agg1, torUp)
+		}
+		n.addEdge(agg0, core0, aggUp)
+		n.addEdge(agg0, core1, aggUp)
+		n.addEdge(agg1, core0, aggUp)
+		n.addEdge(agg1, core1, aggUp)
+	}
+	return n, nil
+}
+
+// Config is the full architecture specification accepted by New.
+type Config struct {
+	// Topology is "clos", "spine-leaf" or "fat-tree".
+	Topology string
+	Racks    int
+	// QPUsPerRack is the number of QPUs in each rack.
+	QPUsPerRack int
+	// DataQubits, BufferSize, CommQubits are per-QPU counts (Table 1).
+	DataQubits, BufferSize, CommQubits int
+	// LinkWeight is the QPU-to-ToR fiber multiplexing weight; 0 means
+	// CommQubits (the evaluation default).
+	LinkWeight int
+}
+
+// New assembles an Arch from a Config.
+func New(cfg Config) (*Arch, error) {
+	if cfg.LinkWeight == 0 {
+		cfg.LinkWeight = cfg.CommQubits
+	}
+	var (
+		net *Network
+		err error
+	)
+	switch cfg.Topology {
+	case "clos":
+		net = NewCLOS(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight)
+	case "spine-leaf":
+		net = NewSpineLeaf(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight)
+	case "fat-tree":
+		net, err = NewFatTree(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("topology: unknown topology %q (want clos, spine-leaf or fat-tree)", cfg.Topology)
+	}
+	a := &Arch{
+		Racks: cfg.Racks, QPUsPerRack: cfg.QPUsPerRack,
+		DataQubits: cfg.DataQubits, BufferSize: cfg.BufferSize,
+		CommQubits: cfg.CommQubits, LinkWeight: cfg.LinkWeight,
+		Net: net,
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewArch assembles an Arch over the named topology ("clos",
+// "spine-leaf" or "fat-tree") with the paper's defaults: link weight
+// equal to the communication qubit count.
+func NewArch(topo string, racks, qpusPerRack, dataQubits, bufferSize, commQubits int) (*Arch, error) {
+	return New(Config{
+		Topology: topo, Racks: racks, QPUsPerRack: qpusPerRack,
+		DataQubits: dataQubits, BufferSize: bufferSize, CommQubits: commQubits,
+	})
+}

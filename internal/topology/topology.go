@@ -1,0 +1,198 @@
+// Package topology models the QDC switch network of Section 2.2: QPUs
+// attached to quantum ToR switches (with BSM devices and QFC ports),
+// joined by classical core switches over multiplexed optical fibers.
+// It provides builders for the paper's three evaluated topologies —
+// CLOS, spine-leaf and fat-tree — and capacity-aware shortest-path
+// routing used by the schedulers.
+package topology
+
+import "fmt"
+
+// NodeKind distinguishes the roles of network nodes.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindQPU NodeKind = iota
+	KindToR
+	KindAgg
+	KindCore
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindQPU:
+		return "qpu"
+	case KindToR:
+		return "tor"
+	case KindAgg:
+		return "agg"
+	case KindCore:
+		return "core"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Node is a QPU or a switch in the network graph.
+type Node struct {
+	Kind  NodeKind
+	Rack  int // rack of a QPU/ToR, pod of an Agg; -1 otherwise
+	Index int // index within its kind (QPU index in rack, switch number)
+}
+
+// Edge is an optical fiber bundle between two nodes. Cap is the
+// multiplexing weight w: the number of concurrent channels the bundle
+// carries (Fig. 4 of the paper).
+type Edge struct {
+	A, B int
+	Cap  int
+}
+
+// Other returns the endpoint of e that is not n.
+func (e Edge) Other(n int) int {
+	if e.A == n {
+		return e.B
+	}
+	return e.A
+}
+
+// Network is the static QDC graph.
+type Network struct {
+	Topology string
+	Nodes    []Node
+	Edges    []Edge
+
+	adj     [][]int // node id -> incident edge ids
+	qpuNode []int   // global QPU index -> node id
+	torNode []int   // rack -> node id
+
+	// BSMsPerRack is the number of Bell-state-measurement devices on
+	// each ToR switch (paper: 2 x #QPUs per rack).
+	BSMsPerRack int
+}
+
+// NumQPUs returns the number of QPUs in the network.
+func (n *Network) NumQPUs() int { return len(n.qpuNode) }
+
+// NumRacks returns the number of racks.
+func (n *Network) NumRacks() int { return len(n.torNode) }
+
+// QPUNode returns the node id of global QPU index q.
+func (n *Network) QPUNode(q int) int { return n.qpuNode[q] }
+
+// ToRNode returns the node id of rack r's ToR switch.
+func (n *Network) ToRNode(r int) int { return n.torNode[r] }
+
+// RackOf returns the rack of global QPU index q.
+func (n *Network) RackOf(q int) int { return n.Nodes[n.qpuNode[q]].Rack }
+
+// InRack reports whether QPUs a and b share a rack.
+func (n *Network) InRack(a, b int) bool { return n.RackOf(a) == n.RackOf(b) }
+
+// IncidentEdges returns the edge ids incident to node id.
+func (n *Network) IncidentEdges(node int) []int { return n.adj[node] }
+
+// addNode appends a node and returns its id.
+func (n *Network) addNode(nd Node) int {
+	n.Nodes = append(n.Nodes, nd)
+	n.adj = append(n.adj, nil)
+	return len(n.Nodes) - 1
+}
+
+// addEdge appends an edge with the given capacity.
+func (n *Network) addEdge(a, b, cap int) {
+	id := len(n.Edges)
+	n.Edges = append(n.Edges, Edge{A: a, B: b, Cap: cap})
+	n.adj[a] = append(n.adj[a], id)
+	n.adj[b] = append(n.adj[b], id)
+}
+
+// Validate checks structural invariants: every QPU hangs off exactly one
+// ToR, edges reference valid nodes and have positive capacity.
+func (n *Network) Validate() error {
+	for i, e := range n.Edges {
+		if e.A < 0 || e.A >= len(n.Nodes) || e.B < 0 || e.B >= len(n.Nodes) {
+			return fmt.Errorf("topology: edge %d (%d-%d) references missing node", i, e.A, e.B)
+		}
+		if e.Cap <= 0 {
+			return fmt.Errorf("topology: edge %d (%d-%d) has capacity %d", i, e.A, e.B, e.Cap)
+		}
+		if e.A == e.B {
+			return fmt.Errorf("topology: edge %d is a self-loop on node %d", i, e.A)
+		}
+	}
+	for q, nd := range n.qpuNode {
+		if len(n.adj[nd]) != 1 {
+			return fmt.Errorf("topology: QPU %d has %d links, want exactly 1 (to its ToR)", q, len(n.adj[nd]))
+		}
+		tor := n.Edges[n.adj[nd][0]].Other(nd)
+		if n.Nodes[tor].Kind != KindToR {
+			return fmt.Errorf("topology: QPU %d attached to non-ToR node %d", q, tor)
+		}
+		if n.Nodes[tor].Rack != n.Nodes[nd].Rack {
+			return fmt.Errorf("topology: QPU %d in rack %d attached to ToR of rack %d",
+				q, n.Nodes[nd].Rack, n.Nodes[tor].Rack)
+		}
+	}
+	if n.BSMsPerRack <= 0 {
+		return fmt.Errorf("topology: BSMsPerRack = %d, want > 0", n.BSMsPerRack)
+	}
+	return nil
+}
+
+// FindPath returns the edge ids of a shortest path between QPUs a and b
+// whose every edge has residual capacity > 0 in residual (indexed by
+// edge id). Intermediate hops are switches only. It returns nil if no
+// such path exists. Ties are broken deterministically by node id.
+func (n *Network) FindPath(residual []int, a, b int) []int {
+	src, dst := n.qpuNode[a], n.qpuNode[b]
+	if src == dst {
+		return nil
+	}
+	// BFS from src; QPU nodes other than src and dst are not traversable.
+	prevEdge := make([]int, len(n.Nodes))
+	for i := range prevEdge {
+		prevEdge[i] = -1
+	}
+	visited := make([]bool, len(n.Nodes))
+	visited[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == dst {
+			break
+		}
+		for _, eid := range n.adj[cur] {
+			if residual[eid] <= 0 {
+				continue
+			}
+			next := n.Edges[eid].Other(cur)
+			if visited[next] {
+				continue
+			}
+			if n.Nodes[next].Kind == KindQPU && next != dst {
+				continue
+			}
+			visited[next] = true
+			prevEdge[next] = eid
+			queue = append(queue, next)
+		}
+	}
+	if prevEdge[dst] == -1 {
+		return nil
+	}
+	var path []int
+	for cur := dst; cur != src; {
+		eid := prevEdge[cur]
+		path = append(path, eid)
+		cur = n.Edges[eid].Other(cur)
+	}
+	// Reverse to src -> dst order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

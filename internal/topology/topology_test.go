@@ -1,0 +1,273 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustArch(t *testing.T, topo string, racks, perRack int) *Arch {
+	t.Helper()
+	a, err := NewArch(topo, racks, perRack, 30, 10, 2)
+	if err != nil {
+		t.Fatalf("NewArch(%s, %d, %d): %v", topo, racks, perRack, err)
+	}
+	return a
+}
+
+func fullResidual(n *Network) []int {
+	res := make([]int, len(n.Edges))
+	for i, e := range n.Edges {
+		res[i] = e.Cap
+	}
+	return res
+}
+
+func TestCLOSStructure(t *testing.T) {
+	a := mustArch(t, "clos", 4, 4)
+	n := a.Net
+	if n.NumQPUs() != 16 || n.NumRacks() != 4 {
+		t.Fatalf("QPUs/racks = %d/%d", n.NumQPUs(), n.NumRacks())
+	}
+	if n.BSMsPerRack != 8 {
+		t.Errorf("BSMsPerRack = %d, want 2x4=8", n.BSMsPerRack)
+	}
+	// Every QPU has exactly one uplink of capacity commQubits.
+	for q := 0; q < n.NumQPUs(); q++ {
+		eids := n.IncidentEdges(n.QPUNode(q))
+		if len(eids) != 1 {
+			t.Fatalf("QPU %d has %d edges", q, len(eids))
+		}
+		if n.Edges[eids[0]].Cap != 2 {
+			t.Errorf("QPU %d uplink capacity = %d, want 2", q, n.Edges[eids[0]].Cap)
+		}
+	}
+	// Each ToR has aggregate core capacity >= rack comm capacity (full bisection).
+	for r := 0; r < n.NumRacks(); r++ {
+		up := 0
+		for _, eid := range n.IncidentEdges(n.ToRNode(r)) {
+			other := n.Edges[eid].Other(n.ToRNode(r))
+			if n.Nodes[other].Kind == KindCore {
+				up += n.Edges[eid].Cap
+			}
+		}
+		if up < 4*2 {
+			t.Errorf("rack %d core uplink = %d, want >= 8", r, up)
+		}
+	}
+}
+
+func TestSpineLeafStructure(t *testing.T) {
+	a := mustArch(t, "spine-leaf", 6, 4)
+	n := a.Net
+	spines := 0
+	for _, nd := range n.Nodes {
+		if nd.Kind == KindCore {
+			spines++
+		}
+	}
+	if spines != 2 {
+		t.Errorf("spine count = %d, want 2", spines)
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	a := mustArch(t, "fat-tree", 8, 4)
+	n := a.Net
+	aggs, cores := 0, 0
+	for _, nd := range n.Nodes {
+		switch nd.Kind {
+		case KindAgg:
+			aggs++
+		case KindCore:
+			cores++
+		}
+	}
+	if aggs != 8 { // 4 pods x 2 aggs
+		t.Errorf("agg count = %d, want 8", aggs)
+	}
+	if cores != 2 {
+		t.Errorf("core count = %d, want 2", cores)
+	}
+	// Oversubscription: per-pod core uplink < per-pod rack capacity.
+	podUplink := 4 * ceilDiv(4*2, 4) // 4 agg-core links x cap
+	if podUplink >= 2*4*2 {
+		t.Errorf("fat tree not oversubscribed: uplink %d vs demand %d", podUplink, 2*4*2)
+	}
+	if _, err := NewFatTree(3, 4, 2); err == nil {
+		t.Error("odd-rack fat tree accepted")
+	}
+}
+
+func TestNewArchRejectsBadConfigs(t *testing.T) {
+	if _, err := NewArch("nope", 4, 4, 30, 10, 2); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if _, err := NewArch("clos", 0, 4, 30, 10, 2); err == nil {
+		t.Error("zero racks accepted")
+	}
+	if _, err := NewArch("clos", 4, 4, 30, -1, 2); err == nil {
+		t.Error("negative buffer accepted")
+	}
+	// Buffer may exceed data qubits (QEC's LDPC buffer, Section 5.5).
+	if _, err := NewArch("clos", 4, 4, 4, 12, 2); err != nil {
+		t.Errorf("LDPC-style buffer rejected: %v", err)
+	}
+	if _, err := NewArch("clos", 4, 4, 30, 10, 0); err == nil {
+		t.Error("zero comm qubits accepted")
+	}
+}
+
+func TestArchHelpers(t *testing.T) {
+	a := mustArch(t, "clos", 4, 3)
+	if a.NumQPUs() != 12 {
+		t.Errorf("NumQPUs = %d", a.NumQPUs())
+	}
+	if a.TotalQubits() != 12*30 {
+		t.Errorf("TotalQubits = %d", a.TotalQubits())
+	}
+	if a.QPUID(2, 1) != 7 {
+		t.Errorf("QPUID(2,1) = %d, want 7", a.QPUID(2, 1))
+	}
+	if a.RackOf(7) != 2 {
+		t.Errorf("RackOf(7) = %d, want 2", a.RackOf(7))
+	}
+	if a.Net.RackOf(7) != 2 {
+		t.Errorf("Net.RackOf(7) = %d, want 2", a.Net.RackOf(7))
+	}
+	if !a.Net.InRack(6, 8) || a.Net.InRack(5, 6) {
+		t.Error("InRack misclassifies")
+	}
+	if a.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestFindPathInRack(t *testing.T) {
+	a := mustArch(t, "clos", 4, 4)
+	n := a.Net
+	res := fullResidual(n)
+	path := n.FindPath(res, 0, 1) // same rack
+	if len(path) != 2 {
+		t.Fatalf("in-rack path length = %d, want 2 (QPU-ToR-QPU)", len(path))
+	}
+}
+
+func TestFindPathCrossRack(t *testing.T) {
+	a := mustArch(t, "clos", 4, 4)
+	n := a.Net
+	res := fullResidual(n)
+	path := n.FindPath(res, 0, 5) // rack 0 -> rack 1
+	if len(path) != 4 {
+		t.Fatalf("cross-rack path length = %d, want 4 (QPU-ToR-core-ToR-QPU)", len(path))
+	}
+	// The path must be connected from QPU 0 to QPU 5.
+	cur := n.QPUNode(0)
+	for _, eid := range path {
+		cur = n.Edges[eid].Other(cur)
+	}
+	if cur != n.QPUNode(5) {
+		t.Errorf("path does not end at QPU 5's node")
+	}
+}
+
+func TestFindPathRespectsCapacity(t *testing.T) {
+	a := mustArch(t, "clos", 2, 2)
+	n := a.Net
+	res := fullResidual(n)
+	// Exhaust QPU 0's single uplink.
+	eid := n.IncidentEdges(n.QPUNode(0))[0]
+	res[eid] = 0
+	if p := n.FindPath(res, 0, 1); p != nil {
+		t.Errorf("path found through saturated uplink: %v", p)
+	}
+}
+
+func TestFindPathSameQPU(t *testing.T) {
+	a := mustArch(t, "clos", 2, 2)
+	if p := a.Net.FindPath(fullResidual(a.Net), 1, 1); p != nil {
+		t.Errorf("path from QPU to itself = %v, want nil", p)
+	}
+}
+
+func TestFindPathNeverRoutesThroughQPU(t *testing.T) {
+	a := mustArch(t, "fat-tree", 4, 3)
+	n := a.Net
+	res := fullResidual(n)
+	for _, pair := range [][2]int{{0, 3}, {0, 11}, {4, 9}, {2, 1}} {
+		path := n.FindPath(res, pair[0], pair[1])
+		if path == nil {
+			t.Fatalf("no path between %v", pair)
+		}
+		cur := n.QPUNode(pair[0])
+		for i, eid := range path {
+			cur = n.Edges[eid].Other(cur)
+			if i < len(path)-1 && n.Nodes[cur].Kind == KindQPU {
+				t.Errorf("path %v routes through QPU node %d", pair, cur)
+			}
+		}
+	}
+}
+
+func TestAllTopologiesConnectedProperty(t *testing.T) {
+	// Property: with full residual capacity, every QPU pair in every
+	// topology has a path; in-rack paths are 2 hops.
+	f := func(seed uint8) bool {
+		racks := 2 + 2*int(seed%4) // 2,4,6,8
+		perRack := 2 + int(seed%3)
+		for _, topo := range []string{"clos", "spine-leaf", "fat-tree"} {
+			a, err := NewArch(topo, racks, perRack, 30, 10, 2)
+			if err != nil {
+				return false
+			}
+			n := a.Net
+			res := fullResidual(n)
+			for x := 0; x < n.NumQPUs(); x++ {
+				for y := x + 1; y < n.NumQPUs(); y++ {
+					p := n.FindPath(res, x, y)
+					if p == nil {
+						return false
+					}
+					if n.InRack(x, y) && len(p) != 2 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateCatchesCorruptNetworks(t *testing.T) {
+	a := mustArch(t, "clos", 2, 2)
+	n := a.Net
+	// Corrupt an edge capacity.
+	saved := n.Edges[0].Cap
+	n.Edges[0].Cap = 0
+	if err := n.Validate(); err == nil {
+		t.Error("zero-capacity edge accepted")
+	}
+	n.Edges[0].Cap = saved
+	// Self-loop.
+	n.Edges = append(n.Edges, Edge{A: 1, B: 1, Cap: 1})
+	if err := n.Validate(); err == nil {
+		t.Error("self-loop accepted")
+	}
+	n.Edges = n.Edges[:len(n.Edges)-1]
+	if err := n.Validate(); err != nil {
+		t.Errorf("restored network invalid: %v", err)
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	for k, want := range map[NodeKind]string{KindQPU: "qpu", KindToR: "tor", KindAgg: "agg", KindCore: "core"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if NodeKind(9).String() != "NodeKind(9)" {
+		t.Errorf("unknown kind = %q", NodeKind(9).String())
+	}
+}

@@ -1,0 +1,209 @@
+// Package trace exports compiled schedules for inspection: a stable
+// JSON encoding for downstream tooling and a plain-text timeline
+// (a Gantt-like view per QPU) for eyeballing schedules the way the
+// paper's Fig. 6 draws them.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// Schedule is the JSON shape of a compiled schedule.
+type Schedule struct {
+	// Makespan is the overall communication latency in microseconds.
+	MakespanUS int64 `json:"makespan_us"`
+	// Reconfigs counts switch reconfigurations.
+	Reconfigs int `json:"reconfigs"`
+	// Splits counts split cross-rack pairs.
+	Splits int `json:"splits"`
+	// Demands lists the program's EPR requirements.
+	Demands []DemandJSON `json:"demands"`
+	// Generations lists every scheduled EPR generation in start order.
+	Generations []GenJSON `json:"generations"`
+}
+
+// DemandJSON is one EPR demand with its lifecycle times.
+type DemandJSON struct {
+	ID         int    `json:"id"`
+	A          int    `json:"a"`
+	B          int    `json:"b"`
+	Protocol   string `json:"protocol"`
+	CrossRack  bool   `json:"cross_rack"`
+	ReadyUS    int64  `json:"ready_us"`
+	ConsumedUS int64  `json:"consumed_us"`
+}
+
+// GenJSON is one generation interval.
+type GenJSON struct {
+	Demand   int    `json:"demand"`
+	Kind     string `json:"kind"`
+	A        int    `json:"a"`
+	B        int    `json:"b"`
+	StartUS  int64  `json:"start_us"`
+	EndUS    int64  `json:"end_us"`
+	Channel  int    `json:"channel"`
+	Reconfig bool   `json:"reconfig"`
+	InRack   bool   `json:"in_rack"`
+}
+
+// Export converts a Result to its JSON shape.
+func Export(r *core.Result) Schedule {
+	s := Schedule{
+		MakespanUS: int64(r.Makespan),
+		Reconfigs:  r.Reconfigs,
+		Splits:     r.Splits,
+	}
+	for i, d := range r.Demands {
+		s.Demands = append(s.Demands, DemandJSON{
+			ID: d.ID, A: d.A, B: d.B,
+			Protocol: d.Protocol.String(), CrossRack: d.CrossRack,
+			ReadyUS: int64(r.ReadyAt[i]), ConsumedUS: int64(r.ConsumedAt[i]),
+		})
+	}
+	for _, g := range r.Gens {
+		s.Generations = append(s.Generations, GenJSON{
+			Demand: int(g.Demand), Kind: g.Kind.String(),
+			A: int(g.A), B: int(g.B),
+			StartUS: int64(g.Start), EndUS: int64(g.End),
+			Channel: int(g.Channel), Reconfig: g.Reconfig, InRack: g.InRack,
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the schedule as indented JSON.
+func WriteJSON(w io.Writer, r *core.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Export(r))
+}
+
+// ReadJSON decodes a schedule previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var s Schedule
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &s, nil
+}
+
+// Timeline renders a per-QPU text timeline of the schedule with the
+// given number of character columns. Each QPU row shows its generation
+// activity: '#' cross-rack, '=' in-rack, '~' reconfiguration preceding a
+// generation on a channel this QPU participates in.
+func Timeline(w io.Writer, r *core.Result, arch *topology.Arch, cols int) error {
+	if cols < 10 {
+		cols = 10
+	}
+	if r.Makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	scale := float64(cols) / float64(r.Makespan)
+	rows := make([][]byte, arch.NumQPUs())
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", cols))
+	}
+	mark := func(q int, from, to hw.Time, ch byte) {
+		lo := int(float64(from) * scale)
+		hi := int(float64(to) * scale)
+		if hi >= cols {
+			hi = cols - 1
+		}
+		for x := lo; x <= hi; x++ {
+			// Cross-rack marks win over in-rack, which win over reconfig.
+			cur := rows[q][x]
+			if cur == '#' || (cur == '=' && ch == '~') {
+				continue
+			}
+			rows[q][x] = ch
+		}
+	}
+	for _, g := range r.Gens {
+		ch := byte('=')
+		if !g.InRack {
+			ch = '#'
+		}
+		if g.Reconfig {
+			start := g.Start - r.Params.ReconfigLatency
+			if start < 0 {
+				start = 0
+			}
+			mark(int(g.A), start, g.Start, '~')
+			mark(int(g.B), start, g.Start, '~')
+		}
+		mark(int(g.A), g.Start, g.End, ch)
+		mark(int(g.B), g.Start, g.End, ch)
+	}
+	fmt.Fprintf(w, "timeline: 0 .. %.1f ms  (~ reconfig, = in-rack, # cross-rack)\n", float64(r.Makespan)/1000)
+	for q, row := range rows {
+		if _, err := fmt.Fprintf(w, "QPU %2d |%s|\n", q, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Utilization summarizes per-QPU activity: the fraction of the makespan
+// each QPU spends generating EPR pairs.
+func Utilization(r *core.Result, arch *topology.Arch) []float64 {
+	busy := make([]hw.Time, arch.NumQPUs())
+	type span struct{ s, e hw.Time }
+	perQPU := make([][]span, arch.NumQPUs())
+	for _, g := range r.Gens {
+		perQPU[g.A] = append(perQPU[g.A], span{g.Start, g.End})
+		perQPU[g.B] = append(perQPU[g.B], span{g.Start, g.End})
+	}
+	for q, spans := range perQPU {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].s < spans[j].s })
+		var cur span
+		for i, sp := range spans {
+			if i == 0 || sp.s > cur.e {
+				busy[q] += cur.e - cur.s
+				cur = sp
+				continue
+			}
+			if sp.e > cur.e {
+				cur.e = sp.e
+			}
+		}
+		busy[q] += cur.e - cur.s
+	}
+	out := make([]float64, arch.NumQPUs())
+	if r.Makespan == 0 {
+		return out
+	}
+	for q := range out {
+		out[q] = float64(busy[q]) / float64(r.Makespan)
+	}
+	return out
+}
+
+// CountDemands tallies a JSON schedule's demand mix, mirroring
+// epr.Count for decoded schedules.
+func (s *Schedule) CountDemands() epr.Counts {
+	var c epr.Counts
+	c.Total = len(s.Demands)
+	for _, d := range s.Demands {
+		if d.CrossRack {
+			c.CrossRack++
+		} else {
+			c.InRack++
+		}
+		if d.Protocol == "cat" {
+			c.Cat++
+		} else {
+			c.TP++
+		}
+	}
+	return c
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+func fig6Result(t *testing.T) (*core.Result, *topology.Arch) {
+	t.Helper()
+	arch, err := topology.New(topology.Config{
+		Topology: "clos", Racks: 2, QPUsPerRack: 2,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2, LinkWeight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []epr.Demand{
+		{ID: 0, A: 2, B: 3, Protocol: epr.Cat, Gates: 1},
+		{ID: 1, A: 2, B: 3, Protocol: epr.Cat, Gates: 1},
+		{ID: 2, A: 2, B: 3, Protocol: epr.Cat, Gates: 1},
+		{ID: 3, A: 1, B: 2, Protocol: epr.Cat, Gates: 1},
+		{ID: 4, A: 0, B: 2, Protocol: epr.TP, Gates: 1},
+	}
+	r, err := core.Compile(demands, arch, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, arch
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r, _ := fig6Result(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MakespanUS != int64(r.Makespan) {
+		t.Errorf("makespan = %d, want %d", s.MakespanUS, r.Makespan)
+	}
+	if len(s.Demands) != len(r.Demands) || len(s.Generations) != len(r.Gens) {
+		t.Errorf("counts = %d/%d, want %d/%d",
+			len(s.Demands), len(s.Generations), len(r.Demands), len(r.Gens))
+	}
+	if s.Splits != r.Splits || s.Reconfigs != r.Reconfigs {
+		t.Errorf("splits/reconfigs = %d/%d, want %d/%d", s.Splits, s.Reconfigs, r.Splits, r.Reconfigs)
+	}
+	counts := s.CountDemands()
+	want := epr.Count(r.Demands)
+	if counts != want {
+		t.Errorf("CountDemands = %+v, want %+v", counts, want)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTimelineRendering(t *testing.T) {
+	r, arch := fig6Result(t)
+	var buf bytes.Buffer
+	if err := Timeline(&buf, r, arch, 60); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+arch.NumQPUs() {
+		t.Fatalf("timeline lines = %d, want %d:\n%s", len(lines), 1+arch.NumQPUs(), out)
+	}
+	// B1 (QPU 2) participates in everything: its row must show in-rack,
+	// cross-rack and reconfiguration activity.
+	b1 := lines[3]
+	for _, ch := range []string{"=", "#", "~"} {
+		if !strings.Contains(b1, ch) {
+			t.Errorf("QPU 2 row missing %q: %s", ch, b1)
+		}
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	arch, err := topology.NewArch("clos", 2, 2, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &core.Result{Params: hw.Default()}
+	var buf bytes.Buffer
+	if err := Timeline(&buf, r, arch, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Errorf("empty schedule output = %q", buf.String())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r, arch := fig6Result(t)
+	u := Utilization(r, arch)
+	if len(u) != arch.NumQPUs() {
+		t.Fatalf("len = %d", len(u))
+	}
+	// B1 (QPU 2) is the bottleneck: busiest QPU.
+	for q, v := range u {
+		if v < 0 || v > 1 {
+			t.Errorf("QPU %d utilization %v outside [0,1]", q, v)
+		}
+		if q != 2 && v > u[2] {
+			t.Errorf("QPU %d (%.2f) busier than bottleneck QPU 2 (%.2f)", q, v, u[2])
+		}
+	}
+	if u[2] == 0 {
+		t.Error("bottleneck has zero utilization")
+	}
+}

@@ -1,0 +1,272 @@
+// Package switchqnet is a Go reproduction of "SwitchQNet: Optimizing
+// Distributed Quantum Computing for Quantum Data Centers with Switch
+// Networks" (ISCA 2025): a compiler that schedules EPR-pair generation
+// for quantum data centers whose racks of QPUs are joined by
+// reconfigurable optical switches.
+//
+// The typical flow is:
+//
+//	arch, _ := switchqnet.NewArch(switchqnet.ArchConfig{
+//		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+//		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+//	})
+//	circ, _ := switchqnet.Benchmark("qft", arch.TotalQubits())
+//	compiled, _ := switchqnet.Compile(circ, arch, switchqnet.DefaultParams(), switchqnet.DefaultOptions())
+//	fmt.Println(compiled.Summary.Latency)
+//
+// Compile runs the full pipeline: qubit placement, communication
+// extraction (Cat/TP protocol selection and burst aggregation), EPR
+// dependency-DAG construction, and the SwitchQNet look-ahead scheduler
+// with collective in-rack generation, cross-rack splits with post-split
+// distillation, and the deadlock-free retry mechanism. BaselineOptions
+// configures the same engine as the paper's buffer-assisted on-demand
+// baseline.
+package switchqnet
+
+import (
+	"io"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+	"switchqnet/internal/place"
+	"switchqnet/internal/qec"
+	"switchqnet/internal/sim"
+	"switchqnet/internal/topology"
+	"switchqnet/internal/trace"
+)
+
+// Re-exported core types. These aliases are the public API surface; the
+// internal packages they point at carry the implementation documentation.
+type (
+	// Arch is a QDC architecture: racks of QPUs plus a switch network.
+	Arch = topology.Arch
+	// ArchConfig specifies an architecture for NewArch.
+	ArchConfig = topology.Config
+	// Params holds hardware latencies and fidelities (Section 2.2).
+	Params = hw.Params
+	// Time is a time or duration in microseconds.
+	Time = hw.Time
+	// Options configures the scheduler.
+	Options = core.Options
+	// Strategy selects full / buffer-assisted / strict scheduling.
+	Strategy = core.Strategy
+	// Result is a compiled communication schedule.
+	Result = core.Result
+	// GenEvent is one scheduled EPR generation.
+	GenEvent = core.GenEvent
+	// Circuit is a gate-level quantum circuit.
+	Circuit = circuit.Circuit
+	// Gate is one circuit operation.
+	Gate = circuit.Gate
+	// Demand is one required EPR pair.
+	Demand = epr.Demand
+	// Placement maps program qubits to QPUs.
+	Placement = place.Placement
+	// Summary holds the paper's four evaluation metrics for one run.
+	Summary = metrics.Summary
+	// ExtractOptions tunes the communication-extraction preprocessing.
+	ExtractOptions = comm.Options
+)
+
+// Scheduling strategies.
+const (
+	StrategyFull           = core.StrategyFull
+	StrategyBufferAssisted = core.StrategyBufferAssisted
+	StrategyStrict         = core.StrategyStrict
+)
+
+// NewArch builds an architecture from a configuration.
+func NewArch(cfg ArchConfig) (*Arch, error) { return topology.New(cfg) }
+
+// DefaultParams returns the paper's hardware parameters: 0.1 ms in-rack,
+// 1 ms reconfiguration, 10 ms cross-rack; fidelities 0.95/0.85/0.965.
+func DefaultParams() Params { return hw.Default() }
+
+// DefaultOptions returns the SwitchQNet scheduler configuration
+// (look-ahead 10, collection and splits on, 2-pair distillation).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// BaselineOptions returns the paper's baseline configuration:
+// buffer-assisted on-demand generation without collection or splits.
+func BaselineOptions() Options { return core.BaselineOptions() }
+
+// StrictOptions returns the strict on-demand fallback as a standalone
+// configuration.
+func StrictOptions() Options { return core.StrictOptions() }
+
+// Benchmark builds one of the paper's benchmark circuits ("mct", "qft",
+// "grover", "rca") over the given total qubit count.
+func Benchmark(name string, totalQubits int) (*Circuit, error) {
+	return circuit.Benchmark(name, totalQubits)
+}
+
+// Compiled bundles everything a compilation produces.
+type Compiled struct {
+	// Circuit is the input program (nil when compiled from demands).
+	Circuit *Circuit
+	// Placement maps the program's qubits to QPUs.
+	Placement Placement
+	// Demands is the preprocessed EPR demand list.
+	Demands []Demand
+	// Result is the compiled schedule.
+	Result *Result
+	// Summary holds the evaluation metrics.
+	Summary Summary
+}
+
+// Compile runs the full pipeline on a circuit: block placement,
+// communication extraction, and EPR scheduling.
+func Compile(circ *Circuit, arch *Arch, p Params, opts Options) (*Compiled, error) {
+	return CompileWithExtract(circ, arch, p, opts, comm.DefaultOptions())
+}
+
+// CompileBaseline runs the paper's baseline pipeline: per-gate EPR
+// demands (no burst aggregation or teleportation look-ahead) scheduled
+// with the buffer-assisted on-demand strategy and per-request
+// reconfiguration.
+func CompileBaseline(circ *Circuit, arch *Arch, p Params) (*Compiled, error) {
+	return CompileWithExtract(circ, arch, p, BaselineOptions(), comm.BaselineOptions())
+}
+
+// CompileWithExtract is Compile with explicit extraction options.
+func CompileWithExtract(circ *Circuit, arch *Arch, p Params, opts Options, xopts ExtractOptions) (*Compiled, error) {
+	if err := circ.Validate(); err != nil {
+		return nil, err
+	}
+	pl, err := place.Blocks(circ.NumQubits, arch)
+	if err != nil {
+		return nil, err
+	}
+	demands, err := comm.Extract(circ, pl, arch, xopts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Compile(demands, arch, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Circuit:   circ,
+		Placement: pl,
+		Demands:   res.Demands,
+		Result:    res,
+		Summary:   metrics.Summarize(res),
+	}, nil
+}
+
+// CompileDemands schedules a preprocessed demand list directly, for
+// callers that run their own frontend (e.g. the QEC pipeline).
+func CompileDemands(demands []Demand, arch *Arch, p Params, opts Options) (*Compiled, error) {
+	res, err := core.Compile(demands, arch, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Demands: res.Demands,
+		Result:  res,
+		Summary: metrics.Summarize(res),
+	}, nil
+}
+
+// ExtractDemands runs placement and communication extraction only,
+// returning the EPR demand list a circuit induces on an architecture.
+func ExtractDemands(circ *Circuit, arch *Arch) ([]Demand, error) {
+	pl, err := place.Blocks(circ.NumQubits, arch)
+	if err != nil {
+		return nil, err
+	}
+	return comm.Extract(circ, pl, arch, comm.DefaultOptions())
+}
+
+// Improvement returns the baseline-over-ours latency ratio.
+func Improvement(baseline, ours Summary) float64 {
+	return metrics.Improvement(baseline, ours)
+}
+
+// QEC integration (Section 5.5).
+type (
+	// QECConfig parameterizes the surface-code mapping (code distance,
+	// per-rotation T budget).
+	QECConfig = qec.Config
+	// QECStats summarizes a fault-tolerant decomposition.
+	QECStats = qec.Stats
+)
+
+// DefaultQECConfig returns the paper's Table 3 configuration (d = 5).
+func DefaultQECConfig() QECConfig { return qec.DefaultConfig() }
+
+// QECArch builds the Table 3 architecture: 4 algorithmic logical qubits
+// per QPU, a 12-logical-qubit LDPC buffer, 2 communication qubits.
+func QECArch(topo string, racks, qpusPerRack int) (*Arch, error) {
+	return qec.Arch(topo, racks, qpusPerRack)
+}
+
+// QECBenchmark builds the Table 3 benchmark variants (single-iteration
+// Grover/RCA, exact QFT) over algQubits algorithmic qubits.
+func QECBenchmark(name string, algQubits int) (*Circuit, error) {
+	return qec.Benchmark(name, algQubits)
+}
+
+// CompileFTQC lowers a logical circuit to lattice-surgery EPR demands
+// (d pairs per remote merge, magic states produced locally) and
+// schedules them.
+func CompileFTQC(circ *Circuit, arch *Arch, p Params, opts Options, cfg QECConfig) (*Compiled, QECStats, error) {
+	pl, err := place.Blocks(circ.NumQubits, arch)
+	if err != nil {
+		return nil, QECStats{}, err
+	}
+	demands, stats, err := qec.Lower(circ, pl, arch, cfg)
+	if err != nil {
+		return nil, QECStats{}, err
+	}
+	c, err := CompileDemands(demands, arch, p, opts)
+	if err != nil {
+		return nil, QECStats{}, err
+	}
+	c.Circuit = circ
+	c.Placement = pl
+	return c, stats, nil
+}
+
+// Schedule inspection and analysis.
+
+// WriteScheduleJSON writes a compiled schedule as indented JSON for
+// external tooling.
+func WriteScheduleJSON(w io.Writer, r *Result) error { return trace.WriteJSON(w, r) }
+
+// WriteTimeline renders a per-QPU text timeline of the schedule (the
+// Fig. 6 view) with the given column width.
+func WriteTimeline(w io.Writer, r *Result, arch *Arch, cols int) error {
+	return trace.Timeline(w, r, arch, cols)
+}
+
+// Utilization returns the fraction of the makespan each QPU spends
+// generating EPR pairs.
+func Utilization(r *Result, arch *Arch) []float64 { return trace.Utilization(r, arch) }
+
+// FidelityReport estimates the consumed-EPR fidelity of a schedule.
+type FidelityReport = metrics.FidelityReport
+
+// FidelityAt computes the fidelity report under the given memory
+// coherence time (0 disables decoherence).
+func FidelityAt(r *Result, coherence Time) FidelityReport {
+	return metrics.FidelityAt(r, coherence)
+}
+
+// Validate independently re-checks a compiled schedule against the
+// architecture: resource limits, channel exclusivity, ordering and
+// demand coverage. It returns nil when the schedule is consistent.
+func Validate(r *Result, arch *Arch, p Params) error {
+	return sim.Validate(r, arch, p).Err()
+}
+
+// ParseQASM reads a circuit from the OpenQASM 2.0 subset the library
+// understands (h/x/z/s/sdg/t/tdg/rz/cx/cz/cp/cu1/ccx over one qreg).
+func ParseQASM(r io.Reader) (*Circuit, error) { return circuit.ParseQASM(r) }
+
+// WriteQASM serializes a circuit as OpenQASM 2.0.
+func WriteQASM(w io.Writer, c *Circuit) error { return c.WriteQASM(w) }

@@ -1,0 +1,175 @@
+package switchqnet_test
+
+import (
+	"testing"
+
+	sq "switchqnet"
+	"switchqnet/internal/sim"
+)
+
+func table1Arch(t *testing.T) *sq.Arch {
+	t.Helper()
+	arch, err := sq.NewArch(sq.ArchConfig{
+		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch
+}
+
+// TestHeadlineResult is the end-to-end acceptance test: on the paper's
+// primary configuration, the SwitchQNet pipeline must beat the on-demand
+// baseline by a substantial factor on every benchmark, with low EPR
+// overhead and no retries — Table 2's shape.
+func TestHeadlineResult(t *testing.T) {
+	arch := table1Arch(t)
+	params := sq.DefaultParams()
+	for _, name := range []string{"mct", "qft", "grover", "rca"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			circ, err := sq.Benchmark(name, arch.TotalQubits())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ours, err := sq.Compile(circ, arch, params, sq.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := sq.CompileBaseline(circ, arch, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			impr := sq.Improvement(base.Summary, ours.Summary)
+			t.Logf("%s: base=%.0f ours=%.0f improvement=%.2fx overhead=%.2f%% wait=%.2f splits=%d",
+				name, base.Summary.Latency, ours.Summary.Latency, impr,
+				ours.Summary.EPROverheadPct, ours.Summary.AvgWaitTime, ours.Summary.Splits)
+			if impr < 3 {
+				t.Errorf("improvement %.2fx below 3x (paper average: 8.02x)", impr)
+			}
+			if ours.Summary.EPROverheadPct > 20 {
+				t.Errorf("EPR overhead %.2f%% above 20%% (paper average: 7.41%%)", ours.Summary.EPROverheadPct)
+			}
+			if ours.Summary.RetryOverhead > 1.5 {
+				t.Errorf("retry overhead %.2f above 1.5", ours.Summary.RetryOverhead)
+			}
+			// Independent schedule validation.
+			if err := sim.Validate(ours.Result, arch, params).Err(); err != nil {
+				t.Errorf("ours fails validation: %v", err)
+			}
+			if err := sim.Validate(base.Result, arch, params).Err(); err != nil {
+				t.Errorf("baseline fails validation: %v", err)
+			}
+		})
+	}
+}
+
+func TestCompileRejectsInvalidCircuit(t *testing.T) {
+	arch := table1Arch(t)
+	bad := &sq.Circuit{Name: "bad", NumQubits: 2}
+	bad.Append(sq.Gate{Kind: 0, Q0: 5, Q1: -1}) // qubit out of range
+	if _, err := sq.Compile(bad, arch, sq.DefaultParams(), sq.DefaultOptions()); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestCompileRejectsOversizedProgram(t *testing.T) {
+	arch := table1Arch(t)
+	circ, err := sq.Benchmark("qft", arch.TotalQubits()+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sq.Compile(circ, arch, sq.DefaultParams(), sq.DefaultOptions()); err == nil {
+		t.Error("oversized program accepted")
+	}
+}
+
+func TestExtractDemands(t *testing.T) {
+	arch := table1Arch(t)
+	circ, err := sq.Benchmark("mct", arch.TotalQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, err := sq.ExtractDemands(circ, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demands) == 0 {
+		t.Fatal("no demands")
+	}
+	for i, d := range demands {
+		if d.ID != i {
+			t.Fatalf("demand %d has ID %d", i, d.ID)
+		}
+	}
+}
+
+func TestCompileFTQCEndToEnd(t *testing.T) {
+	arch, err := sq.QECArch("clos", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := sq.QECBenchmark("rca", arch.TotalQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := sq.DefaultParams()
+	cfg := sq.DefaultQECConfig()
+	ours, stats, err := sq.CompileFTQC(circ, arch, params, sq.DefaultOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := sq.CompileFTQC(circ, arch, params, sq.BaselineOptions(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merges == 0 || len(ours.Demands) != cfg.Distance*stats.Merges {
+		t.Errorf("demands %d, merges %d, d %d", len(ours.Demands), stats.Merges, cfg.Distance)
+	}
+	if impr := sq.Improvement(base.Summary, ours.Summary); impr <= 1.2 {
+		t.Errorf("QEC improvement %.2fx, want > 1.2x (paper: 4.23x for RCA-64)", impr)
+	}
+	if err := sim.Validate(ours.Result, arch, params).Err(); err != nil {
+		t.Errorf("FTQC schedule fails validation: %v", err)
+	}
+}
+
+func TestPublicDefaults(t *testing.T) {
+	p := sq.DefaultParams()
+	if p.ReconfigLatency != 1000 || p.CrossRackLatency != 10000 {
+		t.Errorf("params = %+v", p)
+	}
+	o := sq.DefaultOptions()
+	if o.Strategy != sq.StrategyFull || !o.Collection || !o.Split || o.LookAhead != 10 {
+		t.Errorf("options = %+v", o)
+	}
+	bo := sq.BaselineOptions()
+	if bo.Strategy != sq.StrategyBufferAssisted || bo.Collection || bo.Split {
+		t.Errorf("baseline options = %+v", bo)
+	}
+	so := sq.StrictOptions()
+	if so.Strategy != sq.StrategyStrict {
+		t.Errorf("strict options = %+v", so)
+	}
+}
+
+func TestDeterministicPublicAPI(t *testing.T) {
+	arch := table1Arch(t)
+	circ, err := sq.Benchmark("qft", arch.TotalQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sq.Compile(circ, arch, sq.DefaultParams(), sq.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sq.Compile(circ, arch, sq.DefaultParams(), sq.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Makespan != b.Result.Makespan || len(a.Result.Gens) != len(b.Result.Gens) {
+		t.Errorf("nondeterministic compile: %d/%d vs %d/%d",
+			a.Result.Makespan, len(a.Result.Gens), b.Result.Makespan, len(b.Result.Gens))
+	}
+}
