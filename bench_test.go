@@ -2,6 +2,7 @@ package switchqnet_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	sq "switchqnet"
@@ -33,6 +34,20 @@ func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
 
 // BenchmarkTable2 regenerates the primary experiment (Table 2).
 func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkTable2Parallel is BenchmarkTable2 with the compilation cells
+// fanned across all available cores; the BENCH JSON tracks the
+// serial-to-parallel wall-clock ratio of the two.
+func BenchmarkTable2Parallel(b *testing.B) {
+	run := experiments.Registry()["tab2"]
+	cfg := experiments.RunConfig{Quick: true, Parallel: runtime.GOMAXPROCS(0)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkTable3 regenerates the QEC integration (Table 3).
 func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3") }

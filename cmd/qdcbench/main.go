@@ -5,26 +5,45 @@
 //	qdcbench -exp tab2          # the primary experiment (Table 2)
 //	qdcbench -exp fig8a -quick  # buffer-size sweep, reduced grid
 //	qdcbench -exp all           # everything, in paper order
+//	qdcbench -parallel 1        # force the serial path (same output)
 //	qdcbench -list              # list experiment ids
+//
+// Experiment output goes to stdout; timing and worker-pool statistics
+// go to stderr, so stdout is byte-identical at every -parallel setting.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"switchqnet/internal/experiments"
 )
+
+// benchRecord is one line of the -benchjson report: the sweep
+// throughput of a single experiment at the configured parallelism.
+type benchRecord struct {
+	Experiment  string  `json:"experiment"`
+	Parallel    int     `json:"parallel"`
+	Cells       int64   `json:"cells"`
+	Peak        int64   `json:"peak_concurrency"`
+	WallSec     float64 `json:"wall_sec"`
+	CellsPerSec float64 `json:"cells_per_sec"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig2, tab2, fig8a, fig8b, fig9a-c, fig10a-c, tab3, ablation) or 'all'")
 	quick := flag.Bool("quick", false, "reduced benchmark set and sweep grids")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	charts := flag.Bool("charts", false, "append ASCII charts to sweep experiments")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"worker-pool size for compilation cells (1 = serial; output is identical at every setting)")
+	benchjson := flag.String("benchjson", "", "append one JSON throughput record per experiment to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
-	cfg := experiments.RunConfig{Quick: *quick, CSV: *csv, Charts: *charts}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -41,17 +60,48 @@ func main() {
 		}
 		ids = []string{*exp}
 	}
+
+	var records []benchRecord
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
+		}
+		stats := &experiments.SweepStats{}
+		cfg := experiments.RunConfig{
+			Quick: *quick, CSV: *csv, Charts: *charts,
+			Parallel: *parallel, Stats: stats,
 		}
 		start := time.Now()
 		if err := reg[id](os.Stdout, cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "qdcbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		if !*csv {
-			fmt.Printf("[%s completed in %.1fs]\n", id, time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs: %d cells, parallel=%d, peak=%d]\n",
+			id, time.Since(start).Seconds(), stats.Cells, *parallel, stats.Peak)
+		records = append(records, benchRecord{
+			Experiment: id, Parallel: *parallel,
+			Cells: stats.Cells, Peak: stats.Peak,
+			WallSec:     stats.Wall.Seconds(),
+			CellsPerSec: stats.CellsPerSec(),
+		})
+	}
+
+	if *benchjson != "" {
+		f, err := os.OpenFile(*benchjson, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qdcbench:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		for _, r := range records {
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, "qdcbench:", err)
+				os.Exit(1)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "qdcbench:", err)
+			os.Exit(1)
 		}
 	}
 }

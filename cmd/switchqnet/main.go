@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	sq "switchqnet"
 )
@@ -28,6 +30,8 @@ func main() {
 		distill  = flag.Int("distill", 2, "EPR pairs per post-split distillation (1 = off)")
 		baseline = flag.Bool("baseline", false, "use the on-demand baseline pipeline")
 		compare  = flag.Bool("compare", false, "run both pipelines and report the improvement")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"with -compare, >1 compiles both pipelines concurrently (output is identical)")
 		verbose  = flag.Bool("v", false, "print the first scheduled generations")
 		timeline = flag.Bool("timeline", false, "print a per-QPU text timeline of the schedule")
 		traceOut = flag.String("trace", "", "write the compiled schedule as JSON to this file")
@@ -67,14 +71,32 @@ func main() {
 	opts.DistillK = *distill
 
 	var ours, base *sq.Compiled
-	if !*baseline || *compare {
-		if ours, err = sq.Compile(circ, arch, params, opts); err != nil {
-			fail(err)
+	if *compare && *parallel > 1 {
+		// The two pipelines are independent and sq.Compile is race-clean,
+		// so compile both concurrently. Reporting happens after the join,
+		// keeping the output identical to the serial path.
+		var oursErr, baseErr error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); ours, oursErr = sq.Compile(circ, arch, params, opts) }()
+		go func() { defer wg.Done(); base, baseErr = sq.CompileBaseline(circ, arch, params) }()
+		wg.Wait()
+		if oursErr != nil {
+			fail(oursErr)
 		}
-	}
-	if *baseline || *compare {
-		if base, err = sq.CompileBaseline(circ, arch, params); err != nil {
-			fail(err)
+		if baseErr != nil {
+			fail(baseErr)
+		}
+	} else {
+		if !*baseline || *compare {
+			if ours, err = sq.Compile(circ, arch, params, opts); err != nil {
+				fail(err)
+			}
+		}
+		if *baseline || *compare {
+			if base, err = sq.CompileBaseline(circ, arch, params); err != nil {
+				fail(err)
+			}
 		}
 	}
 	if ours != nil {

@@ -1,6 +1,47 @@
 package core
 
+import (
+	"fmt"
+	"os"
+
+	"switchqnet/internal/hw"
+)
+
 // debugStuck, when non-nil, is invoked with the engine each time the
 // scheduler detects a stuck state, before the retry reversion. Tests use
 // it to inspect deadlock causes.
 var debugStuck func(*engine)
+
+// ValidateEnv names the environment variable that enables the per-event
+// netstate invariant assertions. CI's race job and the parallel
+// experiment runner's smoke run set it so an invariant broken by a
+// scheduling step fails loudly at the event that caused it, instead of
+// silently requeueing work until retries exhaust.
+const ValidateEnv = "SWITCHQNET_VALIDATE"
+
+// debugValidate gates the assertions; it is read once at startup.
+var debugValidate = os.Getenv(ValidateEnv) != ""
+
+// validateState asserts the netstate resource invariants (with the
+// scheduling position as context) when the debug flag is on.
+func (e *engine) validateState(t hw.Time) error {
+	if !debugValidate {
+		return nil
+	}
+	if err := e.st.net.Validate(); err != nil {
+		return fmt.Errorf("core: invariant broken at t=%d (%d/%d demands consumed, strategy %v): %w",
+			t, e.st.consumed, e.dag.Len(), e.strategy(), err)
+	}
+	return nil
+}
+
+// assertf records an invariant violation detected inline by a scheduling
+// step (only under the debug flag); the run loop surfaces it as the
+// compile error. The first violation wins — later ones happen in a state
+// that is already corrupt.
+func (e *engine) assertf(format string, args ...any) {
+	if !debugValidate || e.invariantErr != nil {
+		return
+	}
+	e.invariantErr = fmt.Errorf("core: invariant broken: "+format, args...)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+)
+
+// syntheticDemands builds a deterministic pseudo-random demand list
+// mixing in-rack and cross-rack pairs over every QPU of a racks x
+// perRack architecture (an LCG keeps the list stable across runs).
+func syntheticDemands(n, qpus int) []epr.Demand {
+	seed := uint64(0x9E3779B97F4A7C15)
+	next := func(m int) int {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int((seed >> 33) % uint64(m))
+	}
+	ds := make([]epr.Demand, 0, n)
+	for i := 0; i < n; i++ {
+		a := next(qpus)
+		b := next(qpus)
+		if a == b {
+			b = (a + 1) % qpus
+		}
+		p := epr.Cat
+		if next(3) == 0 {
+			p = epr.TP
+		}
+		d := dmd(i, a, b, p)
+		d.Gates = 1 + next(4)
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// TestCompileDeterministic is the determinism property test guarding the
+// map-iteration sites (frontier, channelsByID, the look-ahead window):
+// compiling the same demand list twice must produce deeply-equal
+// results. The parallel experiment runner additionally relies on this —
+// its serial-vs-parallel byte-equality test lives in
+// internal/experiments.
+func TestCompileDeterministic(t *testing.T) {
+	a := arch(t, 4, 4, 30, 10, 2)
+	ds := syntheticDemands(150, a.NumQPUs())
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"full", DefaultOptions()},
+		{"baseline", BaselineOptions()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r1, err := Compile(ds, a, hw.Default(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Compile(ds, a, hw.Default(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("two compilations of the same input differ (makespans %d vs %d, %d vs %d gens)",
+					r1.Makespan, r2.Makespan, len(r1.Gens), len(r2.Gens))
+			}
+			if r1.Makespan <= 0 || len(r1.Gens) == 0 {
+				t.Errorf("degenerate schedule: makespan %d, %d gens", r1.Makespan, len(r1.Gens))
+			}
+		})
+	}
+}
+
+// TestCompileDeterministicUnderValidation re-runs the property with the
+// debug invariant assertions enabled: the assertions must neither fire
+// on a healthy compilation nor perturb the schedule.
+func TestCompileDeterministicUnderValidation(t *testing.T) {
+	old := debugValidate
+	debugValidate = true
+	defer func() { debugValidate = old }()
+
+	a := arch(t, 2, 4, 30, 10, 2)
+	ds := syntheticDemands(80, a.NumQPUs())
+	r1, err := Compile(ds, a, hw.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugValidate = false
+	r2, err := Compile(ds, a, hw.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("debug assertions changed the compiled schedule")
+	}
+}

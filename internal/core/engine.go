@@ -182,7 +182,15 @@ type engine struct {
 	overrideUntil   hw.Time
 	overrideActive  bool
 	overrideForever bool
-	routeFail       map[[2]int]bool // per-pass negative route cache
+	// routeFail is the per-pass negative route cache. Each entry records
+	// the netstate teardown epoch it was written at: a later epoch means
+	// OpenChannel tore down idle channels mid-pass, freeing edges or BSMs
+	// the pair may have needed, so the entry is dropped instead of
+	// trusted (see routeBlocked).
+	routeFail map[[2]int]uint64
+	// invariantErr records the first inline invariant violation detected
+	// under the debug flag (see assertf); the run loop surfaces it.
+	invariantErr error
 }
 
 // Compile schedules the demand list on the architecture and returns the
@@ -261,6 +269,9 @@ func (e *engine) strategy() Strategy {
 func (e *engine) run() error {
 	for {
 		e.pass()
+		if e.invariantErr != nil {
+			return e.invariantErr
+		}
 		if e.st.consumed == e.dag.Len() {
 			return nil
 		}
@@ -271,6 +282,9 @@ func (e *engine) run() error {
 			continue
 		}
 		e.advance()
+		if err := e.validateState(e.st.net.Now); err != nil {
+			return err
+		}
 		e.maybeCheckpoint()
 	}
 }

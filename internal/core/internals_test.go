@@ -130,6 +130,92 @@ func TestOptionsNormalize(t *testing.T) {
 	}
 }
 
+func TestRouteFailCacheInvalidatedByTeardown(t *testing.T) {
+	e := windowEngine(t, []epr.Demand{dmd(0, 0, 2, epr.Cat)})
+	e.routeFail = make(map[[2]int]uint64)
+	key := [2]int{0, 2}
+	e.markRouteFail(key)
+	if !e.routeBlocked(key) {
+		t.Fatal("fresh negative entry not blocking")
+	}
+	// A mid-pass teardown advances the epoch: the entry is stale and must
+	// be dropped, not trusted.
+	ch := e.st.net.OpenChannel(0, 1)
+	e.st.net.CloseChannel(ch.ID)
+	if e.routeBlocked(key) {
+		t.Error("stale entry still blocking after teardown freed resources")
+	}
+	if _, ok := e.routeFail[key]; ok {
+		t.Error("stale entry not evicted from the cache")
+	}
+}
+
+func TestDemandBecomesRoutableWithinPass(t *testing.T) {
+	// A pair marked unroutable early in a pass must be re-checked after a
+	// teardown frees the edges it needed, within the same time slice.
+	e := windowEngine(t, []epr.Demand{dmd(0, 0, 2, epr.Cat)})
+	e.routeFail = make(map[[2]int]uint64)
+	net := e.st.net
+	// Saturate QPU 0's uplink (capacity 2) with busy channels.
+	c1 := net.OpenChannel(0, 1)
+	c2 := net.OpenChannel(0, 1)
+	if c1 == nil || c2 == nil {
+		t.Fatal("setup channels failed")
+	}
+	net.EnqueueGeneration(c1, 1<<40)
+	net.EnqueueGeneration(c2, 1<<40)
+	net.Now = 10
+	if e.channelAvailable(0, 2, false) {
+		t.Fatal("pair (0,2) routable despite saturated busy uplink")
+	}
+	if !e.routeBlocked([2]int{0, 2}) {
+		t.Fatal("negative entry not recorded")
+	}
+	// Another pair's OpenChannel tears one channel down mid-pass (here
+	// simulated directly): (0, 2) is routable again in this same pass.
+	net.CloseChannel(c1.ID)
+	if !e.channelAvailable(0, 2, false) {
+		t.Error("pair (0,2) still blocked by stale cache entry after teardown")
+	}
+}
+
+func TestValidateStateCatchesCorruption(t *testing.T) {
+	old := debugValidate
+	debugValidate = true
+	defer func() { debugValidate = old }()
+
+	e := windowEngine(t, []epr.Demand{dmd(0, 0, 1, epr.Cat)})
+	if err := e.validateState(0); err != nil {
+		t.Fatalf("valid state rejected: %v", err)
+	}
+	e.st.net.QPUs[0].FreeComm = -1
+	if err := e.validateState(7); err == nil {
+		t.Error("corrupted state accepted")
+	}
+	e.st.net.QPUs[0].FreeComm = 0
+
+	e.assertf("broken %d", 42)
+	if e.invariantErr == nil {
+		t.Fatal("assertf recorded nothing under the debug flag")
+	}
+	first := e.invariantErr
+	e.assertf("later")
+	if e.invariantErr != first {
+		t.Error("assertf overwrote the first violation")
+	}
+
+	debugValidate = false
+	e2 := windowEngine(t, []epr.Demand{dmd(0, 0, 1, epr.Cat)})
+	e2.st.net.QPUs[0].FreeComm = -1
+	if err := e2.validateState(0); err != nil {
+		t.Errorf("assertions active without the debug flag: %v", err)
+	}
+	e2.assertf("ignored")
+	if e2.invariantErr != nil {
+		t.Error("assertf recorded without the debug flag")
+	}
+}
+
 // windowEngine builds an engine around a demand list without running it.
 func windowEngine(t *testing.T, demands []epr.Demand) *engine {
 	t.Helper()

@@ -16,7 +16,7 @@ import (
 func (e *engine) pass() {
 	e.st.slices++
 	e.totalSlices++
-	e.routeFail = make(map[[2]int]bool)
+	e.routeFail = make(map[[2]int]uint64)
 
 	strat := e.strategy()
 	if strat == StrategyStrict {
@@ -194,6 +194,29 @@ func (e *engine) reusableChannel(a, b int, collection bool) *netstate.Channel {
 	return nil
 }
 
+// routeBlocked consults the negative route cache for a pair key. An
+// entry is trusted only while the teardown epoch it was recorded at is
+// current: once a teardown frees edges or BSMs mid-pass, the pair may
+// have become routable within the same time slice, so the stale entry is
+// dropped and the routing check runs again.
+func (e *engine) routeBlocked(key [2]int) bool {
+	epoch, ok := e.routeFail[key]
+	if !ok {
+		return false
+	}
+	if epoch != e.st.net.TeardownEpoch {
+		delete(e.routeFail, key)
+		return false
+	}
+	return true
+}
+
+// markRouteFail records that the pair is unroutable at the current
+// teardown epoch.
+func (e *engine) markRouteFail(key [2]int) {
+	e.routeFail[key] = e.st.net.TeardownEpoch
+}
+
 // acquireChannel returns a channel to generate between a and b on,
 // reusing a live channel when collection allows it, or opening a new
 // one. It returns (nil, false) when no channel can be established.
@@ -203,12 +226,12 @@ func (e *engine) acquireChannel(a, b int, collection bool) (ch *netstate.Channel
 		return live, false
 	}
 	key := [2]int{min(a, b), max(a, b)}
-	if e.routeFail[key] {
+	if e.routeBlocked(key) {
 		return nil, false
 	}
 	ch = st.net.OpenChannel(a, b)
 	if ch == nil {
-		e.routeFail[key] = true
+		e.markRouteFail(key)
 		return nil, false
 	}
 	return ch, true
@@ -222,13 +245,13 @@ func (e *engine) channelAvailable(a, b int, collection bool) bool {
 		return true
 	}
 	key := [2]int{min(a, b), max(a, b)}
-	if e.routeFail[key] {
+	if e.routeBlocked(key) {
 		return false
 	}
 	if st.net.CanRoute(a, b) {
 		return true
 	}
-	e.routeFail[key] = true
+	e.markRouteFail(key)
 	return false
 }
 
@@ -479,12 +502,15 @@ func (e *engine) tryScheduleInPart(splitID int32, collection bool) bool {
 	// slots (m_busy); the helper's cross-half slot was already taken at
 	// split time, leaving m_helper - 1 to fill. Both are backed by the
 	// reservation taken at split commit, so these checks can only fail
-	// if an invariant broke elsewhere.
+	// if an invariant broke elsewhere — under the debug flag that breaks
+	// loudly instead of requeueing the part until retries exhaust.
 	needB, needH := s.mBusy, s.mHelper-1
 	if qb.FreeComm < 1 || qh.FreeComm < 1 {
 		return false
 	}
 	if qb.FreeBuf < needB || qh.FreeBuf < needH {
+		e.assertf("split %d part lost its backing reservation: busy QPU %d FreeBuf %d < %d or helper QPU %d FreeBuf %d < %d",
+			splitID, busy, qb.FreeBuf, needB, helper, qh.FreeBuf, needH)
 		return false
 	}
 	if !e.channelAvailable(busy, helper, collection) {

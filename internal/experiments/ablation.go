@@ -62,8 +62,10 @@ type AblationRow struct {
 	Summary   metrics.Summary
 }
 
-// AblationRows runs every ablation variant on program-480.
-func AblationRows(quick bool) ([]AblationRow, error) {
+// AblationRows runs every ablation variant on program-480, fanning the
+// (benchmark, variant) cells across the worker pool in the serial row
+// order (benchmarks outer, variants inner).
+func AblationRows(cfg RunConfig) ([]AblationRow, error) {
 	s := Program480()
 	arch, err := s.Arch()
 	if err != nil {
@@ -71,31 +73,35 @@ func AblationRows(quick bool) ([]AblationRow, error) {
 	}
 	p := hw.Default()
 	benches := Benchmarks()
-	if quick {
+	if cfg.Quick {
 		benches = []string{"MCT", "QFT"}
 	}
-	var rows []AblationRow
-	for _, bench := range benches {
-		for _, v := range AblationVariants() {
-			xopts := comm.DefaultOptions()
-			if v.BaselineExtract {
-				xopts = comm.BaselineOptions()
-			}
-			res, err := compilePipeline(bench, arch, p, v.Opts, xopts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation %s/%s: %w", bench, v.Name, err)
-			}
-			rows = append(rows, AblationRow{
-				Benchmark: bench, Variant: v.Name, Summary: metrics.Summarize(res),
-			})
+	variants := AblationVariants()
+	rows := make([]AblationRow, len(benches)*len(variants))
+	err = cfg.forEachCell(len(rows), func(i int) error {
+		bench, v := benches[i/len(variants)], variants[i%len(variants)]
+		xopts := comm.DefaultOptions()
+		if v.BaselineExtract {
+			xopts = comm.BaselineOptions()
 		}
+		res, err := compilePipeline(bench, arch, p, v.Opts, xopts)
+		if err != nil {
+			return fmt.Errorf("experiments: ablation %s/%s: %w", bench, v.Name, err)
+		}
+		rows[i] = AblationRow{
+			Benchmark: bench, Variant: v.Name, Summary: metrics.Summarize(res),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
 // Ablation renders the design-choice ablation study.
 func Ablation(w io.Writer, cfg RunConfig) error {
-	rows, err := AblationRows(cfg.Quick)
+	rows, err := AblationRows(cfg)
 	if err != nil {
 		return err
 	}

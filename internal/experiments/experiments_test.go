@@ -64,7 +64,7 @@ func TestRunBenchmarkShape(t *testing.T) {
 }
 
 func TestTable2QuickShape(t *testing.T) {
-	rows, groups, err := Table2Rows(true)
+	rows, groups, err := Table2Rows(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestTable2QuickShape(t *testing.T) {
 }
 
 func TestTable3QuickShape(t *testing.T) {
-	rows, err := Table3Rows(true)
+	rows, err := Table3Rows(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestTable3QuickShape(t *testing.T) {
 }
 
 func TestFig2QuickShape(t *testing.T) {
-	rows, err := Fig2Rows(true)
+	rows, err := Fig2Rows(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestFig2QuickShape(t *testing.T) {
 }
 
 func TestFig8aTurningPoint(t *testing.T) {
-	pts, benches, err := Fig8aPoints(true)
+	pts, benches, err := Fig8aPoints(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestFig8aTurningPoint(t *testing.T) {
 }
 
 func TestFig8bLookAheadHelps(t *testing.T) {
-	pts, benches, err := Fig8bPoints(true)
+	pts, benches, err := Fig8bPoints(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestFig8bLookAheadHelps(t *testing.T) {
 }
 
 func TestFig9bLatencyGrowsWithCrossLatency(t *testing.T) {
-	pts, benches, err := Fig9bPoints(true)
+	pts, benches, err := Fig9bPoints(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestFig9bLatencyGrowsWithCrossLatency(t *testing.T) {
 }
 
 func TestFig10aOverheadGrowsTowardEqualFidelity(t *testing.T) {
-	pts, benches, err := Fig10aPoints(true)
+	pts, benches, err := Fig10aPoints(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestFig10aOverheadGrowsTowardEqualFidelity(t *testing.T) {
 }
 
 func TestFig10bOverheadFallsWithDistilledFidelity(t *testing.T) {
-	pts, benches, err := Fig10bPoints(true)
+	pts, benches, err := Fig10bPoints(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestAllRunnersQuick(t *testing.T) {
 }
 
 func TestAblationShape(t *testing.T) {
-	rows, err := AblationRows(true)
+	rows, err := AblationRows(RunConfig{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,15 +24,18 @@ type Fig2Result struct {
 	CrossLatencyPct, ReconfigLatencyPct, InRackLatencyPct float64
 }
 
-// Fig2Rows profiles the on-demand workload on program-480.
-func Fig2Rows(quick bool) ([]Fig2Result, error) {
+// Fig2Rows profiles the on-demand workload on program-480. Each
+// (benchmark, hardware-variant) compilation is an independent cell on
+// the worker pool; results land in index-addressed slots so the rows
+// match a serial run exactly.
+func Fig2Rows(cfg RunConfig) ([]Fig2Result, error) {
 	s := Program480()
 	arch, err := s.Arch()
 	if err != nil {
 		return nil, err
 	}
 	benches := Benchmarks()
-	if quick {
+	if cfg.Quick {
 		benches = []string{"MCT", "QFT"}
 	}
 	// "Zero" stand-ins: 1 us is three orders of magnitude below the real
@@ -44,29 +47,31 @@ func Fig2Rows(quick bool) ([]Fig2Result, error) {
 	onlyCross.ReconfigLatency = 1
 	noInRack := full
 	noInRack.InRackLatency = 1
+	variants := []hw.Params{full, onlyCross, noInRack}
 
+	makespans := make([]hw.Time, len(benches)*len(variants))
+	demands := make([][]epr.Demand, len(benches))
+	err = cfg.forEachCell(len(makespans), func(i int) error {
+		bi, vi := i/len(variants), i%len(variants)
+		res, err := compilePipeline(benches[bi], arch, variants[vi], core.BaselineOptions(), comm.BaselineOptions())
+		if err != nil {
+			return err
+		}
+		makespans[i] = res.Makespan
+		if vi == 0 { // the full-latency run supplies the demand counts
+			demands[bi] = res.Demands
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []Fig2Result
-	for _, bench := range benches {
-		run := func(p hw.Params) (hw.Time, []epr.Demand, error) {
-			res, err := compilePipeline(bench, arch, p, core.BaselineOptions(), comm.BaselineOptions())
-			if err != nil {
-				return 0, nil, err
-			}
-			return res.Makespan, res.Demands, nil
-		}
-		lFull, demands, err := run(full)
-		if err != nil {
-			return nil, err
-		}
-		lCross, _, err := run(onlyCross)
-		if err != nil {
-			return nil, err
-		}
-		lNoIn, _, err := run(noInRack)
-		if err != nil {
-			return nil, err
-		}
-		counts := epr.Count(demands)
+	for bi, bench := range benches {
+		lFull := makespans[bi*len(variants)]
+		lCross := makespans[bi*len(variants)+1]
+		lNoIn := makespans[bi*len(variants)+2]
+		counts := epr.Count(demands[bi])
 		r := Fig2Result{Benchmark: bench}
 		if counts.Total > 0 {
 			r.InRackPct = 100 * float64(counts.InRack) / float64(counts.Total)
@@ -84,7 +89,7 @@ func Fig2Rows(quick bool) ([]Fig2Result, error) {
 
 // Fig2 renders the communication-budget profile.
 func Fig2(w io.Writer, cfg RunConfig) error {
-	rows, err := Fig2Rows(cfg.Quick)
+	rows, err := Fig2Rows(cfg)
 	if err != nil {
 		return err
 	}

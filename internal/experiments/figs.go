@@ -26,23 +26,37 @@ func (p SweepPoint) Improvement(bench string) float64 {
 	return p.Baseline[bench] / p.Ours[bench]
 }
 
-// sweep evaluates one experiment point per x value. configure returns
-// the setting, hardware parameters and scheduler options for an x.
-func sweep(xs []float64, benches []string,
+// sweep evaluates one experiment point per x value, fanning the
+// (x, benchmark) cells across the configured worker pool. configure
+// returns the setting, hardware parameters and scheduler options for an
+// x; it is called from worker goroutines and must not share mutable
+// state. Outcomes are collected by index, so the resulting points are
+// identical to a serial evaluation.
+func sweep(cfg RunConfig, xs []float64, benches []string,
 	configure func(x float64) (Setting, hw.Params, core.Options)) ([]SweepPoint, error) {
-	var points []SweepPoint
-	for _, x := range xs {
+	outs := make([]Outcome, len(xs)*len(benches))
+	err := cfg.forEachCell(len(outs), func(i int) error {
+		x, bench := xs[i/len(benches)], benches[i%len(benches)]
 		s, p, opts := configure(x)
+		o, err := RunBenchmark(bench, s, p, opts)
+		if err != nil {
+			return fmt.Errorf("experiments: sweep x=%v: %w", x, err)
+		}
+		outs[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SweepPoint, len(xs))
+	for xi, x := range xs {
 		pt := SweepPoint{X: x, Baseline: map[string]float64{}, Ours: map[string]float64{}}
-		for _, bench := range benches {
-			o, err := RunBenchmark(bench, s, p, opts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: sweep x=%v: %w", x, err)
-			}
+		for bi, bench := range benches {
+			o := outs[xi*len(benches)+bi]
 			pt.Baseline[bench] = o.Baseline.Latency
 			pt.Ours[bench] = o.Ours.Latency
 		}
-		points = append(points, pt)
+		points[xi] = pt
 	}
 	return points, nil
 }
@@ -91,13 +105,13 @@ func sweepBenches(quick bool) []string {
 }
 
 // Fig8aPoints sweeps the buffer size on program-480.
-func Fig8aPoints(quick bool) ([]SweepPoint, []string, error) {
+func Fig8aPoints(cfg RunConfig) ([]SweepPoint, []string, error) {
 	xs := []float64{1, 2, 4, 7, 10, 15, 20, 25, 30}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{2, 10}
 	}
-	benches := sweepBenches(quick)
-	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := sweep(cfg, xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
 		s := Program480()
 		s.BufferSize = int(x)
 		return s, hw.Default(), core.DefaultOptions()
@@ -107,7 +121,7 @@ func Fig8aPoints(quick bool) ([]SweepPoint, []string, error) {
 
 // Fig8a renders the buffer-size sweep (Fig. 8(a)).
 func Fig8a(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig8aPoints(cfg.Quick)
+	pts, benches, err := Fig8aPoints(cfg)
 	if err != nil {
 		return err
 	}
@@ -115,13 +129,13 @@ func Fig8a(w io.Writer, cfg RunConfig) error {
 }
 
 // Fig8bPoints sweeps the look-ahead depth on program-480.
-func Fig8bPoints(quick bool) ([]SweepPoint, []string, error) {
+func Fig8bPoints(cfg RunConfig) ([]SweepPoint, []string, error) {
 	xs := []float64{1, 2, 3, 5, 7, 10, 15, 20, 30}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{1, 10}
 	}
-	benches := sweepBenches(quick)
-	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := sweep(cfg, xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
 		opts := core.DefaultOptions()
 		opts.LookAhead = int(x)
 		return Program480(), hw.Default(), opts
@@ -131,7 +145,7 @@ func Fig8bPoints(quick bool) ([]SweepPoint, []string, error) {
 
 // Fig8b renders the look-ahead sweep (Fig. 8(b)).
 func Fig8b(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig8bPoints(cfg.Quick)
+	pts, benches, err := Fig8bPoints(cfg)
 	if err != nil {
 		return err
 	}
@@ -139,13 +153,13 @@ func Fig8b(w io.Writer, cfg RunConfig) error {
 }
 
 // Fig9aPoints sweeps the number of communication qubits per QPU.
-func Fig9aPoints(quick bool) ([]SweepPoint, []string, error) {
+func Fig9aPoints(cfg RunConfig) ([]SweepPoint, []string, error) {
 	xs := []float64{1, 2, 3, 4, 5, 6}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{1, 4}
 	}
-	benches := sweepBenches(quick)
-	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := sweep(cfg, xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
 		s := Program480()
 		s.CommQubits = int(x)
 		return s, hw.Default(), core.DefaultOptions()
@@ -155,7 +169,7 @@ func Fig9aPoints(quick bool) ([]SweepPoint, []string, error) {
 
 // Fig9a renders the communication-qubit sweep (Fig. 9(a)).
 func Fig9a(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig9aPoints(cfg.Quick)
+	pts, benches, err := Fig9aPoints(cfg)
 	if err != nil {
 		return err
 	}
@@ -164,13 +178,13 @@ func Fig9a(w io.Writer, cfg RunConfig) error {
 
 // Fig9bPoints sweeps the cross-rack EPR latency (in reconfiguration
 // units).
-func Fig9bPoints(quick bool) ([]SweepPoint, []string, error) {
+func Fig9bPoints(cfg RunConfig) ([]SweepPoint, []string, error) {
 	xs := []float64{5, 10, 15, 20, 25, 30}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{5, 20}
 	}
-	benches := sweepBenches(quick)
-	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := sweep(cfg, xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
 		p := hw.Default()
 		p.CrossRackLatency = hw.Time(x * float64(p.ReconfigLatency))
 		return Program480(), p, core.DefaultOptions()
@@ -180,7 +194,7 @@ func Fig9bPoints(quick bool) ([]SweepPoint, []string, error) {
 
 // Fig9b renders the cross-rack latency sweep (Fig. 9(b)).
 func Fig9b(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig9bPoints(cfg.Quick)
+	pts, benches, err := Fig9bPoints(cfg)
 	if err != nil {
 		return err
 	}
@@ -188,13 +202,13 @@ func Fig9b(w io.Writer, cfg RunConfig) error {
 }
 
 // Fig9cPoints sweeps the in-rack EPR latency (in reconfiguration units).
-func Fig9cPoints(quick bool) ([]SweepPoint, []string, error) {
+func Fig9cPoints(cfg RunConfig) ([]SweepPoint, []string, error) {
 	xs := []float64{0.05, 0.1, 0.2, 0.4, 0.7, 1.0}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{0.05, 0.5}
 	}
-	benches := sweepBenches(quick)
-	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := sweep(cfg, xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
 		p := hw.Default()
 		p.InRackLatency = hw.Time(x * float64(p.ReconfigLatency))
 		return Program480(), p, core.DefaultOptions()
@@ -204,7 +218,7 @@ func Fig9cPoints(quick bool) ([]SweepPoint, []string, error) {
 
 // Fig9c renders the in-rack latency sweep (Fig. 9(c)).
 func Fig9c(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig9cPoints(cfg.Quick)
+	pts, benches, err := Fig9cPoints(cfg)
 	if err != nil {
 		return err
 	}
@@ -219,27 +233,32 @@ type OverheadPoint struct {
 }
 
 // fidelitySweep compiles each benchmark once with the SwitchQNet
-// pipeline and reweighs its EPR overhead under swept fidelities.
-func fidelitySweep(xs []float64, benches []string, reweigh func(x float64) hw.Params) ([]OverheadPoint, error) {
+// pipeline (compilations fan out across the worker pool) and reweighs
+// its EPR overhead under swept fidelities.
+func fidelitySweep(cfg RunConfig, xs []float64, benches []string, reweigh func(x float64) hw.Params) ([]OverheadPoint, error) {
 	s := Program480()
 	arch, err := s.Arch()
 	if err != nil {
 		return nil, err
 	}
-	results := make(map[string]*core.Result)
-	for _, bench := range benches {
-		res, err := compilePipeline(bench, arch, hw.Default(), core.DefaultOptions(), comm.DefaultOptions())
+	results := make([]*core.Result, len(benches))
+	err = cfg.forEachCell(len(benches), func(i int) error {
+		res, err := compilePipeline(benches[i], arch, hw.Default(), core.DefaultOptions(), comm.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		results[bench] = res
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var pts []OverheadPoint
 	for _, x := range xs {
 		p := reweigh(x)
 		pt := OverheadPoint{X: x, Overhead: map[string]float64{}}
-		for _, bench := range benches {
-			pt.Overhead[bench] = metrics.SummarizeWith(results[bench], p).EPROverheadPct
+		for bi, bench := range benches {
+			pt.Overhead[bench] = metrics.SummarizeWith(results[bi], p).EPROverheadPct
 		}
 		pts = append(pts, pt)
 	}
@@ -263,13 +282,13 @@ func renderOverheadSweep(w io.Writer, cfg RunConfig, title, xLabel string, pts [
 }
 
 // Fig10aPoints sweeps the cross-rack EPR fidelity from 0.75 to 0.95.
-func Fig10aPoints(quick bool) ([]OverheadPoint, []string, error) {
+func Fig10aPoints(cfg RunConfig) ([]OverheadPoint, []string, error) {
 	xs := []float64{0.75, 0.80, 0.85, 0.90, 0.95}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{0.75, 0.95}
 	}
-	benches := sweepBenches(quick)
-	pts, err := fidelitySweep(xs, benches, func(x float64) hw.Params {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := fidelitySweep(cfg, xs, benches, func(x float64) hw.Params {
 		p := hw.Default()
 		p.FCrossRack = x
 		return p
@@ -279,7 +298,7 @@ func Fig10aPoints(quick bool) ([]OverheadPoint, []string, error) {
 
 // Fig10a renders the cross-rack fidelity sensitivity (Fig. 10(a)).
 func Fig10a(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig10aPoints(cfg.Quick)
+	pts, benches, err := Fig10aPoints(cfg)
 	if err != nil {
 		return err
 	}
@@ -288,13 +307,13 @@ func Fig10a(w io.Writer, cfg RunConfig) error {
 }
 
 // Fig10bPoints sweeps the distilled in-rack fidelity 0.95 to 0.995.
-func Fig10bPoints(quick bool) ([]OverheadPoint, []string, error) {
+func Fig10bPoints(cfg RunConfig) ([]OverheadPoint, []string, error) {
 	xs := []float64{0.95, 0.96, 0.965, 0.975, 0.985, 0.995}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{0.95, 0.995}
 	}
-	benches := sweepBenches(quick)
-	pts, err := fidelitySweep(xs, benches, func(x float64) hw.Params {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := fidelitySweep(cfg, xs, benches, func(x float64) hw.Params {
 		p := hw.Default()
 		p.FDistilled = x
 		return p
@@ -304,7 +323,7 @@ func Fig10bPoints(quick bool) ([]OverheadPoint, []string, error) {
 
 // Fig10b renders the distilled fidelity sensitivity (Fig. 10(b)).
 func Fig10b(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig10bPoints(cfg.Quick)
+	pts, benches, err := Fig10bPoints(cfg)
 	if err != nil {
 		return err
 	}
@@ -314,13 +333,13 @@ func Fig10b(w io.Writer, cfg RunConfig) error {
 
 // Fig10cPoints sweeps the number of EPR pairs per distillation (1 = no
 // distillation) and reports our latency.
-func Fig10cPoints(quick bool) ([]SweepPoint, []string, error) {
+func Fig10cPoints(cfg RunConfig) ([]SweepPoint, []string, error) {
 	xs := []float64{1, 2, 3, 4, 6, 8, 10}
-	if quick {
+	if cfg.Quick {
 		xs = []float64{1, 3}
 	}
-	benches := sweepBenches(quick)
-	pts, err := sweep(xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
+	benches := sweepBenches(cfg.Quick)
+	pts, err := sweep(cfg, xs, benches, func(x float64) (Setting, hw.Params, core.Options) {
 		opts := core.DefaultOptions()
 		opts.DistillK = int(x)
 		return Program480(), hw.Default(), opts
@@ -330,7 +349,7 @@ func Fig10cPoints(quick bool) ([]SweepPoint, []string, error) {
 
 // Fig10c renders the latency cost of deeper distillation (Fig. 10(c)).
 func Fig10c(w io.Writer, cfg RunConfig) error {
-	pts, benches, err := Fig10cPoints(cfg.Quick)
+	pts, benches, err := Fig10cPoints(cfg)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SweepStats aggregates the execution profile of an experiment's
+// compilation cells for throughput reporting (the BENCH_*.json
+// entries). Fields are updated atomically while a sweep runs; read them
+// only after the runner returns.
+type SweepStats struct {
+	// Cells is the number of compilation cells dispatched.
+	Cells int64
+	// Peak is the maximum number of cells that ran concurrently.
+	Peak int64
+	// Wall is the wall-clock time summed over the runner's fan-out
+	// stages (excludes rendering).
+	Wall time.Duration
+}
+
+// CellsPerSec is the sweep throughput.
+func (s *SweepStats) CellsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Cells) / s.Wall.Seconds()
+}
+
+func (s *SweepStats) add(cells int64, peak int64, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.Cells, cells)
+	atomicMax(&s.Peak, peak)
+	atomic.AddInt64((*int64)(&s.Wall), int64(wall))
+}
+
+func atomicMax(addr *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(addr)
+		if v <= cur || atomic.CompareAndSwapInt64(addr, cur, v) {
+			return
+		}
+	}
+}
+
+// workers returns the bounded worker-pool size: Parallel when positive,
+// else 1 (serial).
+func (cfg RunConfig) workers() int {
+	if cfg.Parallel < 1 {
+		return 1
+	}
+	return cfg.Parallel
+}
+
+// forEachCell evaluates fn for every cell index in [0, n), fanning the
+// cells across at most cfg.workers() goroutines. fn must write its
+// result into an index-addressed slot so that collection order — and
+// therefore rendered output — is byte-identical to a serial run. On the
+// first error the shared context is cancelled so unstarted cells are
+// skipped; among the errors of cells that did run, the lowest-indexed
+// one is returned (what a serial run would have reported first).
+func (cfg RunConfig) forEachCell(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	start := time.Now()
+	workers := cfg.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		defer func() { cfg.Stats.add(int64(n), 1, time.Since(start)) }()
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		next     = int64(-1) // atomically claimed work queue
+		inFlight int64
+		peak     int64
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				cur := atomic.AddInt64(&inFlight, 1)
+				atomicMax(&peak, cur)
+				if err := fn(i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+				atomic.AddInt64(&inFlight, -1)
+			}
+		}()
+	}
+	wg.Wait()
+	cfg.Stats.add(int64(n), atomic.LoadInt64(&peak), time.Since(start))
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParallelOutputByteIdentical is the tentpole guarantee: every
+// registered experiment renders byte-identical output whether the cells
+// run serially or on a multi-worker pool. A handful of representative
+// runners (covering sweep, fidelitySweep, and all four row generators)
+// keeps the test fast; the full-registry equivalence is exercised by
+// the CI smoke run of qdcbench.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	reg := Registry()
+	for _, id := range []string{"fig2", "tab2", "tab3", "fig8a", "fig10a", "ablation"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			run := reg[id]
+			var serial, parallel bytes.Buffer
+			if err := run(&serial, RunConfig{Quick: true, Charts: true}); err != nil {
+				t.Fatalf("serial run: %v", err)
+			}
+			stats := &SweepStats{}
+			if err := run(&parallel, RunConfig{Quick: true, Charts: true, Parallel: 4, Stats: stats}); err != nil {
+				t.Fatalf("parallel run: %v", err)
+			}
+			if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+				t.Errorf("parallel output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+					serial.String(), parallel.String())
+			}
+			if stats.Cells == 0 {
+				t.Error("stats recorded no cells")
+			}
+		})
+	}
+}
+
+// TestParallelMatchesGOMAXPROCS re-runs one runner at the default
+// worker count the CLIs use.
+func TestParallelMatchesGOMAXPROCS(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := Table2(&serial, RunConfig{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Table2(&parallel, RunConfig{Quick: true, Parallel: runtime.GOMAXPROCS(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Error("output at Parallel=GOMAXPROCS differs from serial")
+	}
+}
+
+func TestForEachCellVisitsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var visited [37]int32
+		cfg := RunConfig{Parallel: workers}
+		if err := cfg.forEachCell(len(visited), func(i int) error {
+			atomic.AddInt32(&visited[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, n := range visited {
+			if n != 1 {
+				t.Fatalf("workers=%d: cell %d visited %d times", workers, i, n)
+			}
+		}
+	}
+}
+
+// TestForEachCellFirstErrorWins asserts the serial error-reporting
+// contract: among cells that failed, the lowest-indexed error is
+// returned, and cancellation stops unstarted work.
+func TestForEachCellFirstErrorWins(t *testing.T) {
+	cfg := RunConfig{Parallel: 4}
+	var ran int32
+	err := cfg.forEachCell(1000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 2 || i == 7 {
+			return fmt.Errorf("cell %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !strings.Contains(err.Error(), "cell 2") && !strings.Contains(err.Error(), "cell 7") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Cancellation must prevent the tail of the queue from running.
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Error("cancellation did not stop remaining cells")
+	}
+
+	// With a single worker the contract is exact: the first error in
+	// index order, and nothing after it runs.
+	serial := RunConfig{}
+	ran = 0
+	err = serial.forEachCell(10, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i >= 2 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || ran != 3 {
+		t.Errorf("serial: err=%v after %d cells, want error at cell 2", err, ran)
+	}
+}
+
+func TestForEachCellStats(t *testing.T) {
+	stats := &SweepStats{}
+	cfg := RunConfig{Parallel: 4, Stats: stats}
+	block := make(chan struct{})
+	go func() {
+		// Let the cells overlap long enough to observe concurrency.
+		close(block)
+	}()
+	if err := cfg.forEachCell(20, func(i int) error {
+		<-block
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cells != 20 {
+		t.Errorf("Cells = %d, want 20", stats.Cells)
+	}
+	if stats.Peak < 1 || stats.Peak > 4 {
+		t.Errorf("Peak = %d, want within [1, 4]", stats.Peak)
+	}
+	if stats.Wall <= 0 {
+		t.Errorf("Wall = %v, want positive", stats.Wall)
+	}
+	if stats.CellsPerSec() <= 0 {
+		t.Errorf("CellsPerSec = %v, want positive", stats.CellsPerSec())
+	}
+
+	// Serial path records stats too (Peak pinned at 1).
+	stats2 := &SweepStats{}
+	serial := RunConfig{Stats: stats2}
+	if err := serial.forEachCell(5, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Cells != 5 || stats2.Peak != 1 {
+		t.Errorf("serial stats = %+v, want 5 cells at peak 1", *stats2)
+	}
+}
+
+func TestForEachCellEmpty(t *testing.T) {
+	cfg := RunConfig{Parallel: 8}
+	if err := cfg.forEachCell(0, func(int) error {
+		t.Error("fn called for empty cell set")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -74,6 +74,14 @@ type RunConfig struct {
 	CSV bool
 	// Charts appends an ASCII chart of each sweep (ignored with CSV).
 	Charts bool
+	// Parallel bounds the number of (benchmark x setting x config)
+	// compilation cells run concurrently; 0 or 1 runs serially. Output
+	// is byte-identical at every setting — cells are collected by index,
+	// and core.Compile is deterministic and race-clean.
+	Parallel int
+	// Stats, when non-nil, accumulates the sweep execution profile
+	// (cells, peak concurrency, wall clock) for throughput reporting.
+	Stats *SweepStats
 }
 
 // render writes a table in the configured format.

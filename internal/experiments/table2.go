@@ -11,40 +11,55 @@ import (
 
 // Table2Rows runs the primary experiment and returns one outcome per
 // (group, setting, benchmark) row. In quick mode only the first setting
-// of each group runs, with the MCT and QFT benchmarks.
-func Table2Rows(quick bool) ([]Outcome, []string, error) {
+// of each group runs, with the MCT and QFT benchmarks. The cells are
+// enumerated up front in the serial row order (groups, then benchmarks,
+// then settings) and fanned across the worker pool; each outcome lands
+// in its index slot, so the returned rows are identical to a serial run.
+func Table2Rows(cfg RunConfig) ([]Outcome, []string, error) {
 	p := hw.Default()
 	opts := core.DefaultOptions()
-	var (
-		rows   []Outcome
-		groups []string
-	)
 	benches := Benchmarks()
-	if quick {
+	if cfg.Quick {
 		benches = []string{"MCT", "QFT"}
 	}
+	type cell struct {
+		group string
+		bench string
+		s     Setting
+	}
+	var cells []cell
 	for _, g := range Table2Groups() {
 		settings := g.Settings
-		if quick {
+		if cfg.Quick {
 			settings = settings[:1]
 		}
 		for _, bench := range benches {
 			for _, s := range settings {
-				o, err := RunBenchmark(bench, s, p, opts)
-				if err != nil {
-					return nil, nil, err
-				}
-				rows = append(rows, o)
-				groups = append(groups, g.Name)
+				cells = append(cells, cell{group: g.Name, bench: bench, s: s})
 			}
 		}
+	}
+	rows := make([]Outcome, len(cells))
+	groups := make([]string, len(cells))
+	err := cfg.forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		o, err := RunBenchmark(c.bench, c.s, p, opts)
+		if err != nil {
+			return err
+		}
+		rows[i] = o
+		groups[i] = c.group
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows, groups, nil
 }
 
 // Table2 renders the primary experiment in the paper's Table 2 layout.
 func Table2(w io.Writer, cfg RunConfig) error {
-	rows, groups, err := Table2Rows(cfg.Quick)
+	rows, groups, err := Table2Rows(cfg)
 	if err != nil {
 		return err
 	}

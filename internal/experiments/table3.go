@@ -26,51 +26,56 @@ func (r Table3Row) Improvement() float64 { return metrics.Improvement(r.Baseline
 // qubits in distance-5 surface code patches on 4 racks x 4 QPUs, EPR
 // demands from lattice-surgery merges. In quick mode only MCT and RCA
 // run.
-func Table3Rows(quick bool) ([]Table3Row, error) {
+func Table3Rows(cfg RunConfig) ([]Table3Row, error) {
 	arch, err := qec.Arch("clos", 4, 4)
 	if err != nil {
 		return nil, err
 	}
-	cfg := qec.DefaultConfig()
+	qcfg := qec.DefaultConfig()
 	p := hw.Default()
 	benches := Benchmarks()
-	if quick {
+	if cfg.Quick {
 		benches = []string{"MCT", "RCA"}
 	}
-	var rows []Table3Row
-	for _, bench := range benches {
+	rows := make([]Table3Row, len(benches))
+	err = cfg.forEachCell(len(benches), func(i int) error {
+		bench := benches[i]
 		circ, err := qec.Benchmark(bench, arch.TotalQubits())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pl, err := place.Blocks(circ.NumQubits, arch)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		demands, stats, err := qec.Lower(circ, pl, arch, cfg)
+		demands, stats, err := qec.Lower(circ, pl, arch, qcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ours, err := core.Compile(demands, arch, p, core.DefaultOptions())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: QEC %s (ours): %w", bench, err)
+			return fmt.Errorf("experiments: QEC %s (ours): %w", bench, err)
 		}
 		base, err := core.Compile(demands, arch, p, core.BaselineOptions())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: QEC %s (baseline): %w", bench, err)
+			return fmt.Errorf("experiments: QEC %s (baseline): %w", bench, err)
 		}
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Benchmark: bench, Stats: stats,
 			Baseline: metrics.Summarize(base),
 			Ours:     metrics.Summarize(ours),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
 // Table3 renders the QEC integration results in the paper's layout.
 func Table3(w io.Writer, cfg RunConfig) error {
-	rows, err := Table3Rows(cfg.Quick)
+	rows, err := Table3Rows(cfg)
 	if err != nil {
 		return err
 	}

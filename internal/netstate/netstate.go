@@ -67,6 +67,12 @@ type State struct {
 	// Reconfigs counts switch reconfigurations performed (for Fig. 2's
 	// latency attribution and overhead reporting).
 	Reconfigs int
+
+	// TeardownEpoch advances every time a channel teardown releases
+	// resources. Consumers that cache negative routing verdicts key them
+	// by this counter: a later epoch means edges or BSMs were freed since
+	// the verdict was recorded, so the cached "unroutable" may be stale.
+	TeardownEpoch uint64
 }
 
 // New initializes the state for an architecture at time 0.
@@ -96,13 +102,14 @@ func New(arch *topology.Arch, p hw.Params) *State {
 func (s *State) Clone() *State {
 	c := &State{
 		Arch: s.Arch, Params: s.Params, Now: s.Now,
-		QPUs:      append([]QPU(nil), s.QPUs...),
-		EdgeFree:  append([]int(nil), s.EdgeFree...),
-		BSMFree:   append([]int(nil), s.BSMFree...),
-		channels:  make(map[int]*Channel, len(s.channels)),
-		byPair:    make(map[[2]int]int, len(s.byPair)),
-		nextID:    s.nextID,
-		Reconfigs: s.Reconfigs,
+		QPUs:          append([]QPU(nil), s.QPUs...),
+		EdgeFree:      append([]int(nil), s.EdgeFree...),
+		BSMFree:       append([]int(nil), s.BSMFree...),
+		channels:      make(map[int]*Channel, len(s.channels)),
+		byPair:        make(map[[2]int]int, len(s.byPair)),
+		nextID:        s.nextID,
+		Reconfigs:     s.Reconfigs,
+		TeardownEpoch: s.TeardownEpoch,
 	}
 	for id, ch := range s.channels {
 		cc := *ch
@@ -181,13 +188,17 @@ func (s *State) channelsByID() []*Channel {
 }
 
 // OpenChannel configures a new channel between QPUs a and b, tearing
-// down idle channels (least-recently-busy first) if capacity or BSMs are
-// exhausted. The new channel's ReadyAt includes one reconfiguration
-// latency. It returns nil if no path exists even after teardowns.
+// down idle channels if capacity or BSMs are exhausted. Victims are
+// chosen to contribute to the blocked resource — an edge a credited path
+// needs, or a BSM in either endpoint rack — so reusable collective
+// channels elsewhere in the fabric survive, and teardown stops as soon
+// as routing succeeds. The new channel's ReadyAt includes one
+// reconfiguration latency. It returns nil if no path exists even after
+// teardowns.
 func (s *State) OpenChannel(a, b int) *Channel {
 	path := s.Arch.Net.FindPath(s.EdgeFree, a, b)
 	for path == nil || !s.bsmAvailable(a, b) {
-		if !s.closeOneIdle() {
+		if !s.reclaimOne(a, b, path != nil) {
 			return nil
 		}
 		path = s.Arch.Net.FindPath(s.EdgeFree, a, b)
@@ -213,26 +224,82 @@ func (s *State) OpenChannel(a, b int) *Channel {
 	return ch
 }
 
-// closeOneIdle tears down the idle channel with the earliest BusyUntil
-// (ties broken by id). It returns false if no channel is idle.
-func (s *State) closeOneIdle() bool {
-	var victim *Channel
+// idleByLRU returns the idle channels least-recently-busy first
+// (earliest BusyUntil, ties broken by id).
+func (s *State) idleByLRU() []*Channel {
+	var idle []*Channel
 	for _, ch := range s.channelsByID() {
-		if !ch.Idle(s.Now) {
-			continue
-		}
-		if victim == nil || ch.BusyUntil < victim.BusyUntil {
-			victim = ch
+		if ch.Idle(s.Now) {
+			idle = append(idle, ch)
 		}
 	}
-	if victim == nil {
-		return false
-	}
-	s.CloseChannel(victim.ID)
-	return true
+	sort.SliceStable(idle, func(i, j int) bool { return idle[i].BusyUntil < idle[j].BusyUntil })
+	return idle
 }
 
-// CloseChannel releases a channel's capacity and BSM.
+// reclaimOne tears down one idle channel that contributes to the
+// resource currently blocking a channel between a and b: when no path
+// is routable, a channel pinning a saturated edge of a path that would
+// exist with all idle capacity credited; when only BSMs block, a channel
+// holding a BSM in either endpoint rack. Among contributors the
+// least-recently-busy channel is evicted. It returns false when no
+// teardown can help.
+func (s *State) reclaimOne(a, b int, havePath bool) bool {
+	idle := s.idleByLRU()
+	if len(idle) == 0 {
+		return false
+	}
+	if !havePath {
+		// Find the path that would exist with every idle channel's
+		// capacity credited, then free its first saturated edge.
+		res := append([]int(nil), s.EdgeFree...)
+		for _, ch := range idle {
+			for _, eid := range ch.Path {
+				res[eid]++
+			}
+		}
+		target := s.Arch.Net.FindPath(res, a, b)
+		if target == nil {
+			return false
+		}
+		for _, eid := range target {
+			if s.EdgeFree[eid] > 0 {
+				continue
+			}
+			for _, ch := range idle {
+				if containsEdge(ch.Path, eid) {
+					s.CloseChannel(ch.ID)
+					return true
+				}
+			}
+		}
+		// Every edge of the credited path already has capacity, yet no
+		// actual path was found — unreachable, but never loop on it.
+		return false
+	}
+	// A path exists, so only BSMs block: a teardown helps only if its
+	// BSM sits in one of the endpoint racks.
+	ra, rb := s.Arch.RackOf(a), s.Arch.RackOf(b)
+	for _, ch := range idle {
+		if ch.BSMRack == ra || ch.BSMRack == rb {
+			s.CloseChannel(ch.ID)
+			return true
+		}
+	}
+	return false
+}
+
+func containsEdge(path []int, eid int) bool {
+	for _, e := range path {
+		if e == eid {
+			return true
+		}
+	}
+	return false
+}
+
+// CloseChannel releases a channel's capacity and BSM and advances the
+// teardown epoch.
 func (s *State) CloseChannel(id int) {
 	ch, ok := s.channels[id]
 	if !ok {
@@ -242,6 +309,7 @@ func (s *State) CloseChannel(id int) {
 		s.EdgeFree[eid]++
 	}
 	s.BSMFree[ch.BSMRack]++
+	s.TeardownEpoch++
 	delete(s.channels, id)
 	key := pairKey(ch.A, ch.B)
 	if s.byPair[key] == id {
@@ -286,6 +354,10 @@ func (s *State) Validate() error {
 		}
 		if q.Reserved < 0 {
 			return fmt.Errorf("netstate: QPU %d Reserved negative: %+v", i, q)
+		}
+		if q.FreeBuf < q.Reserved {
+			return fmt.Errorf("netstate: QPU %d FreeBuf %d below Reserved %d (reservations must be backed by current slots)",
+				i, q.FreeBuf, q.Reserved)
 		}
 	}
 	for i, free := range s.EdgeFree {

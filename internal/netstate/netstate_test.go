@@ -214,6 +214,94 @@ func TestBSMPreferenceFallsBack(t *testing.T) {
 	}
 }
 
+func TestTargetedEvictionSparesCollectiveChannels(t *testing.T) {
+	// Contended in-rack + cross-rack mix: an idle in-rack collective
+	// channel in rack 1 shares no resource with a blocked cross-rack
+	// open, so eviction must not destroy it (the old LRU policy did,
+	// inflating Reconfigs when the collective channel was re-opened).
+	s := newState(t, 2, 2)
+	ch23 := s.OpenChannel(2, 3) // in-rack rack 1: the reusable collective channel (LRU)
+	chB := s.OpenChannel(0, 2)  // cross-rack, pins one QPU-0 uplink unit
+	chC := s.OpenChannel(0, 1)  // in-rack rack 0, pins the second QPU-0 uplink unit
+	if ch23 == nil || chB == nil || chC == nil {
+		t.Fatal("setup channels failed")
+	}
+	s.Now = chC.ReadyAt + 1 // everything idle
+	// QPU 0's uplink (capacity 2) is saturated: opening (0, 3) must
+	// evict a channel that pins that uplink, not the unrelated (2, 3).
+	if ch := s.OpenChannel(0, 3); ch == nil {
+		t.Fatal("open (0,3) failed despite reclaimable contributors")
+	}
+	if s.Channel(ch23.ID) == nil {
+		t.Error("collective channel (2,3) evicted although it does not contribute to the blocked uplink")
+	}
+	if s.NumChannels() != 3 {
+		t.Errorf("live channels = %d, want 3 (exactly one teardown)", s.NumChannels())
+	}
+	// Reconfigs regression: the scheduler re-acquires (2, 3) via reuse,
+	// so no fifth reconfiguration happens.
+	if s.LiveChannel(2, 3) == nil {
+		s.OpenChannel(2, 3)
+	}
+	if s.Reconfigs != 4 {
+		t.Errorf("Reconfigs = %d, want 4 (collective channel must survive targeted eviction)", s.Reconfigs)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTargetedEvictionFreesBSMOnly(t *testing.T) {
+	s := newState(t, 2, 2)
+	ch01 := s.OpenChannel(0, 1) // BSM in rack 0
+	ch23 := s.OpenChannel(2, 3) // BSM in rack 1
+	if ch01 == nil || ch23 == nil {
+		t.Fatal("setup channels failed")
+	}
+	s.Now = ch23.ReadyAt + 1
+	// Path capacity for (2, 3) remains, but exhaust rack 1's BSMs so
+	// only a BSM teardown in rack 1 can help; rack 0's channel must
+	// survive.
+	s.BSMFree[1] = 0
+	if ch := s.OpenChannel(2, 3); ch == nil {
+		t.Fatal("open failed despite reclaimable BSM")
+	}
+	if s.Channel(ch01.ID) == nil {
+		t.Error("rack-0 channel evicted for a rack-1 BSM shortage")
+	}
+	if s.Channel(ch23.ID) != nil {
+		t.Error("rack-1 BSM holder not evicted")
+	}
+}
+
+func TestTeardownEpochAdvances(t *testing.T) {
+	s := newState(t, 2, 2)
+	ch := s.OpenChannel(0, 1)
+	if s.TeardownEpoch != 0 {
+		t.Fatalf("epoch after open = %d, want 0", s.TeardownEpoch)
+	}
+	c := s.Clone()
+	s.CloseChannel(ch.ID)
+	if s.TeardownEpoch != 1 {
+		t.Errorf("epoch after close = %d, want 1", s.TeardownEpoch)
+	}
+	s.CloseChannel(ch.ID) // double close is a no-op
+	if s.TeardownEpoch != 1 {
+		t.Errorf("epoch after double close = %d, want 1", s.TeardownEpoch)
+	}
+	if c.TeardownEpoch != 0 {
+		t.Errorf("clone epoch = %d, want the snapshot value 0", c.TeardownEpoch)
+	}
+}
+
+func TestValidateCatchesUnbackedReservation(t *testing.T) {
+	s := newState(t, 2, 2)
+	s.QPUs[0].Reserved = s.QPUs[0].FreeBuf + 1
+	if err := s.Validate(); err == nil {
+		t.Error("FreeBuf < Reserved accepted")
+	}
+}
+
 func TestCanRouteCreditsIdleBSMs(t *testing.T) {
 	// With many comm qubits per QPU, idle channels can pin every BSM of
 	// a rack while fiber capacity remains: CanRoute must still report
