@@ -1,6 +1,7 @@
 package switchqnet_test
 
 import (
+	"fmt"
 	"io"
 	"runtime"
 	"testing"
@@ -182,3 +183,96 @@ func BenchmarkCompileRCA480(b *testing.B) {
 
 // BenchmarkAblation regenerates the design-choice ablation study.
 func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// Compile-hotpath suite: one sub-benchmark per benchmark circuit x
+// architecture setting of the primary experiment (Table 2), measuring
+// core.Compile alone on pre-extracted demands. These are the
+// benchmarks tracked by BENCH_compile_hotpath.json; run them with
+//
+//	go test -run='^$' -bench=BenchmarkCompile/ -benchmem
+//
+// and see EXPERIMENTS.md ("Performance") for the profiling workflow.
+
+// compileCase is one compile-hotpath workload.
+type compileCase struct {
+	bench string
+	cfg   sq.ArchConfig
+}
+
+func compileCases() []compileCase {
+	clos480 := sq.ArchConfig{
+		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	}
+	spine720 := sq.ArchConfig{
+		Topology: "spine-leaf", Racks: 6, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	}
+	fat960 := sq.ArchConfig{
+		Topology: "fat-tree", Racks: 8, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	}
+	return []compileCase{
+		{"mct", clos480},
+		{"qft", clos480},
+		{"grover", clos480},
+		{"rca", clos480},
+		{"qft", spine720},
+		{"rca", fat960},
+	}
+}
+
+// BenchmarkCompile measures the scheduler hot path (core.Compile via
+// CompileDemands) per circuit x setting with allocation reporting.
+func BenchmarkCompile(b *testing.B) {
+	for _, tc := range compileCases() {
+		arch, err := sq.NewArch(tc.cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := fmt.Sprintf("%s-%d-%s", tc.bench, arch.TotalQubits(), tc.cfg.Topology)
+		b.Run(name, func(b *testing.B) {
+			circ, err := sq.Benchmark(tc.bench, arch.TotalQubits())
+			if err != nil {
+				b.Fatal(err)
+			}
+			demands, err := sq.ExtractDemands(circ, arch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := sq.DefaultParams()
+			opts := sq.DefaultOptions()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sq.CompileDemands(demands, arch, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompileBaseline measures the on-demand baseline pipeline on
+// the primary setting — the strict/buffer-assisted code paths share the
+// engine, so their hot-path regressions show up here.
+func BenchmarkCompileBaseline(b *testing.B) {
+	arch := program480Arch(b)
+	circ, err := sq.Benchmark("qft", arch.TotalQubits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands, err := sq.ExtractDemands(circ, arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sq.DefaultParams()
+	opts := sq.BaselineOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sq.CompileDemands(demands, arch, p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"switchqnet/internal/experiments"
+	"switchqnet/internal/prof"
 )
 
 // benchRecord is one line of the -benchjson report: the sweep
@@ -42,6 +43,8 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for compilation cells (1 = serial; output is identical at every setting)")
 	benchjson := flag.String("benchjson", "", "append one JSON throughput record per experiment to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write an allocs/heap profile taken after the sweep to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -59,6 +62,12 @@ func main() {
 			os.Exit(2)
 		}
 		ids = []string{*exp}
+	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qdcbench:", err)
+		os.Exit(1)
 	}
 
 	var records []benchRecord
@@ -84,6 +93,11 @@ func main() {
 			WallSec:     stats.Wall.Seconds(),
 			CellsPerSec: stats.CellsPerSec(),
 		})
+	}
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "qdcbench:", err)
+		os.Exit(1)
 	}
 
 	if *benchjson != "" {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	sq "switchqnet"
+	"switchqnet/internal/prof"
 )
 
 func main() {
@@ -32,11 +33,18 @@ func main() {
 		compare  = flag.Bool("compare", false, "run both pipelines and report the improvement")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"with -compare, >1 compiles both pipelines concurrently (output is identical)")
-		verbose  = flag.Bool("v", false, "print the first scheduled generations")
-		timeline = flag.Bool("timeline", false, "print a per-QPU text timeline of the schedule")
-		traceOut = flag.String("trace", "", "write the compiled schedule as JSON to this file")
+		verbose    = flag.Bool("v", false, "print the first scheduled generations")
+		timeline   = flag.Bool("timeline", false, "print a per-QPU text timeline of the schedule")
+		traceOut   = flag.String("trace", "", "write the compiled schedule as JSON to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
+		memprofile = flag.String("memprofile", "", "write an allocs/heap profile taken after compilation to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fail(err)
+	}
 
 	arch, err := sq.NewArch(sq.ArchConfig{
 		Topology: *topo, Racks: *racks, QPUsPerRack: *qpus,
@@ -98,6 +106,10 @@ func main() {
 				fail(err)
 			}
 		}
+	}
+	// Profiles cover compilation only, not report formatting.
+	if err := stopProf(); err != nil {
+		fail(err)
 	}
 	if ours != nil {
 		report("switchqnet", ours)

@@ -115,7 +115,10 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-// engineState is everything the retry mechanism must checkpoint.
+// engineState is everything the retry mechanism must checkpoint. The
+// generation log is NOT part of it: gens (on the engine) is append-only,
+// so a checkpoint records only its length (gensLen) and a revert
+// truncates the log instead of deep-copying it.
 type engineState struct {
 	net    *netstate.State
 	ds     []demandState
@@ -127,7 +130,9 @@ type engineState struct {
 	frontier    map[int32]struct{}
 	events      eventHeap
 	ready       []int32 // stored demands with consPreds == 0, pending consumption
-	gens        []GenEvent
+	// gensLen is the checkpoint watermark into engine.gens: the length
+	// of the append-only generation log when this state was snapshot.
+	gensLen     int
 	consumed    int
 	strictNext  int32
 	seq         int32
@@ -136,31 +141,45 @@ type engineState struct {
 	extraInRack int
 }
 
-func (s *engineState) clone() *engineState {
-	c := &engineState{
-		net:         s.net.Clone(),
-		ds:          append([]demandState(nil), s.ds...),
-		splits:      append([]splitState(nil), s.splits...),
-		parts:       append([]int32(nil), s.parts...),
-		outstanding: make([][]relEntry, len(s.outstanding)),
-		frontier:    make(map[int32]struct{}, len(s.frontier)),
-		events:      append(eventHeap(nil), s.events...),
-		ready:       append([]int32(nil), s.ready...),
-		gens:        append([]GenEvent(nil), s.gens...),
-		consumed:    s.consumed,
-		strictNext:  s.strictNext,
-		seq:         s.seq,
-		slices:      s.slices,
-		splitCount:  s.splitCount,
-		extraInRack: s.extraInRack,
+func (s *engineState) clone() *engineState { return s.cloneInto(nil) }
+
+// cloneInto deep-copies the state into dst, reusing dst's allocated
+// storage where possible (the checkpoint arena: replacing a checkpoint
+// recycles the slices and maps of the one it supersedes, so steady-state
+// checkpointing allocates only when the schedule outgrows the arena).
+// dst == nil allocates a fresh state; dst must not alias s.
+func (s *engineState) cloneInto(dst *engineState) *engineState {
+	if dst == nil {
+		dst = &engineState{}
 	}
-	for k := range s.frontier {
-		c.frontier[k] = struct{}{}
+	dst.net = s.net.CloneInto(dst.net)
+	dst.ds = append(dst.ds[:0], s.ds...)
+	dst.splits = append(dst.splits[:0], s.splits...)
+	dst.parts = append(dst.parts[:0], s.parts...)
+	if dst.outstanding == nil {
+		dst.outstanding = make([][]relEntry, len(s.outstanding))
 	}
 	for q, entries := range s.outstanding {
-		c.outstanding[q] = append([]relEntry(nil), entries...)
+		dst.outstanding[q] = append(dst.outstanding[q][:0], entries...)
 	}
-	return c
+	if dst.frontier == nil {
+		dst.frontier = make(map[int32]struct{}, len(s.frontier))
+	} else {
+		clear(dst.frontier)
+	}
+	for k := range s.frontier {
+		dst.frontier[k] = struct{}{}
+	}
+	dst.events = append(dst.events[:0], s.events...)
+	dst.ready = append(dst.ready[:0], s.ready...)
+	dst.gensLen = s.gensLen
+	dst.consumed = s.consumed
+	dst.strictNext = s.strictNext
+	dst.seq = s.seq
+	dst.slices = s.slices
+	dst.splitCount = s.splitCount
+	dst.extraInRack = s.extraInRack
+	return dst
 }
 
 // engine drives one compilation.
@@ -172,9 +191,17 @@ type engine struct {
 
 	st *engineState
 
+	// gens is the append-only generation log. It lives outside
+	// engineState so checkpoints record only a watermark (gensLen) and
+	// reverts truncate; see maybeCheckpoint and retry.
+	gens []GenEvent
+
 	// Retry bookkeeping (outside the checkpointed state).
-	checkpoint0     *engineState
-	checkpoint      *engineState
+	checkpoint0 *engineState
+	checkpoint  *engineState
+	// spare is the one-slot checkpoint arena: the engineState most
+	// recently superseded, recycled by the next snapshot.
+	spare           *engineState
 	revertCount     int
 	retries         int
 	totalSlices     int
@@ -182,12 +209,22 @@ type engine struct {
 	overrideUntil   hw.Time
 	overrideActive  bool
 	overrideForever bool
-	// routeFail is the per-pass negative route cache. Each entry records
-	// the netstate teardown epoch it was written at: a later epoch means
+	// routeFail is the per-pass negative route cache, cleared (not
+	// reallocated) at the start of every pass. Each entry records the
+	// netstate teardown epoch it was written at: a later epoch means
 	// OpenChannel tore down idle channels mid-pass, freeing edges or BSMs
 	// the pair may have needed, so the entry is dropped instead of
 	// trusted (see routeBlocked).
 	routeFail map[[2]int]uint64
+	// Look-ahead window scratch (see window): winOut doubles as the
+	// returned slice, winDepth/winStamp are the epoch-stamped per-demand
+	// depth table that replaces a per-call map, and winQueue is the BFS
+	// queue drained by head index.
+	winOut   []int32
+	winQueue []int32
+	winDepth []int32
+	winStamp []uint32
+	winEpoch uint32
 	// invariantErr records the first inline invariant violation detected
 	// under the debug flag (see assertf); the run loop surfaces it.
 	invariantErr error
@@ -248,8 +285,31 @@ func (e *engine) init() {
 		}
 	}
 	e.st = st
-	e.checkpoint0 = st.clone()
+	e.winDepth = make([]int32, n)
+	e.winStamp = make([]uint32, n)
+	e.checkpoint0 = e.snapshot(nil)
 	e.checkpoint = e.checkpoint0
+}
+
+// snapshot deep-copies the live state (into dst's recycled storage when
+// non-nil) and stamps the current generation-log watermark.
+func (e *engine) snapshot(dst *engineState) *engineState {
+	dst = e.st.cloneInto(dst)
+	dst.gensLen = len(e.gens)
+	return dst
+}
+
+// restore makes cp the live state: the discarded state's storage is
+// recycled as the clone arena and the append-only generation log is
+// truncated to the checkpoint's watermark (entries past it belong to
+// the abandoned timeline and are overwritten by future appends).
+func (e *engine) restore(cp *engineState) {
+	old := e.st
+	if old == cp { // never alias the checkpoint with the live state
+		old = nil
+	}
+	e.st = cp.cloneInto(old)
+	e.gens = e.gens[:cp.gensLen]
 }
 
 // strategy returns the discipline in force at the current time.
@@ -435,7 +495,14 @@ func (e *engine) releaseEndpoint(dm epr.Demand, q int, commHeld bool) {
 
 func (e *engine) maybeCheckpoint() {
 	if e.st.slices-e.checkpoint.slices >= e.opts.CheckpointEvery {
-		e.checkpoint = e.st.clone()
+		// Recycle the superseded checkpoint's storage: amortized O(1)
+		// allocation per checkpoint once the arena has grown. The
+		// initial-state checkpoint is permanent and never recycled.
+		old := e.checkpoint
+		if old == e.checkpoint0 {
+			old, e.spare = e.spare, nil
+		}
+		e.checkpoint = e.snapshot(old)
 		e.revertCount = 0
 	}
 }
@@ -455,17 +522,20 @@ func (e *engine) retry() error {
 	e.revertCount++
 	switch {
 	case e.revertCount == 1:
-		e.st = e.checkpoint.clone()
+		e.restore(e.checkpoint)
 		e.override = StrategyBufferAssisted
 		e.overrideUntil = e.st.net.Now + e.opts.RecoveryWindow
 		e.overrideActive = true
 	case e.revertCount == 2:
-		e.st = e.checkpoint.clone()
+		e.restore(e.checkpoint)
 		e.override = StrategyStrict
 		e.overrideUntil = e.st.net.Now + 4*e.opts.RecoveryWindow
 		e.overrideActive = true
 	default:
-		e.st = e.checkpoint0.clone()
+		e.restore(e.checkpoint0)
+		if e.checkpoint != e.checkpoint0 {
+			e.spare = e.checkpoint // recycle the abandoned checkpoint
+		}
 		e.checkpoint = e.checkpoint0
 		e.override = StrategyStrict
 		e.overrideForever = true
@@ -478,7 +548,7 @@ func (e *engine) result() *Result {
 	st := e.st
 	r := &Result{
 		Demands:         e.dag.Demands,
-		Gens:            st.gens,
+		Gens:            e.gens,
 		ReadyAt:         make([]hw.Time, e.dag.Len()),
 		ConsumedAt:      make([]hw.Time, e.dag.Len()),
 		CommHeld:        make([][2]bool, e.dag.Len()),

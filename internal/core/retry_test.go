@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -106,6 +107,97 @@ func TestCheckpointRefreshResetsRevertCount(t *testing.T) {
 	}
 	if e.checkpoint == e.checkpoint0 {
 		t.Errorf("checkpoint not advanced")
+	}
+}
+
+// retryWorkload builds a deterministic congested demand list (found by
+// seed search) that forces the given engine configuration into at least
+// one mid-compile retry reversion yet still compiles. The LCG matches
+// syntheticDemands so the lists stay stable across runs.
+func retryWorkload(seed uint64, n, qpus int) []epr.Demand {
+	s := seed * 0x9E3779B97F4A7C15
+	next := func(m int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(m))
+	}
+	ds := make([]epr.Demand, 0, n)
+	for i := 0; i < n; i++ {
+		a := next(qpus)
+		b := next(qpus)
+		if a == b {
+			b = (a + 1) % qpus
+		}
+		p := epr.Cat
+		if next(2) == 0 {
+			p = epr.TP
+		}
+		ds = append(ds, dmd(i, a, b, p))
+	}
+	return ds
+}
+
+// TestRetryPathDeterministic is the regression test guarding the
+// checkpoint-truncation rework: a compile that reverts mid-flight
+// (truncating the append-only generation log back to a checkpoint
+// watermark) must be deeply equal to a fresh compile of the same
+// inputs, and the abandoned timeline must leave no trace in the result.
+func TestRetryPathDeterministic(t *testing.T) {
+	cases := []struct {
+		name    string
+		seed    uint64
+		buffers int
+		// minRetries anchors the scenario: at least one reversion for
+		// the single-revert case, three for full escalation through the
+		// initial-state checkpoint (strict-forever).
+		minRetries int
+	}{
+		{"single-revert", 38, 2, 1},
+		{"escalates-to-strict", 6, 3, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := arch(t, 2, 2, 10, tc.buffers, 2)
+			ds := retryWorkload(tc.seed, 50, a.NumQPUs())
+			opts := DefaultOptions()
+			// Tiny buffers, aggressive prefetch and short checkpoint
+			// intervals: the look-ahead pass overfills buffers and gets
+			// stuck, exercising revert + strategy downgrade.
+			opts.SoftThreshold = 1
+			opts.CheckpointEvery = 8
+			r1, err := Compile(ds, a, hw.Default(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Retries < tc.minRetries {
+				t.Fatalf("retries = %d, want >= %d (workload no longer exercises the revert path)",
+					r1.Retries, tc.minRetries)
+			}
+			r2, err := Compile(ds, a, hw.Default(), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("retried compilation not deterministic (makespans %d vs %d, %d vs %d gens)",
+					r1.Makespan, r2.Makespan, len(r1.Gens), len(r2.Gens))
+			}
+			// Stale-log check: a truncation bug would leave generations
+			// from the abandoned timeline in the result, so a demand
+			// would carry more than one primary generation.
+			primary := make(map[int32]int)
+			for _, g := range r1.Gens {
+				if g.Kind == GenRegular || g.Kind == GenSplitCross {
+					primary[g.Demand]++
+				}
+			}
+			for id, n := range primary {
+				if n != 1 {
+					t.Errorf("demand %d has %d primary generations, want exactly 1 (stale log entries survived a revert?)", id, n)
+				}
+			}
+			if len(primary) != len(ds) {
+				t.Errorf("%d demands have a primary generation, want %d", len(primary), len(ds))
+			}
+		})
 	}
 }
 

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"switchqnet/internal/distill"
 	"switchqnet/internal/epr"
@@ -16,7 +16,11 @@ import (
 func (e *engine) pass() {
 	e.st.slices++
 	e.totalSlices++
-	e.routeFail = make(map[[2]int]uint64)
+	if e.routeFail == nil {
+		e.routeFail = make(map[[2]int]uint64)
+	} else {
+		clear(e.routeFail) // reuse the allocation across slices
+	}
 
 	strat := e.strategy()
 	if strat == StrategyStrict {
@@ -86,39 +90,45 @@ func (e *engine) strictPass() {
 }
 
 // window returns pending demands within the first depth layers of the
-// working DAG (scheduled nodes removed), ordered by (layer, id).
+// working DAG (scheduled nodes removed), ordered by (layer, id). The
+// returned slice aliases reusable engine scratch: it is valid only
+// until the next window call (pass consumes each window fully before
+// requesting another).
 func (e *engine) window(depth int) []int32 {
 	st := e.st
-	front := make([]int32, 0, len(st.frontier))
+	out := e.winOut[:0]
 	for id := range st.frontier {
-		front = append(front, id)
+		out = append(out, id)
 	}
-	sort.Slice(front, func(i, j int) bool { return front[i] < front[j] })
+	slices.Sort(out)
 	if depth <= 1 {
-		return front
+		e.winOut = out
+		return out
 	}
-	type qn struct {
-		id int32
-		d  int32
+	// Epoch-stamped per-demand depth table: winDepth[id] is valid only
+	// while winStamp[id] == winEpoch, replacing a per-call map.
+	e.winEpoch++
+	if e.winEpoch == 0 { // wrapped: invalidate every stale stamp
+		clear(e.winStamp)
+		e.winEpoch = 1
 	}
-	depthOf := make(map[int32]int32, len(front)*depth)
-	queue := make([]qn, 0, len(front)*depth)
-	for _, id := range front {
-		depthOf[id] = 0
-		queue = append(queue, qn{id, 0})
+	epoch := e.winEpoch
+	queue := e.winQueue[:0]
+	for _, id := range out {
+		e.winStamp[id] = epoch
+		e.winDepth[id] = 0
+		queue = append(queue, id)
 	}
-	out := append([]int32(nil), front...)
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		if int(cur.d) >= depth-1 {
+	for head := 0; head < len(queue); head++ { // FIFO by head index
+		cur := queue[head]
+		if int(e.winDepth[cur]) >= depth-1 {
 			continue
 		}
-		for _, succ := range e.dag.Succs[cur.id] {
+		for _, succ := range e.dag.Succs[cur] {
 			if st.ds[succ].status != stPending {
 				continue
 			}
-			if _, seen := depthOf[succ]; seen {
+			if e.winStamp[succ] == epoch {
 				continue
 			}
 			// A successor joins the window only when all of its pending
@@ -129,30 +139,31 @@ func (e *engine) window(depth int) []int32 {
 				if st.ds[p].status != stPending {
 					continue
 				}
-				pd, in := depthOf[p]
-				if !in {
+				if e.winStamp[p] != epoch {
 					ok = false
 					break
 				}
-				if pd+1 > sd {
+				if pd := e.winDepth[p]; pd+1 > sd {
 					sd = pd + 1
 				}
 			}
 			if !ok || int(sd) > depth-1 {
 				continue
 			}
-			depthOf[succ] = sd
-			queue = append(queue, qn{succ, sd})
+			e.winStamp[succ] = epoch
+			e.winDepth[succ] = sd
+			queue = append(queue, succ)
 			out = append(out, succ)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		di, dj := depthOf[out[i]], depthOf[out[j]]
-		if di != dj {
-			return di < dj
+	e.winQueue = queue
+	slices.SortFunc(out, func(a, b int32) int {
+		if e.winDepth[a] != e.winDepth[b] {
+			return int(e.winDepth[a] - e.winDepth[b])
 		}
-		return out[i] < out[j]
+		return int(a - b)
 	})
+	e.winOut = out
 	return out
 }
 
@@ -323,7 +334,7 @@ func (e *engine) tryScheduleDemand(id int32, collection bool) bool {
 	e.markScheduled(id)
 	st.seq++
 	st.events.push(event{t: end, seq: st.seq, kind: evGenDone, ref: id})
-	st.gens = append(st.gens, GenEvent{
+	e.gens = append(e.gens, GenEvent{
 		Demand: id, Kind: GenRegular,
 		A: int32(dm.A), B: int32(dm.B),
 		Start: start, End: end,
@@ -464,7 +475,7 @@ func (e *engine) trySplitAt(id int32, busy, far int, collection bool) bool {
 		e.markScheduled(id)
 		st.seq++
 		st.events.push(event{t: end, seq: st.seq, kind: evCrossDone, ref: splitID})
-		st.gens = append(st.gens, GenEvent{
+		e.gens = append(e.gens, GenEvent{
 			Demand: id, Kind: GenSplitCross,
 			A: int32(far), B: int32(helper),
 			Start: start, End: end,
@@ -530,7 +541,7 @@ func (e *engine) tryScheduleInPart(splitID int32, collection bool) bool {
 		if i > 0 {
 			kind = GenDistillCopy
 		}
-		st.gens = append(st.gens, GenEvent{
+		e.gens = append(e.gens, GenEvent{
 			Demand: s.demand, Kind: kind,
 			A: s.busy, B: s.helper,
 			Start: start, End: end,

@@ -9,7 +9,6 @@ package netstate
 
 import (
 	"fmt"
-	"sort"
 
 	"switchqnet/internal/hw"
 	"switchqnet/internal/topology"
@@ -34,8 +33,12 @@ type QPU struct {
 // unit of capacity on every edge of its path and one BSM on rack
 // BSMRack for its lifetime.
 type Channel struct {
-	ID      int
-	A, B    int // QPU endpoints (A < B)
+	ID   int
+	A, B int // QPU endpoints (A < B)
+	// Path is the edge-id route of the channel. It is IMMUTABLE after
+	// OpenChannel returns: Clone shares the backing array across state
+	// copies instead of deep-copying it, so mutating a path would
+	// corrupt every checkpoint holding the channel.
 	Path    []int
 	BSMRack int
 	InRack  bool
@@ -58,7 +61,13 @@ type State struct {
 	EdgeFree []int
 	BSMFree  []int
 
-	channels map[int]*Channel
+	// chans is the live channel set in ascending-ID order. IDs are
+	// assigned monotonically (nextID), so OpenChannel appends and every
+	// by-id consumer is a linear scan with no sorting; CloseChannel
+	// removes in place. Pointers returned by OpenChannel/LiveChannel/
+	// Channel stay valid until that channel is closed (closed structs
+	// are recycled through freeCh).
+	chans []*Channel
 	// byPair maps a canonical QPU pair to a live channel id for
 	// collection lookups (at most one live channel per pair is indexed).
 	byPair map[[2]int]int
@@ -73,6 +82,17 @@ type State struct {
 	// by this counter: a later epoch means edges or BSMs were freed since
 	// the verdict was recorded, so the cached "unroutable" may be stale.
 	TeardownEpoch uint64
+
+	// Scratch below carries no semantic state and is never deep-copied:
+	// clones start with their own empty scratch (except router, which is
+	// shared — its marks are epoch-stamped per query, and checkpoint
+	// clones are never routed concurrently with their source).
+	router      *topology.Router
+	freeCh      []*Channel // recycled Channel structs
+	creditEdge  []int      // CanRoute/reclaimOne idle-credited residuals
+	creditBSM   []int
+	idleScratch []*Channel // reclaimOne LRU ordering buffer
+	pathScratch []int      // reclaimOne target-path buffer
 }
 
 // New initializes the state for an architecture at time 0.
@@ -83,8 +103,8 @@ func New(arch *topology.Arch, p hw.Params) *State {
 		QPUs:     make([]QPU, arch.NumQPUs()),
 		EdgeFree: make([]int, len(arch.Net.Edges)),
 		BSMFree:  make([]int, arch.Racks),
-		channels: make(map[int]*Channel),
 		byPair:   make(map[[2]int]int),
+		router:   topology.NewRouter(arch.Net),
 	}
 	for i := range s.QPUs {
 		s.QPUs[i] = QPU{FreeComm: arch.CommQubits, FreeBuf: arch.BufferSize}
@@ -99,27 +119,46 @@ func New(arch *topology.Arch, p hw.Params) *State {
 }
 
 // Clone deep-copies the state for checkpointing.
-func (s *State) Clone() *State {
-	c := &State{
-		Arch: s.Arch, Params: s.Params, Now: s.Now,
-		QPUs:          append([]QPU(nil), s.QPUs...),
-		EdgeFree:      append([]int(nil), s.EdgeFree...),
-		BSMFree:       append([]int(nil), s.BSMFree...),
-		channels:      make(map[int]*Channel, len(s.channels)),
-		byPair:        make(map[[2]int]int, len(s.byPair)),
-		nextID:        s.nextID,
-		Reconfigs:     s.Reconfigs,
-		TeardownEpoch: s.TeardownEpoch,
+func (s *State) Clone() *State { return s.CloneInto(nil) }
+
+// CloneInto deep-copies the state into dst, reusing dst's storage
+// (slices, map, channel structs) when possible; dst == nil allocates a
+// fresh state. Channel paths are shared, not copied: they are immutable
+// after OpenChannel (see Channel.Path). The router scratch is shared
+// too — clones are never routed concurrently with their source.
+func (s *State) CloneInto(dst *State) *State {
+	if dst == nil {
+		dst = &State{}
 	}
-	for id, ch := range s.channels {
-		cc := *ch
-		cc.Path = append([]int(nil), ch.Path...)
-		c.channels[id] = &cc
+	dst.Arch, dst.Params, dst.Now = s.Arch, s.Params, s.Now
+	dst.QPUs = append(dst.QPUs[:0], s.QPUs...)
+	dst.EdgeFree = append(dst.EdgeFree[:0], s.EdgeFree...)
+	dst.BSMFree = append(dst.BSMFree[:0], s.BSMFree...)
+	dst.nextID = s.nextID
+	dst.Reconfigs = s.Reconfigs
+	dst.TeardownEpoch = s.TeardownEpoch
+	dst.router = s.router
+	old := dst.chans
+	dst.chans = dst.chans[:0]
+	for i, ch := range s.chans {
+		var c *Channel
+		if i < len(old) {
+			c = old[i]
+		} else {
+			c = new(Channel)
+		}
+		*c = *ch
+		dst.chans = append(dst.chans, c)
+	}
+	if dst.byPair == nil {
+		dst.byPair = make(map[[2]int]int, len(s.byPair))
+	} else {
+		clear(dst.byPair)
 	}
 	for k, v := range s.byPair {
-		c.byPair[k] = v
+		dst.byPair[k] = v
 	}
-	return c
+	return dst
 }
 
 func pairKey(a, b int) [2]int {
@@ -129,32 +168,51 @@ func pairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
+// chanIndex returns the position of channel id in the id-ordered live
+// list, or -1. Binary search over the ascending IDs.
+func (s *State) chanIndex(id int) int {
+	lo, hi := 0, len(s.chans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.chans[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.chans) && s.chans[lo].ID == id {
+		return lo
+	}
+	return -1
+}
+
 // LiveChannel returns the live channel between QPUs a and b, or nil.
 func (s *State) LiveChannel(a, b int) *Channel {
 	if id, ok := s.byPair[pairKey(a, b)]; ok {
-		return s.channels[id]
+		return s.Channel(id)
 	}
 	return nil
 }
 
 // Channel returns a channel by id, or nil.
-func (s *State) Channel(id int) *Channel { return s.channels[id] }
+func (s *State) Channel(id int) *Channel {
+	if i := s.chanIndex(id); i >= 0 {
+		return s.chans[i]
+	}
+	return nil
+}
 
 // NumChannels returns the number of live channels.
-func (s *State) NumChannels() int { return len(s.channels) }
+func (s *State) NumChannels() int { return len(s.chans) }
 
-// CanRoute reports whether a path between a and b could be established
-// right now, possibly after tearing down idle channels (without actually
-// doing either).
-func (s *State) CanRoute(a, b int) bool {
-	if s.Arch.Net.FindPath(s.EdgeFree, a, b) != nil && s.bsmAvailable(a, b) {
-		return true
-	}
-	// Capacity or BSMs are exhausted right now, but OpenChannel may
-	// reclaim both from idle channels — credit them before deciding.
-	res := append([]int(nil), s.EdgeFree...)
-	bsm := append([]int(nil), s.BSMFree...)
-	for _, ch := range s.channelsByID() {
+// creditIdle copies the current residuals into the reusable credit
+// buffers and credits every idle channel's pinned capacity and BSM,
+// returning the buffers. The result is only valid until the next call.
+func (s *State) creditIdle() (res, bsm []int) {
+	res = append(s.creditEdge[:0], s.EdgeFree...)
+	bsm = append(s.creditBSM[:0], s.BSMFree...)
+	s.creditEdge, s.creditBSM = res, bsm
+	for _, ch := range s.chans {
 		if !ch.Idle(s.Now) {
 			continue
 		}
@@ -163,7 +221,20 @@ func (s *State) CanRoute(a, b int) bool {
 		}
 		bsm[ch.BSMRack]++
 	}
-	if s.Arch.Net.FindPath(res, a, b) == nil {
+	return res, bsm
+}
+
+// CanRoute reports whether a path between a and b could be established
+// right now, possibly after tearing down idle channels (without actually
+// doing either).
+func (s *State) CanRoute(a, b int) bool {
+	if s.router.Route(s.EdgeFree, a, b) && s.bsmAvailable(a, b) {
+		return true
+	}
+	// Capacity or BSMs are exhausted right now, but OpenChannel may
+	// reclaim both from idle channels — credit them before deciding.
+	res, bsm := s.creditIdle()
+	if !s.router.Route(res, a, b) {
 		return false
 	}
 	return bsm[s.Arch.RackOf(a)] > 0 || bsm[s.Arch.RackOf(b)] > 0
@@ -171,20 +242,6 @@ func (s *State) CanRoute(a, b int) bool {
 
 func (s *State) bsmAvailable(a, b int) bool {
 	return s.BSMFree[s.Arch.RackOf(a)] > 0 || s.BSMFree[s.Arch.RackOf(b)] > 0
-}
-
-// channelsByID returns live channels sorted by id for determinism.
-func (s *State) channelsByID() []*Channel {
-	ids := make([]int, 0, len(s.channels))
-	for id := range s.channels {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	out := make([]*Channel, len(ids))
-	for i, id := range ids {
-		out[i] = s.channels[id]
-	}
-	return out
 }
 
 // OpenChannel configures a new channel between QPUs a and b, tearing
@@ -196,13 +253,16 @@ func (s *State) channelsByID() []*Channel {
 // reconfiguration latency. It returns nil if no path exists even after
 // teardowns.
 func (s *State) OpenChannel(a, b int) *Channel {
-	path := s.Arch.Net.FindPath(s.EdgeFree, a, b)
-	for path == nil || !s.bsmAvailable(a, b) {
-		if !s.reclaimOne(a, b, path != nil) {
+	havePath := s.router.Route(s.EdgeFree, a, b)
+	for !havePath || !s.bsmAvailable(a, b) {
+		if !s.reclaimOne(a, b, havePath) {
 			return nil
 		}
-		path = s.Arch.Net.FindPath(s.EdgeFree, a, b)
+		havePath = s.router.Route(s.EdgeFree, a, b)
 	}
+	// Materialize the path only once routing is known to succeed; the
+	// slice is retained by the channel (immutably) for its lifetime.
+	path := s.router.FindPath(s.EdgeFree, a, b)
 	rack := s.Arch.RackOf(a)
 	if s.BSMFree[rack] == 0 {
 		rack = s.Arch.RackOf(b)
@@ -212,28 +272,44 @@ func (s *State) OpenChannel(a, b int) *Channel {
 		s.EdgeFree[eid]--
 	}
 	s.Reconfigs++
-	ch := &Channel{
+	var ch *Channel
+	if n := len(s.freeCh); n > 0 {
+		ch = s.freeCh[n-1]
+		s.freeCh = s.freeCh[:n-1]
+	} else {
+		ch = new(Channel)
+	}
+	*ch = Channel{
 		ID: s.nextID, A: min(a, b), B: max(a, b), Path: path,
 		BSMRack: rack, InRack: s.Arch.Net.InRack(a, b),
 		ReadyAt: s.Now + s.Params.ReconfigLatency,
 	}
 	ch.BusyUntil = ch.ReadyAt
 	s.nextID++
-	s.channels[ch.ID] = ch
+	s.chans = append(s.chans, ch) // nextID is monotonic: append keeps id order
 	s.byPair[pairKey(a, b)] = ch.ID
 	return ch
 }
 
-// idleByLRU returns the idle channels least-recently-busy first
-// (earliest BusyUntil, ties broken by id).
+// idleByLRU fills the reusable scratch with the idle channels,
+// least-recently-busy first (earliest BusyUntil, ties broken by id).
+// The slice is only valid until the next call.
 func (s *State) idleByLRU() []*Channel {
-	var idle []*Channel
-	for _, ch := range s.channelsByID() {
-		if ch.Idle(s.Now) {
-			idle = append(idle, ch)
+	idle := s.idleScratch[:0]
+	for _, ch := range s.chans { // ascending id
+		if !ch.Idle(s.Now) {
+			continue
+		}
+		// Insertion sort by BusyUntil: stable (strict > comparison), so
+		// equal BusyUntil keeps the id order — same as sort.SliceStable
+		// over an id-sorted input. Idle sets are small (bounded by live
+		// channels), so O(n²) never matters.
+		idle = append(idle, ch)
+		for i := len(idle) - 1; i > 0 && idle[i-1].BusyUntil > idle[i].BusyUntil; i-- {
+			idle[i-1], idle[i] = idle[i], idle[i-1]
 		}
 	}
-	sort.SliceStable(idle, func(i, j int) bool { return idle[i].BusyUntil < idle[j].BusyUntil })
+	s.idleScratch = idle
 	return idle
 }
 
@@ -252,14 +328,10 @@ func (s *State) reclaimOne(a, b int, havePath bool) bool {
 	if !havePath {
 		// Find the path that would exist with every idle channel's
 		// capacity credited, then free its first saturated edge.
-		res := append([]int(nil), s.EdgeFree...)
-		for _, ch := range idle {
-			for _, eid := range ch.Path {
-				res[eid]++
-			}
-		}
-		target := s.Arch.Net.FindPath(res, a, b)
-		if target == nil {
+		res, _ := s.creditIdle()
+		target, ok := s.router.AppendPath(s.pathScratch[:0], res, a, b)
+		s.pathScratch = target[:0]
+		if !ok {
 			return false
 		}
 		for _, eid := range target {
@@ -299,32 +371,57 @@ func containsEdge(path []int, eid int) bool {
 }
 
 // CloseChannel releases a channel's capacity and BSM and advances the
-// teardown epoch.
+// teardown epoch. The channel struct is recycled: pointers to it are
+// invalid once it is closed.
 func (s *State) CloseChannel(id int) {
-	ch, ok := s.channels[id]
-	if !ok {
+	i := s.chanIndex(id)
+	if i < 0 {
 		return
 	}
+	ch := s.chans[i]
 	for _, eid := range ch.Path {
 		s.EdgeFree[eid]++
 	}
 	s.BSMFree[ch.BSMRack]++
 	s.TeardownEpoch++
-	delete(s.channels, id)
+	s.chans = append(s.chans[:i], s.chans[i+1:]...)
 	key := pairKey(ch.A, ch.B)
 	if s.byPair[key] == id {
 		delete(s.byPair, key)
 	}
+	ch.Path = nil // drop the shared path; clones keep their own reference
+	s.freeCh = append(s.freeCh, ch)
 }
 
 // CloseIdleChannels tears down every channel idle at the current time.
 // The baseline strategies use this to model per-request reconfiguration.
+// One in-place compaction over the id-ordered list: no sorting, no
+// allocation.
 func (s *State) CloseIdleChannels() {
-	for _, ch := range s.channelsByID() {
-		if ch.Idle(s.Now) {
-			s.CloseChannel(ch.ID)
+	live := s.chans[:0]
+	for _, ch := range s.chans {
+		if !ch.Idle(s.Now) {
+			live = append(live, ch)
+			continue
 		}
+		for _, eid := range ch.Path {
+			s.EdgeFree[eid]++
+		}
+		s.BSMFree[ch.BSMRack]++
+		s.TeardownEpoch++
+		key := pairKey(ch.A, ch.B)
+		if s.byPair[key] == ch.ID {
+			delete(s.byPair, key)
+		}
+		ch.Path = nil
+		s.freeCh = append(s.freeCh, ch)
 	}
+	// Clear the compacted-over tail so recycled structs are not aliased
+	// from the live slice.
+	for i := len(live); i < len(s.chans); i++ {
+		s.chans[i] = nil
+	}
+	s.chans = live
 }
 
 // EnqueueGeneration appends one EPR generation of the given duration to
@@ -368,6 +465,12 @@ func (s *State) Validate() error {
 	for r, free := range s.BSMFree {
 		if free < 0 || free > s.Arch.Net.BSMsPerRack {
 			return fmt.Errorf("netstate: rack %d BSMs %d outside [0, %d]", r, free, s.Arch.Net.BSMsPerRack)
+		}
+	}
+	for i := 1; i < len(s.chans); i++ {
+		if s.chans[i-1].ID >= s.chans[i].ID {
+			return fmt.Errorf("netstate: channel list out of id order at %d (%d >= %d)",
+				i, s.chans[i-1].ID, s.chans[i].ID)
 		}
 	}
 	return nil

@@ -258,6 +258,10 @@ func TestTargetedEvictionFreesBSMOnly(t *testing.T) {
 	if ch01 == nil || ch23 == nil {
 		t.Fatal("setup channels failed")
 	}
+	// Capture the ids up front: a closed channel's struct is recycled by
+	// the next OpenChannel, so reading ch23.ID after the eviction below
+	// would observe the new channel's id.
+	id01, id23 := ch01.ID, ch23.ID
 	s.Now = ch23.ReadyAt + 1
 	// Path capacity for (2, 3) remains, but exhaust rack 1's BSMs so
 	// only a BSM teardown in rack 1 can help; rack 0's channel must
@@ -266,10 +270,10 @@ func TestTargetedEvictionFreesBSMOnly(t *testing.T) {
 	if ch := s.OpenChannel(2, 3); ch == nil {
 		t.Fatal("open failed despite reclaimable BSM")
 	}
-	if s.Channel(ch01.ID) == nil {
+	if s.Channel(id01) == nil {
 		t.Error("rack-0 channel evicted for a rack-1 BSM shortage")
 	}
-	if s.Channel(ch23.ID) != nil {
+	if s.Channel(id23) != nil {
 		t.Error("rack-1 BSM holder not evicted")
 	}
 }

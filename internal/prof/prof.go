@@ -1,0 +1,52 @@
+// Package prof wires the standard runtime/pprof profiles into the
+// CLIs so compile-hotpath work can be inspected with `go tool pprof`
+// (see EXPERIMENTS.md, "Performance").
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a
+// stop function that must be called exactly once after the workload:
+// it finishes the CPU profile and, when memPath is non-empty, writes
+// an up-to-date heap profile. Either path may be empty, in which case
+// the corresponding profile is skipped and Start is a cheap no-op.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			// Flush recently freed objects so the profile reflects
+			// live heap at the end of the workload.
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				return fmt.Errorf("write heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

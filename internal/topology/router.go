@@ -1,0 +1,171 @@
+package topology
+
+// Router answers capacity-aware shortest-path queries over one Network
+// with zero steady-state allocation. It is the hot-path counterpart of
+// Network.FindPath (which stays as the allocation-heavy reference
+// implementation): the scheduler issues thousands of routing queries
+// per compile, most of which only need a yes/no verdict, so the Router
+// keeps per-instance scratch — epoch-stamped visited marks, a
+// predecessor-edge tree and a ring-buffer BFS queue — and reuses it
+// across queries instead of allocating per call.
+//
+// It also exploits the two-tier QPU→ToR→spine structure of every
+// supported fabric: each QPU hangs off exactly one ToR (enforced by
+// Network.Validate), so a query first checks the two fixed uplink
+// edges and then searches only the switch-to-switch subgraph, whose
+// adjacency is precomputed with the QPU stub edges filtered out.
+//
+// A Router is NOT safe for concurrent use; create one per goroutine
+// (netstate.State owns one and shares it across its checkpoint clones,
+// which are never routed concurrently with their source).
+type Router struct {
+	net *Network
+	// upEdge[q] is the single edge attaching QPU q to its ToR, and
+	// upTor[q] that ToR's node id.
+	upEdge []int32
+	upTor  []int32
+	// switchAdj[node] holds the outgoing hops of a switch node
+	// restricted to switch-to-switch edges, preserving the network's
+	// adjacency order so BFS tie-breaking matches Network.FindPath.
+	switchAdj [][]hop
+
+	// Per-query scratch, valid while stamp[node] == epoch.
+	epoch    uint32
+	stamp    []uint32
+	prevEdge []int32
+	queue    []int32
+}
+
+// hop is one precomputed switch-to-switch adjacency entry.
+type hop struct {
+	edge, next int32
+}
+
+// NewRouter builds a Router for the network.
+func NewRouter(n *Network) *Router {
+	r := &Router{
+		net:       n,
+		upEdge:    make([]int32, n.NumQPUs()),
+		upTor:     make([]int32, n.NumQPUs()),
+		switchAdj: make([][]hop, len(n.Nodes)),
+		stamp:     make([]uint32, len(n.Nodes)),
+		prevEdge:  make([]int32, len(n.Nodes)),
+	}
+	for q, nd := range n.qpuNode {
+		eid := n.adj[nd][0] // exactly one uplink per QPU (Validate)
+		r.upEdge[q] = int32(eid)
+		r.upTor[q] = int32(n.Edges[eid].Other(nd))
+	}
+	for id, nd := range n.Nodes {
+		if nd.Kind == KindQPU {
+			continue
+		}
+		for _, eid := range n.adj[id] {
+			next := n.Edges[eid].Other(id)
+			if n.Nodes[next].Kind == KindQPU {
+				continue
+			}
+			r.switchAdj[id] = append(r.switchAdj[id], hop{edge: int32(eid), next: int32(next)})
+		}
+	}
+	return r
+}
+
+// Route reports whether a path between QPUs a and b exists under the
+// residual capacities, without materializing it. It allocates nothing.
+func (r *Router) Route(residual []int, a, b int) bool {
+	kind := r.search(residual, a, b)
+	return kind != searchFail
+}
+
+// FindPath returns a freshly allocated shortest path (edge ids in
+// a→b order) between QPUs a and b, or nil if none exists under the
+// residual capacities. The result is identical to Network.FindPath.
+// The returned slice is not aliased by the Router, so callers may
+// retain it (channels do, immutably, for their lifetime).
+func (r *Router) FindPath(residual []int, a, b int) []int {
+	path, ok := r.AppendPath(nil, residual, a, b)
+	if !ok {
+		return nil
+	}
+	return path
+}
+
+// AppendPath appends the shortest path between QPUs a and b to dst and
+// returns the extended slice. The second result is false when no path
+// exists (dst is returned unchanged). Passing a reused dst[:0] makes
+// the query allocation-free once the buffer has grown.
+func (r *Router) AppendPath(dst []int, residual []int, a, b int) ([]int, bool) {
+	switch r.search(residual, a, b) {
+	case searchFail:
+		return dst, false
+	case searchSameToR:
+		return append(dst, int(r.upEdge[a]), int(r.upEdge[b])), true
+	}
+	// Walk the predecessor tree from ToR(b) back to ToR(a), then emit
+	// in a→b order: uplink(a), switch path, uplink(b).
+	mark := len(dst)
+	dst = append(dst, int(r.upEdge[a]))
+	src, cur := r.upTor[a], r.upTor[b]
+	for cur != src {
+		eid := r.prevEdge[cur]
+		dst = append(dst, int(eid))
+		cur = int32(r.net.Edges[eid].Other(int(cur)))
+	}
+	// The switch segment came out b→a; reverse it in place.
+	for i, j := mark+1, len(dst)-1; i < j; i, j = i+1, j-1 {
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return append(dst, int(r.upEdge[b])), true
+}
+
+// search outcomes.
+const (
+	searchFail    = iota // no path
+	searchSameToR        // a and b share a ToR: path is the two uplinks
+	searchCross          // prevEdge holds a ToR(a)→ToR(b) tree
+)
+
+// search runs the capacity-constrained BFS. Both QPU uplinks must have
+// residual capacity; the switch subgraph is searched with the same
+// visit order as Network.FindPath so the resulting path is identical.
+func (r *Router) search(residual []int, a, b int) int {
+	if r.net.qpuNode[a] == r.net.qpuNode[b] {
+		return searchFail
+	}
+	if residual[r.upEdge[a]] <= 0 || residual[r.upEdge[b]] <= 0 {
+		return searchFail
+	}
+	src, dst := r.upTor[a], r.upTor[b]
+	if src == dst {
+		return searchSameToR
+	}
+	r.epoch++
+	if r.epoch == 0 { // wrapped: invalidate all stale stamps
+		clear(r.stamp)
+		r.epoch = 1
+	}
+	epoch := r.epoch
+	r.stamp[src] = epoch
+	queue := r.queue[:0]
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if cur == dst {
+			break
+		}
+		for _, h := range r.switchAdj[cur] {
+			if residual[h.edge] <= 0 || r.stamp[h.next] == epoch {
+				continue
+			}
+			r.stamp[h.next] = epoch
+			r.prevEdge[h.next] = h.edge
+			queue = append(queue, h.next)
+		}
+	}
+	r.queue = queue
+	if r.stamp[dst] != epoch {
+		return searchFail
+	}
+	return searchCross
+}

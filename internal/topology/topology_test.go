@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -269,5 +270,97 @@ func TestNodeKindString(t *testing.T) {
 	}
 	if NodeKind(9).String() != "NodeKind(9)" {
 		t.Errorf("unknown kind = %q", NodeKind(9).String())
+	}
+}
+
+// lcg is a tiny deterministic generator for the router equivalence
+// tests: no global rand state, stable across runs.
+type lcg uint64
+
+func (l *lcg) next(m int) int {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return int((uint64(*l) >> 33) % uint64(m))
+}
+
+// TestRouterMatchesFindPath is the equivalence guard for the scratch
+// router: across topologies and randomized residual-capacity states,
+// Router must agree with the reference Network.FindPath exactly —
+// same reachability verdict and the same path, edge for edge.
+func TestRouterMatchesFindPath(t *testing.T) {
+	archs := []struct {
+		topo           string
+		racks, perRack int
+	}{
+		{"clos", 4, 4},
+		{"spine-leaf", 6, 4},
+		{"fat-tree", 8, 4},
+	}
+	for _, ac := range archs {
+		t.Run(ac.topo, func(t *testing.T) {
+			n := mustArch(t, ac.topo, ac.racks, ac.perRack).Net
+			r := NewRouter(n)
+			rng := lcg(42)
+			res := make([]int, len(n.Edges))
+			for trial := 0; trial < 200; trial++ {
+				// Random residuals, including depleted edges: trial 0 is
+				// the pristine network, later trials knock out capacity.
+				for i, e := range n.Edges {
+					res[i] = e.Cap
+					if trial > 0 && rng.next(3) == 0 {
+						res[i] = rng.next(e.Cap + 1)
+					}
+				}
+				for pair := 0; pair < 16; pair++ {
+					a := rng.next(n.NumQPUs())
+					b := rng.next(n.NumQPUs())
+					want := n.FindPath(res, a, b)
+					if got := r.Route(res, a, b); got != (want != nil) {
+						t.Fatalf("trial %d: Route(%d,%d) = %v, FindPath = %v", trial, a, b, got, want)
+					}
+					got := r.FindPath(res, a, b)
+					if !slices.Equal(got, want) {
+						t.Fatalf("trial %d: path(%d,%d) = %v, want %v", trial, a, b, got, want)
+					}
+					app, ok := r.AppendPath(nil, res, a, b)
+					if ok != (want != nil) || !slices.Equal(app, want) {
+						t.Fatalf("trial %d: AppendPath(%d,%d) = %v,%v, want %v", trial, a, b, app, ok, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRouterAppendPathReusesDst verifies the zero-alloc contract:
+// AppendPath writes into the provided backing array when capacity
+// allows, so reclaim scans can loop without allocating.
+func TestRouterAppendPathReusesDst(t *testing.T) {
+	n := mustArch(t, "clos", 4, 4).Net
+	r := NewRouter(n)
+	res := fullResidual(n)
+	buf := make([]int, 0, 16)
+	p1, ok := r.AppendPath(buf, res, 0, 5)
+	if !ok || len(p1) == 0 {
+		t.Fatalf("AppendPath failed on pristine network")
+	}
+	p2, ok := r.AppendPath(buf[:0], res, 8, 13)
+	if !ok || len(p2) == 0 {
+		t.Fatalf("second AppendPath failed")
+	}
+	if &p1[0] != &p2[0] {
+		t.Errorf("AppendPath did not reuse the provided backing array")
+	}
+}
+
+// TestRouterSameQPU mirrors TestFindPathSameQPU for the router.
+func TestRouterSameQPU(t *testing.T) {
+	n := mustArch(t, "clos", 2, 2).Net
+	r := NewRouter(n)
+	res := fullResidual(n)
+	if r.Route(res, 1, 1) {
+		t.Errorf("Route(q, q) = true, want false")
+	}
+	if p := r.FindPath(res, 1, 1); p != nil {
+		t.Errorf("FindPath(q, q) = %v, want nil", p)
 	}
 }
