@@ -8,6 +8,10 @@
 //	qdcbench -parallel 1        # force the serial path (same output)
 //	qdcbench -list              # list experiment ids
 //
+//	qdcbench -faults default -seed 1 -trials 20
+//	                            # fault-injection sweep: realized
+//	                            # p50/p95/p99 latency per benchmark
+//
 // Experiment output goes to stdout; timing and worker-pool statistics
 // go to stderr, so stdout is byte-identical at every -parallel setting.
 package main
@@ -36,7 +40,7 @@ type benchRecord struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, tab2, fig8a, fig8b, fig9a-c, fig10a-c, tab3, ablation) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig2, tab2, fig8a, fig8b, fig9a-c, fig10a-c, tab3, ablation, faults) or 'all'")
 	quick := flag.Bool("quick", false, "reduced benchmark set and sweep grids")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	charts := flag.Bool("charts", false, "append ASCII charts to sweep experiments")
@@ -45,6 +49,9 @@ func main() {
 	benchjson := flag.String("benchjson", "", "append one JSON throughput record per experiment to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocs/heap profile taken after the sweep to this file")
+	faultsProfile := flag.String("faults", "", "fault profile for the fault sweep (off, default, harsh); implies -exp faults unless -exp is set")
+	seed := flag.Uint64("seed", 1, "fault-model seed (same seed = byte-identical fault sweep)")
+	trials := flag.Int("trials", 20, "fault realizations per benchmark in the fault sweep")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -52,6 +59,7 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		fmt.Println("faults")
 		return
 	}
 	reg := experiments.Registry()
@@ -62,6 +70,10 @@ func main() {
 			os.Exit(2)
 		}
 		ids = []string{*exp}
+	} else if *faultsProfile != "" {
+		// -faults alone runs just the fault sweep: the paper tables are
+		// deterministic and unaffected by the fault model.
+		ids = []string{"faults"}
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -79,6 +91,7 @@ func main() {
 		cfg := experiments.RunConfig{
 			Quick: *quick, CSV: *csv, Charts: *charts,
 			Parallel: *parallel, Stats: stats,
+			Faults: *faultsProfile, Seed: *seed, Trials: *trials,
 		}
 		start := time.Now()
 		if err := reg[id](os.Stdout, cfg); err != nil {

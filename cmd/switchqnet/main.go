@@ -4,6 +4,9 @@
 //
 //	switchqnet -bench qft -racks 4 -qpus 4 -data 30 -buffer 10
 //	switchqnet -bench rca -topo fat-tree -racks 8 -compare -v
+//	switchqnet -bench qft -faults default -seed 1 -trials 20
+//	                          # replay under the fault model: realized
+//	                          # p50/p95/p99 latency + recovery counts
 package main
 
 import (
@@ -36,6 +39,10 @@ func main() {
 		verbose    = flag.Bool("v", false, "print the first scheduled generations")
 		timeline   = flag.Bool("timeline", false, "print a per-QPU text timeline of the schedule")
 		traceOut   = flag.String("trace", "", "write the compiled schedule as JSON to this file")
+		faultsProf = flag.String("faults", "", "replay the schedule under a fault profile (off, default, harsh) and report realized latency")
+		seed       = flag.Uint64("seed", 1, "fault-model seed (same seed = identical realized trace)")
+		trials     = flag.Int("trials", 20, "fault realizations for the realized-latency distribution")
+		faultJSON  = flag.String("faultjson", "", "write the -seed realized trace as JSON to this file (requires -faults)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile taken after compilation to this file")
 	)
@@ -147,6 +154,33 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("schedule written to %s\n", *traceOut)
+	}
+	if *faultsProf != "" {
+		fcfg, err := sq.FaultProfile(*faultsProf)
+		if err != nil {
+			fail(err)
+		}
+		pol := sq.DefaultRecoveryPolicy()
+		st := sq.RunFaultTrials(c.Result, arch, fcfg, pol, *seed, *trials, *parallel)
+		fmt.Printf("faults[%s,seed=%d]: compiled=%d us realized p50=%d p95=%d p99=%d us "+
+			"(mean %.0f) over %d trials; retries=%.1f reroutes=%.1f distill=%.1f resched=%.1f aborted=%d\n",
+			*faultsProf, *seed, st.Compiled, st.P50, st.P95, st.P99,
+			st.Mean, len(st.Trials),
+			st.MeanRetries, st.MeanReroutes, st.MeanFallbacks, st.MeanRescheduled,
+			st.TotalAborted)
+		if *faultJSON != "" {
+			model := sq.NewFaultModel(fcfg, arch, c.Result, *seed)
+			tr := sq.ExecuteSchedule(c.Result, arch, model, pol)
+			f, err := os.Create(*faultJSON)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			if err := sq.WriteRunJSON(f, c.Result, tr); err != nil {
+				fail(err)
+			}
+			fmt.Printf("realized trace written to %s\n", *faultJSON)
+		}
 	}
 }
 

@@ -1,0 +1,151 @@
+package epr_test
+
+import (
+	"testing"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/place"
+	"switchqnet/internal/topology"
+)
+
+// decodeDemands turns fuzz bytes into a demand list: 5 bytes per demand
+// (a, b, protocol, gates, block) over a small QPU grid. IDs are forced
+// to indices — the fuzzer explores graph shapes, not the ID validation
+// path, which TestBuildDAGRejects covers.
+func decodeDemands(data []byte, numQPUs int) []epr.Demand {
+	var demands []epr.Demand
+	for i := 0; i+5 <= len(data); i += 5 {
+		a := int(data[i]) % numQPUs
+		b := int(data[i+1]) % numQPUs
+		demands = append(demands, epr.Demand{
+			ID: len(demands), A: a, B: b,
+			Protocol: epr.Protocol(data[i+2] % 2),
+			Gates:    1 + int(data[i+3]%8),
+			Block:    int(data[i+4] % 8), // 0 = singleton
+		})
+	}
+	return demands
+}
+
+// encodeDemands is decodeDemands' inverse for seeding the corpus from
+// real pipeline outputs.
+func encodeDemands(demands []epr.Demand) []byte {
+	data := make([]byte, 0, 5*len(demands))
+	for _, d := range demands {
+		data = append(data, byte(d.A), byte(d.B), byte(d.Protocol), byte(d.Gates), byte(d.Block))
+	}
+	return data
+}
+
+// pipelineDemands runs the real preprocessing pipeline for one
+// benchmark on a small architecture, for corpus seeding.
+func pipelineDemands(f *testing.F, bench string) []epr.Demand {
+	f.Helper()
+	arch, err := topology.NewArch("clos", 2, 2, 30, 10, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	circ, err := circuit.Benchmark(bench, arch.TotalQubits())
+	if err != nil {
+		f.Fatal(err)
+	}
+	pl, err := place.Blocks(circ.NumQubits, arch)
+	if err != nil {
+		f.Fatal(err)
+	}
+	demands, err := comm.Extract(circ, pl, arch, comm.DefaultOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return demands
+}
+
+// FuzzBuildDAG checks the dependency-DAG invariants on arbitrary demand
+// lists: every edge's endpoints share a QPU, edges point strictly
+// forward in list order (acyclicity), Preds/Succs mirror each other
+// without duplicates, and Layer is the longest-path depth.
+func FuzzBuildDAG(f *testing.F) {
+	const numQPUs = 4
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 1, 1, 0, 0, 2, 0, 1, 0})
+	// Blocked demands: two groups of two, overlapping QPUs.
+	f.Add([]byte{0, 1, 0, 1, 1, 2, 3, 0, 1, 1, 0, 2, 0, 1, 2, 1, 3, 0, 1, 2})
+	for _, bench := range []string{"MCT", "QFT", "Grover", "RCA"} {
+		f.Add(encodeDemands(pipelineDemands(f, bench)))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		demands := decodeDemands(data, numQPUs)
+		dag, err := epr.BuildDAG(demands)
+		wantErr := false
+		for _, d := range demands {
+			if d.A == d.B {
+				wantErr = true
+			}
+		}
+		if wantErr {
+			if err == nil {
+				t.Fatal("equal-endpoint demand accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("valid demand list rejected: %v", err)
+		}
+		if dag.Len() != len(demands) {
+			t.Fatalf("Len() = %d, want %d", dag.Len(), len(demands))
+		}
+		shareQPU := func(x, y epr.Demand) bool {
+			return x.Involves(y.A) || x.Involves(y.B)
+		}
+		for i := range demands {
+			seen := map[int32]bool{}
+			for _, p := range dag.Preds[i] {
+				// Forward edges only: construction order guarantees
+				// acyclicity, and this pins it.
+				if int(p) >= i || p < 0 {
+					t.Fatalf("demand %d has non-forward predecessor %d", i, p)
+				}
+				if seen[p] {
+					t.Fatalf("demand %d lists predecessor %d twice", i, p)
+				}
+				seen[p] = true
+				if !shareQPU(demands[i], demands[p]) {
+					t.Fatalf("edge %d->%d between demands sharing no QPU: %v, %v",
+						p, i, demands[p], demands[i])
+				}
+				found := false
+				for _, s := range dag.Succs[p] {
+					if int(s) == i {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("edge %d->%d missing from Succs", p, i)
+				}
+				if dag.Layer[i] < dag.Layer[p]+1 {
+					t.Fatalf("Layer[%d]=%d not above predecessor %d at %d",
+						i, dag.Layer[i], p, dag.Layer[p])
+				}
+			}
+			// Layer is exactly the longest path: 0 for roots, else
+			// 1 + max over preds.
+			want := int32(0)
+			for _, p := range dag.Preds[i] {
+				if dag.Layer[p]+1 > want {
+					want = dag.Layer[p] + 1
+				}
+			}
+			if dag.Layer[i] != want {
+				t.Fatalf("Layer[%d] = %d, want %d", i, dag.Layer[i], want)
+			}
+			for _, s := range dag.Succs[i] {
+				if int(s) <= i {
+					t.Fatalf("demand %d has non-forward successor %d", i, s)
+				}
+			}
+		}
+	})
+}

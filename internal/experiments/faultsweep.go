@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+	"switchqnet/internal/runtime"
+)
+
+// FaultRow is one benchmark's realized-latency distribution under the
+// fault-injecting runtime executor.
+type FaultRow struct {
+	Benchmark string
+	Setting   Setting
+	Stats     *runtime.Stats
+}
+
+// faultSettings returns the architectures the fault sweep replays on:
+// the primary program-480 setting, plus the alternative-topology rows
+// in full mode (outage placement interacts with path diversity, so the
+// sweep exercises every topology family).
+func faultSettings(cfg RunConfig) []Setting {
+	settings := []Setting{Program480()}
+	if !cfg.Quick {
+		for _, g := range Table2Groups() {
+			for _, s := range g.Settings {
+				if s.Topology != "clos" {
+					settings = append(settings, s)
+				}
+			}
+		}
+	}
+	return settings
+}
+
+// FaultSweepRows compiles every (benchmark, setting) cell with the
+// SwitchQNet pipeline and replays it `cfg.Trials` times against the
+// seeded fault model. Cells fan across the worker pool; trials within a
+// cell run serially (the executor is deterministic, so the realized
+// distribution is byte-identical at every -parallel setting).
+func FaultSweepRows(cfg RunConfig) ([]FaultRow, error) {
+	fcfg, err := faults.Profile(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	p := hw.Default()
+	opts := core.DefaultOptions()
+	benches := Benchmarks()
+	if cfg.Quick {
+		benches = []string{"MCT", "QFT"}
+	}
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 20
+	}
+	type cell struct {
+		bench string
+		s     Setting
+	}
+	var cells []cell
+	for _, s := range faultSettings(cfg) {
+		for _, bench := range benches {
+			cells = append(cells, cell{bench: bench, s: s})
+		}
+	}
+	rows := make([]FaultRow, len(cells))
+	err = cfg.forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		arch, err := c.s.Arch()
+		if err != nil {
+			return err
+		}
+		res, err := compilePipeline(c.bench, arch, p, opts, comm.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("experiments: %s on %s (faults): %w", c.bench, c.s.Label, err)
+		}
+		rows[i] = FaultRow{
+			Benchmark: c.bench, Setting: c.s,
+			Stats: runtime.RunTrials(res, arch, fcfg, runtime.DefaultPolicy(), cfg.Seed, trials, 1),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FaultSweep renders the fault-injection experiment: realized p50/p95/
+// p99 makespan versus the compiled makespan, plus mean recovery-action
+// counts, per benchmark row.
+func FaultSweep(w io.Writer, cfg RunConfig) error {
+	rows, err := FaultSweepRows(cfg)
+	if err != nil {
+		return err
+	}
+	profile := cfg.Faults
+	if profile == "" {
+		profile = "off"
+	}
+	p := hw.Default()
+	t := metrics.NewTable(
+		fmt.Sprintf("Fault sweep: realized latency under profile %q, seed %d, %d trials "+
+			"(latency in units of reconfiguration latency)", profile, cfg.Seed, numTrials(rows)),
+		"Benchmark", "Compiled", "p50", "p95", "p99", "p99/Comp",
+		"Retries", "Reroutes", "Distill", "Resched", "Aborts")
+	for _, r := range rows {
+		st := r.Stats
+		ratio := 0.0
+		if st.Compiled > 0 {
+			ratio = float64(st.P99) / float64(st.Compiled)
+		}
+		t.AddRow(BenchLabel(r.Benchmark, r.Setting),
+			p.Normalized(st.Compiled),
+			p.Normalized(st.P50), p.Normalized(st.P95), p.Normalized(st.P99),
+			fmt.Sprintf("%.2fx", ratio),
+			st.MeanRetries, st.MeanReroutes, st.MeanFallbacks, st.MeanRescheduled,
+			st.TotalAborted)
+	}
+	return cfg.render(t, w)
+}
+
+func numTrials(rows []FaultRow) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return len(rows[0].Stats.Trials)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFaultSweepParallelByteIdentical mirrors the parallel-runner
+// property test for the fault sweep: the rendered table must be
+// byte-identical whether the (benchmark x setting) cells run serially
+// or on a multi-worker pool — the executor's randomness is a pure
+// function of (schedule, seed), never of scheduling interleaving.
+func TestFaultSweepParallelByteIdentical(t *testing.T) {
+	base := RunConfig{Quick: true, Faults: "default", Seed: 1, Trials: 4}
+	var serial bytes.Buffer
+	if err := FaultSweep(&serial, base); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Parallel = workers
+		cfg.Stats = &SweepStats{}
+		var parallel bytes.Buffer
+		if err := FaultSweep(&parallel, cfg); err != nil {
+			t.Fatalf("parallel run (%d workers): %v", workers, err)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			t.Errorf("fault sweep differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial.String(), parallel.String())
+		}
+		if cfg.Stats.Cells == 0 {
+			t.Error("stats recorded no cells")
+		}
+	}
+}
+
+// TestFaultSweepSeedSensitivity: different seeds must yield different
+// realized distributions (the sweep is actually random), while repeated
+// same-seed runs are identical.
+func TestFaultSweepSeedSensitivity(t *testing.T) {
+	run := func(seed uint64) string {
+		var buf bytes.Buffer
+		cfg := RunConfig{Quick: true, Faults: "harsh", Seed: seed, Trials: 3}
+		if err := FaultSweep(&buf, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a1, a2, b := run(1), run(1), run(2)
+	if a1 != a2 {
+		t.Error("same-seed fault sweeps differ")
+	}
+	// The seed line differs textually; compare the table bodies.
+	body := func(s string) string {
+		i := strings.Index(s, "\n")
+		return s[i:]
+	}
+	if body(a1) == body(b) {
+		t.Error("different seeds produced identical realized tables")
+	}
+}
+
+// TestFaultSweepOffProfile: with faults disabled every realized
+// percentile must collapse onto the compiled makespan (the CLI-level
+// view of the zero-fault identity).
+func TestFaultSweepOffProfile(t *testing.T) {
+	rows, err := FaultSweepRows(RunConfig{Quick: true, Faults: "off", Seed: 1, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		st := r.Stats
+		if st.P50 != st.Compiled || st.P95 != st.Compiled || st.P99 != st.Compiled {
+			t.Errorf("%s: fault-free percentiles %d/%d/%d != compiled %d",
+				r.Benchmark, st.P50, st.P95, st.P99, st.Compiled)
+		}
+		if st.TotalAborted != 0 {
+			t.Errorf("%s: fault-free run aborted %d demands", r.Benchmark, st.TotalAborted)
+		}
+	}
+}
+
+// TestFaultSweepUnknownProfile surfaces profile typos as errors.
+func TestFaultSweepUnknownProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FaultSweep(&buf, RunConfig{Quick: true, Faults: "bogus"}); err == nil {
+		t.Fatal("unknown fault profile accepted")
+	}
+}
+
+// TestFaultsRegistered: the sweep is reachable via the registry but
+// intentionally absent from the paper-order id list.
+func TestFaultsRegistered(t *testing.T) {
+	if Registry()["faults"] == nil {
+		t.Fatal("faults runner not registered")
+	}
+	for _, id := range IDs() {
+		if id == "faults" {
+			t.Fatal("faults must not be part of the paper-order id list")
+		}
+	}
+}

@@ -82,6 +82,14 @@ type RunConfig struct {
 	// Stats, when non-nil, accumulates the sweep execution profile
 	// (cells, peak concurrency, wall clock) for throughput reporting.
 	Stats *SweepStats
+
+	// Faults names the fault profile of the "faults" experiment
+	// (faults.ProfileNames; "" means off), Seed seeds its fault model,
+	// and Trials sets the number of fault realizations per cell
+	// (0 means the default of 20). The other experiments ignore them.
+	Faults string
+	Seed   uint64
+	Trials int
 }
 
 // render writes a table in the configured format.
@@ -110,10 +118,14 @@ func Registry() map[string]Runner {
 		"fig10b":   Fig10b,
 		"fig10c":   Fig10c,
 		"ablation": Ablation,
+		"faults":   FaultSweep,
 	}
 }
 
-// IDs returns the experiment ids in presentation order.
+// IDs returns the experiment ids in presentation order. The "faults"
+// sweep is registered but excluded here: it is not a paper artifact, so
+// "-exp all" (and results_full.txt) keep the paper's table set; run it
+// with -exp faults or the qdcbench -faults flag.
 func IDs() []string {
 	return []string{"fig2", "tab2", "fig8a", "fig8b", "fig9a", "fig9b", "fig9c",
 		"fig10a", "fig10b", "fig10c", "tab3", "ablation"}

@@ -1,0 +1,380 @@
+// Package faults is the seeded, fully deterministic fault model the
+// runtime executor (internal/runtime) replays compiled schedules
+// against. The compiler schedules against *mean* latencies; the
+// hardware of Section 2.2 is repeat-until-success — heralded EPR
+// generation fails most attempts, optical switches occasionally stall,
+// fibers and BSMs drop out, and whole QPUs go dark for maintenance
+// windows. A Model materializes all of that as precomputed outage
+// windows plus per-attempt success probabilities derived from the
+// photonic protocol (internal/photonic), so an execution's randomness
+// is a pure function of the seed: same (schedule, seed) in, identical
+// fault sequence out, at any worker count.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"switchqnet/internal/hw"
+	"switchqnet/internal/photonic"
+	"switchqnet/internal/topology"
+)
+
+// Forever is an outage end time beyond every schedule: a permanently
+// dead resource never recovers within a run.
+const Forever = hw.Time(math.MaxInt64 / 4)
+
+// Config holds every fault-model knob. The zero value disables all
+// faults (the "off" profile): the executor then reproduces the compiled
+// schedule exactly.
+type Config struct {
+	// EPR enables stochastic repeat-until-success generation: each
+	// scheduled generation's duration is resampled as geometric attempt
+	// counts with the photonic per-attempt success probability, scaled
+	// so the mean matches the compiler's latency model.
+	EPR bool
+	// Alpha and Eta parameterize the photonic protocol (Section 2.2;
+	// paper defaults 0.05 and 0.1). Cross-rack attempts use Eta/100 (the
+	// extra 20 dB of the second NIR switch and two QFCs).
+	Alpha, Eta float64
+
+	// StallProb is the probability a switch reconfiguration stalls;
+	// StallMax bounds the additional uniform stall duration.
+	StallProb float64
+	StallMax  hw.Time
+
+	// LinkMTBF is the mean time between transient fiber outages per
+	// edge (0 disables); LinkOutage is the mean outage duration.
+	LinkMTBF   hw.Time
+	LinkOutage hw.Time
+	// LinkDeadProb is the probability an edge dies permanently at a
+	// seeded time within the horizon.
+	LinkDeadProb float64
+
+	// BSMMTBF / BSMOutage model transient whole-rack BSM pool outages.
+	BSMMTBF   hw.Time
+	BSMOutage hw.Time
+
+	// QPUDropProb is the per-QPU probability of one dropout window of
+	// mean length QPUDropLen within the horizon.
+	QPUDropProb float64
+	QPUDropLen  hw.Time
+}
+
+// Enabled reports whether any fault mechanism is active.
+func (c Config) Enabled() bool {
+	return c.EPR || c.StallProb > 0 || c.LinkMTBF > 0 || c.LinkDeadProb > 0 ||
+		c.BSMMTBF > 0 || c.QPUDropProb > 0
+}
+
+// Profile returns a named fault configuration. The profiles are the
+// CLI surface of the model (-faults off|default|harsh).
+func Profile(name string) (Config, error) {
+	switch name {
+	case "off", "none", "":
+		return Config{}, nil
+	case "default":
+		return Config{
+			EPR: true, Alpha: 0.05, Eta: 0.1,
+			StallProb: 0.10, StallMax: 500 * hw.Microsecond,
+			LinkMTBF: 500 * hw.Millisecond, LinkOutage: 2 * hw.Millisecond,
+			LinkDeadProb: 0.01,
+			BSMMTBF:      1000 * hw.Millisecond, BSMOutage: 2 * hw.Millisecond,
+			QPUDropProb: 0.02, QPUDropLen: 5 * hw.Millisecond,
+		}, nil
+	case "harsh":
+		return Config{
+			EPR: true, Alpha: 0.05, Eta: 0.05,
+			StallProb: 0.30, StallMax: 2 * hw.Millisecond,
+			LinkMTBF: 100 * hw.Millisecond, LinkOutage: 5 * hw.Millisecond,
+			LinkDeadProb: 0.05,
+			BSMMTBF:      200 * hw.Millisecond, BSMOutage: 5 * hw.Millisecond,
+			QPUDropProb: 0.10, QPUDropLen: 10 * hw.Millisecond,
+		}, nil
+	default:
+		return Config{}, fmt.Errorf("faults: unknown profile %q (want off, default or harsh)", name)
+	}
+}
+
+// ProfileNames lists the named profiles in CLI order.
+func ProfileNames() []string { return []string{"off", "default", "harsh"} }
+
+// window is one outage interval [From, To).
+type window struct {
+	From, To hw.Time
+}
+
+// Model is a fully materialized fault realization for one architecture,
+// seed, and horizon: every outage window is precomputed at construction
+// so queries are deterministic lookups, independent of query order.
+type Model struct {
+	cfg     Config
+	params  hw.Params
+	seed    uint64
+	horizon hw.Time
+
+	edgeWin [][]window // per-edge outages; a Forever end marks a dead edge
+	bsmWin  [][]window // per-rack BSM pool outages
+	qpuWin  [][]window // per-QPU dropout windows
+
+	// Per-attempt EPR protocol outcomes and attempt durations, scaled
+	// so mean realized generation time equals the compiler's latencies.
+	inRack, crossRack genModel
+}
+
+// genModel is the per-class repeat-until-success sampling model.
+type genModel struct {
+	succ    float64 // per-attempt heralding probability
+	fpShare float64 // share of heralds that are false positives
+	tau0    float64 // attempt duration in microseconds (mean-matched)
+}
+
+// stream discriminators for SubSeed.
+const (
+	streamEdge uint64 = 1
+	streamBSM  uint64 = 2
+	streamQPU  uint64 = 3
+	// StreamChannel derives the per-channel draw stream the executor
+	// uses for stalls and generation attempts.
+	StreamChannel uint64 = 4
+	// StreamTrial derives one trial's model seed from the run seed.
+	StreamTrial uint64 = 5
+)
+
+// New materializes a fault model. The horizon bounds where seeded
+// outages are placed — pass a small multiple of the compiled makespan
+// so the replayed window is covered; p supplies the mean latencies the
+// attempt model is calibrated against.
+func New(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.Time) *Model {
+	if horizon <= 0 {
+		horizon = hw.Time(1)
+	}
+	m := &Model{
+		cfg: cfg, params: p, seed: seed, horizon: horizon,
+		edgeWin: make([][]window, len(arch.Net.Edges)),
+		bsmWin:  make([][]window, arch.Racks),
+		qpuWin:  make([][]window, arch.NumQPUs()),
+	}
+	for e := range m.edgeWin {
+		rng := NewRNG(SubSeed(seed, streamEdge, uint64(e)))
+		ws := transientWindows(rng, cfg.LinkMTBF, cfg.LinkOutage, horizon)
+		if cfg.LinkDeadProb > 0 && rng.Float64() < cfg.LinkDeadProb {
+			deadAt := hw.Time(rng.Float64() * float64(horizon))
+			ws = truncateAt(ws, deadAt)
+			ws = append(ws, window{From: deadAt, To: Forever})
+		}
+		m.edgeWin[e] = ws
+	}
+	for r := range m.bsmWin {
+		rng := NewRNG(SubSeed(seed, streamBSM, uint64(r)))
+		m.bsmWin[r] = transientWindows(rng, cfg.BSMMTBF, cfg.BSMOutage, horizon)
+	}
+	for q := range m.qpuWin {
+		rng := NewRNG(SubSeed(seed, streamQPU, uint64(q)))
+		if cfg.QPUDropProb > 0 && rng.Float64() < cfg.QPUDropProb {
+			from := hw.Time(rng.Float64() * float64(horizon))
+			dur := hw.Time(rng.Exp(float64(cfg.QPUDropLen)))
+			if dur < 1 {
+				dur = 1
+			}
+			m.qpuWin[q] = []window{{From: from, To: from + dur}}
+		}
+	}
+	if cfg.EPR {
+		in := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta}.Analyze()
+		cross := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta / 100}.Analyze()
+		m.inRack = newGenModel(in, p.InRackLatency)
+		m.crossRack = newGenModel(cross, p.CrossRackLatency)
+	}
+	return m
+}
+
+// newGenModel calibrates the attempt duration so that the expected
+// realized duration of one pair (attempts/succ * tau0) equals the
+// compiler's mean latency for the class.
+func newGenModel(out photonic.Outcome, mean hw.Time) genModel {
+	g := genModel{succ: out.SuccessProb}
+	if out.SuccessProb > 0 {
+		g.fpShare = out.FalsePositive / out.SuccessProb
+		g.tau0 = float64(mean) * out.SuccessProb
+	}
+	return g
+}
+
+// transientWindows draws a Poisson outage process: exponential gaps of
+// the given MTBF, exponential outage durations, until the horizon.
+func transientWindows(rng *RNG, mtbf, outage, horizon hw.Time) []window {
+	if mtbf <= 0 {
+		return nil
+	}
+	var ws []window
+	t := hw.Time(0)
+	for {
+		t += hw.Time(rng.Exp(float64(mtbf)))
+		if t >= horizon {
+			return ws
+		}
+		dur := hw.Time(rng.Exp(float64(outage)))
+		if dur < 1 {
+			dur = 1
+		}
+		ws = append(ws, window{From: t, To: t + dur})
+		t += dur
+	}
+}
+
+// truncateAt drops and clips windows at or beyond the cut point.
+func truncateAt(ws []window, cut hw.Time) []window {
+	out := ws[:0]
+	for _, w := range ws {
+		if w.From >= cut {
+			break
+		}
+		if w.To > cut {
+			w.To = cut
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Enabled reports whether the model injects any faults.
+func (m *Model) Enabled() bool { return m.cfg.Enabled() }
+
+// Config returns the configuration the model was built from.
+func (m *Model) Config() Config { return m.cfg }
+
+// Seed returns the model's seed.
+func (m *Model) Seed() uint64 { return m.seed }
+
+// upAfter returns the earliest time >= t not inside any window.
+func upAfter(ws []window, t hw.Time) hw.Time {
+	for _, w := range ws {
+		if t < w.From {
+			return t
+		}
+		if t < w.To {
+			t = w.To
+		}
+	}
+	return t
+}
+
+// outageWithin returns the earliest window overlapping [from, to).
+func outageWithin(ws []window, from, to hw.Time) (window, bool) {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].To > from })
+	if i < len(ws) && ws[i].From < to {
+		return ws[i], true
+	}
+	return window{}, false
+}
+
+// EdgeUpAfter returns the earliest time >= t at which edge e is up
+// (Forever if the edge is dead by then).
+func (m *Model) EdgeUpAfter(e int, t hw.Time) hw.Time { return upAfter(m.edgeWin[e], t) }
+
+// EdgeDownAt reports whether edge e is in outage (or dead) at time t.
+func (m *Model) EdgeDownAt(e int, t hw.Time) bool { return upAfter(m.edgeWin[e], t) != t }
+
+// PathOutageWithin returns the earliest outage over any edge of the
+// path intersecting [from, to): its start (clamped to from), its end,
+// and whether the blocking edge is permanently dead.
+func (m *Model) PathOutageWithin(path []int, from, to hw.Time) (start, end hw.Time, dead, ok bool) {
+	start = Forever
+	for _, e := range path {
+		w, hit := outageWithin(m.edgeWin[e], from, to)
+		if !hit {
+			continue
+		}
+		s := w.From
+		if s < from {
+			s = from
+		}
+		if !ok || s < start || (s == start && w.To > end) {
+			start, end, dead, ok = s, w.To, w.To >= Forever, true
+		}
+	}
+	return start, end, dead, ok
+}
+
+// PathUpAfter returns the earliest time >= t at which every edge of the
+// path is simultaneously up (Forever if any edge is dead).
+func (m *Model) PathUpAfter(path []int, t hw.Time) hw.Time {
+	for {
+		next := t
+		for _, e := range path {
+			next = upAfter(m.edgeWin[e], next)
+			if next >= Forever {
+				return Forever
+			}
+		}
+		if next == t {
+			return t
+		}
+		t = next
+	}
+}
+
+// QPUUpAfter returns the earliest time >= t at which QPU q is not in a
+// dropout window.
+func (m *Model) QPUUpAfter(q int, t hw.Time) hw.Time { return upAfter(m.qpuWin[q], t) }
+
+// BSMUpAfter returns the earliest time >= t at which rack r's BSM pool
+// is available.
+func (m *Model) BSMUpAfter(rack int, t hw.Time) hw.Time { return upAfter(m.bsmWin[rack], t) }
+
+// Stall samples the additional switch-reconfiguration stall (0 when the
+// reconfiguration completes on schedule).
+func (m *Model) Stall(rng *RNG) hw.Time {
+	if m.cfg.StallProb <= 0 || rng.Float64() >= m.cfg.StallProb {
+		return 0
+	}
+	d := hw.Time(rng.Float64() * float64(m.cfg.StallMax))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// fallbackCap bounds regeneration of false-positive heralds per pair so
+// a pathological fidelity cannot loop unboundedly.
+const fallbackCap = 4
+
+// GenDuration samples the realized duration of one scheduled generation
+// whose compiled (mean-model) duration covers compiled/base pairs:
+// each pair repeats attempts until heralded, and a herald that is a
+// false positive (the |up,up> branch the threshold detectors cannot
+// reject) is caught by distillation/verification and regenerated — the
+// returned fallbacks count these extra sacrificial rounds. With the
+// EPR mechanism disabled the compiled duration is returned unchanged,
+// which is what makes zero-fault replay exact.
+func (m *Model) GenDuration(rng *RNG, inRack bool, compiled hw.Time) (dur hw.Time, fallbacks int) {
+	if !m.cfg.EPR {
+		return compiled, 0
+	}
+	g, base := m.crossRack, m.params.CrossRackLatency
+	if inRack {
+		g, base = m.inRack, m.params.InRackLatency
+	}
+	if g.succ <= 0 || base <= 0 {
+		return compiled, 0
+	}
+	pairs := int(compiled / base)
+	if pairs < 1 {
+		pairs = 1
+	}
+	attempts := 0
+	for i := 0; i < pairs; i++ {
+		attempts += rng.Geometric(g.succ)
+		for redo := 0; redo < fallbackCap && rng.Float64() < g.fpShare; redo++ {
+			attempts += rng.Geometric(g.succ)
+			fallbacks++
+		}
+	}
+	dur = hw.Time(math.Round(float64(attempts) * g.tau0))
+	if dur < 1 {
+		dur = 1
+	}
+	return dur, fallbacks
+}

@@ -1,0 +1,203 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+func testArch(t *testing.T) *topology.Arch {
+	t.Helper()
+	a, err := topology.New(topology.Config{
+		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSubSeedDeterministicAndDistinct(t *testing.T) {
+	if SubSeed(1, StreamTrial, 0) != SubSeed(1, StreamTrial, 0) {
+		t.Fatal("SubSeed not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		s := SubSeed(42, StreamChannel, i)
+		if seen[s] {
+			t.Fatalf("SubSeed collision at %d", i)
+		}
+		seen[s] = true
+	}
+	if SubSeed(1, StreamTrial, 7) == SubSeed(2, StreamTrial, 7) {
+		t.Error("different base seeds collide")
+	}
+	if SubSeed(1, StreamTrial, 7) == SubSeed(1, StreamChannel, 7) {
+		t.Error("different streams collide")
+	}
+}
+
+func TestRNGStreamsIndependentOfOrder(t *testing.T) {
+	a := NewRNG(SubSeed(9, StreamChannel, 1))
+	b := NewRNG(SubSeed(9, StreamChannel, 2))
+	interleavedA := []uint64{a.Uint64(), b.Uint64(), a.Uint64()}
+	a2 := NewRNG(SubSeed(9, StreamChannel, 1))
+	if interleavedA[0] != a2.Uint64() || interleavedA[2] != a2.Uint64() {
+		t.Fatal("stream draws depend on interleaving")
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	rng := NewRNG(1)
+	for _, p := range []float64{0.5, 0.1, 0.01} {
+		n := 20000
+		sum := 0
+		for i := 0; i < n; i++ {
+			k := rng.Geometric(p)
+			if k < 1 {
+				t.Fatalf("Geometric(%v) = %d < 1", p, k)
+			}
+			sum += k
+		}
+		mean, want := float64(sum)/float64(n), 1/p
+		if math.Abs(mean-want)/want > 0.08 {
+			t.Errorf("Geometric(%v) mean = %.2f, want ~%.2f", p, mean, want)
+		}
+	}
+	if rng.Geometric(0) != 1 || rng.Geometric(1) != 1 || rng.Geometric(-1) != 1 {
+		t.Error("degenerate p must yield one attempt")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range []string{"off", "none", ""} {
+		cfg, err := Profile(name)
+		if err != nil || cfg.Enabled() {
+			t.Errorf("Profile(%q) = %+v, %v; want disabled", name, cfg, err)
+		}
+	}
+	for _, name := range []string{"default", "harsh"} {
+		cfg, err := Profile(name)
+		if err != nil || !cfg.Enabled() {
+			t.Errorf("Profile(%q) = %+v, %v; want enabled", name, cfg, err)
+		}
+	}
+	if _, err := Profile("bogus"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if len(ProfileNames()) != 3 {
+		t.Error("profile names out of date")
+	}
+}
+
+func TestModelDeterministicQueries(t *testing.T) {
+	arch := testArch(t)
+	cfg, _ := Profile("harsh")
+	horizon := 500 * hw.Millisecond
+	m1 := New(cfg, arch, hw.Default(), 7, horizon)
+	m2 := New(cfg, arch, hw.Default(), 7, horizon)
+	for e := 0; e < len(arch.Net.Edges); e++ {
+		for _, t0 := range []hw.Time{0, horizon / 3, horizon - 1} {
+			if m1.EdgeUpAfter(e, t0) != m2.EdgeUpAfter(e, t0) {
+				t.Fatalf("edge %d windows differ between same-seed models", e)
+			}
+			if up := m1.EdgeUpAfter(e, t0); up < t0 {
+				t.Fatalf("EdgeUpAfter went backwards: %d < %d", up, t0)
+			}
+		}
+	}
+	m3 := New(cfg, arch, hw.Default(), 8, horizon)
+	same := true
+	for e := 0; e < len(arch.Net.Edges) && same; e++ {
+		for t0 := hw.Time(0); t0 < horizon && same; t0 += horizon / 64 {
+			same = m1.EdgeUpAfter(e, t0) == m3.EdgeUpAfter(e, t0)
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical edge outage timelines")
+	}
+}
+
+func TestPathQueries(t *testing.T) {
+	arch := testArch(t)
+	cfg, _ := Profile("harsh")
+	m := New(cfg, arch, hw.Default(), 3, 500*hw.Millisecond)
+	path := []int{0, 1, 2}
+	// PathUpAfter must return a time at which no path edge is down.
+	up := m.PathUpAfter(path, 0)
+	if up < Forever {
+		for _, e := range path {
+			if m.EdgeDownAt(e, up) {
+				t.Fatalf("edge %d still down at PathUpAfter result %d", e, up)
+			}
+		}
+	}
+	// PathOutageWithin over an up interval reports no hit.
+	if up < Forever {
+		if _, _, _, hit := m.PathOutageWithin(path, up, up+1); hit {
+			t.Error("outage reported at a time PathUpAfter declared up")
+		}
+	}
+}
+
+func TestGenDurationCalibration(t *testing.T) {
+	arch := testArch(t)
+	p := hw.Default()
+	off := New(Config{}, arch, p, 1, hw.Millisecond)
+	if d, fb := off.GenDuration(NewRNG(1), true, 12345); d != 12345 || fb != 0 {
+		t.Fatalf("disabled model altered duration: %d, %d", d, fb)
+	}
+	cfg, _ := Profile("default")
+	m := New(cfg, arch, p, 1, hw.Millisecond)
+	rng := NewRNG(2)
+	var sum float64
+	n := 3000
+	for i := 0; i < n; i++ {
+		d, _ := m.GenDuration(rng, true, p.InRackLatency)
+		if d < 1 {
+			t.Fatal("non-positive duration")
+		}
+		sum += float64(d)
+	}
+	mean, want := sum/float64(n), float64(p.InRackLatency)
+	// The false-positive regeneration loop adds a small positive bias on
+	// top of the calibrated mean; allow it.
+	if mean < want*0.9 || mean > want*1.5 {
+		t.Errorf("in-rack realized mean = %.1f, want near compiled %v", mean, want)
+	}
+}
+
+func TestDeadEdgeForever(t *testing.T) {
+	arch := testArch(t)
+	cfg := Config{LinkDeadProb: 1}
+	m := New(cfg, arch, hw.Default(), 5, 100*hw.Millisecond)
+	dead := false
+	for e := range arch.Net.Edges {
+		if m.EdgeUpAfter(e, 99*hw.Millisecond) >= Forever {
+			dead = true
+			break
+		}
+	}
+	if !dead {
+		t.Error("LinkDeadProb=1 produced no dead edge")
+	}
+}
+
+func TestStallBounds(t *testing.T) {
+	arch := testArch(t)
+	cfg := Config{StallProb: 1, StallMax: 100}
+	m := New(cfg, arch, hw.Default(), 1, hw.Millisecond)
+	rng := NewRNG(3)
+	for i := 0; i < 100; i++ {
+		if s := m.Stall(rng); s < 1 || s > 100 {
+			t.Fatalf("stall %d out of (0, StallMax]", s)
+		}
+	}
+	offM := New(Config{}, arch, hw.Default(), 1, hw.Millisecond)
+	if offM.Stall(rng) != 0 {
+		t.Error("disabled stall must be zero")
+	}
+}

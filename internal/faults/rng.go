@@ -1,0 +1,81 @@
+package faults
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. It is the only source of
+// randomness in the fault subsystem: every stream is derived from an
+// explicit seed via SubSeed, so a run's randomness is a pure function of
+// (seed, stream, draw index) — independent of goroutine interleaving,
+// map iteration order, or any other execution accident. It is cheap
+// enough to create one per entity (channel, edge, trial).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator for the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: mix64(seed)} }
+
+// mix64 is the splitmix64 output permutation.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SubSeed derives an independent stream seed from a base seed and a
+// stream discriminator path (e.g. (trial), (edge, id)). Deriving rather
+// than offsetting keeps sibling streams statistically uncorrelated.
+func SubSeed(seed uint64, stream ...uint64) uint64 {
+	s := mix64(seed)
+	for _, d := range stream {
+		s = mix64(s ^ mix64(d+0x632BE59BD9B4E019))
+	}
+	return s
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// geometricCap bounds one geometric draw so a vanishing success
+// probability cannot produce an effectively infinite generation.
+const geometricCap = 1 << 20
+
+// Geometric returns the number of Bernoulli(p) attempts up to and
+// including the first success (>= 1). p >= 1 always succeeds on the
+// first attempt; p <= 0 is treated as deterministic (one attempt) so a
+// disabled model never stalls.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 || p <= 0 {
+		return 1
+	}
+	u := 1 - r.Float64() // (0, 1]
+	k := int(math.Floor(math.Log(u)/math.Log1p(-p))) + 1
+	if k < 1 {
+		return 1
+	}
+	if k > geometricCap {
+		return geometricCap
+	}
+	return k
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := 1 - r.Float64() // (0, 1]
+	return -mean * math.Log(u)
+}

@@ -1,0 +1,582 @@
+// Package runtime executes compiled schedules against a faulty network.
+// The compiler (internal/core) schedules against mean latencies and
+// reports a single deterministic makespan; this package is the other
+// half of the story: a discrete-event executor replays a core.Result
+// against a seeded fault model (internal/faults) — per-attempt EPR
+// generation failure, switch-reconfiguration stalls, transient and
+// permanent link outages, BSM and QPU dropout windows — and *recovers*:
+//
+//   - retry: a generation interrupted by a transient outage or dropout
+//     is regenerated after a capped exponential backoff;
+//   - reroute: a channel whose path hits a dead fiber (or exhausts its
+//     retry budget on a flapping one) is torn down and re-routed around
+//     the failure via topology.Router over the live residual state,
+//     paying a fresh reconfiguration;
+//   - distillation fallback: heralds from the false-positive photonic
+//     branch are caught and regenerated (extra sacrificial rounds);
+//   - degrade: when a demand exhausts its route budget the executor
+//     runs a bounded degraded-mode pass that mirrors the compiler's
+//     Section 4.5 escalation — routing as if idle channels were
+//     preempted (capacity-free, outage-masked) — before aborting the
+//     demand.
+//
+// The execution model is static-dispatch replay: every generation is
+// issued no earlier than its compiled start time, delays propagate
+// through per-channel serialization and the demand dependency DAG, and
+// slack in the compiled schedule absorbs what it can. With the fault
+// model disabled the replay reproduces the compiled generation timeline
+// and makespan exactly (the zero-fault identity the tests pin down).
+//
+// Everything is deterministic: randomness comes only from per-channel
+// counter-based streams of the seed, and event ties break on
+// (time, action class, channel), so the same (schedule, seed) yields a
+// byte-identical trace at any trial-worker count.
+package runtime
+
+import (
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// Policy bounds the executor's recovery ladder.
+type Policy struct {
+	// MaxRetries is the number of transient regeneration retries per
+	// generation before escalating to a reroute.
+	MaxRetries int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// between retries (base << attempt, capped).
+	BackoffBase hw.Time
+	BackoffCap  hw.Time
+	// MaxRouteAttempts is the number of residual-capacity route attempts
+	// per channel (re)establishment before degraded mode.
+	MaxRouteAttempts int
+	// DegradedReschedule enables the bounded degraded-mode pass
+	// (capacity-free, outage-masked routing, modeling preemption of
+	// idle channels — the runtime mirror of the compiler's Section 4.5
+	// strict escalation) before a demand is aborted.
+	DegradedReschedule bool
+	// MaxDegraded bounds the degraded-mode attempts per establishment.
+	MaxDegraded int
+}
+
+// DefaultPolicy returns the recovery policy used by the CLIs.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxRetries:         6,
+		BackoffBase:        50 * hw.Microsecond,
+		BackoffCap:         5 * hw.Millisecond,
+		MaxRouteAttempts:   4,
+		DegradedReschedule: true,
+		MaxDegraded:        2,
+	}
+}
+
+// withDefaults fills unset knobs so a zero policy cannot stall.
+func (p Policy) withDefaults() Policy {
+	if p.BackoffBase < 1 {
+		p.BackoffBase = 1
+	}
+	if p.BackoffCap < p.BackoffBase {
+		p.BackoffCap = p.BackoffBase
+	}
+	if p.DegradedReschedule && p.MaxDegraded < 1 {
+		p.MaxDegraded = 1
+	}
+	return p
+}
+
+// backoff returns the capped exponential delay for attempt n (1-based).
+func (p Policy) backoff(n int) hw.Time {
+	d := p.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.BackoffCap {
+			return p.BackoffCap
+		}
+	}
+	if d > p.BackoffCap {
+		return p.BackoffCap
+	}
+	return d
+}
+
+// GenTrace is the realized execution of one scheduled generation. It is
+// index-parallel to Result.Gens.
+type GenTrace struct {
+	// Start and End are the realized generation interval (equal to the
+	// compiled interval when faults are disabled).
+	Start, End hw.Time
+	// Retries counts transient regenerations of this generation.
+	Retries int
+	// Fallbacks counts false-positive heralds caught and regenerated
+	// (the distillation fallback).
+	Fallbacks int
+	// Aborted marks a generation skipped because its demand was aborted.
+	Aborted bool
+}
+
+// Trace is the realized execution of one schedule under one fault seed.
+type Trace struct {
+	// Seed is the fault seed the trace was produced under.
+	Seed uint64
+	// Makespan is the realized completion time over non-aborted demands.
+	Makespan hw.Time
+	// ReadyAt and ConsumedAt are the realized demand lifecycle times
+	// (for aborted demands: the abort time).
+	ReadyAt, ConsumedAt []hw.Time
+	// Gens is index-parallel to the compiled Result.Gens.
+	Gens []GenTrace
+	// Retries, Reroutes, Fallbacks, Rescheduled count recovery actions.
+	Retries, Reroutes, Fallbacks, Rescheduled int
+	// Aborted lists demands that exhausted the recovery ladder.
+	Aborted []int32
+}
+
+// AbortedCount returns the number of aborted demands.
+func (t *Trace) AbortedCount() int { return len(t.Aborted) }
+
+// phase is a channel's replay state.
+type phase uint8
+
+const (
+	phOpen    phase = iota // waiting to (re)establish the channel
+	phGen                  // open; generating its queued gens
+	phReroute              // releasing its path and re-routing
+	phClose                // last generation done; releasing
+	phDone
+)
+
+// action-class priorities for event ties: releases must precede route
+// attempts at the same instant (the compiler tears down idle channels
+// before opening new ones within one scheduling step).
+const (
+	prioRelease = 0
+	prioOpen    = 1
+)
+
+// rchan is the replay state of one compiled channel.
+type rchan struct {
+	id   int32
+	a, b int
+	gens []int // indices into Result.Gens, compiled-start order
+	next int
+	ph   phase
+
+	path    []int
+	readyAt hw.Time // switches configured (reconfig + stall paid)
+
+	// first records whether the channel has never been established; the
+	// compiled start of the first generation already includes its
+	// reconfiguration, so the initial open anchors to Start - reconfig.
+	first bool
+	// routeTries and degraded count the current establishment's ladder.
+	routeTries, degraded int
+
+	rng *faults.RNG
+}
+
+// ev is one pending channel wake-up.
+type ev struct {
+	t    hw.Time
+	prio uint8
+	ch   int32
+}
+
+type evHeap []ev
+
+func (h evHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].ch < h[j].ch
+}
+
+func (h *evHeap) push(e ev) {
+	*h = append(*h, e)
+	for i := len(*h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if (*h).less(parent, i) {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *evHeap) pop() ev {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	for i := 0; ; {
+		l, r, smallest := 2*i+1, 2*i+2, i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}
+
+// executor is the per-run working state.
+type executor struct {
+	res    *core.Result
+	arch   *topology.Arch
+	model  *faults.Model
+	pol    Policy
+	router *topology.Router
+
+	free    []int // residual edge capacity (can go negative in degraded mode)
+	mask    []int // outage-masked residual scratch
+	chans   []*rchan
+	heap    evHeap
+	tr      *Trace
+	aborted []bool
+	abortAt []hw.Time
+}
+
+// Execute replays the compiled schedule against the fault model and
+// returns the realized trace. It is deterministic in (res, model seed,
+// policy) and safe to call concurrently on distinct models/routers.
+func Execute(res *core.Result, arch *topology.Arch, model *faults.Model, pol Policy) *Trace {
+	e := &executor{
+		res: res, arch: arch, model: model, pol: pol.withDefaults(),
+		router:  topology.NewRouter(arch.Net),
+		free:    make([]int, len(arch.Net.Edges)),
+		mask:    make([]int, len(arch.Net.Edges)),
+		aborted: make([]bool, len(res.Demands)),
+		abortAt: make([]hw.Time, len(res.Demands)),
+		tr: &Trace{
+			Seed:       model.Seed(),
+			ReadyAt:    make([]hw.Time, len(res.Demands)),
+			ConsumedAt: make([]hw.Time, len(res.Demands)),
+			Gens:       make([]GenTrace, len(res.Gens)),
+		},
+	}
+	for i, edge := range arch.Net.Edges {
+		e.free[i] = edge.Cap
+	}
+	e.buildChannels()
+	for i, c := range e.chans {
+		first := res.Gens[c.gens[0]]
+		open := first.Start
+		if first.Reconfig {
+			open -= res.Params.ReconfigLatency
+		}
+		if open < 0 {
+			open = 0
+		}
+		e.heap.push(ev{t: open, prio: prioOpen, ch: int32(i)})
+	}
+	for len(e.heap) > 0 {
+		w := e.heap.pop()
+		e.step(e.chans[w.ch], int32(w.ch), w.t)
+	}
+	e.finish()
+	return e.tr
+}
+
+// buildChannels groups the compiled generations by channel, preserving
+// the (already sorted) compiled start order.
+func (e *executor) buildChannels() {
+	index := make(map[int32]int)
+	for gi, g := range e.res.Gens {
+		ci, ok := index[g.Channel]
+		if !ok {
+			ci = len(e.chans)
+			index[g.Channel] = ci
+			e.chans = append(e.chans, &rchan{
+				id: g.Channel, a: int(g.A), b: int(g.B), first: true,
+				rng: faults.NewRNG(faults.SubSeed(e.model.Seed(), faults.StreamChannel, uint64(uint32(g.Channel)))),
+			})
+		}
+		e.chans[ci].gens = append(e.chans[ci].gens, gi)
+	}
+}
+
+func (e *executor) step(c *rchan, ci int32, t hw.Time) {
+	switch c.ph {
+	case phOpen:
+		e.establish(c, ci, t)
+	case phGen:
+		e.runGens(c, ci, t)
+	case phReroute:
+		e.release(c)
+		e.establish(c, ci, t)
+	case phClose:
+		e.release(c)
+		c.ph = phDone
+	}
+}
+
+// skipAborted advances past generations whose demand has been aborted,
+// marking their traces. It returns false when the channel is out of
+// work (and schedules its close if it still holds a path).
+func (e *executor) skipAborted(c *rchan, ci int32, t hw.Time) bool {
+	for c.next < len(c.gens) {
+		gi := c.gens[c.next]
+		if !e.aborted[e.res.Gens[gi].Demand] {
+			return true
+		}
+		e.tr.Gens[gi] = GenTrace{Start: t, End: t, Aborted: true}
+		c.next++
+	}
+	if c.path != nil {
+		c.ph = phClose
+		e.heap.push(ev{t: t, prio: prioRelease, ch: ci})
+	} else {
+		c.ph = phDone
+	}
+	return false
+}
+
+// establish (re)opens the channel: route over the outage-masked
+// residual capacities, escalating per the policy ladder — backoff
+// retries, then the degraded capacity-free pass, then aborting the
+// demand at the head of the channel's queue.
+func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
+	for {
+		if !e.skipAborted(c, ci, t) {
+			return
+		}
+		// The BSM pool of at least one endpoint rack must be live.
+		bsmA := e.model.BSMUpAfter(e.arch.RackOf(c.a), t)
+		bsmB := e.model.BSMUpAfter(e.arch.RackOf(c.b), t)
+		if avail := min(bsmA, bsmB); avail > t {
+			c.ph = phOpen
+			e.heap.push(ev{t: avail, prio: prioOpen, ch: ci})
+			return
+		}
+		degradedPass := false
+		path := e.router.FindPath(e.maskResidual(e.free, t), c.a, c.b)
+		if path == nil {
+			c.routeTries++
+			if c.routeTries <= e.pol.MaxRouteAttempts {
+				if c.routeTries > 1 || !c.first {
+					e.tr.Retries++
+				}
+				c.ph = phOpen
+				e.heap.push(ev{t: t + e.pol.backoff(c.routeTries), prio: prioOpen, ch: ci})
+				return
+			}
+			if e.pol.DegradedReschedule && c.degraded < e.pol.MaxDegraded {
+				// Degraded-mode pass: route as if every idle channel were
+				// preempted — full capacities, only outages masked.
+				c.degraded++
+				path = e.router.FindPath(e.maskResidual(nil, t), c.a, c.b)
+				degradedPass = path != nil
+			}
+			if path == nil {
+				if c.degraded < e.pol.MaxDegraded && e.pol.DegradedReschedule {
+					c.ph = phOpen
+					e.heap.push(ev{t: t + 4*e.pol.BackoffCap, prio: prioOpen, ch: ci})
+					return
+				}
+				// Recovery ladder exhausted: abort the demand at the head
+				// of the queue and start a fresh ladder for the next one.
+				e.abortDemand(e.res.Gens[c.gens[c.next]].Demand, t)
+				c.routeTries, c.degraded = 0, 0
+				continue
+			}
+		}
+		// Established. The first open's reconfiguration is already part
+		// of the compiled start times; re-establishments pay a fresh one.
+		for _, eid := range path {
+			e.free[eid]--
+		}
+		c.path = path
+		ready := t
+		if !c.first {
+			ready += e.res.Params.ReconfigLatency
+			e.tr.Reroutes++
+		}
+		ready += e.model.Stall(c.rng)
+		if degradedPass {
+			e.tr.Rescheduled++
+		}
+		if c.first {
+			// The compiled schedule budgeted the reconfiguration before
+			// the first generation's start; only the stall is extra.
+			ready += reconfigBudget(e.res, c)
+		}
+		c.first = false
+		c.routeTries, c.degraded = 0, 0
+		c.readyAt = ready
+		c.ph = phGen
+		e.runGens(c, ci, ready)
+		return
+	}
+}
+
+// reconfigBudget returns the reconfiguration time the compiled schedule
+// already reserved before the channel's first generation.
+func reconfigBudget(res *core.Result, c *rchan) hw.Time {
+	if res.Gens[c.gens[0]].Reconfig {
+		return res.Params.ReconfigLatency
+	}
+	return 0
+}
+
+// maskResidual copies the residual capacities (or the raw edge
+// capacities when residual is nil — the degraded pass) into the scratch
+// buffer, zeroing edges in outage at time t.
+func (e *executor) maskResidual(residual []int, t hw.Time) []int {
+	for i := range e.mask {
+		if e.model.EdgeDownAt(i, t) {
+			e.mask[i] = 0
+		} else if residual != nil {
+			e.mask[i] = residual[i]
+		} else {
+			e.mask[i] = e.arch.Net.Edges[i].Cap
+		}
+	}
+	return e.mask
+}
+
+// runGens executes the channel's queued generations from time t. All
+// the work in here is channel-local (the held path does not change), so
+// consecutive generations resolve inline; only actions with global
+// effect — releasing the path (reroute, close) — go back on the heap.
+func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
+	for {
+		if !e.skipAborted(c, ci, t) {
+			return
+		}
+		gi := c.gens[c.next]
+		g := e.res.Gens[gi]
+		// Static dispatch: never before the compiled start, the switch
+		// configuration, or the end of the previous generation (t).
+		anchor := maxTime(t, g.Start, c.readyAt)
+		anchor = e.qpusUpAfter(int(g.A), int(g.B), anchor)
+		retries := 0
+		for {
+			dur, fb := e.model.GenDuration(c.rng, g.InRack, g.Duration())
+			s, end, dead, hit := e.model.PathOutageWithin(c.path, anchor, anchor+dur)
+			if !hit {
+				done := anchor + dur
+				e.tr.Gens[gi] = GenTrace{Start: anchor, End: done, Retries: retries, Fallbacks: fb}
+				e.tr.Fallbacks += fb
+				d := g.Demand
+				if done > e.tr.ReadyAt[d] {
+					e.tr.ReadyAt[d] = done
+				}
+				c.next++
+				t = done
+				break
+			}
+			// The generation fails at the outage start; recover.
+			retries++
+			e.tr.Retries++
+			if dead || retries > e.pol.MaxRetries {
+				// Permanent failure (or a flapping path that exhausted its
+				// retry budget): tear down and re-route at the fail time.
+				e.tr.Retries-- // the escalation itself is a reroute, not a retry
+				if !dead {
+					e.tr.Retries++
+				}
+				c.ph = phReroute
+				e.heap.push(ev{t: s, prio: prioRelease, ch: ci})
+				return
+			}
+			anchor = maxTime(end, s+e.pol.backoff(retries))
+			anchor = e.qpusUpAfter(int(g.A), int(g.B), anchor)
+		}
+		if c.next >= len(c.gens) {
+			c.ph = phClose
+			e.heap.push(ev{t: t, prio: prioRelease, ch: ci})
+			return
+		}
+	}
+}
+
+// qpusUpAfter returns the earliest time >= t at which both endpoint
+// QPUs are out of their dropout windows.
+func (e *executor) qpusUpAfter(a, b int, t hw.Time) hw.Time {
+	for {
+		next := e.model.QPUUpAfter(a, t)
+		next = e.model.QPUUpAfter(b, next)
+		if next == t {
+			return t
+		}
+		t = next
+	}
+}
+
+// release returns the channel's held capacity.
+func (e *executor) release(c *rchan) {
+	for _, eid := range c.path {
+		e.free[eid]++
+	}
+	c.path = nil
+}
+
+// abortDemand marks a demand as failed at time t.
+func (e *executor) abortDemand(d int32, t hw.Time) {
+	if e.aborted[d] {
+		return
+	}
+	e.aborted[d] = true
+	e.abortAt[d] = t
+	e.tr.Aborted = append(e.tr.Aborted, d)
+}
+
+// finish derives the demand lifecycle times: readiness from the
+// realized generation ends, consumption by the dependency-chain rule
+// the compiler's consumption cascade implements (a demand is consumed
+// the instant it is ready and all its DAG predecessors are consumed).
+func (e *executor) finish() {
+	tr := e.tr
+	for d := range e.res.Demands {
+		if e.aborted[d] && e.abortAt[d] > tr.ReadyAt[d] {
+			tr.ReadyAt[d] = e.abortAt[d]
+		}
+	}
+	// Demand IDs equal indices (core.Compile validated them), so the
+	// DAG rebuild cannot fail; fall back to ready times if it ever does.
+	dag, err := epr.BuildDAG(e.res.Demands)
+	for i := range e.res.Demands {
+		at := tr.ReadyAt[i]
+		if err == nil {
+			for _, p := range dag.Preds[i] {
+				if tr.ConsumedAt[p] > at {
+					at = tr.ConsumedAt[p]
+				}
+			}
+		}
+		tr.ConsumedAt[i] = at
+		if !e.aborted[i] && at > tr.Makespan {
+			tr.Makespan = at
+		}
+	}
+}
+
+func maxTime(ts ...hw.Time) hw.Time {
+	m := ts[0]
+	for _, t := range ts[1:] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+func min(a, b hw.Time) hw.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,236 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/place"
+	"switchqnet/internal/topology"
+)
+
+// compileBench runs the full SwitchQNet pipeline for one benchmark on
+// one architecture (mirrors experiments.compilePipeline, which this
+// package cannot import without a cycle).
+func compileBench(t *testing.T, bench string, arch *topology.Arch) *core.Result {
+	t.Helper()
+	circ, err := circuit.Benchmark(bench, arch.TotalQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := place.Blocks(circ.NumQubits, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, err := comm.Extract(circ, pl, arch, comm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(demands, arch, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func archFor(t *testing.T, cfg topology.Config) *topology.Arch {
+	t.Helper()
+	a, err := topology.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// tab2Archs returns one architecture per Table 2 topology family.
+func tab2Archs(t *testing.T) map[string]*topology.Arch {
+	t.Helper()
+	return map[string]*topology.Arch{
+		"program-480": archFor(t, topology.Config{
+			Topology: "clos", Racks: 4, QPUsPerRack: 4,
+			DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		}),
+		"spine-leaf-720": archFor(t, topology.Config{
+			Topology: "spine-leaf", Racks: 6, QPUsPerRack: 4,
+			DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		}),
+		"fat-tree-960": archFor(t, topology.Config{
+			Topology: "fat-tree", Racks: 8, QPUsPerRack: 4,
+			DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		}),
+	}
+}
+
+// TestZeroFaultIdentity pins the executor to the compiler: with the
+// fault model disabled, replaying any compiled schedule must reproduce
+// the compiled makespan, demand lifecycle, and per-generation timeline
+// exactly.
+func TestZeroFaultIdentity(t *testing.T) {
+	off := faults.Config{}
+	for label, arch := range tab2Archs(t) {
+		for _, bench := range []string{"MCT", "QFT", "Grover", "RCA"} {
+			res := compileBench(t, bench, arch)
+			model := faults.New(off, arch, res.Params, 1, Horizon(res))
+			tr := Execute(res, arch, model, DefaultPolicy())
+			if tr.Makespan != res.Makespan {
+				t.Errorf("%s/%s: realized makespan %d != compiled %d",
+					bench, label, tr.Makespan, res.Makespan)
+			}
+			for i := range res.Demands {
+				if tr.ReadyAt[i] != res.ReadyAt[i] {
+					t.Fatalf("%s/%s: demand %d ready %d != compiled %d",
+						bench, label, i, tr.ReadyAt[i], res.ReadyAt[i])
+				}
+				if tr.ConsumedAt[i] != res.ConsumedAt[i] {
+					t.Fatalf("%s/%s: demand %d consumed %d != compiled %d",
+						bench, label, i, tr.ConsumedAt[i], res.ConsumedAt[i])
+				}
+			}
+			for i, g := range res.Gens {
+				if tr.Gens[i].Start != g.Start || tr.Gens[i].End != g.End {
+					t.Fatalf("%s/%s: gen %d realized [%d,%d] != compiled [%d,%d]",
+						bench, label, i, tr.Gens[i].Start, tr.Gens[i].End, g.Start, g.End)
+				}
+			}
+			if tr.Retries != 0 || tr.Reroutes != 0 || tr.Rescheduled != 0 || len(tr.Aborted) != 0 {
+				t.Errorf("%s/%s: zero-fault replay took recovery actions: %+v", bench, label, tr)
+			}
+		}
+	}
+}
+
+// TestExecuteDeterministic: same (schedule, seed) must produce an
+// identical trace on repeated executions.
+func TestExecuteDeterministic(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "QFT", arch)
+	cfg, _ := faults.Profile("harsh")
+	for seed := uint64(1); seed <= 3; seed++ {
+		m1 := faults.New(cfg, arch, res.Params, seed, Horizon(res))
+		m2 := faults.New(cfg, arch, res.Params, seed, Horizon(res))
+		t1 := Execute(res, arch, m1, DefaultPolicy())
+		t2 := Execute(res, arch, m2, DefaultPolicy())
+		if !reflect.DeepEqual(t1, t2) {
+			t.Fatalf("seed %d: repeated executions differ", seed)
+		}
+	}
+}
+
+// TestTraceConsistency checks structural invariants of a faulty trace:
+// every generation is completed or aborted, completed generations never
+// start before their compiled start, generations sharing a channel do
+// not overlap, and demand readiness covers its generations.
+func TestTraceConsistency(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "MCT", arch)
+	cfg, _ := faults.Profile("harsh")
+	model := faults.New(cfg, arch, res.Params, 99, Horizon(res))
+	tr := Execute(res, arch, model, DefaultPolicy())
+
+	abortSet := map[int32]bool{}
+	for _, d := range tr.Aborted {
+		abortSet[d] = true
+	}
+	lastEnd := map[int32]hw.Time{}
+	for i, g := range res.Gens {
+		rg := tr.Gens[i]
+		if rg.Aborted {
+			if !abortSet[g.Demand] {
+				t.Fatalf("gen %d aborted but demand %d is not", i, g.Demand)
+			}
+			continue
+		}
+		if rg.Start < g.Start {
+			t.Fatalf("gen %d realized start %d before compiled start %d", i, rg.Start, g.Start)
+		}
+		if rg.End <= rg.Start {
+			t.Fatalf("gen %d empty interval [%d,%d]", i, rg.Start, rg.End)
+		}
+		if rg.Start < lastEnd[g.Channel] {
+			t.Fatalf("gen %d overlaps previous generation on channel %d", i, g.Channel)
+		}
+		lastEnd[g.Channel] = rg.End
+		if tr.ReadyAt[g.Demand] < rg.End {
+			t.Fatalf("demand %d ready %d before its gen end %d", g.Demand, tr.ReadyAt[g.Demand], rg.End)
+		}
+	}
+	for i := range res.Demands {
+		if tr.ConsumedAt[i] < tr.ReadyAt[i] {
+			t.Fatalf("demand %d consumed %d before ready %d", i, tr.ConsumedAt[i], tr.ReadyAt[i])
+		}
+		if !abortSet[int32(i)] && tr.Makespan < tr.ConsumedAt[i] {
+			t.Fatalf("makespan %d below consumed %d of live demand %d", tr.Makespan, tr.ConsumedAt[i], i)
+		}
+	}
+}
+
+// TestRunTrialsParallelDeterminism mirrors the experiment runner's
+// guarantee: trial statistics are byte-identical at any worker count.
+func TestRunTrialsParallelDeterminism(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "RCA", arch)
+	cfg, _ := faults.Profile("default")
+	serial := RunTrials(res, arch, cfg, DefaultPolicy(), 1, 12, 1)
+	for _, workers := range []int{2, 4, 8} {
+		par := RunTrials(res, arch, cfg, DefaultPolicy(), 1, 12, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("trial stats differ between 1 and %d workers", workers)
+		}
+	}
+}
+
+// TestRunTrialsOffMatchesCompiled: with faults disabled the whole
+// distribution collapses onto the compiled makespan.
+func TestRunTrialsOffMatchesCompiled(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "Grover", arch)
+	st := RunTrials(res, arch, faults.Config{}, DefaultPolicy(), 1, 3, 2)
+	if st.P50 != res.Makespan || st.P95 != res.Makespan || st.P99 != res.Makespan {
+		t.Fatalf("fault-free distribution %d/%d/%d != compiled %d",
+			st.P50, st.P95, st.P99, res.Makespan)
+	}
+	if st.TotalAborted != 0 || st.MeanRetries != 0 || st.MeanReroutes != 0 {
+		t.Fatalf("fault-free trials took recovery actions: %+v", st)
+	}
+}
+
+func TestPolicyBackoff(t *testing.T) {
+	p := DefaultPolicy()
+	if p.backoff(1) != p.BackoffBase {
+		t.Errorf("backoff(1) = %d, want base %d", p.backoff(1), p.BackoffBase)
+	}
+	if p.backoff(2) != 2*p.BackoffBase {
+		t.Errorf("backoff(2) = %d, want %d", p.backoff(2), 2*p.BackoffBase)
+	}
+	if p.backoff(50) != p.BackoffCap {
+		t.Errorf("backoff(50) = %d, want cap %d", p.backoff(50), p.BackoffCap)
+	}
+	var zero Policy
+	z := zero.withDefaults()
+	if z.BackoffBase < 1 || z.BackoffCap < z.BackoffBase {
+		t.Errorf("zero policy not backstopped: %+v", z)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []hw.Time{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := percentile(vals, 50); p != 50 {
+		t.Errorf("p50 = %d, want 50", p)
+	}
+	if p := percentile(vals, 95); p != 100 {
+		t.Errorf("p95 = %d, want 100", p)
+	}
+	if p := percentile(vals, 99); p != 100 {
+		t.Errorf("p99 = %d, want 100", p)
+	}
+	if p := percentile([]hw.Time{7}, 50); p != 7 {
+		t.Errorf("singleton percentile = %d, want 7", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("empty percentile = %d, want 0", p)
+	}
+}

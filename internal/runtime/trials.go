@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// TrialStat is the per-trial summary kept for the distribution.
+type TrialStat struct {
+	Makespan                                  hw.Time
+	Retries, Reroutes, Fallbacks, Rescheduled int
+	Aborted                                   int
+}
+
+// Stats summarizes the realized-latency distribution over trials.
+type Stats struct {
+	// Compiled is the compiler's deterministic makespan (the baseline).
+	Compiled hw.Time
+	// Trials holds every trial's summary in trial order.
+	Trials []TrialStat
+	// P50, P95 and P99 are nearest-rank percentiles of the realized
+	// makespan; Mean is its average.
+	P50, P95, P99 hw.Time
+	Mean          float64
+	// MeanRetries etc. average the recovery-action counters.
+	MeanRetries, MeanReroutes, MeanFallbacks, MeanRescheduled float64
+	// TotalAborted sums aborted demands over all trials.
+	TotalAborted int
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted values.
+func percentile(sorted []hw.Time, p float64) hw.Time {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(float64(len(sorted))*p/100+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Horizon returns the fault-placement horizon used for a schedule:
+// generously past the compiled makespan so recovery delays stay inside
+// the window seeded outages are drawn from.
+func Horizon(res *core.Result) hw.Time {
+	return 4*res.Makespan + 100*res.Params.ReconfigLatency
+}
+
+// RunTrials executes the schedule `trials` times against independently
+// seeded fault models (trial i uses SubSeed(seed, StreamTrial, i)) and
+// returns the realized distribution. Trials run on up to `parallel`
+// workers; results land in index-addressed slots, so the output is
+// byte-identical at any worker count.
+func RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int) *Stats {
+	if trials < 1 {
+		trials = 1
+	}
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > trials {
+		parallel = trials
+	}
+	horizon := Horizon(res)
+	stats := &Stats{Compiled: res.Makespan, Trials: make([]TrialStat, trials)}
+	run := func(i int) {
+		model := faults.New(cfg, arch, res.Params, faults.SubSeed(seed, faults.StreamTrial, uint64(i)), horizon)
+		tr := Execute(res, arch, model, pol)
+		stats.Trials[i] = TrialStat{
+			Makespan: tr.Makespan,
+			Retries:  tr.Retries, Reroutes: tr.Reroutes,
+			Fallbacks: tr.Fallbacks, Rescheduled: tr.Rescheduled,
+			Aborted: len(tr.Aborted),
+		}
+	}
+	if parallel == 1 {
+		for i := 0; i < trials; i++ {
+			run(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					run(i)
+				}
+			}()
+		}
+		for i := 0; i < trials; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	sorted := make([]hw.Time, trials)
+	var sum float64
+	for i, t := range stats.Trials {
+		sorted[i] = t.Makespan
+		sum += float64(t.Makespan)
+		stats.MeanRetries += float64(t.Retries)
+		stats.MeanReroutes += float64(t.Reroutes)
+		stats.MeanFallbacks += float64(t.Fallbacks)
+		stats.MeanRescheduled += float64(t.Rescheduled)
+		stats.TotalAborted += t.Aborted
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := float64(trials)
+	stats.P50 = percentile(sorted, 50)
+	stats.P95 = percentile(sorted, 95)
+	stats.P99 = percentile(sorted, 99)
+	stats.Mean = sum / n
+	stats.MeanRetries /= n
+	stats.MeanReroutes /= n
+	stats.MeanFallbacks /= n
+	stats.MeanRescheduled /= n
+	return stats
+}

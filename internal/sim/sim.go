@@ -22,9 +22,18 @@ type Violation struct {
 
 func (v Violation) String() string { return fmt.Sprintf("t=%d: %s", v.Time, v.Msg) }
 
+// MaxViolations is the number of violation records a Report retains.
+// Validation keeps counting past the cap (Total), but stops storing, so
+// an adversarial or heavily faulty replay cannot grow the report
+// unboundedly.
+const MaxViolations = 64
+
 // Report is the outcome of a validation run.
 type Report struct {
+	// Violations holds the first MaxViolations breaches in discovery
+	// order; Total counts every breach, including dropped ones.
 	Violations []Violation
+	Total      int
 	// PeakConcurrentGens is the maximum number of overlapping
 	// generations observed (a utilization statistic).
 	PeakConcurrentGens int
@@ -32,17 +41,22 @@ type Report struct {
 
 // Err returns an error summarizing the violations, or nil.
 func (r *Report) Err() error {
-	if len(r.Violations) == 0 {
+	if r.Total == 0 {
 		return nil
 	}
-	return fmt.Errorf("sim: %d violations, first: %s", len(r.Violations), r.Violations[0])
+	if r.Total > len(r.Violations) {
+		return fmt.Errorf("sim: %d violations (first %d retained), first: %s",
+			r.Total, len(r.Violations), r.Violations[0])
+	}
+	return fmt.Errorf("sim: %d violations, first: %s", r.Total, r.Violations[0])
 }
 
 // Validate replays the result's generations and consumptions.
 func Validate(res *core.Result, arch *topology.Arch, p hw.Params) *Report {
 	rep := &Report{}
 	add := func(t hw.Time, format string, args ...any) {
-		if len(rep.Violations) < 64 {
+		rep.Total++
+		if len(rep.Violations) < MaxViolations {
 			rep.Violations = append(rep.Violations, Violation{Time: t, Msg: fmt.Sprintf(format, args...)})
 		}
 	}

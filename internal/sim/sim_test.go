@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"switchqnet/internal/circuit"
@@ -138,6 +140,35 @@ func TestValidateCatchesCorruptSchedules(t *testing.T) {
 				t.Error("corrupt schedule accepted")
 			}
 		})
+	}
+}
+
+// TestViolationCap: a massively corrupt schedule keeps only the first
+// MaxViolations records but counts (and reports) the true total.
+func TestViolationCap(t *testing.T) {
+	a := arch44(t)
+	p := hw.Default()
+	r := compileBench(t, "QFT", a, core.DefaultOptions(), comm.DefaultOptions())
+	if len(r.Demands) <= MaxViolations {
+		t.Fatalf("need > %d demands to exercise the cap, got %d", MaxViolations, len(r.Demands))
+	}
+	for i := range r.Demands {
+		r.ConsumedAt[i] = r.ReadyAt[i] - 1 // one violation per demand
+	}
+	rep := Validate(r, a, p)
+	if len(rep.Violations) != MaxViolations {
+		t.Errorf("retained %d violations, want cap %d", len(rep.Violations), MaxViolations)
+	}
+	if rep.Total <= MaxViolations {
+		t.Errorf("total %d, want > %d", rep.Total, MaxViolations)
+	}
+	err := rep.Err()
+	if err == nil {
+		t.Fatal("capped report returned nil error")
+	}
+	want := fmt.Sprintf("%d violations (first %d retained)", rep.Total, MaxViolations)
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("Err() = %q, want it to contain %q", err, want)
 	}
 }
 

@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/runtime"
+)
+
+// RealizedGen is one generation's realized execution interval.
+type RealizedGen struct {
+	// Demand, Kind and Channel identify the compiled generation (the
+	// entry at the same index in the schedule's "generations").
+	Demand  int    `json:"demand"`
+	Kind    string `json:"kind"`
+	Channel int    `json:"channel"`
+	StartUS int64  `json:"start_us"`
+	EndUS   int64  `json:"end_us"`
+	// Retries and Fallbacks count transient regenerations and caught
+	// false-positive heralds for this generation.
+	Retries   int `json:"retries,omitempty"`
+	Fallbacks int `json:"fallbacks,omitempty"`
+	// Aborted marks a generation skipped because its demand aborted.
+	Aborted bool `json:"aborted,omitempty"`
+}
+
+// Run is the JSON shape of one fault-injected execution of a schedule.
+type Run struct {
+	// Seed is the fault-model seed the run was executed under.
+	Seed uint64 `json:"seed"`
+	// CompiledUS and MakespanUS compare the compiler's deterministic
+	// makespan with the realized one.
+	CompiledUS int64 `json:"compiled_us"`
+	MakespanUS int64 `json:"makespan_us"`
+	// Retries, Reroutes, Fallbacks and Rescheduled count recovery
+	// actions taken during the run; Aborted lists demands that
+	// exhausted the recovery ladder.
+	Retries     int   `json:"retries"`
+	Reroutes    int   `json:"reroutes"`
+	Fallbacks   int   `json:"fallbacks"`
+	Rescheduled int   `json:"rescheduled"`
+	Aborted     []int `json:"aborted,omitempty"`
+	// Generations is index-parallel to the compiled schedule's
+	// generation list.
+	Generations []RealizedGen `json:"generations"`
+}
+
+// ExportRun converts a realized trace (paired with the schedule it
+// replayed) to its JSON shape.
+func ExportRun(res *core.Result, tr *runtime.Trace) Run {
+	run := Run{
+		Seed:       tr.Seed,
+		CompiledUS: int64(res.Makespan),
+		MakespanUS: int64(tr.Makespan),
+		Retries:    tr.Retries, Reroutes: tr.Reroutes,
+		Fallbacks: tr.Fallbacks, Rescheduled: tr.Rescheduled,
+	}
+	for _, d := range tr.Aborted {
+		run.Aborted = append(run.Aborted, int(d))
+	}
+	for i, g := range tr.Gens {
+		cg := res.Gens[i]
+		run.Generations = append(run.Generations, RealizedGen{
+			Demand: int(cg.Demand), Kind: cg.Kind.String(), Channel: int(cg.Channel),
+			StartUS: int64(g.Start), EndUS: int64(g.End),
+			Retries: g.Retries, Fallbacks: g.Fallbacks, Aborted: g.Aborted,
+		})
+	}
+	return run
+}
+
+// Distribution is the JSON shape of a multi-trial realized-latency
+// distribution.
+type Distribution struct {
+	// Trials is the trial count the percentiles are taken over.
+	Trials     int   `json:"trials"`
+	CompiledUS int64 `json:"compiled_us"`
+	// P50/P95/P99 are nearest-rank percentiles of the realized
+	// makespan; MeanUS is its average.
+	P50US  int64   `json:"p50_us"`
+	P95US  int64   `json:"p95_us"`
+	P99US  int64   `json:"p99_us"`
+	MeanUS float64 `json:"mean_us"`
+	// Mean recovery-action counts per trial, plus total aborted demands
+	// over all trials.
+	MeanRetries     float64 `json:"mean_retries"`
+	MeanReroutes    float64 `json:"mean_reroutes"`
+	MeanFallbacks   float64 `json:"mean_fallbacks"`
+	MeanRescheduled float64 `json:"mean_rescheduled"`
+	TotalAborted    int     `json:"total_aborted"`
+}
+
+// ExportStats converts a trial distribution to its JSON shape.
+func ExportStats(st *runtime.Stats) Distribution {
+	return Distribution{
+		Trials:     len(st.Trials),
+		CompiledUS: int64(st.Compiled),
+		P50US:      int64(st.P50), P95US: int64(st.P95), P99US: int64(st.P99),
+		MeanUS:      st.Mean,
+		MeanRetries: st.MeanRetries, MeanReroutes: st.MeanReroutes,
+		MeanFallbacks: st.MeanFallbacks, MeanRescheduled: st.MeanRescheduled,
+		TotalAborted: st.TotalAborted,
+	}
+}
+
+// WriteRunJSON writes one realized execution as indented JSON.
+func WriteRunJSON(w io.Writer, res *core.Result, tr *runtime.Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ExportRun(res, tr))
+}
+
+// WriteStatsJSON writes a trial distribution as indented JSON.
+func WriteStatsJSON(w io.Writer, st *runtime.Stats) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ExportStats(st))
+}
+
+// ReadRunJSON decodes a run previously written by WriteRunJSON.
+func ReadRunJSON(r io.Reader) (*Run, error) {
+	var run Run
+	if err := json.NewDecoder(r).Decode(&run); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &run, nil
+}

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/runtime"
+	"switchqnet/internal/topology"
+)
+
+func compiledSchedule(t *testing.T) (*core.Result, *topology.Arch) {
+	t.Helper()
+	arch, err := topology.NewArch("clos", 2, 2, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []epr.Demand{
+		{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 2},
+		{ID: 1, A: 1, B: 2, Protocol: epr.TP, CrossRack: true, Gates: 1},
+		{ID: 2, A: 0, B: 3, Protocol: epr.Cat, CrossRack: true, Gates: 3},
+	}
+	res, err := core.Compile(demands, arch, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, arch
+}
+
+// TestRunJSONRoundTrip: the realized-trace export survives an
+// encode/decode cycle and mirrors the trace's accounting.
+func TestRunJSONRoundTrip(t *testing.T) {
+	res, arch := compiledSchedule(t)
+	cfg, _ := faults.Profile("harsh")
+	model := faults.New(cfg, arch, res.Params, 11, runtime.Horizon(res))
+	tr := runtime.Execute(res, arch, model, runtime.DefaultPolicy())
+
+	var buf bytes.Buffer
+	if err := WriteRunJSON(&buf, res, tr); err != nil {
+		t.Fatal(err)
+	}
+	run, err := ReadRunJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Seed != tr.Seed || run.MakespanUS != int64(tr.Makespan) || run.CompiledUS != int64(res.Makespan) {
+		t.Errorf("round trip mangled header: %+v", run)
+	}
+	if len(run.Generations) != len(res.Gens) {
+		t.Fatalf("exported %d generations, schedule has %d", len(run.Generations), len(res.Gens))
+	}
+	if run.Retries != tr.Retries || run.Reroutes != tr.Reroutes ||
+		run.Fallbacks != tr.Fallbacks || run.Rescheduled != tr.Rescheduled {
+		t.Errorf("recovery counters mangled: %+v vs trace %+v", run, tr)
+	}
+	for i, g := range run.Generations {
+		if g.StartUS != int64(tr.Gens[i].Start) || g.EndUS != int64(tr.Gens[i].End) {
+			t.Fatalf("gen %d interval mangled: %+v", i, g)
+		}
+		if g.Kind != res.Gens[i].Kind.String() || g.Demand != int(res.Gens[i].Demand) {
+			t.Fatalf("gen %d identity mangled: %+v", i, g)
+		}
+	}
+}
+
+// TestStatsJSON: the distribution export carries the percentile and
+// counter fields through intact.
+func TestStatsJSON(t *testing.T) {
+	res, arch := compiledSchedule(t)
+	cfg, _ := faults.Profile("default")
+	st := runtime.RunTrials(res, arch, cfg, runtime.DefaultPolicy(), 1, 5, 2)
+	var buf bytes.Buffer
+	if err := WriteStatsJSON(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	d := ExportStats(st)
+	if d.Trials != 5 || d.CompiledUS != int64(res.Makespan) {
+		t.Errorf("distribution header wrong: %+v", d)
+	}
+	if d.P50US > d.P95US || d.P95US > d.P99US {
+		t.Errorf("percentiles not monotone: %+v", d)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("p99_us")) {
+		t.Error("JSON missing p99_us field")
+	}
+}

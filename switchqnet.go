@@ -30,10 +30,12 @@ import (
 	"switchqnet/internal/comm"
 	"switchqnet/internal/core"
 	"switchqnet/internal/epr"
+	"switchqnet/internal/faults"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/metrics"
 	"switchqnet/internal/place"
 	"switchqnet/internal/qec"
+	"switchqnet/internal/runtime"
 	"switchqnet/internal/sim"
 	"switchqnet/internal/topology"
 	"switchqnet/internal/trace"
@@ -262,6 +264,65 @@ func FidelityAt(r *Result, coherence Time) FidelityReport {
 // demand coverage. It returns nil when the schedule is consistent.
 func Validate(r *Result, arch *Arch, p Params) error {
 	return sim.Validate(r, arch, p).Err()
+}
+
+// Fault-injected execution (the runtime half of the system: the
+// compiler plans against mean latencies, the executor replays the plan
+// against a seeded fault model and recovers).
+
+type (
+	// FaultConfig holds the fault-model knobs (EPR attempt failure,
+	// switch stalls, link/BSM outages, QPU dropouts). The zero value
+	// disables all faults.
+	FaultConfig = faults.Config
+	// FaultModel is one materialized fault realization (seed-determined
+	// outage windows plus photonic attempt statistics).
+	FaultModel = faults.Model
+	// RecoveryPolicy bounds the executor's retry/reroute/degrade ladder.
+	RecoveryPolicy = runtime.Policy
+	// ExecTrace is one realized execution of a schedule under faults.
+	ExecTrace = runtime.Trace
+	// ExecStats is a multi-trial realized-latency distribution
+	// (p50/p95/p99 makespan, recovery-action counts).
+	ExecStats = runtime.Stats
+)
+
+// FaultProfile returns a named fault configuration ("off", "default",
+// "harsh").
+func FaultProfile(name string) (FaultConfig, error) { return faults.Profile(name) }
+
+// DefaultRecoveryPolicy returns the recovery policy used by the CLIs.
+func DefaultRecoveryPolicy() RecoveryPolicy { return runtime.DefaultPolicy() }
+
+// NewFaultModel materializes a fault realization for one schedule: the
+// horizon is derived from the compiled makespan so every seeded outage
+// lands inside the replayed window.
+func NewFaultModel(cfg FaultConfig, arch *Arch, r *Result, seed uint64) *FaultModel {
+	return faults.New(cfg, arch, r.Params, seed, runtime.Horizon(r))
+}
+
+// ExecuteSchedule replays a compiled schedule against a fault model and
+// returns the realized trace. With faults disabled the trace reproduces
+// the compiled timeline exactly. Deterministic in (schedule, seed).
+func ExecuteSchedule(r *Result, arch *Arch, model *FaultModel, pol RecoveryPolicy) *ExecTrace {
+	return runtime.Execute(r, arch, model, pol)
+}
+
+// RunFaultTrials executes the schedule across independently seeded
+// trials (on up to parallel workers; the result is identical at any
+// worker count) and returns the realized-latency distribution.
+func RunFaultTrials(r *Result, arch *Arch, cfg FaultConfig, pol RecoveryPolicy, seed uint64, trials, parallel int) *ExecStats {
+	return runtime.RunTrials(r, arch, cfg, pol, seed, trials, parallel)
+}
+
+// WriteRunJSON writes one realized execution as indented JSON.
+func WriteRunJSON(w io.Writer, r *Result, tr *ExecTrace) error {
+	return trace.WriteRunJSON(w, r, tr)
+}
+
+// WriteFaultStatsJSON writes a trial distribution as indented JSON.
+func WriteFaultStatsJSON(w io.Writer, st *ExecStats) error {
+	return trace.WriteStatsJSON(w, st)
 }
 
 // ParseQASM reads a circuit from the OpenQASM 2.0 subset the library
