@@ -253,6 +253,49 @@ func BenchmarkCompile(b *testing.B) {
 	}
 }
 
+// Frontend-cache suite: each sub-benchmark runs a set of quick-grid
+// experiments back to back, cached (one fresh frontend cache spanning
+// the set, the qdcbench default) versus uncached (-nocache). The
+// cached/uncached wall-clock ratio is the sweep-level speedup tracked
+// by BENCH_frontend_cache.json; run with
+//
+//	go test -run='^$' -bench=BenchmarkSweepFrontend -benchmem
+//
+// The output is discarded, but every experiment still renders fully,
+// so the two variants do identical downstream work and differ only in
+// frontend artifact construction.
+
+// sweepFrontendIDs are the experiments the frontend suite replays: the
+// primary table, both Fig. 8 sweeps (many cells per frontend key), the
+// QEC table and the ablation (five compile variants per key).
+var sweepFrontendIDs = []string{"tab2", "fig8a", "fig8b", "tab3", "ablation"}
+
+func benchSweepFrontend(b *testing.B, cached bool) {
+	b.Helper()
+	reg := experiments.Registry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var cache *sq.FrontendCache
+		if cached {
+			cache = sq.NewFrontendCache()
+		}
+		for _, id := range sweepFrontendIDs {
+			cfg := experiments.RunConfig{Quick: true, Frontend: cache}
+			if err := reg[id](io.Discard, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepFrontendCached measures the quick sweep with the
+// frontend cache shared across experiments (the qdcbench default).
+func BenchmarkSweepFrontendCached(b *testing.B) { benchSweepFrontend(b, true) }
+
+// BenchmarkSweepFrontendUncached measures the same sweep rebuilding
+// every circuit, placement and demand list per cell (-nocache).
+func BenchmarkSweepFrontendUncached(b *testing.B) { benchSweepFrontend(b, false) }
+
 // BenchmarkCompileBaseline measures the on-demand baseline pipeline on
 // the primary setting — the strict/buffer-assisted code paths share the
 // engine, so their hot-path regressions show up here.

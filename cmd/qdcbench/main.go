@@ -25,11 +25,14 @@ import (
 	"time"
 
 	"switchqnet/internal/experiments"
+	"switchqnet/internal/frontend"
 	"switchqnet/internal/prof"
 )
 
 // benchRecord is one line of the -benchjson report: the sweep
-// throughput of a single experiment at the configured parallelism.
+// throughput of a single experiment at the configured parallelism,
+// plus the experiment's delta of the shared frontend-cache counters
+// (all zero with -nocache).
 type benchRecord struct {
 	Experiment  string  `json:"experiment"`
 	Parallel    int     `json:"parallel"`
@@ -37,6 +40,9 @@ type benchRecord struct {
 	Peak        int64   `json:"peak_concurrency"`
 	WallSec     float64 `json:"wall_sec"`
 	CellsPerSec float64 `json:"cells_per_sec"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	CacheDedups int64   `json:"cache_dedups"`
 }
 
 func main() {
@@ -47,6 +53,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for compilation cells (1 = serial; output is identical at every setting)")
 	benchjson := flag.String("benchjson", "", "append one JSON throughput record per experiment to this file")
+	nocache := flag.Bool("nocache", false, "disable the frontend artifact cache (rebuild circuits, placements and demand lists per cell; output is identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocs/heap profile taken after the sweep to this file")
 	faultsProfile := flag.String("faults", "", "fault profile for the fault sweep (off, default, harsh); implies -exp faults unless -exp is set")
@@ -82,7 +89,16 @@ func main() {
 		os.Exit(1)
 	}
 
+	// One frontend cache spans every experiment in the run, so repeated
+	// (benchmark, architecture) cells across experiments share circuits,
+	// placements and demand lists. A nil cache rebuilds everything.
+	var cache *frontend.Cache
+	if !*nocache {
+		cache = frontend.New()
+	}
+
 	var records []benchRecord
+	var prev frontend.Stats
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
@@ -90,7 +106,7 @@ func main() {
 		stats := &experiments.SweepStats{}
 		cfg := experiments.RunConfig{
 			Quick: *quick, CSV: *csv, Charts: *charts,
-			Parallel: *parallel, Stats: stats,
+			Parallel: *parallel, Stats: stats, Frontend: cache,
 			Faults: *faultsProfile, Seed: *seed, Trials: *trials,
 		}
 		start := time.Now()
@@ -98,13 +114,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "qdcbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs: %d cells, parallel=%d, peak=%d]\n",
-			id, time.Since(start).Seconds(), stats.Cells, *parallel, stats.Peak)
+		cs := cache.Stats()
+		delta := cs.Sub(prev).Total()
+		prev = cs
+		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs: %d cells, parallel=%d, peak=%d, cache hit/miss/dedup=%d/%d/%d]\n",
+			id, time.Since(start).Seconds(), stats.Cells, *parallel, stats.Peak,
+			delta.Hits, delta.Misses, delta.Dedups)
 		records = append(records, benchRecord{
 			Experiment: id, Parallel: *parallel,
 			Cells: stats.Cells, Peak: stats.Peak,
 			WallSec:     stats.Wall.Seconds(),
 			CellsPerSec: stats.CellsPerSec(),
+			CacheHits:   delta.Hits,
+			CacheMisses: delta.Misses,
+			CacheDedups: delta.Dedups,
 		})
 	}
 

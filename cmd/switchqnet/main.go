@@ -43,6 +43,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "fault-model seed (same seed = identical realized trace)")
 		trials     = flag.Int("trials", 20, "fault realizations for the realized-latency distribution")
 		faultJSON  = flag.String("faultjson", "", "write the -seed realized trace as JSON to this file (requires -faults)")
+		nocache    = flag.Bool("nocache", false, "disable the frontend artifact cache (rebuild circuit/placement/demands per pipeline; output is identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile taken after compilation to this file")
 	)
@@ -60,6 +61,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Named benchmarks compile through the frontend cache: in a -compare
+	// run both pipelines share one circuit and placement (singleflight
+	// dedups them when -parallel > 1). QASM input has no content key, so
+	// the -qasm path stays on the direct pipeline. A nil cache (-nocache)
+	// rebuilds every artifact; output is identical either way.
+	var fc *sq.FrontendCache
+	if !*nocache && *qasmPath == "" {
+		fc = sq.NewFrontendCache()
+	}
 	var circ *sq.Circuit
 	if *qasmPath != "" {
 		f, err := os.Open(*qasmPath)
@@ -73,7 +83,7 @@ func main() {
 		}
 	} else {
 		var err error
-		circ, err = sq.Benchmark(*bench, arch.TotalQubits())
+		circ, err = fc.Circuit(*bench, arch.TotalQubits())
 		if err != nil {
 			fail(err)
 		}
@@ -85,6 +95,19 @@ func main() {
 	opts.LookAhead = *look
 	opts.DistillK = *distill
 
+	compileOurs := func() (*sq.Compiled, error) {
+		if *qasmPath != "" {
+			return sq.Compile(circ, arch, params, opts)
+		}
+		return sq.CompileCached(fc, *bench, arch, params, opts)
+	}
+	compileBase := func() (*sq.Compiled, error) {
+		if *qasmPath != "" {
+			return sq.CompileBaseline(circ, arch, params)
+		}
+		return sq.CompileBaselineCached(fc, *bench, arch, params)
+	}
+
 	var ours, base *sq.Compiled
 	if *compare && *parallel > 1 {
 		// The two pipelines are independent and sq.Compile is race-clean,
@@ -93,8 +116,8 @@ func main() {
 		var oursErr, baseErr error
 		var wg sync.WaitGroup
 		wg.Add(2)
-		go func() { defer wg.Done(); ours, oursErr = sq.Compile(circ, arch, params, opts) }()
-		go func() { defer wg.Done(); base, baseErr = sq.CompileBaseline(circ, arch, params) }()
+		go func() { defer wg.Done(); ours, oursErr = compileOurs() }()
+		go func() { defer wg.Done(); base, baseErr = compileBase() }()
 		wg.Wait()
 		if oursErr != nil {
 			fail(oursErr)
@@ -104,12 +127,12 @@ func main() {
 		}
 	} else {
 		if !*baseline || *compare {
-			if ours, err = sq.Compile(circ, arch, params, opts); err != nil {
+			if ours, err = compileOurs(); err != nil {
 				fail(err)
 			}
 		}
 		if *baseline || *compare {
-			if base, err = sq.CompileBaseline(circ, arch, params); err != nil {
+			if base, err = compileBase(); err != nil {
 				fail(err)
 			}
 		}

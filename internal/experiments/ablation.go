@@ -84,7 +84,7 @@ func AblationRows(cfg RunConfig) ([]AblationRow, error) {
 		if v.BaselineExtract {
 			xopts = comm.BaselineOptions()
 		}
-		res, err := compilePipeline(bench, arch, p, v.Opts, xopts)
+		res, err := cfg.compilePipeline(bench, arch, p, v.Opts, xopts)
 		if err != nil {
 			return fmt.Errorf("experiments: ablation %s/%s: %w", bench, v.Name, err)
 		}

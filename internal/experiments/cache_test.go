@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"switchqnet/internal/comm"
+	"switchqnet/internal/frontend"
+)
+
+// cacheTestIDs covers every frontend consumer: sweep (fig8a),
+// fidelitySweep (fig10a), Fig2Rows, Table2Rows, Table3Rows (the QEC
+// path), AblationRows. The fault sweep shares compilePipeline with
+// these, so it is covered transitively.
+var cacheTestIDs = []string{"fig2", "tab2", "tab3", "fig8a", "fig10a", "ablation"}
+
+// TestCachedOutputByteIdentical is the tentpole guarantee of the
+// frontend cache: every experiment renders byte-identical output with
+// the cache on and off, at the serial and the 8-worker setting. Run
+// under -race this is also the concurrency audit — eight workers
+// hitting one cache must not trip the detector.
+func TestCachedOutputByteIdentical(t *testing.T) {
+	reg := Registry()
+	for _, id := range cacheTestIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			run := reg[id]
+			var want bytes.Buffer
+			if err := run(&want, RunConfig{Quick: true, Charts: true}); err != nil {
+				t.Fatalf("uncached serial run: %v", err)
+			}
+			for _, workers := range []int{1, 8} {
+				cache := frontend.New()
+				var got bytes.Buffer
+				if err := run(&got, RunConfig{Quick: true, Charts: true, Parallel: workers, Frontend: cache}); err != nil {
+					t.Fatalf("cached run (parallel=%d): %v", workers, err)
+				}
+				if !bytes.Equal(want.Bytes(), got.Bytes()) {
+					t.Errorf("cached output differs at parallel=%d:\n--- uncached ---\n%s\n--- cached ---\n%s",
+						workers, want.String(), got.String())
+				}
+				if s := cache.Stats().Total(); s.Misses == 0 {
+					t.Errorf("parallel=%d: cache recorded no misses; consumers not routed through it", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheSharedAcrossExperiments mirrors qdcbench: one cache spans
+// the whole run. The second experiment over the same settings must be
+// served hits, and with eight workers racing on identical cells the
+// singleflight dedup counter must fire at least once somewhere in the
+// run (tab2 alone issues the same (bench, arch) frontend requests from
+// concurrent ours/baseline cells).
+func TestCacheSharedAcrossExperiments(t *testing.T) {
+	cache := frontend.New()
+	reg := Registry()
+	var sink bytes.Buffer
+	for _, id := range cacheTestIDs {
+		if err := reg[id](&sink, RunConfig{Quick: true, Parallel: 8, Frontend: cache}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	s := cache.Stats()
+	tot := s.Total()
+	if tot.Hits == 0 {
+		t.Error("no cache hits across a six-experiment run")
+	}
+	if tot.Hits+tot.Dedups <= tot.Misses {
+		t.Errorf("cache mostly missing: %+v", tot)
+	}
+	if s.QEC.Misses == 0 {
+		t.Error("QEC lowering (tab3) did not go through the cache")
+	}
+}
+
+// TestCacheDedupAtParallel8 pins the singleflight guarantee in the
+// real cell runner: eight workers racing on one demand key must
+// compute it exactly once, with the losers counted as dedups rather
+// than re-running the frontend. Two things make the dedup counter
+// firing deterministic rather than a scheduling accident, even on a
+// single-CPU runner: the workers rendezvous at a barrier immediately
+// before requesting (so all eight are runnable at the Demands call
+// when the winner starts computing), and the key is deliberately
+// heavy (extracting an RCA over 7680 qubits runs for hundreds of
+// milliseconds — dozens of Go preemption quanta), so the losers are
+// always scheduled while the compute is still in flight.
+func TestCacheDedupAtParallel8(t *testing.T) {
+	s := clos("dedup-7680", 16, 8, 60, 10)
+	arch, err := s.Arch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := frontend.New()
+	cfg := RunConfig{Parallel: 8, Frontend: cache}
+	got := make([][]int, 8) // first demand endpoint per worker, to prove sharing
+	barrier := make(chan struct{})
+	var arrived atomic.Int32
+	if err := cfg.forEachCell(8, func(i int) error {
+		if arrived.Add(1) == 8 {
+			close(barrier)
+		}
+		<-barrier
+		demands, err := cache.Demands("RCA", arch, comm.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		got[i] = []int{demands[0].A, demands[0].B, len(demands)}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ds := cache.Stats().Demands
+	if ds.Misses != 1 {
+		t.Errorf("demand list computed %d times, want exactly once", ds.Misses)
+	}
+	if ds.Dedups == 0 {
+		t.Errorf("no singleflight dedups at parallel=8: %+v", ds)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i][0] != got[0][0] || got[i][1] != got[0][1] || got[i][2] != got[0][2] {
+			t.Fatalf("worker %d saw a different demand list: %v vs %v", i, got[i], got[0])
+		}
+	}
+}

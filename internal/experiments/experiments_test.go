@@ -51,7 +51,7 @@ func TestBenchLabel(t *testing.T) {
 }
 
 func TestRunBenchmarkShape(t *testing.T) {
-	o, err := RunBenchmark("MCT", clos("test-80", 2, 2, 20, 7), hw.Default(), core.DefaultOptions())
+	o, err := RunBenchmark(RunConfig{}, "MCT", clos("test-80", 2, 2, 20, 7), hw.Default(), core.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,7 +75,7 @@ func FaultSweepRows(cfg RunConfig) ([]FaultRow, error) {
 		if err != nil {
 			return err
 		}
-		res, err := compilePipeline(c.bench, arch, p, opts, comm.DefaultOptions())
+		res, err := cfg.compilePipeline(c.bench, arch, p, opts, comm.DefaultOptions())
 		if err != nil {
 			return fmt.Errorf("experiments: %s on %s (faults): %w", c.bench, c.s.Label, err)
 		}

@@ -53,7 +53,7 @@ func Fig2Rows(cfg RunConfig) ([]Fig2Result, error) {
 	demands := make([][]epr.Demand, len(benches))
 	err = cfg.forEachCell(len(makespans), func(i int) error {
 		bi, vi := i/len(variants), i%len(variants)
-		res, err := compilePipeline(benches[bi], arch, variants[vi], core.BaselineOptions(), comm.BaselineOptions())
+		res, err := cfg.compilePipeline(benches[bi], arch, variants[vi], core.BaselineOptions(), comm.BaselineOptions())
 		if err != nil {
 			return err
 		}

@@ -38,7 +38,7 @@ func sweep(cfg RunConfig, xs []float64, benches []string,
 	err := cfg.forEachCell(len(outs), func(i int) error {
 		x, bench := xs[i/len(benches)], benches[i%len(benches)]
 		s, p, opts := configure(x)
-		o, err := RunBenchmark(bench, s, p, opts)
+		o, err := RunBenchmark(cfg, bench, s, p, opts)
 		if err != nil {
 			return fmt.Errorf("experiments: sweep x=%v: %w", x, err)
 		}
@@ -243,7 +243,7 @@ func fidelitySweep(cfg RunConfig, xs []float64, benches []string, reweigh func(x
 	}
 	results := make([]*core.Result, len(benches))
 	err = cfg.forEachCell(len(benches), func(i int) error {
-		res, err := compilePipeline(benches[i], arch, hw.Default(), core.DefaultOptions(), comm.DefaultOptions())
+		res, err := cfg.compilePipeline(benches[i], arch, hw.Default(), core.DefaultOptions(), comm.DefaultOptions())
 		if err != nil {
 			return err
 		}

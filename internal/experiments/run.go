@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"io"
 
-	"switchqnet/internal/circuit"
 	"switchqnet/internal/comm"
 	"switchqnet/internal/core"
+	"switchqnet/internal/frontend"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/metrics"
-	"switchqnet/internal/place"
 	"switchqnet/internal/topology"
 )
 
@@ -25,18 +24,12 @@ type Outcome struct {
 func (o Outcome) Improvement() float64 { return metrics.Improvement(o.Baseline, o.Ours) }
 
 // compilePipeline extracts a benchmark's demands with the given
-// preprocessing and compiles them.
-func compilePipeline(bench string, arch *topology.Arch, p hw.Params,
+// preprocessing and compiles them. The frontend artifacts (circuit,
+// placement, demand list) come from cfg.Frontend when set, so cells
+// sharing a frontend compute it once; a nil cache rebuilds them.
+func (cfg RunConfig) compilePipeline(bench string, arch *topology.Arch, p hw.Params,
 	opts core.Options, xopts comm.Options) (*core.Result, error) {
-	circ, err := circuit.Benchmark(bench, arch.TotalQubits())
-	if err != nil {
-		return nil, err
-	}
-	pl, err := place.Blocks(circ.NumQubits, arch)
-	if err != nil {
-		return nil, err
-	}
-	demands, err := comm.Extract(circ, pl, arch, xopts)
+	demands, err := cfg.Frontend.Demands(bench, arch, xopts)
 	if err != nil {
 		return nil, err
 	}
@@ -44,17 +37,18 @@ func compilePipeline(bench string, arch *topology.Arch, p hw.Params,
 }
 
 // RunBenchmark compiles one benchmark on one setting with both
-// pipelines and returns the comparison.
-func RunBenchmark(bench string, s Setting, p hw.Params, opts core.Options) (Outcome, error) {
+// pipelines and returns the comparison. The two pipelines share the
+// benchmark circuit and placement through cfg.Frontend.
+func RunBenchmark(cfg RunConfig, bench string, s Setting, p hw.Params, opts core.Options) (Outcome, error) {
 	arch, err := s.Arch()
 	if err != nil {
 		return Outcome{}, err
 	}
-	ours, err := compilePipeline(bench, arch, p, opts, comm.DefaultOptions())
+	ours, err := cfg.compilePipeline(bench, arch, p, opts, comm.DefaultOptions())
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: %s on %s (ours): %w", bench, s.Label, err)
 	}
-	base, err := compilePipeline(bench, arch, p, core.BaselineOptions(), comm.BaselineOptions())
+	base, err := cfg.compilePipeline(bench, arch, p, core.BaselineOptions(), comm.BaselineOptions())
 	if err != nil {
 		return Outcome{}, fmt.Errorf("experiments: %s on %s (baseline): %w", bench, s.Label, err)
 	}
@@ -82,6 +76,12 @@ type RunConfig struct {
 	// Stats, when non-nil, accumulates the sweep execution profile
 	// (cells, peak concurrency, wall clock) for throughput reporting.
 	Stats *SweepStats
+	// Frontend, when non-nil, memoizes frontend artifacts (circuits,
+	// placements, demand lists) by content key across the run's cells —
+	// including across experiments when the caller shares one cache.
+	// nil rebuilds every artifact (the CLIs' -nocache); the rendered
+	// output is byte-identical either way.
+	Frontend *frontend.Cache
 
 	// Faults names the fault profile of the "faults" experiment
 	// (faults.ProfileNames; "" means off), Seed seeds its fault model,

@@ -43,7 +43,7 @@ func Table2Rows(cfg RunConfig) ([]Outcome, []string, error) {
 	groups := make([]string, len(cells))
 	err := cfg.forEachCell(len(cells), func(i int) error {
 		c := cells[i]
-		o, err := RunBenchmark(c.bench, c.s, p, opts)
+		o, err := RunBenchmark(cfg, c.bench, c.s, p, opts)
 		if err != nil {
 			return err
 		}

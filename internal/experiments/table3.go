@@ -7,7 +7,6 @@ import (
 	"switchqnet/internal/core"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/metrics"
-	"switchqnet/internal/place"
 	"switchqnet/internal/qec"
 )
 
@@ -40,15 +39,12 @@ func Table3Rows(cfg RunConfig) ([]Table3Row, error) {
 	rows := make([]Table3Row, len(benches))
 	err = cfg.forEachCell(len(benches), func(i int) error {
 		bench := benches[i]
-		circ, err := qec.Benchmark(bench, arch.TotalQubits())
-		if err != nil {
-			return err
-		}
-		pl, err := place.Blocks(circ.NumQubits, arch)
-		if err != nil {
-			return err
-		}
-		demands, stats, err := qec.Lower(circ, pl, arch, qcfg)
+		// The shared frontend path builds (and memoizes) the QEC
+		// benchmark circuit, block placement and lattice-surgery
+		// lowering, so this runner cannot drift from compilePipeline's
+		// construction and both compilations below share one demand
+		// stream.
+		demands, stats, err := cfg.Frontend.QECDemands(bench, arch, qcfg)
 		if err != nil {
 			return err
 		}

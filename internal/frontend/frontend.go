@@ -1,0 +1,327 @@
+// Package frontend is a content-keyed, concurrency-safe cache for the
+// pipeline's frontend artifacts: benchmark circuits, block placements,
+// and extracted EPR demand lists. The evaluation sweeps run hundreds of
+// (benchmark x setting x config) compilation cells, and most cells share
+// their frontend — every hyper-parameter sweep reuses one circuit and
+// placement, and the ours/baseline pair inside a comparison differs only
+// in scheduler and extraction options. The cache computes each distinct
+// artifact exactly once, even when many worker goroutines request it
+// simultaneously: concurrent requests for an in-flight key wait for the
+// single computation instead of duplicating it (singleflight).
+//
+// Cached artifacts are shared across goroutines and must therefore never
+// be mutated by consumers. The pipeline honors this by construction —
+// comm.Extract copies the placement it mutates, core.Compile copies the
+// demand list before normalizing it, and epr.BuildDAG only reads — and
+// the package's tests pin those invariants. Placements are the one
+// exception with a mutating public API (place.RefineSwaps), so the cache
+// returns a fresh copy of the placement slice on every request; circuits
+// and demand lists are returned shared.
+//
+// A nil *Cache is valid and computes every request directly with no
+// memoization — the CLIs' -nocache escape hatch.
+package frontend
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/place"
+	"switchqnet/internal/qec"
+	"switchqnet/internal/topology"
+)
+
+// CircuitKey identifies a benchmark circuit by content: the canonical
+// benchmark name, the register width, and whether the Table 3 QEC
+// variant (single-iteration Grover/RCA, exact QFT) is requested.
+type CircuitKey struct {
+	Bench     string
+	NumQubits int
+	QEC       bool
+}
+
+// PlacementKey identifies a block placement by content. place.Blocks
+// depends only on the qubit count and the arch's block shape (QPU count
+// and data qubits per QPU), so two archs with the same shape share one
+// placement regardless of topology.
+type PlacementKey struct {
+	NumQubits  int
+	NumQPUs    int
+	DataQubits int
+}
+
+// DemandKey identifies an extracted demand list by content: the circuit
+// and placement it derives from, the parts of the architecture
+// comm.Extract actually reads — the rack shape (QPUsPerRack, for the
+// CrossRack labels) and the buffer size (the MaxMigrants default) — and
+// the extraction options.
+type DemandKey struct {
+	Circuit   CircuitKey
+	Placement PlacementKey
+	// QPUsPerRack and BufferSize are the arch inputs of comm.Extract
+	// beyond the placement shape.
+	QPUsPerRack int
+	BufferSize  int
+	Opts        comm.Options
+}
+
+// QECDemandKey identifies a lattice-surgery lowering (qec.Lower) by
+// content: circuit, placement, rack shape and the QEC configuration.
+type QECDemandKey struct {
+	Circuit     CircuitKey
+	Placement   PlacementKey
+	QPUsPerRack int
+	Config      qec.Config
+}
+
+// StageStats is one memoized stage's counter snapshot.
+type StageStats struct {
+	// Hits counts requests served from a completed entry, Misses
+	// requests that computed the artifact, and Dedups requests that
+	// arrived while the artifact was being computed by another
+	// goroutine and waited for it (singleflight deduplication).
+	Hits, Misses, Dedups int64
+}
+
+// add returns the fieldwise sum s + o.
+func (s StageStats) add(o StageStats) StageStats {
+	return StageStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses, Dedups: s.Dedups + o.Dedups}
+}
+
+// sub returns the fieldwise difference s - o.
+func (s StageStats) sub(o StageStats) StageStats {
+	return StageStats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Dedups: s.Dedups - o.Dedups}
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	Circuits   StageStats
+	Placements StageStats
+	Demands    StageStats
+	QEC        StageStats
+}
+
+// Total sums the per-stage counters.
+func (s Stats) Total() StageStats {
+	return s.Circuits.add(s.Placements).add(s.Demands).add(s.QEC)
+}
+
+// Sub returns the stage-wise difference s - o (for per-experiment
+// deltas of a shared cache).
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Circuits:   s.Circuits.sub(o.Circuits),
+		Placements: s.Placements.sub(o.Placements),
+		Demands:    s.Demands.sub(o.Demands),
+		QEC:        s.QEC.sub(o.QEC),
+	}
+}
+
+// call is one singleflight computation: done is closed when val/err are
+// final.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// group is a concurrency-safe memoizing map with singleflight
+// deduplication. The zero value is ready to use.
+type group[K comparable, V any] struct {
+	mu                   sync.Mutex
+	calls                map[K]*call[V]
+	hits, misses, dedups atomic.Int64
+}
+
+// do returns the memoized value for key, computing it with fn exactly
+// once per key. Concurrent callers of an in-flight key block until the
+// computation finishes. Errors are memoized too: the pipeline is
+// deterministic, so a failed computation fails identically on retry.
+func (g *group[K, V]) do(key K, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		select {
+		case <-c.done:
+			g.hits.Add(1)
+		default:
+			g.dedups.Add(1)
+		}
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.misses.Add(1)
+	g.mu.Unlock()
+	c.val, c.err = fn()
+	close(c.done)
+	return c.val, c.err
+}
+
+// stats snapshots the group's counters.
+func (g *group[K, V]) stats() StageStats {
+	return StageStats{Hits: g.hits.Load(), Misses: g.misses.Load(), Dedups: g.dedups.Load()}
+}
+
+// qecLowered bundles qec.Lower's two outputs under one key.
+type qecLowered struct {
+	demands []epr.Demand
+	stats   qec.Stats
+}
+
+// Cache memoizes frontend artifacts by content key. The zero value is
+// ready to use; a nil *Cache computes every request directly.
+type Cache struct {
+	circuits   group[CircuitKey, *circuit.Circuit]
+	placements group[PlacementKey, place.Placement]
+	demands    group[DemandKey, []epr.Demand]
+	qec        group[QECDemandKey, qecLowered]
+}
+
+// New returns an empty cache.
+func New() *Cache { return &Cache{} }
+
+// Stats snapshots the cache's counters. A nil cache reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Circuits:   c.circuits.stats(),
+		Placements: c.placements.stats(),
+		Demands:    c.demands.stats(),
+		QEC:        c.qec.stats(),
+	}
+}
+
+// circuitKey canonicalizes the benchmark name so "MCT" and "mct" share
+// one entry (both builders accept either case).
+func circuitKey(bench string, numQubits int, qecVariant bool) CircuitKey {
+	return CircuitKey{Bench: strings.ToLower(bench), NumQubits: numQubits, QEC: qecVariant}
+}
+
+func placementKey(numQubits int, arch *topology.Arch) PlacementKey {
+	return PlacementKey{NumQubits: numQubits, NumQPUs: arch.NumQPUs(), DataQubits: arch.DataQubits}
+}
+
+// Circuit returns the benchmark circuit for (bench, numQubits). The
+// returned circuit is shared: callers must not append to or modify it.
+func (c *Cache) Circuit(bench string, numQubits int) (*circuit.Circuit, error) {
+	if c == nil {
+		return circuit.Benchmark(bench, numQubits)
+	}
+	return c.circuits.do(circuitKey(bench, numQubits, false), func() (*circuit.Circuit, error) {
+		return circuit.Benchmark(bench, numQubits)
+	})
+}
+
+// QECCircuit returns the Table 3 benchmark variant for (bench,
+// algQubits). The returned circuit is shared and must not be modified.
+func (c *Cache) QECCircuit(bench string, algQubits int) (*circuit.Circuit, error) {
+	if c == nil {
+		return qec.Benchmark(bench, algQubits)
+	}
+	return c.circuits.do(circuitKey(bench, algQubits, true), func() (*circuit.Circuit, error) {
+		return qec.Benchmark(bench, algQubits)
+	})
+}
+
+// Placement returns the block placement of numQubits qubits on arch.
+// The slice is a fresh copy on every call (place.Placement has mutating
+// consumers like RefineSwaps), so callers own it.
+func (c *Cache) Placement(numQubits int, arch *topology.Arch) (place.Placement, error) {
+	if c == nil {
+		return place.Blocks(numQubits, arch)
+	}
+	p, err := c.placements.do(placementKey(numQubits, arch), func() (place.Placement, error) {
+		return place.Blocks(numQubits, arch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(place.Placement(nil), p...), nil
+}
+
+// Demands returns the extracted EPR demand list of benchmark bench on
+// arch under the given extraction options, memoizing the circuit and
+// placement along the way. The returned slice is shared: callers must
+// not modify it or its elements (core.Compile copies it before
+// normalizing, so compilation is safe by construction).
+func (c *Cache) Demands(bench string, arch *topology.Arch, xopts comm.Options) ([]epr.Demand, error) {
+	if c == nil {
+		circ, err := circuit.Benchmark(bench, arch.TotalQubits())
+		if err != nil {
+			return nil, err
+		}
+		pl, err := place.Blocks(circ.NumQubits, arch)
+		if err != nil {
+			return nil, err
+		}
+		return comm.Extract(circ, pl, arch, xopts)
+	}
+	circ, err := c.Circuit(bench, arch.TotalQubits())
+	if err != nil {
+		return nil, err
+	}
+	key := DemandKey{
+		Circuit:     circuitKey(bench, arch.TotalQubits(), false),
+		Placement:   placementKey(circ.NumQubits, arch),
+		QPUsPerRack: arch.QPUsPerRack,
+		BufferSize:  arch.BufferSize,
+		Opts:        xopts,
+	}
+	return c.demands.do(key, func() ([]epr.Demand, error) {
+		pl, err := c.Placement(circ.NumQubits, arch)
+		if err != nil {
+			return nil, err
+		}
+		return comm.Extract(circ, pl, arch, xopts)
+	})
+}
+
+// QECDemands returns the lattice-surgery lowering of the Table 3
+// variant of bench on arch: the demand stream plus decomposition
+// statistics. The returned slice is shared and must not be modified.
+func (c *Cache) QECDemands(bench string, arch *topology.Arch, cfg qec.Config) ([]epr.Demand, qec.Stats, error) {
+	if c == nil {
+		circ, err := qec.Benchmark(bench, arch.TotalQubits())
+		if err != nil {
+			return nil, qec.Stats{}, err
+		}
+		pl, err := place.Blocks(circ.NumQubits, arch)
+		if err != nil {
+			return nil, qec.Stats{}, err
+		}
+		return qec.Lower(circ, pl, arch, cfg)
+	}
+	circ, err := c.QECCircuit(bench, arch.TotalQubits())
+	if err != nil {
+		return nil, qec.Stats{}, err
+	}
+	key := QECDemandKey{
+		Circuit:     circuitKey(bench, arch.TotalQubits(), true),
+		Placement:   placementKey(circ.NumQubits, arch),
+		QPUsPerRack: arch.QPUsPerRack,
+		Config:      cfg,
+	}
+	low, err := c.qec.do(key, func() (qecLowered, error) {
+		pl, err := c.Placement(circ.NumQubits, arch)
+		if err != nil {
+			return qecLowered{}, err
+		}
+		demands, stats, err := qec.Lower(circ, pl, arch, cfg)
+		return qecLowered{demands: demands, stats: stats}, err
+	})
+	if err != nil {
+		return nil, qec.Stats{}, err
+	}
+	return low.demands, low.stats, nil
+}

@@ -1,0 +1,357 @@
+package frontend
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/place"
+	"switchqnet/internal/qec"
+	"switchqnet/internal/topology"
+)
+
+func testArch(t testing.TB) *topology.Arch {
+	t.Helper()
+	arch, err := topology.New(topology.Config{
+		Topology: "clos", Racks: 2, QPUsPerRack: 2,
+		DataQubits: 20, BufferSize: 7, CommQubits: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch
+}
+
+func TestCircuitMemoized(t *testing.T) {
+	c := New()
+	a, err := c.Circuit("MCT", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive key: "mct" must share the entry.
+	b, err := c.Circuit("mct", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same circuit key returned distinct objects")
+	}
+	if s := c.Stats().Circuits; s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("circuit stats = %+v, want 1 miss + 1 hit", s)
+	}
+	// A different width is a different artifact.
+	d, err := c.Circuit("mct", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Error("different widths shared one circuit")
+	}
+	// The QEC variant never collides with the physical benchmark, even
+	// for names where both exist.
+	q, err := c.QECCircuit("grover", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := c.Circuit("grover", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == g {
+		t.Error("QEC variant shared the physical benchmark's entry")
+	}
+}
+
+func TestPlacementCopiedPerCall(t *testing.T) {
+	c := New()
+	arch := testArch(t)
+	p1, err := c.Placement(80, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Placement(80, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("placements differ")
+	}
+	if &p1[0] == &p2[0] {
+		t.Fatal("placement not defensively copied")
+	}
+	// Mutating a returned placement must not poison the cache.
+	p1[0] = 999
+	p3, err := c.Placement(80, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3[0] == 999 {
+		t.Error("caller mutation leaked into the cache")
+	}
+	if s := c.Stats().Placements; s.Misses != 1 || s.Hits != 2 {
+		t.Errorf("placement stats = %+v, want 1 miss + 2 hits", s)
+	}
+}
+
+func TestDemandsMatchUncachedPipeline(t *testing.T) {
+	arch := testArch(t)
+	c := New()
+	for _, xopts := range []comm.Options{comm.DefaultOptions(), comm.BaselineOptions()} {
+		cached, err := c.Demands("qft", arch, xopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nilCache *Cache
+		direct, err := nilCache.Demands("qft", arch, xopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cached, direct) {
+			t.Errorf("cached demands differ from direct extraction (xopts=%+v)", xopts)
+		}
+	}
+	// The two option sets are distinct keys; the circuit and placement
+	// beneath them are shared.
+	s := c.Stats()
+	if s.Demands.Misses != 2 {
+		t.Errorf("demand misses = %d, want 2", s.Demands.Misses)
+	}
+	if s.Circuits.Misses != 1 || s.Placements.Misses != 1 {
+		t.Errorf("circuit/placement misses = %d/%d, want 1/1", s.Circuits.Misses, s.Placements.Misses)
+	}
+}
+
+func TestQECDemandsMatchUncached(t *testing.T) {
+	arch, err := qec.Arch("clos", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := qec.DefaultConfig()
+	c := New()
+	cached, cachedStats, err := c.QECDemands("rca", arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nilCache *Cache
+	direct, directStats, err := nilCache.QECDemands("rca", arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached, direct) || cachedStats != directStats {
+		t.Error("cached QEC lowering differs from direct path")
+	}
+	if _, _, err := c.QECDemands("RCA", arch, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats().QEC; s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("QEC stats = %+v, want 1 miss + 1 hit", s)
+	}
+}
+
+func TestErrorsMemoized(t *testing.T) {
+	c := New()
+	if _, err := c.Circuit("no-such-bench", 80); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := c.Circuit("no-such-bench", 80); err == nil {
+		t.Fatal("expected memoized error")
+	}
+	if s := c.Stats().Circuits; s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats = %+v, want the error memoized as 1 miss + 1 hit", s)
+	}
+}
+
+// TestSingleflightDedup deterministically exercises the in-flight wait
+// path: the first computation blocks until a second requester has
+// registered (observed via the dedup counter), so exactly one compute
+// runs and the second call is a dedup, not a hit.
+func TestSingleflightDedup(t *testing.T) {
+	var g group[int, int]
+	computed := 0
+	release := make(chan struct{})
+	firstIn := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		v, err := g.do(7, func() (int, error) {
+			computed++
+			close(firstIn)
+			<-release
+			return 42, nil
+		})
+		if v != 42 || err != nil {
+			t.Errorf("first caller got (%d, %v)", v, err)
+		}
+	}()
+	<-firstIn
+	go func() {
+		defer wg.Done()
+		v, err := g.do(7, func() (int, error) {
+			computed++
+			return 42, nil
+		})
+		if v != 42 || err != nil {
+			t.Errorf("second caller got (%d, %v)", v, err)
+		}
+	}()
+	// Release the computation only after the second caller has joined
+	// the in-flight call.
+	for g.dedups.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if computed != 1 {
+		t.Errorf("computed %d times, want exactly 1", computed)
+	}
+	if s := g.stats(); s.Misses != 1 || s.Dedups != 1 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 1 miss + 1 dedup", s)
+	}
+}
+
+// TestConcurrentRequestsComputeOnce hammers one key from many
+// goroutines under -race: all callers must get the identical object and
+// the compute must run exactly once.
+func TestConcurrentRequestsComputeOnce(t *testing.T) {
+	c := New()
+	arch := testArch(t)
+	const callers = 16
+	results := make([][]epr.Demand, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d, err := c.Demands("qft", arch, comm.DefaultOptions())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = d
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if &results[i][0] != &results[0][0] {
+			t.Fatalf("caller %d got a distinct demand slice", i)
+		}
+	}
+	if s := c.Stats().Demands; s.Misses != 1 {
+		t.Errorf("demand misses = %d, want 1", s.Misses)
+	}
+	// Each artifact (circuit, placement, demand list) computed once; the
+	// other 2*callers-ish requests resolved as hits or dedups.
+	if s := c.Stats().Total(); s.Misses != 3 {
+		t.Errorf("total misses = %+v, want one compute per artifact", s)
+	}
+}
+
+// snapshotCircuit deep-copies the fields consumers could plausibly
+// mutate.
+func snapshotCircuit(c *circuit.Circuit) circuit.Circuit {
+	return circuit.Circuit{
+		Name:      c.Name,
+		NumQubits: c.NumQubits,
+		Gates:     append([]circuit.Gate(nil), c.Gates...),
+	}
+}
+
+// TestImmutabilityUnderCompile is the immutability audit of the cached
+// artifacts: one circuit, placement and demand list must survive
+// extraction, DAG construction and both compilation pipelines (plus the
+// ablation extract variants) bit-for-bit, so a single cached artifact
+// can back many concurrent compilations.
+func TestImmutabilityUnderCompile(t *testing.T) {
+	c := New()
+	arch := testArch(t)
+	circ, err := c.Circuit("qft", arch.TotalQubits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := c.Placement(circ.NumQubits, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands, err := c.Demands("qft", arch, comm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	circSnap := snapshotCircuit(circ)
+	plSnap := append(place.Placement(nil), pl...)
+	demSnap := append([]epr.Demand(nil), demands...)
+
+	// Re-extract with every option set the ablations use (TP migration
+	// mutates a placement copy internally; the input must survive).
+	for _, xopts := range []comm.Options{comm.DefaultOptions(), comm.BaselineOptions(), {DisableTP: true}} {
+		if _, err := comm.Extract(circ, pl, arch, xopts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := epr.BuildDAG(demands); err != nil {
+		t.Fatal(err)
+	}
+	p := hw.Default()
+	for _, opts := range []core.Options{core.DefaultOptions(), core.BaselineOptions(), core.StrictOptions()} {
+		if _, err := core.Compile(demands, arch, p, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !reflect.DeepEqual(snapshotCircuit(circ), circSnap) {
+		t.Error("circuit mutated by downstream passes")
+	}
+	if !reflect.DeepEqual(pl, plSnap) {
+		t.Error("placement mutated by downstream passes")
+	}
+	if !reflect.DeepEqual(demands, demSnap) {
+		t.Error("demand list mutated by downstream passes")
+	}
+}
+
+// TestCompileNormalizationDoesNotLeak pins the property the shared
+// demand list relies on: core.Compile's CrossRack re-normalization
+// happens on its private copy, never on the caller's slice.
+func TestCompileNormalizationDoesNotLeak(t *testing.T) {
+	arch := testArch(t)
+	// Deliberately wrong CrossRack labels: QPUs 0 and 1 share rack 0,
+	// QPUs 0 and 2 do not.
+	demands := []epr.Demand{
+		{ID: 0, A: 0, B: 1, CrossRack: true, Gates: 1},
+		{ID: 1, A: 0, B: 2, CrossRack: false, Gates: 1},
+	}
+	res, err := core.Compile(demands, arch, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !demands[0].CrossRack || demands[1].CrossRack {
+		t.Error("core.Compile mutated the caller's demand list")
+	}
+	if res.Demands[0].CrossRack || !res.Demands[1].CrossRack {
+		t.Error("core.Compile did not normalize its own copy")
+	}
+}
+
+func TestNilCachePassthrough(t *testing.T) {
+	var c *Cache
+	arch := testArch(t)
+	if _, err := c.Circuit("mct", arch.TotalQubits()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Placement(arch.TotalQubits(), arch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Demands("mct", arch, comm.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil cache reported stats %+v", s)
+	}
+}

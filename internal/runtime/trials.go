@@ -33,19 +33,22 @@ type Stats struct {
 	TotalAborted int
 }
 
-// percentile returns the nearest-rank p-th percentile of sorted values.
-func percentile(sorted []hw.Time, p float64) hw.Time {
-	if len(sorted) == 0 {
+// percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
+// sorted values: the element at 1-based rank ceil(n*p/100), computed in
+// exact integer arithmetic.
+func percentile(sorted []hw.Time, p int) hw.Time {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	rank := int(float64(len(sorted))*p/100+0.9999999) - 1
-	if rank < 0 {
-		rank = 0
+	rank := (n*p + 99) / 100 // ceil(n*p/100)
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[rank]
+	return sorted[rank-1]
 }
 
 // Horizon returns the fault-placement horizon used for a schedule:
