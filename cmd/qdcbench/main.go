@@ -26,23 +26,84 @@ import (
 
 	"switchqnet/internal/experiments"
 	"switchqnet/internal/frontend"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/prof"
 )
 
 // benchRecord is one line of the -benchjson report: the sweep
 // throughput of a single experiment at the configured parallelism,
 // plus the experiment's delta of the shared frontend-cache counters
-// (all zero with -nocache).
+// (all zero with -nocache) and, when observability is on, its delta of
+// the span-phase totals.
 type benchRecord struct {
-	Experiment  string  `json:"experiment"`
-	Parallel    int     `json:"parallel"`
-	Cells       int64   `json:"cells"`
-	Peak        int64   `json:"peak_concurrency"`
-	WallSec     float64 `json:"wall_sec"`
-	CellsPerSec float64 `json:"cells_per_sec"`
-	CacheHits   int64   `json:"cache_hits"`
-	CacheMisses int64   `json:"cache_misses"`
-	CacheDedups int64   `json:"cache_dedups"`
+	Experiment  string       `json:"experiment"`
+	Parallel    int          `json:"parallel"`
+	Cells       int64        `json:"cells"`
+	Peak        int64        `json:"peak_concurrency"`
+	WallSec     float64      `json:"wall_sec"`
+	CellsPerSec float64      `json:"cells_per_sec"`
+	CacheHits   int64        `json:"cache_hits"`
+	CacheMisses int64        `json:"cache_misses"`
+	CacheDedups int64        `json:"cache_dedups"`
+	Spans       []spanRecord `json:"spans,omitempty"`
+}
+
+// spanRecord is one aggregated span path attributed to an experiment.
+type spanRecord struct {
+	Path     string  `json:"path"`
+	Count    int64   `json:"count"`
+	TotalSec float64 `json:"total_sec"`
+}
+
+// spanDelta diffs the tracer's cumulative snapshot against the previous
+// experiment boundary, returning the per-experiment span records and
+// the new boundary.
+func spanDelta(trc *obs.Tracer, prev map[string]obs.PhaseTotal) ([]spanRecord, map[string]obs.PhaseTotal) {
+	if trc == nil {
+		return nil, prev
+	}
+	cur := make(map[string]obs.PhaseTotal)
+	var recs []spanRecord
+	for _, p := range trc.Snapshot() {
+		cur[p.Path] = p
+		d := p
+		if q, ok := prev[p.Path]; ok {
+			d.Count -= q.Count
+			d.Total -= q.Total
+		}
+		if d.Count != 0 {
+			recs = append(recs, spanRecord{Path: p.Path, Count: d.Count, TotalSec: d.Total.Seconds()})
+		}
+	}
+	return recs, cur
+}
+
+// dumpObs writes the span tree to stderr (with -spans) and the metrics
+// registry in Prometheus text format to metricsOut ("-" for stdout).
+// It runs after all experiment output, so stdout stays byte-identical
+// unless the user explicitly asked for -metrics -.
+func dumpObs(reg *obs.Registry, trc *obs.Tracer, spans bool, metricsOut string) error {
+	if spans && trc != nil {
+		fmt.Fprintln(os.Stderr, "[phase spans]")
+		if err := trc.WriteTree(os.Stderr); err != nil {
+			return err
+		}
+	}
+	if metricsOut == "" || reg == nil {
+		return nil
+	}
+	if metricsOut == "-" {
+		return reg.WriteProm(os.Stdout)
+	}
+	f, err := os.Create(metricsOut)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func main() {
@@ -59,6 +120,8 @@ func main() {
 	faultsProfile := flag.String("faults", "", "fault profile for the fault sweep (off, default, harsh); implies -exp faults unless -exp is set")
 	seed := flag.Uint64("seed", 1, "fault-model seed (same seed = byte-identical fault sweep)")
 	trials := flag.Int("trials", 20, "fault realizations per benchmark in the fault sweep")
+	metricsOut := flag.String("metrics", "", "write pipeline metrics in Prometheus text format to this file on exit ('-' for stdout)")
+	spans := flag.Bool("spans", false, "print the aggregated phase-span tree to stderr on exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -97,8 +160,21 @@ func main() {
 		cache = frontend.New()
 	}
 
+	// Observability is opt-in: -metrics and/or -spans attach a registry
+	// and tracer to every cell. Experiment output on stdout is
+	// byte-identical with it on or off.
+	var mreg *obs.Registry
+	var trc *obs.Tracer
+	if *metricsOut != "" || *spans {
+		mreg = obs.NewRegistry()
+		trc = obs.NewTracer()
+	}
+	o := obs.New(mreg, trc)
+	cache.Instrument(o)
+
 	var records []benchRecord
 	var prev frontend.Stats
+	prevSpans := map[string]obs.PhaseTotal{}
 	for i, id := range ids {
 		if i > 0 {
 			fmt.Println()
@@ -108,6 +184,7 @@ func main() {
 			Quick: *quick, CSV: *csv, Charts: *charts,
 			Parallel: *parallel, Stats: stats, Frontend: cache,
 			Faults: *faultsProfile, Seed: *seed, Trials: *trials,
+			Obs: o,
 		}
 		start := time.Now()
 		if err := reg[id](os.Stdout, cfg); err != nil {
@@ -120,6 +197,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s completed in %.1fs: %d cells, parallel=%d, peak=%d, cache hit/miss/dedup=%d/%d/%d]\n",
 			id, time.Since(start).Seconds(), stats.Cells, *parallel, stats.Peak,
 			delta.Hits, delta.Misses, delta.Dedups)
+		var sd []spanRecord
+		sd, prevSpans = spanDelta(trc, prevSpans)
 		records = append(records, benchRecord{
 			Experiment: id, Parallel: *parallel,
 			Cells: stats.Cells, Peak: stats.Peak,
@@ -128,10 +207,16 @@ func main() {
 			CacheHits:   delta.Hits,
 			CacheMisses: delta.Misses,
 			CacheDedups: delta.Dedups,
+			Spans:       sd,
 		})
 	}
 
 	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "qdcbench:", err)
+		os.Exit(1)
+	}
+
+	if err := dumpObs(mreg, trc, *spans, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "qdcbench:", err)
 		os.Exit(1)
 	}

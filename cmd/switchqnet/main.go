@@ -46,8 +46,21 @@ func main() {
 		nocache    = flag.Bool("nocache", false, "disable the frontend artifact cache (rebuild circuit/placement/demands per pipeline; output is identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile taken after compilation to this file")
+		metricsOut = flag.String("metrics", "", "write pipeline metrics in Prometheus text format to this file on exit ('-' for stdout)")
+		spans      = flag.Bool("spans", false, "print the aggregated phase-span tree to stderr on exit")
 	)
 	flag.Parse()
+
+	// Observability is opt-in: -metrics and/or -spans attach a registry
+	// and tracer to the compile and replay pipelines. The report on
+	// stdout is byte-identical with it on or off.
+	var mreg *sq.MetricsRegistry
+	var trc *sq.SpanTracer
+	if *metricsOut != "" || *spans {
+		mreg = sq.NewMetricsRegistry()
+		trc = sq.NewSpanTracer()
+	}
+	o := sq.NewObs(mreg, trc)
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -70,6 +83,7 @@ func main() {
 	if !*nocache && *qasmPath == "" {
 		fc = sq.NewFrontendCache()
 	}
+	fc.Instrument(o)
 	var circ *sq.Circuit
 	if *qasmPath != "" {
 		f, err := os.Open(*qasmPath)
@@ -97,15 +111,15 @@ func main() {
 
 	compileOurs := func() (*sq.Compiled, error) {
 		if *qasmPath != "" {
-			return sq.Compile(circ, arch, params, opts)
+			return sq.CompileWithExtractObserved(circ, arch, params, opts, sq.DefaultExtractOptions(), o)
 		}
-		return sq.CompileCached(fc, *bench, arch, params, opts)
+		return sq.CompileCachedObserved(fc, *bench, arch, params, opts, o)
 	}
 	compileBase := func() (*sq.Compiled, error) {
 		if *qasmPath != "" {
-			return sq.CompileBaseline(circ, arch, params)
+			return sq.CompileWithExtractObserved(circ, arch, params, sq.BaselineOptions(), sq.BaselineExtractOptions(), o)
 		}
-		return sq.CompileBaselineCached(fc, *bench, arch, params)
+		return sq.CompileBaselineCachedObserved(fc, *bench, arch, params, o)
 	}
 
 	var ours, base *sq.Compiled
@@ -184,7 +198,7 @@ func main() {
 			fail(err)
 		}
 		pol := sq.DefaultRecoveryPolicy()
-		st := sq.RunFaultTrials(c.Result, arch, fcfg, pol, *seed, *trials, *parallel)
+		st := sq.RunFaultTrialsObserved(c.Result, arch, fcfg, pol, *seed, *trials, *parallel, o)
 		fmt.Printf("faults[%s,seed=%d]: compiled=%d us realized p50=%d p95=%d p99=%d us "+
 			"(mean %.0f) over %d trials; retries=%.1f reroutes=%.1f distill=%.1f resched=%.1f aborted=%d\n",
 			*faultsProf, *seed, st.Compiled, st.P50, st.P95, st.P99,
@@ -203,6 +217,29 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("realized trace written to %s\n", *faultJSON)
+		}
+	}
+
+	// Observability dumps run after all report output, so stdout stays
+	// byte-identical unless the user explicitly asked for -metrics -.
+	if *spans && trc != nil {
+		fmt.Fprintln(os.Stderr, "[phase spans]")
+		if err := trc.WriteTree(os.Stderr); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsOut != "" {
+		w := os.Stdout
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := mreg.WriteProm(w); err != nil {
+			fail(err)
 		}
 	}
 }

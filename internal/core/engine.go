@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"switchqnet/internal/epr"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/netstate"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/topology"
 )
 
@@ -228,19 +230,44 @@ type engine struct {
 	// invariantErr records the first inline invariant violation detected
 	// under the debug flag (see assertf); the run loop surfaces it.
 	invariantErr error
+
+	// Observability (nil handles when disabled; every use is a no-op
+	// then, so instrumented code paths behave identically).
+	sched *obs.Span // parent span for per-pass phases
+	om    compileMetrics
 }
 
 // Compile schedules the demand list on the architecture and returns the
 // compiled communication schedule. It is deterministic: identical inputs
 // produce identical results.
 func Compile(demands []epr.Demand, arch *topology.Arch, p hw.Params, opts Options) (*Result, error) {
+	return CompileObserved(demands, arch, p, opts, nil)
+}
+
+// CompileObserved is Compile with observability: phase spans around
+// normalization, DAG construction and scheduling (with per-pass, retry
+// and checkpoint children merged by name), and pipeline counters on o's
+// registry. A nil o disables all of it — the schedule produced is
+// identical either way.
+func CompileObserved(demands []epr.Demand, arch *topology.Arch, p hw.Params, opts Options, o *obs.Obs) (*Result, error) {
+	var startT time.Time
+	if o != nil {
+		startT = time.Now()
+	}
+	sp := o.StartSpan("compile")
+	defer sp.End()
+
+	norm := sp.StartSpan("normalize")
 	if err := arch.Validate(); err != nil {
+		norm.End()
 		return nil, err
 	}
 	if err := p.Validate(); err != nil {
+		norm.End()
 		return nil, err
 	}
 	if err := opts.normalize(arch.CommQubits, arch.BufferSize); err != nil {
+		norm.End()
 		return nil, err
 	}
 	// Normalize the CrossRack flags against the architecture rather than
@@ -248,21 +275,38 @@ func Compile(demands []epr.Demand, arch *topology.Arch, p hw.Params, opts Option
 	ds := make([]epr.Demand, len(demands))
 	for i, d := range demands {
 		if d.A < 0 || d.A >= arch.NumQPUs() || d.B < 0 || d.B >= arch.NumQPUs() {
+			norm.End()
 			return nil, fmt.Errorf("core: demand %d endpoints (%d, %d) outside %d QPUs", i, d.A, d.B, arch.NumQPUs())
 		}
 		d.CrossRack = !arch.Net.InRack(d.A, d.B)
 		ds[i] = d
 	}
+	norm.End()
+
+	bd := sp.StartSpan("build_dag")
 	dag, err := epr.BuildDAG(ds)
+	bd.End()
 	if err != nil {
 		return nil, err
 	}
+
 	e := &engine{dag: dag, arch: arch, p: p, opts: opts}
+	if o != nil {
+		e.om = newCompileMetrics(o.Reg())
+	}
 	e.init()
-	if err := e.run(); err != nil {
+	e.sched = sp.StartSpan("schedule")
+	err = e.run()
+	e.sched.End()
+	if err != nil {
 		return nil, err
 	}
-	return e.result(), nil
+	r := e.result()
+	if o != nil {
+		e.om.record(r)
+		e.om.duration.Observe(time.Since(startT).Seconds())
+	}
+	return r, nil
 }
 
 func (e *engine) init() {
@@ -495,6 +539,8 @@ func (e *engine) releaseEndpoint(dm epr.Demand, q int, commHeld bool) {
 
 func (e *engine) maybeCheckpoint() {
 	if e.st.slices-e.checkpoint.slices >= e.opts.CheckpointEvery {
+		e.sched.Mark("checkpoint")
+		e.om.checkpoints.Inc()
 		// Recycle the superseded checkpoint's storage: amortized O(1)
 		// allocation per checkpoint once the arena has grown. The
 		// initial-state checkpoint is permanent and never recycled.
@@ -514,6 +560,7 @@ func (e *engine) retry() error {
 	if debugStuck != nil {
 		debugStuck(e)
 	}
+	e.sched.Mark("retry")
 	e.retries++
 	if e.retries > e.opts.MaxRetries {
 		return fmt.Errorf("core: compilation stuck after %d retries (strategy %v, %d/%d demands consumed)",

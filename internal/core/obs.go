@@ -1,0 +1,59 @@
+package core
+
+import (
+	"switchqnet/internal/obs"
+)
+
+// compileMetrics holds the compile pipeline's registry handles. Built
+// from a nil registry every field is a nil handle, so recording is a
+// no-op and the compile path behaves identically with observability
+// off.
+type compileMetrics struct {
+	compiles    *obs.Counter
+	passes      *obs.Counter
+	retries     *obs.Counter
+	splits      *obs.Counter
+	checkpoints *obs.Counter
+	gens        [4]*obs.Counter // indexed by GenKind
+	duration    *obs.Histogram
+}
+
+func newCompileMetrics(r *obs.Registry) compileMetrics {
+	genCounter := func(kind string) *obs.Counter {
+		return r.Counter("switchqnet_compile_gens_total",
+			"Generation events in compiled schedules, by kind.", obs.L("kind", kind))
+	}
+	return compileMetrics{
+		compiles: r.Counter("switchqnet_compile_total",
+			"Completed compilations."),
+		passes: r.Counter("switchqnet_compile_passes_total",
+			"Scheduling passes (time slices) executed, including reverted ones."),
+		retries: r.Counter("switchqnet_compile_retries_total",
+			"Retry reversions during compilation."),
+		splits: r.Counter("switchqnet_compile_splits_total",
+			"Cross-rack pairs realized via splits."),
+		checkpoints: r.Counter("switchqnet_compile_checkpoints_total",
+			"Engine state checkpoints taken."),
+		gens: [4]*obs.Counter{
+			GenRegular:     genCounter("regular"),
+			GenSplitCross:  genCounter("split_cross"),
+			GenSplitInRack: genCounter("split_in_rack"),
+			GenDistillCopy: genCounter("distill_copy"),
+		},
+		duration: r.Histogram("switchqnet_compile_duration_seconds",
+			"Wall-clock duration of Compile.", obs.DefDurationBuckets),
+	}
+}
+
+// record accumulates a finished compilation's outcome.
+func (m *compileMetrics) record(r *Result) {
+	m.compiles.Inc()
+	m.passes.Add(int64(r.EventsProcessed))
+	m.retries.Add(int64(r.Retries))
+	m.splits.Add(int64(r.Splits))
+	for _, g := range r.Gens {
+		if int(g.Kind) < len(m.gens) {
+			m.gens[g.Kind].Inc()
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
+)
+
+// TestCompileObserved pins the tentpole contract for the compile
+// pipeline: with observability attached the result is identical to the
+// unobserved compile, the span tree covers the compile phases down to
+// the per-pass level, and the registry counters agree with the result.
+func TestCompileObserved(t *testing.T) {
+	a := arch(t, 4, 4, 30, 10, 2)
+	demands := []epr.Demand{
+		{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+		{ID: 1, A: 1, B: 4, Protocol: epr.Cat, Gates: 1},
+		{ID: 2, A: 4, B: 8, Protocol: epr.TP, Gates: 1},
+	}
+	plain, err := Compile(demands, a, hw.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	r, err := CompileObserved(demands, a, hw.Default(), DefaultOptions(), obs.New(reg, tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, r) {
+		t.Error("observed compile produced a different result")
+	}
+
+	counts := map[string]int64{}
+	for _, p := range tr.Snapshot() {
+		counts[p.Path] = p.Count
+	}
+	for _, path := range []string{"compile", "compile/normalize", "compile/build_dag", "compile/schedule", "compile/schedule/pass"} {
+		if counts[path] == 0 {
+			t.Errorf("span %q missing from tree: %v", path, counts)
+		}
+	}
+	if counts["compile/schedule/pass"] != int64(r.EventsProcessed) {
+		t.Errorf("pass span count %d != passes executed %d", counts["compile/schedule/pass"], r.EventsProcessed)
+	}
+
+	if got := reg.Counter("switchqnet_compile_total", "").Value(); got != 1 {
+		t.Errorf("compile_total = %d", got)
+	}
+	if got := reg.Counter("switchqnet_compile_passes_total", "").Value(); got != int64(r.EventsProcessed) {
+		t.Errorf("passes_total = %d, want %d", got, r.EventsProcessed)
+	}
+	var gens int64
+	for _, kind := range []string{"regular", "split_cross", "split_in_rack", "distill_copy"} {
+		gens += reg.Counter("switchqnet_compile_gens_total", "", obs.L("kind", kind)).Value()
+	}
+	if gens != int64(len(r.Gens)) {
+		t.Errorf("gens_total = %d, want %d", gens, len(r.Gens))
+	}
+	if reg.Histogram("switchqnet_compile_duration_seconds", "", obs.DefDurationBuckets).Count() != 1 {
+		t.Error("compile duration not observed")
+	}
+}

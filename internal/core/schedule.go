@@ -14,6 +14,8 @@ import (
 // look-ahead window greedily until no pair qualifies; round two splits
 // congested cross-rack pairs and schedules their substitute parts.
 func (e *engine) pass() {
+	sp := e.sched.StartSpan("pass")
+	defer sp.End()
 	e.st.slices++
 	e.totalSlices++
 	if e.routeFail == nil {

@@ -81,7 +81,8 @@ func FaultSweepRows(cfg RunConfig) ([]FaultRow, error) {
 		}
 		rows[i] = FaultRow{
 			Benchmark: c.bench, Setting: c.s,
-			Stats: runtime.RunTrials(res, arch, fcfg, runtime.DefaultPolicy(), cfg.Seed, trials, 1),
+			Stats: runtime.RunTrialsObserved(res, arch, fcfg, runtime.DefaultPolicy(),
+				cfg.Seed, trials, 1, cfg.Obs),
 		}
 		return nil
 	})

@@ -9,6 +9,7 @@ import (
 	"switchqnet/internal/frontend"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/metrics"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/topology"
 )
 
@@ -29,11 +30,15 @@ func (o Outcome) Improvement() float64 { return metrics.Improvement(o.Baseline, 
 // sharing a frontend compute it once; a nil cache rebuilds them.
 func (cfg RunConfig) compilePipeline(bench string, arch *topology.Arch, p hw.Params,
 	opts core.Options, xopts comm.Options) (*core.Result, error) {
+	sp := cfg.Obs.StartSpan("cell")
+	defer sp.End()
+	ex := sp.StartSpan("extract")
 	demands, err := cfg.Frontend.Demands(bench, arch, xopts)
+	ex.End()
 	if err != nil {
 		return nil, err
 	}
-	return core.Compile(demands, arch, p, opts)
+	return core.CompileObserved(demands, arch, p, opts, cfg.Obs.Under(sp))
 }
 
 // RunBenchmark compiles one benchmark on one setting with both
@@ -90,6 +95,12 @@ type RunConfig struct {
 	Faults string
 	Seed   uint64
 	Trials int
+
+	// Obs, when non-nil, attaches observability to every cell: compile
+	// and replay phases record spans (per-cell spans merge by name) and
+	// pipeline counters on its registry. nil disables it; rendered
+	// output is byte-identical either way, at every Parallel setting.
+	Obs *obs.Obs
 }
 
 // render writes a table in the configured format.

@@ -44,15 +44,20 @@ func Table3Rows(cfg RunConfig) ([]Table3Row, error) {
 		// lowering, so this runner cannot drift from compilePipeline's
 		// construction and both compilations below share one demand
 		// stream.
+		sp := cfg.Obs.StartSpan("cell")
+		defer sp.End()
+		ex := sp.StartSpan("extract")
 		demands, stats, err := cfg.Frontend.QECDemands(bench, arch, qcfg)
+		ex.End()
 		if err != nil {
 			return err
 		}
-		ours, err := core.Compile(demands, arch, p, core.DefaultOptions())
+		ocell := cfg.Obs.Under(sp)
+		ours, err := core.CompileObserved(demands, arch, p, core.DefaultOptions(), ocell)
 		if err != nil {
 			return fmt.Errorf("experiments: QEC %s (ours): %w", bench, err)
 		}
-		base, err := core.Compile(demands, arch, p, core.BaselineOptions())
+		base, err := core.CompileObserved(demands, arch, p, core.BaselineOptions(), ocell)
 		if err != nil {
 			return fmt.Errorf("experiments: QEC %s (baseline): %w", bench, err)
 		}

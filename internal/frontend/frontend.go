@@ -30,6 +30,7 @@ import (
 	"switchqnet/internal/circuit"
 	"switchqnet/internal/comm"
 	"switchqnet/internal/epr"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/place"
 	"switchqnet/internal/qec"
 	"switchqnet/internal/topology"
@@ -129,12 +130,22 @@ type call[V any] struct {
 	err  error
 }
 
+// groupObs is a group's observability hook: registry counters per
+// request outcome and a span around each miss's computation. The zero
+// value (all nil handles) is the disabled state — every use is a no-op.
+type groupObs struct {
+	o                *obs.Obs
+	span             string // precomputed span name, "frontend:<stage>"
+	hit, miss, dedup *obs.Counter
+}
+
 // group is a concurrency-safe memoizing map with singleflight
 // deduplication. The zero value is ready to use.
 type group[K comparable, V any] struct {
 	mu                   sync.Mutex
 	calls                map[K]*call[V]
 	hits, misses, dedups atomic.Int64
+	obs                  groupObs
 }
 
 // do returns the memoized value for key, computing it with fn exactly
@@ -150,8 +161,10 @@ func (g *group[K, V]) do(key K, fn func() (V, error)) (V, error) {
 		select {
 		case <-c.done:
 			g.hits.Add(1)
+			g.obs.hit.Inc()
 		default:
 			g.dedups.Add(1)
+			g.obs.dedup.Inc()
 		}
 		g.mu.Unlock()
 		<-c.done
@@ -160,8 +173,11 @@ func (g *group[K, V]) do(key K, fn func() (V, error)) (V, error) {
 	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.misses.Add(1)
+	g.obs.miss.Inc()
 	g.mu.Unlock()
+	sp := g.obs.o.StartSpan(g.obs.span)
 	c.val, c.err = fn()
+	sp.End()
 	close(c.done)
 	return c.val, c.err
 }
@@ -188,6 +204,34 @@ type Cache struct {
 
 // New returns an empty cache.
 func New() *Cache { return &Cache{} }
+
+// Instrument attaches observability to the cache: every request
+// additionally increments a registry counter
+// (switchqnet_frontend_requests_total{stage,outcome}) and each miss's
+// computation runs under a "frontend:<stage>" span. The cache's own
+// Stats counters are unaffected. Nil-safe on both sides; call before
+// the cache is shared across goroutines.
+func (c *Cache) Instrument(o *obs.Obs) {
+	if c == nil || o == nil {
+		return
+	}
+	hook := func(stage string) groupObs {
+		outcome := func(kind string) *obs.Counter {
+			return o.Reg().Counter("switchqnet_frontend_requests_total",
+				"Frontend cache requests by stage and outcome.",
+				obs.L("stage", stage), obs.L("outcome", kind))
+		}
+		return groupObs{
+			o:    o,
+			span: "frontend:" + stage,
+			hit:  outcome("hit"), miss: outcome("miss"), dedup: outcome("dedup"),
+		}
+	}
+	c.circuits.obs = hook("circuit")
+	c.placements.obs = hook("placement")
+	c.demands.obs = hook("demands")
+	c.qec.obs = hook("qec")
+}
 
 // Stats snapshots the cache's counters. A nil cache reports zeros.
 func (c *Cache) Stats() Stats {

@@ -11,6 +11,7 @@ import (
 	"switchqnet/internal/core"
 	"switchqnet/internal/epr"
 	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/place"
 	"switchqnet/internal/qec"
 	"switchqnet/internal/topology"
@@ -354,4 +355,68 @@ func TestNilCachePassthrough(t *testing.T) {
 	if s := c.Stats(); s != (Stats{}) {
 		t.Errorf("nil cache reported stats %+v", s)
 	}
+}
+
+// TestInstrumentedCacheCounters pins the tentpole contract for the
+// frontend cache: an instrumented cache mirrors its hit/miss/dedup
+// counters onto the registry (per stage and outcome), runs each miss's
+// computation under a frontend span, and returns identical artifacts.
+func TestInstrumentedCacheCounters(t *testing.T) {
+	arch := testArch(t)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	c := New()
+	c.Instrument(obs.New(reg, tr))
+
+	want, err := New().Demands("mct", arch, comm.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.Demands("mct", arch, comm.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("instrumented cache returned different demands")
+		}
+	}
+
+	st := c.Stats()
+	for _, tc := range []struct {
+		stage string
+		want  StageStats
+	}{
+		{"circuit", st.Circuits},
+		{"placement", st.Placements},
+		{"demands", st.Demands},
+		{"qec", st.QEC},
+	} {
+		get := func(outcome string) int64 {
+			return reg.Counter("switchqnet_frontend_requests_total", "",
+				obs.L("stage", tc.stage), obs.L("outcome", outcome)).Value()
+		}
+		if get("hit") != tc.want.Hits || get("miss") != tc.want.Misses || get("dedup") != tc.want.Dedups {
+			t.Errorf("stage %s: registry hit/miss/dedup %d/%d/%d != stats %+v",
+				tc.stage, get("hit"), get("miss"), get("dedup"), tc.want)
+		}
+	}
+	if st.Demands.Misses != 1 || st.Demands.Hits != 2 {
+		t.Errorf("demands stage stats %+v, want 1 miss + 2 hits", st.Demands)
+	}
+
+	counts := map[string]int64{}
+	for _, p := range tr.Snapshot() {
+		counts[p.Path] = p.Count
+	}
+	for _, span := range []string{"frontend:circuit", "frontend:placement", "frontend:demands"} {
+		if counts[span] == 0 {
+			t.Errorf("span %q missing from tree: %v", span, counts)
+		}
+	}
+
+	// Instrument is nil-safe on both sides.
+	var nilCache *Cache
+	nilCache.Instrument(obs.New(reg, tr))
+	c.Instrument(nil)
 }

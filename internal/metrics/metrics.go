@@ -108,14 +108,16 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
-// formatFloat renders floats compactly: two decimals, trimming trailing
-// zeros but keeping at least one decimal digit for readability.
+// formatFloat renders floats with a fixed two decimal places, so
+// columns of numbers stay aligned and diffs of regenerated tables are
+// stable. (No trimming: 1.0 renders as "1.00".)
 func formatFloat(v float64) string {
-	s := fmt.Sprintf("%.2f", v)
-	return s
+	return fmt.Sprintf("%.2f", v)
 }
 
-// Render writes the table to w.
+// Render writes the table to w. Rows wider than the header row keep
+// their extra cells (rendered past the last header column); short rows
+// leave their missing columns blank.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.Headers))
 	for i, h := range t.Headers {
@@ -123,7 +125,10 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	for _, row := range t.rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			for i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

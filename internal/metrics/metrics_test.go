@@ -117,6 +117,66 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestTableRaggedRows: rows wider or narrower than the header row must
+// render (extra cells kept, short rows padded), never panic.
+func TestTableRaggedRows(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(1, 2, 3, "extra") // wider than headers
+	tab.AddRow(4)                // narrower than headers
+	tab.AddRow(5, 6)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("wide row's extra cell dropped:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header, separator, 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+// TestTableNonRaggedUnchanged pins the exact rendering of a well-formed
+// table: the ragged-row fix must not perturb regular output (the
+// regenerated results files are diffed byte-for-byte).
+func TestTableNonRaggedUnchanged(t *testing.T) {
+	tab := NewTable("Title", "name", "v")
+	tab.AddRow("longer-name", 1.5)
+	tab.AddRow("x", 12)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "Title\n" +
+		"name         v   \n" +
+		"-----------  ----\n" +
+		"longer-name  1.50\n" +
+		"x            12  \n"
+	if buf.String() != want {
+		t.Errorf("rendering changed:\ngot:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestFormatFloatFixedPrecision pins formatFloat's documented contract:
+// always exactly two decimals, no trimming.
+func TestFormatFloatFixedPrecision(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0.00",
+		1:      "1.00",
+		2.5:    "2.50",
+		3.256:  "3.26",
+		-0.125: "-0.12",
+		100:    "100.00",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
 func TestFidelityAtRawPairs(t *testing.T) {
 	demands := []epr.Demand{
 		{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1}, // in-rack

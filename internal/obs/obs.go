@@ -1,0 +1,62 @@
+package obs
+
+// Obs bundles the two observability facilities — a metrics registry and
+// a span tracer — plus an optional current parent span, so instrumented
+// code receives one handle and scopes child phases under its caller's
+// span with Under.
+//
+// A nil *Obs is the disabled state: every method is a no-op returning
+// nil handles, so instrumented pipelines run identically (and produce
+// byte-identical output) with observability off.
+type Obs struct {
+	reg    *Registry
+	tracer *Tracer
+	parent *Span
+}
+
+// New bundles a registry and a tracer; either may be nil. Returns nil
+// when both are nil (fully disabled).
+func New(reg *Registry, tracer *Tracer) *Obs {
+	if reg == nil && tracer == nil {
+		return nil
+	}
+	return &Obs{reg: reg, tracer: tracer}
+}
+
+// Reg returns the registry (nil when disabled).
+func (o *Obs) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// StartSpan starts a span under the current parent (or at the tracer's
+// top level when unscoped). Nil-safe.
+func (o *Obs) StartSpan(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	if o.parent != nil {
+		return o.parent.StartSpan(name)
+	}
+	return o.tracer.StartSpan(name)
+}
+
+// Mark records an instantaneous counted event under the current parent.
+// Unscoped marks are dropped (they need a phase to attach to).
+func (o *Obs) Mark(name string) {
+	if o == nil {
+		return
+	}
+	o.parent.Mark(name)
+}
+
+// Under returns a derived Obs whose spans nest beneath s. A nil span
+// leaves the scope unchanged; a nil Obs stays nil.
+func (o *Obs) Under(s *Span) *Obs {
+	if o == nil || s == nil {
+		return o
+	}
+	return &Obs{reg: o.reg, tracer: o.tracer, parent: s}
+}

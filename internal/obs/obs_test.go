@@ -1,0 +1,320 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePromGolden pins the exposition format byte-for-byte: sorted
+// families, sorted series, escaped help/labels, cumulative histogram
+// buckets with _sum and _count.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last", "Sorted last despite being registered first.").Add(7)
+	c := r.Counter("app_requests_total", "Requests by outcome.", L("outcome", "hit"))
+	c.Inc()
+	c.Inc()
+	r.Counter("app_requests_total", "Requests by outcome.", L("outcome", "miss")).Add(3)
+	r.Gauge("app_temperature", "A gauge with a\nnewline and \\ backslash in help.").Set(36.5)
+	h := r.Histogram("app_latency_seconds", "Latency.", []float64{0.1, 0.5, 1})
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(0.7)
+	h.Observe(99)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP app_latency_seconds Latency.
+# TYPE app_latency_seconds histogram
+app_latency_seconds_bucket{le="0.1"} 2
+app_latency_seconds_bucket{le="0.5"} 2
+app_latency_seconds_bucket{le="1"} 3
+app_latency_seconds_bucket{le="+Inf"} 4
+app_latency_seconds_sum 99.8
+app_latency_seconds_count 4
+# HELP app_requests_total Requests by outcome.
+# TYPE app_requests_total counter
+app_requests_total{outcome="hit"} 2
+app_requests_total{outcome="miss"} 3
+# HELP app_temperature A gauge with a\nnewline and \\ backslash in help.
+# TYPE app_temperature gauge
+app_temperature 36.5
+# HELP zz_last Sorted last despite being registered first.
+# TYPE zz_last counter
+zz_last 7
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePromParses runs a line-level validator over a rendered
+// registry: every line must be a comment or `name[{labels}] value`,
+// TYPE must precede its samples, and histogram buckets must be
+// cumulative and end in +Inf.
+func TestWritePromParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", L("a", `quoted "value" with \ slash`)).Inc()
+	r.Gauge("g", "").Set(-1.25)
+	r.Histogram("h_seconds", "h", DefDurationBuckets, L("stage", "compile")).Observe(0.3)
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, b.String())
+}
+
+// validateExposition is a minimal checker for the text exposition
+// format (version 0.0.4), shared with the CLI golden tests.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	typed := map[string]string{}
+	lastBucket := map[string]int64{}
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line", ln+1)
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, f[3])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		name := line
+		rest := ""
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name, rest = line[:i], line[i:]
+		}
+		if rest != "" && rest[0] == '{' {
+			end := strings.Index(rest, "} ")
+			if end < 0 {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			rest = rest[end+1:]
+		}
+		value := strings.TrimSpace(rest)
+		if value == "" {
+			t.Fatalf("line %d: missing value: %q", ln+1, line)
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) {
+				if bt, ok := typed[strings.TrimSuffix(name, suffix)]; ok && bt == "histogram" {
+					base = strings.TrimSuffix(name, suffix)
+				}
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q before its TYPE", ln+1, name)
+		}
+		if base != name && strings.HasSuffix(name, "_bucket") {
+			var v int64
+			for _, c := range value {
+				if c < '0' || c > '9' {
+					t.Fatalf("line %d: non-integer bucket count %q", ln+1, value)
+				}
+				v = v*10 + int64(c-'0')
+			}
+			if v < lastBucket[base] {
+				t.Fatalf("line %d: bucket counts not cumulative (%d < %d)", ln+1, v, lastBucket[base])
+			}
+			lastBucket[base] = v
+		}
+	}
+}
+
+// TestNilSafety exercises every nil receiver: no panics, no effects.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x", "", nil)
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil handles must report zero")
+	}
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil || b.Len() != 0 {
+		t.Errorf("nil registry rendered %q, err %v", b.String(), err)
+	}
+
+	var tr *Tracer
+	sp := tr.StartSpan("a")
+	sp2 := sp.StartSpan("b")
+	sp.Mark("m")
+	sp2.End()
+	sp.End()
+	if got := tr.Snapshot(); got != nil {
+		t.Errorf("nil tracer snapshot = %v", got)
+	}
+	if err := tr.WriteTree(&b); err != nil {
+		t.Error(err)
+	}
+
+	var o *Obs
+	o.StartSpan("x").End()
+	o.Mark("y")
+	if o.Under(nil) != nil || o.Reg() != nil {
+		t.Error("nil Obs must stay nil")
+	}
+	if New(nil, nil) != nil {
+		t.Error("New(nil, nil) must return nil")
+	}
+}
+
+// TestRegistryPanicsOnMisuse pins the fail-fast contract for
+// programming errors: invalid names and kind conflicts panic.
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "invalid name", func() { r.Counter("9bad", "") })
+	mustPanic(t, "invalid label", func() { r.Counter("ok", "", L("__reserved", "v")) })
+	r.Counter("twice", "")
+	mustPanic(t, "kind conflict", func() { r.Gauge("twice", "") })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestSpanMerging verifies same-name siblings merge with summed counts
+// and that nested children merge recursively.
+func TestSpanMerging(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < 100; i++ {
+		s := tr.StartSpan("pass")
+		s.Mark("retry")
+		inner := s.StartSpan("route")
+		inner.End()
+		s.End()
+	}
+	snap := tr.Snapshot()
+	want := map[string]int64{"pass": 100, "pass/retry": 100, "pass/route": 100}
+	if len(snap) != len(want) {
+		t.Fatalf("got %d phases %v, want %d", len(snap), snap, len(want))
+	}
+	for _, p := range snap {
+		if want[p.Path] != p.Count {
+			t.Errorf("phase %q count %d, want %d", p.Path, p.Count, want[p.Path])
+		}
+	}
+	var b strings.Builder
+	if err := tr.WriteTree(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "×100") {
+		t.Errorf("tree rendering lacks merged count:\n%s", b.String())
+	}
+}
+
+// TestSpanParentEndsFirst covers the re-parenting path: a child that
+// outlives its (merged-away) parent must still land in the tree.
+func TestSpanParentEndsFirst(t *testing.T) {
+	tr := NewTracer()
+	a := tr.StartSpan("phase")
+	a.End()
+	b := tr.StartSpan("phase")
+	child := b.StartSpan("late")
+	b.End() // b merges into a while child is open
+	child.End()
+	snap := tr.Snapshot()
+	counts := map[string]int64{}
+	for _, p := range snap {
+		counts[p.Path] = p.Count
+	}
+	if counts["phase"] != 2 || counts["phase/late"] != 1 {
+		t.Errorf("unexpected snapshot: %v", snap)
+	}
+}
+
+// TestConcurrentUse hammers the registry and tracer from many
+// goroutines (run under -race in CI).
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	o := New(r, tr)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("work_total", "")
+			h := r.Histogram("work_seconds", "", DefDurationBuckets)
+			for i := 0; i < 200; i++ {
+				sp := o.StartSpan("work")
+				c.Inc()
+				h.Observe(0.001)
+				sp.Mark("tick")
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("work_total", "").Value(); got != 8*200 {
+		t.Errorf("counter = %d, want %d", got, 8*200)
+	}
+	snap := tr.Snapshot()
+	var total int64
+	for _, p := range snap {
+		if p.Path == "work" {
+			total = p.Count
+		}
+	}
+	if total != 8*200 {
+		t.Errorf("merged span count = %d, want %d", total, 8*200)
+	}
+}
+
+// TestSnapshotDiffStable verifies Snapshot is usable for per-experiment
+// deltas: counts only grow, and an open span reports progress.
+func TestSnapshotDiffStable(t *testing.T) {
+	tr := NewTracer()
+	open := tr.StartSpan("outer")
+	time.Sleep(time.Millisecond)
+	s1 := tr.Snapshot()
+	open.StartSpan("inner").End()
+	s2 := tr.Snapshot()
+	find := func(s []PhaseTotal, path string) (PhaseTotal, bool) {
+		for _, p := range s {
+			if p.Path == path {
+				return p, true
+			}
+		}
+		return PhaseTotal{}, false
+	}
+	o1, ok1 := find(s1, "outer")
+	o2, ok2 := find(s2, "outer")
+	if !ok1 || !ok2 || o2.Total < o1.Total {
+		t.Errorf("open span did not accumulate: %v -> %v", o1, o2)
+	}
+	if _, ok := find(s2, "outer/inner"); !ok {
+		t.Error("nested phase missing from snapshot")
+	}
+	open.End()
+}

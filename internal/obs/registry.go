@@ -1,0 +1,431 @@
+// Package obs is the zero-dependency observability layer: a
+// process-wide metrics registry (counters, gauges, histograms with
+// fixed buckets) rendered in the Prometheus text exposition format,
+// plus lightweight phase spans (monotonic start/stop timing with parent
+// nesting) for per-phase latency trees.
+//
+// Everything is nil-safe by design: a nil *Registry hands out nil
+// metric handles, a nil *Tracer hands out nil spans, and every method
+// on a nil handle is a no-op. Instrumented code therefore carries no
+// conditionals — with observability off (the default) the hot path pays
+// a nil check and nothing else, and the instrumented pipelines remain
+// byte-identical on stdout whether observability is on or off.
+//
+// All registry operations are race-clean: handle lookup takes a single
+// mutex (callers are expected to resolve handles once and reuse them),
+// and increments/observations are atomic.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, rendered as key="value".
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind is a metric family's type.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled time series inside a family.
+type series struct {
+	labels string // canonical rendered label string, "" when unlabeled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups the series of one metric name.
+type family struct {
+	name, help string
+	k          kind
+	buckets    []float64
+	series     map[string]*series
+	order      []string // insertion-ordered keys, sorted at render
+}
+
+// Registry is a concurrency-safe collection of metric families. The
+// zero value is ready to use; a nil *Registry hands out nil handles
+// whose methods are all no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter for (name, labels), creating it on first
+// use. A nil registry returns a nil (no-op) counter. The name and label
+// keys must be valid Prometheus identifiers; registering one name under
+// two different kinds panics (a programming error, caught early so the
+// exposition cannot become invalid).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.getSeries(name, help, kindCounter, nil, labels)
+	if s == nil {
+		return nil
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+// A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.getSeries(name, help, kindGauge, nil, labels)
+	if s == nil {
+		return nil
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// fixed upper-bound buckets (ascending; +Inf is implicit), creating it
+// on first use. Later calls for the same name ignore the bucket
+// argument and reuse the registered layout. A nil registry returns a
+// nil (no-op) histogram.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.getSeries(name, help, kindHistogram, buckets, labels)
+	if s == nil {
+		return nil
+	}
+	return s.h
+}
+
+// DefDurationBuckets are the default wall-clock buckets, in seconds.
+var DefDurationBuckets = []float64{.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+func (r *Registry) getSeries(name, help string, k kind, buckets []float64, labels []Label) *series {
+	if r == nil {
+		return nil
+	}
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on metric %q", l.Key, name))
+		}
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.families == nil {
+		r.families = make(map[string]*family)
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, k: k, series: make(map[string]*series)}
+		if k == kindHistogram {
+			f.buckets = normalizeBuckets(buckets)
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	} else if f.k != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.k, k))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(f.buckets)
+		}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// normalizeBuckets sorts, dedups and strips non-finite bounds (+Inf is
+// always implicit).
+func normalizeBuckets(buckets []float64) []float64 {
+	out := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if !math.IsInf(b, 0) && !math.IsNaN(b) {
+			out = append(out, b)
+		}
+	}
+	sort.Float64s(out)
+	dedup := out[:0]
+	for i, b := range out {
+		if i == 0 || b != out[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return dedup
+}
+
+// Counter is a monotonically increasing metric. Nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative or zero n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta (atomically, CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Nil-safe.
+type Histogram struct {
+	buckets []float64      // ascending upper bounds; +Inf implicit
+	counts  []atomic.Int64 // len(buckets)+1, non-cumulative per bucket
+	sumBits atomic.Uint64
+	count   atomic.Int64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{buckets: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v (le semantics).
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil histogram).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label string, histograms as cumulative _bucket/_sum/_count series. A
+// nil registry writes nothing.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.k)
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, key := range keys {
+			s := f.series[key]
+			switch f.k {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labels, formatValue(s.g.Value()))
+			case kindHistogram:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.h
+	cum := int64(0)
+	for i, bound := range h.buckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", formatValue(bound)), cum)
+	}
+	cum += h.counts[len(h.buckets)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, h.Count())
+}
+
+// withLabel appends one label pair to an already-rendered label string.
+func withLabel(labels, key, value string) string {
+	pair := key + `="` + escapeLabel(value) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// renderLabels canonicalizes a label set: sorted by key, escaped,
+// rendered as {k1="v1",k2="v2"} ("" when empty).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelKey(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

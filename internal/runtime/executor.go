@@ -34,10 +34,13 @@
 package runtime
 
 import (
+	"time"
+
 	"switchqnet/internal/core"
 	"switchqnet/internal/epr"
 	"switchqnet/internal/faults"
 	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/topology"
 )
 
@@ -247,12 +250,32 @@ type executor struct {
 	tr      *Trace
 	aborted []bool
 	abortAt []hw.Time
+
+	// span is the replay phase span recovery-ladder rungs mark into
+	// (nil when observability is disabled; marks are then no-ops).
+	span *obs.Span
+	om   execMetrics
 }
 
 // Execute replays the compiled schedule against the fault model and
 // returns the realized trace. It is deterministic in (res, model seed,
 // policy) and safe to call concurrently on distinct models/routers.
 func Execute(res *core.Result, arch *topology.Arch, model *faults.Model, pol Policy) *Trace {
+	return ExecuteObserved(res, arch, model, pol, nil)
+}
+
+// ExecuteObserved is Execute with observability: phase spans around
+// channel construction, the replay loop (with each recovery-ladder rung
+// marked as a counted child) and lifecycle derivation, plus recovery
+// counters on o's registry. A nil o disables all of it — the trace
+// produced is identical either way.
+func ExecuteObserved(res *core.Result, arch *topology.Arch, model *faults.Model, pol Policy, o *obs.Obs) *Trace {
+	var startT time.Time
+	if o != nil {
+		startT = time.Now()
+	}
+	sp := o.StartSpan("execute")
+	defer sp.End()
 	e := &executor{
 		res: res, arch: arch, model: model, pol: pol.withDefaults(),
 		router:  topology.NewRouter(arch.Net),
@@ -267,9 +290,13 @@ func Execute(res *core.Result, arch *topology.Arch, model *faults.Model, pol Pol
 			Gens:       make([]GenTrace, len(res.Gens)),
 		},
 	}
+	if o != nil {
+		e.om = newExecMetrics(o.Reg())
+	}
 	for i, edge := range arch.Net.Edges {
 		e.free[i] = edge.Cap
 	}
+	bc := sp.StartSpan("build_channels")
 	e.buildChannels()
 	for i, c := range e.chans {
 		first := res.Gens[c.gens[0]]
@@ -282,11 +309,20 @@ func Execute(res *core.Result, arch *topology.Arch, model *faults.Model, pol Pol
 		}
 		e.heap.push(ev{t: open, prio: prioOpen, ch: int32(i)})
 	}
+	bc.End()
+	e.span = sp.StartSpan("replay")
 	for len(e.heap) > 0 {
 		w := e.heap.pop()
 		e.step(e.chans[w.ch], int32(w.ch), w.t)
 	}
+	e.span.End()
+	fin := sp.StartSpan("finish")
 	e.finish()
+	fin.End()
+	if o != nil {
+		e.om.record(e.tr)
+		e.om.duration.Observe(time.Since(startT).Seconds())
+	}
 	return e.tr
 }
 
@@ -368,6 +404,7 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 			if c.routeTries <= e.pol.MaxRouteAttempts {
 				if c.routeTries > 1 || !c.first {
 					e.tr.Retries++
+					e.span.Mark("recover:retry")
 				}
 				c.ph = phOpen
 				e.heap.push(ev{t: t + e.pol.backoff(c.routeTries), prio: prioOpen, ch: ci})
@@ -403,10 +440,12 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 		if !c.first {
 			ready += e.res.Params.ReconfigLatency
 			e.tr.Reroutes++
+			e.span.Mark("recover:reroute")
 		}
 		ready += e.model.Stall(c.rng)
 		if degradedPass {
 			e.tr.Rescheduled++
+			e.span.Mark("recover:degrade")
 		}
 		if c.first {
 			// The compiled schedule budgeted the reconfiguration before
@@ -470,6 +509,9 @@ func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
 				done := anchor + dur
 				e.tr.Gens[gi] = GenTrace{Start: anchor, End: done, Retries: retries, Fallbacks: fb}
 				e.tr.Fallbacks += fb
+				for i := 0; i < fb; i++ {
+					e.span.Mark("recover:fallback")
+				}
 				d := g.Demand
 				if done > e.tr.ReadyAt[d] {
 					e.tr.ReadyAt[d] = done
@@ -487,11 +529,13 @@ func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
 				e.tr.Retries-- // the escalation itself is a reroute, not a retry
 				if !dead {
 					e.tr.Retries++
+					e.span.Mark("recover:retry")
 				}
 				c.ph = phReroute
 				e.heap.push(ev{t: s, prio: prioRelease, ch: ci})
 				return
 			}
+			e.span.Mark("recover:retry")
 			anchor = maxTime(end, s+e.pol.backoff(retries))
 			anchor = e.qpusUpAfter(int(g.A), int(g.B), anchor)
 		}
@@ -532,6 +576,7 @@ func (e *executor) abortDemand(d int32, t hw.Time) {
 	e.aborted[d] = true
 	e.abortAt[d] = t
 	e.tr.Aborted = append(e.tr.Aborted, d)
+	e.span.Mark("recover:abort")
 }
 
 // finish derives the demand lifecycle times: readiness from the

@@ -1,0 +1,45 @@
+package runtime
+
+import (
+	"switchqnet/internal/obs"
+)
+
+// execMetrics holds the executor's registry handles. Built from a nil
+// registry every field is a nil no-op handle.
+type execMetrics struct {
+	execs       *obs.Counter
+	retries     *obs.Counter
+	reroutes    *obs.Counter
+	fallbacks   *obs.Counter
+	rescheduled *obs.Counter
+	aborted     *obs.Counter
+	duration    *obs.Histogram
+}
+
+func newExecMetrics(r *obs.Registry) execMetrics {
+	recovery := func(action string) *obs.Counter {
+		return r.Counter("switchqnet_exec_recoveries_total",
+			"Recovery-ladder actions taken during replay, by rung.", obs.L("action", action))
+	}
+	return execMetrics{
+		execs: r.Counter("switchqnet_exec_total",
+			"Schedule replays executed."),
+		retries:     recovery("retry"),
+		reroutes:    recovery("reroute"),
+		fallbacks:   recovery("fallback"),
+		rescheduled: recovery("degrade"),
+		aborted:     recovery("abort"),
+		duration: r.Histogram("switchqnet_exec_duration_seconds",
+			"Wall-clock duration of one schedule replay.", obs.DefDurationBuckets),
+	}
+}
+
+// record accumulates a finished replay's recovery counts.
+func (m *execMetrics) record(tr *Trace) {
+	m.execs.Inc()
+	m.retries.Add(int64(tr.Retries))
+	m.reroutes.Add(int64(tr.Reroutes))
+	m.fallbacks.Add(int64(tr.Fallbacks))
+	m.rescheduled.Add(int64(tr.Rescheduled))
+	m.aborted.Add(int64(len(tr.Aborted)))
+}

@@ -1,0 +1,79 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/faults"
+	"switchqnet/internal/obs"
+	"switchqnet/internal/topology"
+)
+
+// TestRunTrialsObserved pins the tentpole contract for the executor:
+// with observability attached the statistics are identical to the
+// unobserved run, the span tree covers the replay phases with the
+// recovery-ladder rungs marked, and the registry counters agree with
+// the aggregated trial stats.
+func TestRunTrialsObserved(t *testing.T) {
+	arch := archFor(t, topology.Config{
+		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	})
+	res := compileBench(t, "QFT", arch)
+	cfg, err := faults.Profile("harsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill fibers aggressively so the ladder escalates past retries into
+	// reroutes (harsh alone rarely kills an in-use edge on this arch).
+	cfg.LinkDeadProb = 0.5
+	const trials = 8
+	plain := RunTrials(res, arch, cfg, DefaultPolicy(), 7, trials, 2)
+
+	reg := obs.NewRegistry()
+	trc := obs.NewTracer()
+	st := RunTrialsObserved(res, arch, cfg, DefaultPolicy(), 7, trials, 2, obs.New(reg, trc))
+	if !reflect.DeepEqual(plain, st) {
+		t.Error("observed trials produced different statistics")
+	}
+
+	counts := map[string]int64{}
+	for _, p := range trc.Snapshot() {
+		counts[p.Path] = p.Count
+	}
+	for _, path := range []string{"trials", "trials/execute", "trials/execute/build_channels", "trials/execute/replay", "trials/execute/finish"} {
+		if counts[path] == 0 {
+			t.Errorf("span %q missing from tree: %v", path, counts)
+		}
+	}
+	if counts["trials/execute"] != trials {
+		t.Errorf("execute span count %d, want %d", counts["trials/execute"], trials)
+	}
+
+	var wantRetries, wantReroutes, wantRescheduled int64
+	for _, tr := range st.Trials {
+		wantRetries += int64(tr.Retries)
+		wantReroutes += int64(tr.Reroutes)
+		wantRescheduled += int64(tr.Rescheduled)
+	}
+	if wantRetries == 0 || wantReroutes == 0 {
+		t.Fatalf("harsh profile took no recovery actions (retries %d, reroutes %d) — test needs a faultier setup",
+			wantRetries, wantReroutes)
+	}
+	rec := func(action string) int64 {
+		return reg.Counter("switchqnet_exec_recoveries_total", "", obs.L("action", action)).Value()
+	}
+	if rec("retry") != wantRetries || rec("reroute") != wantReroutes || rec("degrade") != wantRescheduled {
+		t.Errorf("recovery counters retry=%d reroute=%d degrade=%d, want %d/%d/%d",
+			rec("retry"), rec("reroute"), rec("degrade"), wantRetries, wantReroutes, wantRescheduled)
+	}
+	if counts["trials/execute/replay/recover:retry"] != wantRetries {
+		t.Errorf("recover:retry marks %d, want %d", counts["trials/execute/replay/recover:retry"], wantRetries)
+	}
+	if counts["trials/execute/replay/recover:reroute"] != wantReroutes {
+		t.Errorf("recover:reroute marks %d, want %d", counts["trials/execute/replay/recover:reroute"], wantReroutes)
+	}
+	if got := reg.Counter("switchqnet_exec_total", "").Value(); got != trials {
+		t.Errorf("exec_total = %d, want %d", got, trials)
+	}
+}

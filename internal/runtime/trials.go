@@ -7,6 +7,7 @@ import (
 	"switchqnet/internal/core"
 	"switchqnet/internal/faults"
 	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/topology"
 )
 
@@ -64,6 +65,16 @@ func Horizon(res *core.Result) hw.Time {
 // workers; results land in index-addressed slots, so the output is
 // byte-identical at any worker count.
 func RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int) *Stats {
+	return RunTrialsObserved(res, arch, cfg, pol, seed, trials, parallel, nil)
+}
+
+// RunTrialsObserved is RunTrials with observability: each trial's
+// replay is executed under a "trials" phase span (per-trial spans and
+// recovery marks merge by name, so the tree stays bounded at any trial
+// count), with recovery counters on o's registry. A nil o disables all
+// of it — the statistics produced are identical either way, at any
+// worker count.
+func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, o *obs.Obs) *Stats {
 	if trials < 1 {
 		trials = 1
 	}
@@ -73,11 +84,14 @@ func RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Pol
 	if parallel > trials {
 		parallel = trials
 	}
+	sp := o.StartSpan("trials")
+	defer sp.End()
+	ot := o.Under(sp)
 	horizon := Horizon(res)
 	stats := &Stats{Compiled: res.Makespan, Trials: make([]TrialStat, trials)}
 	run := func(i int) {
 		model := faults.New(cfg, arch, res.Params, faults.SubSeed(seed, faults.StreamTrial, uint64(i)), horizon)
-		tr := Execute(res, arch, model, pol)
+		tr := ExecuteObserved(res, arch, model, pol, ot)
 		stats.Trials[i] = TrialStat{
 			Makespan: tr.Makespan,
 			Retries:  tr.Retries, Reroutes: tr.Reroutes,

@@ -93,9 +93,13 @@ func release(dm epr.Demand, q int, commHeld bool) int {
 // (unless comm-held); split realizations additionally occupy the
 // helper's two swap slots and the distillation working slots. TP
 // consumption shifts net occupancy between source and destination.
-func checkBufferOccupancy(res *core.Result, arch *topology.Arch, add func(hw.Time, string, ...any)) {
+//
+// gens is the structurally valid subset of res.Gens and demandOK masks
+// demands whose endpoints address real QPUs; invalid entries were
+// already reported and replaying them would index out of range.
+func checkBufferOccupancy(res *core.Result, gens []core.GenEvent, demandOK []bool, arch *topology.Arch, add func(hw.Time, string, ...any)) {
 	byDemand := make([][]core.GenEvent, len(res.Demands))
-	for _, g := range res.Gens {
+	for _, g := range gens {
 		byDemand[g.Demand] = append(byDemand[g.Demand], g)
 	}
 	var events []bufEvent
@@ -106,7 +110,7 @@ func checkBufferOccupancy(res *core.Result, arch *topology.Arch, add func(hw.Tim
 	}
 	for i, dm := range res.Demands {
 		gens := byDemand[i]
-		if len(gens) == 0 {
+		if len(gens) == 0 || !demandOK[i] {
 			continue
 		}
 		heldA, heldB := false, false

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// fuzzBase compiles one small clean schedule to mutate per iteration.
+var fuzzBase struct {
+	once sync.Once
+	arch *topology.Arch
+	res  *core.Result
+	err  error
+}
+
+func fuzzSeed() (*core.Result, *topology.Arch, error) {
+	fuzzBase.once.Do(func() {
+		a, err := topology.NewArch("clos", 4, 4, 30, 10, 2)
+		if err != nil {
+			fuzzBase.err = err
+			return
+		}
+		demands := []epr.Demand{
+			{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+			{ID: 1, A: 1, B: 4, Protocol: epr.Cat, Gates: 1},
+			{ID: 2, A: 2, B: 9, Protocol: epr.TP, Gates: 1},
+			{ID: 3, A: 5, B: 6, Protocol: epr.Cat, Gates: 1},
+		}
+		r, err := core.Compile(demands, a, hw.Default(), core.DefaultOptions())
+		if err != nil {
+			fuzzBase.err = err
+			return
+		}
+		fuzzBase.arch, fuzzBase.res = a, r
+	})
+	return fuzzBase.res, fuzzBase.arch, fuzzBase.err
+}
+
+// cloneResult deep-copies the slices Validate reads so mutations do not
+// leak across fuzz iterations.
+func cloneResult(r *core.Result) *core.Result {
+	c := *r
+	c.Demands = append([]epr.Demand(nil), r.Demands...)
+	c.Gens = append([]core.GenEvent(nil), r.Gens...)
+	c.ReadyAt = append([]hw.Time(nil), r.ReadyAt...)
+	c.ConsumedAt = append([]hw.Time(nil), r.ConsumedAt...)
+	c.CommHeld = append([][2]bool(nil), r.CommHeld...)
+	return &c
+}
+
+// FuzzValidate feeds structurally corrupted schedules to Validate and
+// asserts it only accumulates violations — it must never panic, no
+// matter how the indices, intervals or array shapes are mangled.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 99})
+	f.Add([]byte{1, 1, 200, 2, 0, 3, 0})
+	f.Add([]byte{4, 5, 6, 7, 8, 9, 10, 11, 12, 13})
+	f.Add([]byte{13, 0, 12, 0, 11, 255, 3, 128, 7, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base, arch, err := fuzzSeed()
+		if err != nil {
+			t.Skip(err)
+		}
+		r := cloneResult(base)
+		// Interpret the input as a mutation program: op byte + operand
+		// bytes, applied in sequence.
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], int(data[i+1])
+			switch op % 14 {
+			case 0:
+				if len(r.Gens) > 0 {
+					r.Gens[arg%len(r.Gens)].Demand = int32(arg) * 7
+				}
+			case 1:
+				if len(r.Gens) > 0 {
+					r.Gens[arg%len(r.Gens)].Demand = -int32(arg) - 1
+				}
+			case 2:
+				if len(r.Gens) > 0 {
+					r.Gens[arg%len(r.Gens)].A = int32(arg)*13 - 64
+				}
+			case 3:
+				if len(r.Gens) > 0 {
+					r.Gens[arg%len(r.Gens)].B = int32(arg)*17 - 128
+				}
+			case 4:
+				if len(r.Gens) > 0 {
+					g := &r.Gens[arg%len(r.Gens)]
+					g.Start = hw.Time(arg) - 128
+					g.End = g.Start - hw.Time(arg%5)
+				}
+			case 5:
+				if len(r.Gens) > 0 {
+					r.Gens[arg%len(r.Gens)].Kind = core.GenKind(arg % 8)
+				}
+			case 6:
+				if len(r.Gens) > 0 {
+					r.Gens[arg%len(r.Gens)].Channel = int32(arg) - 64
+				}
+			case 7:
+				if len(r.Demands) > 0 {
+					r.Demands[arg%len(r.Demands)].A = arg*31 - 512
+				}
+			case 8:
+				if len(r.Demands) > 0 {
+					r.Demands[arg%len(r.Demands)].B = arg*37 - 512
+				}
+			case 9:
+				r.ReadyAt = r.ReadyAt[:arg%(len(r.ReadyAt)+1)]
+			case 10:
+				r.ConsumedAt = r.ConsumedAt[:arg%(len(r.ConsumedAt)+1)]
+			case 11:
+				r.CommHeld = r.CommHeld[:arg%(len(r.CommHeld)+1)]
+			case 12:
+				r.Gens = r.Gens[:arg%(len(r.Gens)+1)]
+			case 13:
+				if len(r.ConsumedAt) > 0 {
+					r.ConsumedAt[arg%len(r.ConsumedAt)] = hw.Time(arg) - 200
+				}
+			}
+		}
+		rep := Validate(r, arch, hw.Default()) // must not panic
+		if rep.Total < 0 || len(rep.Violations) > MaxViolations {
+			t.Fatalf("malformed report: total %d, retained %d", rep.Total, len(rep.Violations))
+		}
+	})
+}

@@ -51,7 +51,12 @@ func (r *Report) Err() error {
 	return fmt.Errorf("sim: %d violations, first: %s", r.Total, r.Violations[0])
 }
 
-// Validate replays the result's generations and consumptions.
+// Validate replays the result's generations and consumptions. It never
+// panics: a structurally corrupted result (out-of-range demand or QPU
+// indices, ragged lifecycle arrays) is reported as violations, and the
+// offending entries are excluded from the replay checks instead of
+// crashing them — the validator's whole point is to survive exactly the
+// schedules a buggy (or adversarial) producer emits.
 func Validate(res *core.Result, arch *topology.Arch, p hw.Params) *Report {
 	rep := &Report{}
 	add := func(t hw.Time, format string, args ...any) {
@@ -61,18 +66,67 @@ func Validate(res *core.Result, arch *topology.Arch, p hw.Params) *Report {
 		}
 	}
 
-	checkGenShape(res, arch, p, add)
-	checkConsumptionOrder(res, arch, add)
-	checkDemandCoverage(res, add)
-	rep.PeakConcurrentGens = checkCommQubits(res, arch, add)
-	checkChannelExclusivity(res, add)
-	checkBufferOccupancy(res, arch, add)
+	lifecycleOK := checkLifecycleShape(res, add)
+	demandOK := checkDemandEndpoints(res, arch, add)
+	gens := checkGenShape(res, arch, p, add)
+	if lifecycleOK {
+		checkConsumptionOrder(res, arch, add)
+		checkDemandCoverage(res, gens, add)
+	}
+	rep.PeakConcurrentGens = checkCommQubits(gens, arch, add)
+	checkChannelExclusivity(gens, add)
+	if lifecycleOK {
+		checkBufferOccupancy(res, gens, demandOK, arch, add)
+	}
 	return rep
 }
 
-// checkGenShape verifies each generation's duration and rack labeling.
-func checkGenShape(res *core.Result, arch *topology.Arch, p hw.Params, add func(hw.Time, string, ...any)) {
+// checkLifecycleShape verifies the per-demand lifecycle arrays are
+// index-parallel to the demand list. When they are not, the checks that
+// index them by demand are skipped (reported here instead).
+func checkLifecycleShape(res *core.Result, add func(hw.Time, string, ...any)) bool {
+	ok := true
+	if len(res.ReadyAt) != len(res.Demands) {
+		add(0, "ReadyAt has %d entries for %d demands", len(res.ReadyAt), len(res.Demands))
+		ok = false
+	}
+	if len(res.ConsumedAt) != len(res.Demands) {
+		add(0, "ConsumedAt has %d entries for %d demands", len(res.ConsumedAt), len(res.Demands))
+		ok = false
+	}
+	return ok
+}
+
+// checkDemandEndpoints verifies each demand's endpoints address real
+// QPUs, returning a per-demand validity mask for the replay checks.
+func checkDemandEndpoints(res *core.Result, arch *topology.Arch, add func(hw.Time, string, ...any)) []bool {
+	ok := make([]bool, len(res.Demands))
+	for i, dm := range res.Demands {
+		if dm.A < 0 || dm.A >= arch.NumQPUs() || dm.B < 0 || dm.B >= arch.NumQPUs() {
+			add(0, "demand %d endpoints (%d, %d) outside %d QPUs", i, dm.A, dm.B, arch.NumQPUs())
+			continue
+		}
+		ok[i] = true
+	}
+	return ok
+}
+
+// checkGenShape verifies each generation's indices, duration and rack
+// labeling. It returns the structurally valid generations — endpoints
+// and demand reference in range, sane interval — which the replay
+// checks are restricted to (the invalid ones are already violations and
+// would otherwise index out of bounds).
+func checkGenShape(res *core.Result, arch *topology.Arch, p hw.Params, add func(hw.Time, string, ...any)) []core.GenEvent {
+	valid := make([]core.GenEvent, 0, len(res.Gens))
 	for i, g := range res.Gens {
+		if g.A < 0 || int(g.A) >= arch.NumQPUs() || g.B < 0 || int(g.B) >= arch.NumQPUs() {
+			add(g.Start, "gen %d endpoints (%d,%d) outside %d QPUs", i, g.A, g.B, arch.NumQPUs())
+			continue
+		}
+		if g.Demand < 0 || int(g.Demand) >= len(res.Demands) {
+			add(g.Start, "gen %d references demand %d of %d", i, g.Demand, len(res.Demands))
+			continue
+		}
 		if g.Start < 0 || g.End <= g.Start {
 			add(g.Start, "gen %d has bad interval [%d, %d]", i, g.Start, g.End)
 			continue
@@ -101,16 +155,15 @@ func checkGenShape(res *core.Result, arch *topology.Arch, p hw.Params, add func(
 		if g.Duration() != want {
 			add(g.Start, "gen %d duration %d, want %d", i, g.Duration(), want)
 		}
-		if g.Demand < 0 || int(g.Demand) >= len(res.Demands) {
-			add(g.Start, "gen %d references demand %d of %d", i, g.Demand, len(res.Demands))
-		}
 		if g.Kind == core.GenRegular {
 			dm := res.Demands[g.Demand]
 			if (int(g.A) != dm.A || int(g.B) != dm.B) && (int(g.A) != dm.B || int(g.B) != dm.A) {
 				add(g.Start, "gen %d endpoints (%d,%d) differ from demand %v", i, g.A, g.B, dm)
 			}
 		}
+		valid = append(valid, g)
 	}
+	return valid
 }
 
 // checkConsumptionOrder verifies each demand is consumed after it is
@@ -158,14 +211,16 @@ func checkConsumptionOrder(res *core.Result, arch *topology.Arch, add func(hw.Ti
 
 // checkDemandCoverage verifies every demand has the generations its
 // realization requires: one regular generation, or a split set (one
-// substitute cross pair, one kept in-rack pair, k-1 copies).
-func checkDemandCoverage(res *core.Result, add func(hw.Time, string, ...any)) {
+// substitute cross pair, one kept in-rack pair, k-1 copies). gens is
+// the structurally valid subset of res.Gens (demand references in
+// range).
+func checkDemandCoverage(res *core.Result, gens []core.GenEvent, add func(hw.Time, string, ...any)) {
 	type cover struct {
 		regular, cross, kept, copies int
 		lastEnd                      hw.Time
 	}
 	covers := make([]cover, len(res.Demands))
-	for _, g := range res.Gens {
+	for _, g := range gens {
 		c := &covers[g.Demand]
 		switch g.Kind {
 		case core.GenRegular:
@@ -207,10 +262,11 @@ type genInterval struct {
 
 // checkCommQubits replays comm-qubit occupancy per QPU: during a
 // generation both endpoints hold one communication qubit. It returns the
-// peak number of concurrent generations.
-func checkCommQubits(res *core.Result, arch *topology.Arch, add func(hw.Time, string, ...any)) int {
+// peak number of concurrent generations. gens is the structurally valid
+// subset of res.Gens (endpoints in range).
+func checkCommQubits(gens []core.GenEvent, arch *topology.Arch, add func(hw.Time, string, ...any)) int {
 	var events []genInterval
-	for _, g := range res.Gens {
+	for _, g := range gens {
 		events = append(events,
 			genInterval{g.Start, +1, int(g.A)}, genInterval{g.End, -1, int(g.A)},
 			genInterval{g.Start, +1, int(g.B)}, genInterval{g.End, -1, int(g.B)},
@@ -239,9 +295,9 @@ func checkCommQubits(res *core.Result, arch *topology.Arch, add func(hw.Time, st
 
 // checkChannelExclusivity verifies generations on one channel never
 // overlap in time (a channel serves one generation at a time).
-func checkChannelExclusivity(res *core.Result, add func(hw.Time, string, ...any)) {
+func checkChannelExclusivity(gens []core.GenEvent, add func(hw.Time, string, ...any)) {
 	byChannel := make(map[int32][]core.GenEvent)
-	for _, g := range res.Gens {
+	for _, g := range gens {
 		byChannel[g.Channel] = append(byChannel[g.Channel], g)
 	}
 	for ch, gens := range byChannel {

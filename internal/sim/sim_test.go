@@ -143,6 +143,67 @@ func TestValidateCatchesCorruptSchedules(t *testing.T) {
 	}
 }
 
+// TestValidateSurvivesStructuralCorruption: results whose indices or
+// array shapes are broken (the kind a buggy producer emits) must come
+// back as violations, never as panics.
+func TestValidateSurvivesStructuralCorruption(t *testing.T) {
+	a := arch44(t)
+	p := hw.Default()
+	fresh := func() *core.Result {
+		demands := []epr.Demand{
+			{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},
+			{ID: 1, A: 1, B: 4, Protocol: epr.Cat, Gates: 1},
+		}
+		r, err := core.Compile(demands, a, p, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cases := []struct {
+		name    string
+		corrupt func(*core.Result)
+	}{
+		{"gen demand index out of range", func(r *core.Result) { r.Gens[0].Demand = 99 }},
+		{"gen demand index negative", func(r *core.Result) { r.Gens[0].Demand = -3 }},
+		{"gen endpoint out of range", func(r *core.Result) { r.Gens[0].A = 500 }},
+		{"gen endpoint negative", func(r *core.Result) { r.Gens[0].B = -1 }},
+		{"demand endpoint out of range", func(r *core.Result) { r.Demands[0].A = 999 }},
+		{"truncated ReadyAt", func(r *core.Result) { r.ReadyAt = r.ReadyAt[:1] }},
+		{"truncated ConsumedAt", func(r *core.Result) { r.ConsumedAt = nil }},
+		{"negative gen interval", func(r *core.Result) {
+			r.Gens[0].Start = -100
+			r.Gens[0].End = -50
+		}},
+		{"everything at once", func(r *core.Result) {
+			r.Gens[0].Demand = 1 << 20
+			r.Gens[1].A = -7
+			r.Demands[1].B = 1 << 20
+			r.ReadyAt = r.ReadyAt[:0]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := fresh()
+			tc.corrupt(r)
+			rep := Validate(r, a, p) // must not panic
+			if rep.Total == 0 {
+				t.Error("structural corruption produced no violations")
+			}
+		})
+	}
+
+	// Missing CommHeld is tolerated, not a violation: the buffer check
+	// treats absent entries as "no comm-qubit hold".
+	t.Run("truncated CommHeld tolerated", func(t *testing.T) {
+		r := fresh()
+		r.CommHeld = nil
+		if rep := Validate(r, a, p); rep.Total != 0 {
+			t.Errorf("CommHeld truncation reported %d violations", rep.Total)
+		}
+	})
+}
+
 // TestViolationCap: a massively corrupt schedule keeps only the first
 // MaxViolations records but counts (and reports) the true total.
 func TestViolationCap(t *testing.T) {

@@ -34,6 +34,7 @@ import (
 	"switchqnet/internal/frontend"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/metrics"
+	"switchqnet/internal/obs"
 	"switchqnet/internal/place"
 	"switchqnet/internal/qec"
 	"switchqnet/internal/runtime"
@@ -101,6 +102,14 @@ func BaselineOptions() Options { return core.BaselineOptions() }
 // configuration.
 func StrictOptions() Options { return core.StrictOptions() }
 
+// DefaultExtractOptions returns the SwitchQNet communication-extraction
+// configuration (burst aggregation and teleportation look-ahead on).
+func DefaultExtractOptions() ExtractOptions { return comm.DefaultOptions() }
+
+// BaselineExtractOptions returns the baseline's per-gate extraction
+// (no aggregation or look-ahead).
+func BaselineExtractOptions() ExtractOptions { return comm.BaselineOptions() }
+
 // Benchmark builds one of the paper's benchmark circuits ("mct", "qft",
 // "grover", "rca") over the given total qubit count.
 func Benchmark(name string, totalQubits int) (*Circuit, error) {
@@ -137,18 +146,31 @@ func CompileBaseline(circ *Circuit, arch *Arch, p Params) (*Compiled, error) {
 
 // CompileWithExtract is Compile with explicit extraction options.
 func CompileWithExtract(circ *Circuit, arch *Arch, p Params, opts Options, xopts ExtractOptions) (*Compiled, error) {
+	return CompileWithExtractObserved(circ, arch, p, opts, xopts, nil)
+}
+
+// CompileWithExtractObserved is CompileWithExtract with observability
+// attached: extraction and compile phases record spans and counters on
+// o. A nil o is valid and equivalent to CompileWithExtract; the
+// returned schedule is identical either way.
+func CompileWithExtractObserved(circ *Circuit, arch *Arch, p Params, opts Options, xopts ExtractOptions, o *Obs) (*Compiled, error) {
 	if err := circ.Validate(); err != nil {
 		return nil, err
 	}
+	sp := o.StartSpan("cell")
+	defer sp.End()
+	ex := sp.StartSpan("extract")
 	pl, err := place.Blocks(circ.NumQubits, arch)
 	if err != nil {
+		ex.End()
 		return nil, err
 	}
 	demands, err := comm.Extract(circ, pl, arch, xopts)
+	ex.End()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Compile(demands, arch, p, opts)
+	res, err := core.CompileObserved(demands, arch, p, opts, o.Under(sp))
 	if err != nil {
 		return nil, err
 	}
@@ -178,33 +200,80 @@ type (
 // NewFrontendCache returns an empty frontend cache.
 func NewFrontendCache() *FrontendCache { return frontend.New() }
 
+// Observability: a zero-dependency metrics registry (counters, gauges,
+// histograms with Prometheus text exposition) plus phase-span timing.
+// Every instrumented entry point accepts a nil *Obs, which disables
+// recording entirely; results are identical with and without it.
+type (
+	// Obs bundles a metrics registry and a span tracer. The zero of use
+	// is nil: every method on a nil *Obs is a no-op.
+	Obs = obs.Obs
+	// MetricsRegistry collects named counters, gauges and histograms
+	// and renders them in the Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+	// SpanTracer records a tree of named phase spans; same-named
+	// siblings merge, so tight loops stay bounded.
+	SpanTracer = obs.Tracer
+	// PhaseTotal is one aggregated span path in a tracer snapshot.
+	PhaseTotal = obs.PhaseTotal
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewSpanTracer returns an empty span tracer.
+func NewSpanTracer() *SpanTracer { return obs.NewTracer() }
+
+// NewObs bundles a registry and tracer (either may be nil) into an
+// observability handle; it returns nil when both are nil.
+func NewObs(reg *MetricsRegistry, tr *SpanTracer) *Obs { return obs.New(reg, tr) }
+
 // CompileCached is Compile for a named built-in benchmark, with the
 // frontend artifacts served from fc (nil fc rebuilds them).
 func CompileCached(fc *FrontendCache, bench string, arch *Arch, p Params, opts Options) (*Compiled, error) {
-	return compileCached(fc, bench, arch, p, opts, comm.DefaultOptions())
+	return compileCached(fc, bench, arch, p, opts, comm.DefaultOptions(), nil)
 }
 
 // CompileBaselineCached is CompileBaseline with the frontend artifacts
 // served from fc; it shares the circuit and placement (but not the
 // per-gate demand list) with CompileCached on the same cache.
 func CompileBaselineCached(fc *FrontendCache, bench string, arch *Arch, p Params) (*Compiled, error) {
-	return compileCached(fc, bench, arch, p, BaselineOptions(), comm.BaselineOptions())
+	return compileCached(fc, bench, arch, p, BaselineOptions(), comm.BaselineOptions(), nil)
 }
 
-func compileCached(fc *FrontendCache, bench string, arch *Arch, p Params, opts Options, xopts ExtractOptions) (*Compiled, error) {
+// CompileCachedObserved is CompileCached with observability attached
+// (see CompileWithExtractObserved). Pair it with fc.Instrument(o) to
+// also record the cache's hit/miss/dedup traffic.
+func CompileCachedObserved(fc *FrontendCache, bench string, arch *Arch, p Params, opts Options, o *Obs) (*Compiled, error) {
+	return compileCached(fc, bench, arch, p, opts, comm.DefaultOptions(), o)
+}
+
+// CompileBaselineCachedObserved is CompileBaselineCached with
+// observability attached.
+func CompileBaselineCachedObserved(fc *FrontendCache, bench string, arch *Arch, p Params, o *Obs) (*Compiled, error) {
+	return compileCached(fc, bench, arch, p, BaselineOptions(), comm.BaselineOptions(), o)
+}
+
+func compileCached(fc *FrontendCache, bench string, arch *Arch, p Params, opts Options, xopts ExtractOptions, o *Obs) (*Compiled, error) {
+	sp := o.StartSpan("cell")
+	defer sp.End()
+	ex := sp.StartSpan("extract")
 	circ, err := fc.Circuit(bench, arch.TotalQubits())
 	if err != nil {
+		ex.End()
 		return nil, err
 	}
 	pl, err := fc.Placement(circ.NumQubits, arch)
 	if err != nil {
+		ex.End()
 		return nil, err
 	}
 	demands, err := fc.Demands(bench, arch, xopts)
+	ex.End()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Compile(demands, arch, p, opts)
+	res, err := core.CompileObserved(demands, arch, p, opts, o.Under(sp))
 	if err != nil {
 		return nil, err
 	}
@@ -365,11 +434,26 @@ func ExecuteSchedule(r *Result, arch *Arch, model *FaultModel, pol RecoveryPolic
 	return runtime.Execute(r, arch, model, pol)
 }
 
+// ExecuteScheduleObserved is ExecuteSchedule with observability
+// attached: replay phases record spans, and each recovery-ladder rung
+// taken increments a counter. A nil o is valid; the trace is identical
+// either way.
+func ExecuteScheduleObserved(r *Result, arch *Arch, model *FaultModel, pol RecoveryPolicy, o *Obs) *ExecTrace {
+	return runtime.ExecuteObserved(r, arch, model, pol, o)
+}
+
 // RunFaultTrials executes the schedule across independently seeded
 // trials (on up to parallel workers; the result is identical at any
 // worker count) and returns the realized-latency distribution.
 func RunFaultTrials(r *Result, arch *Arch, cfg FaultConfig, pol RecoveryPolicy, seed uint64, trials, parallel int) *ExecStats {
 	return runtime.RunTrials(r, arch, cfg, pol, seed, trials, parallel)
+}
+
+// RunFaultTrialsObserved is RunFaultTrials with observability attached
+// (see ExecuteScheduleObserved); per-trial spans merge under one
+// "trials" span at any worker count.
+func RunFaultTrialsObserved(r *Result, arch *Arch, cfg FaultConfig, pol RecoveryPolicy, seed uint64, trials, parallel int, o *Obs) *ExecStats {
+	return runtime.RunTrialsObserved(r, arch, cfg, pol, seed, trials, parallel, o)
 }
 
 // WriteRunJSON writes one realized execution as indented JSON.
