@@ -296,6 +296,86 @@ func BenchmarkSweepFrontendCached(b *testing.B) { benchSweepFrontend(b, true) }
 // every circuit, placement and demand list per cell (-nocache).
 func BenchmarkSweepFrontendUncached(b *testing.B) { benchSweepFrontend(b, false) }
 
+// Intra-compile parallelism suite: a single large compile partitioned
+// across worker goroutines (Options.CompileParallel), measured at 1, 2,
+// 4 and 8 workers on rack-partitionable workloads. These are the
+// benchmarks tracked by BENCH_compile_parallel.json; run them with
+//
+//	go test -run='^$' -bench=BenchmarkCompileParallel -benchtime=10x
+//
+// The local-* cases are embarrassingly parallel (every rack is its own
+// partition); the mixed case adds cross-rack traffic between two racks,
+// so one partition carries the switch network while the rest run
+// independently. Wall-clock speedup requires a multi-core host —
+// GOMAXPROCS=1 serializes the workers.
+
+// parallelCompileDemands builds perRack in-rack demand chains on every
+// rack of a, interleaved across racks, plus cross cross-rack demands
+// between racks 0 and 1 (the same shape as core's equivalence-property
+// workloads, at benchmark scale).
+func parallelCompileDemands(a *sq.Arch, perRack, cross int) []sq.Demand {
+	s := uint64(0x9E3779B97F4A7C15)
+	next := func(m int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(m))
+	}
+	var ds []sq.Demand
+	for i := 0; i < perRack; i++ {
+		for r := 0; r < a.Racks; r++ {
+			x := next(a.QPUsPerRack)
+			y := next(a.QPUsPerRack)
+			if x == y {
+				y = (x + 1) % a.QPUsPerRack
+			}
+			ds = append(ds, sq.Demand{ID: len(ds), A: a.QPUID(r, x), B: a.QPUID(r, y), Gates: 1})
+		}
+	}
+	for i := 0; i < cross; i++ {
+		ds = append(ds, sq.Demand{
+			ID: len(ds), A: a.QPUID(0, next(a.QPUsPerRack)), B: a.QPUID(1, next(a.QPUsPerRack)), Gates: 1,
+		})
+	}
+	return ds
+}
+
+// BenchmarkCompileParallel measures one compile end to end per worker
+// count. The largest instance (local-64x4) is the speedup target the
+// BENCH JSON records.
+func BenchmarkCompileParallel(b *testing.B) {
+	cases := []struct {
+		name          string
+		racks, qpus   int
+		perRack, cros int
+	}{
+		{"local-16x4", 16, 4, 60, 0},
+		{"mixed-16x4", 16, 4, 60, 40},
+		{"local-64x4", 64, 4, 60, 0},
+	}
+	p := sq.DefaultParams()
+	for _, tc := range cases {
+		arch, err := sq.NewArch(sq.ArchConfig{
+			Topology: "clos", Racks: tc.racks, QPUsPerRack: tc.qpus,
+			DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		demands := parallelCompileDemands(arch, tc.perRack, tc.cros)
+		for _, w := range []int{1, 2, 4, 8} {
+			opts := sq.DefaultOptions()
+			opts.CompileParallel = w
+			b.Run(fmt.Sprintf("%s/workers=%d", tc.name, w), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := sq.CompileDemands(demands, arch, p, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCompileBaseline measures the on-demand baseline pipeline on
 // the primary setting — the strict/buffer-assisted code paths share the
 // engine, so their hot-path regressions show up here.

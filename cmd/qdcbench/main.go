@@ -113,6 +113,8 @@ func main() {
 	charts := flag.Bool("charts", false, "append ASCII charts to sweep experiments")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker-pool size for compilation cells (1 = serial; output is identical at every setting)")
+	compilePar := flag.Int("compileparallel", 1,
+		"worker goroutines inside each single compilation cell (1 = serial; >1 partitions each schedule by rack group, output is identical)")
 	benchjson := flag.String("benchjson", "", "append one JSON throughput record per experiment to this file")
 	nocache := flag.Bool("nocache", false, "disable the frontend artifact cache (rebuild circuits, placements and demand lists per cell; output is identical)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -124,6 +126,18 @@ func main() {
 	spans := flag.Bool("spans", false, "print the aggregated phase-span tree to stderr on exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	// Reject invalid worker counts up front rather than silently
+	// clamping: the library layers coerce non-positive values to serial,
+	// which would hide a mistyped flag.
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "qdcbench: -parallel must be >= 1, got %d\n", *parallel)
+		os.Exit(2)
+	}
+	if *compilePar < 1 {
+		fmt.Fprintf(os.Stderr, "qdcbench: -compileparallel must be >= 1, got %d\n", *compilePar)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -182,7 +196,8 @@ func main() {
 		stats := &experiments.SweepStats{}
 		cfg := experiments.RunConfig{
 			Quick: *quick, CSV: *csv, Charts: *charts,
-			Parallel: *parallel, Stats: stats, Frontend: cache,
+			Parallel: *parallel, CompileParallel: *compilePar,
+			Stats: stats, Frontend: cache,
 			Faults: *faultsProfile, Seed: *seed, Trials: *trials,
 			Obs: o,
 		}

@@ -36,6 +36,8 @@ func main() {
 		compare  = flag.Bool("compare", false, "run both pipelines and report the improvement")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0),
 			"with -compare, >1 compiles both pipelines concurrently (output is identical)")
+		compilePar = flag.Int("compileparallel", 1,
+			"worker goroutines inside each single compile (1 = serial; >1 partitions the schedule by rack group, output is identical)")
 		verbose    = flag.Bool("v", false, "print the first scheduled generations")
 		timeline   = flag.Bool("timeline", false, "print a per-QPU text timeline of the schedule")
 		traceOut   = flag.String("trace", "", "write the compiled schedule as JSON to this file")
@@ -50,6 +52,19 @@ func main() {
 		spans      = flag.Bool("spans", false, "print the aggregated phase-span tree to stderr on exit")
 	)
 	flag.Parse()
+
+	// Reject invalid worker counts up front rather than silently
+	// clamping: the library layers coerce non-positive values to serial,
+	// which would hide a mistyped flag.
+	if *parallel < 1 {
+		fail(fmt.Errorf("-parallel must be >= 1, got %d", *parallel))
+	}
+	if *compilePar < 1 {
+		fail(fmt.Errorf("-compileparallel must be >= 1, got %d", *compilePar))
+	}
+	if *trials < 1 {
+		fail(fmt.Errorf("-trials must be >= 1, got %d", *trials))
+	}
 
 	// Observability is opt-in: -metrics and/or -spans attach a registry
 	// and tracer to the compile and replay pipelines. The report on
@@ -108,6 +123,9 @@ func main() {
 	opts := sq.DefaultOptions()
 	opts.LookAhead = *look
 	opts.DistillK = *distill
+	opts.CompileParallel = *compilePar
+	bopts := sq.BaselineOptions()
+	bopts.CompileParallel = *compilePar
 
 	compileOurs := func() (*sq.Compiled, error) {
 		if *qasmPath != "" {
@@ -117,9 +135,9 @@ func main() {
 	}
 	compileBase := func() (*sq.Compiled, error) {
 		if *qasmPath != "" {
-			return sq.CompileWithExtractObserved(circ, arch, params, sq.BaselineOptions(), sq.BaselineExtractOptions(), o)
+			return sq.CompileWithExtractObserved(circ, arch, params, bopts, sq.BaselineExtractOptions(), o)
 		}
-		return sq.CompileBaselineCachedObserved(fc, *bench, arch, params, o)
+		return sq.CompileCachedWithExtractObserved(fc, *bench, arch, params, bopts, sq.BaselineExtractOptions(), o)
 	}
 
 	var ours, base *sq.Compiled

@@ -60,6 +60,12 @@ const (
 	evGenDone   evKind = iota // regular generation finished (ref = demand)
 	evCrossDone               // split's substitute cross-rack pair done (ref = split)
 	evInDone                  // split's distilled in-rack pair done (ref = split)
+	// evWake is a no-op timeline tick injected by the partitioned
+	// compiler (ref = -1): it forces the cross-rack partition to run a
+	// scheduling pass at every time the serial engine would have — the
+	// other partitions' event times — so split parts queued after a
+	// pass's main loop are picked up at exactly the serial pass time.
+	evWake
 )
 
 type event struct {
@@ -231,6 +237,27 @@ type engine struct {
 	// under the debug flag (see assertf); the run loop surfaces it.
 	invariantErr error
 
+	// Partitioned-compile support (parallel.go); all zero on the serial
+	// path. router, when set, gives the partition's netstate a private
+	// router (one per worker goroutine). failFast makes retry() abort
+	// with errPartitionRetry instead of reverting — a retry reverts and
+	// re-strategizes globally, so the coordinator recompiles serially.
+	// wakes are the no-op evWake times injected into the cross-rack
+	// partition (see evKind). meta records the serial-order open log and
+	// pass times the merge needs; the cur* fields are the serial-order
+	// key components of the channel open currently being attempted,
+	// maintained by pass() and read by noteOpen.
+	router   *topology.Router
+	failFast bool
+	wakes    []hw.Time
+	meta     *partMeta
+	curStage uint8 // 0 main loop, 1 split round, 2 post-split drain
+	curPhase uint8 // within the main loop: 0 parts, 1 window
+	curIter  int32 // 1-based iteration within the stage
+	curOrd1  int32 // window depth of the demand, or -1 for a part
+	curOrd2  int32 // demand id (window/split) or part sequence number
+	partSeq  int32 // monotonic part-attempt counter feeding curOrd2
+
 	// Observability (nil handles when disabled; every use is a no-op
 	// then, so instrumented code paths behave identically).
 	sched *obs.Span // parent span for per-pass phases
@@ -290,6 +317,24 @@ func CompileObserved(demands []epr.Demand, arch *topology.Arch, p hw.Params, opt
 		return nil, err
 	}
 
+	if opts.CompileParallel > 1 && opts.Strategy != StrategyStrict {
+		r, err := compileParallel(dag, arch, p, opts, o, sp)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			if o != nil {
+				om := newCompileMetrics(o.Reg())
+				om.record(r)
+				om.duration.Observe(time.Since(startT).Seconds())
+			}
+			return r, nil
+		}
+		// nil result: partitioning was not applicable (one connected
+		// group) or was abandoned (retry, resource conflict) — the
+		// serial engine below produces the canonical schedule.
+	}
+
 	e := &engine{dag: dag, arch: arch, p: p, opts: opts}
 	if o != nil {
 		e.om = newCompileMetrics(o.Reg())
@@ -311,8 +356,14 @@ func CompileObserved(demands []epr.Demand, arch *topology.Arch, p hw.Params, opt
 
 func (e *engine) init() {
 	n := e.dag.Len()
+	var net *netstate.State
+	if e.router != nil {
+		net = netstate.NewWithRouter(e.arch, e.p, e.router)
+	} else {
+		net = netstate.New(e.arch, e.p)
+	}
 	st := &engineState{
-		net:         netstate.New(e.arch, e.p),
+		net:         net,
 		ds:          make([]demandState, n),
 		outstanding: make([][]relEntry, e.arch.NumQPUs()),
 		frontier:    make(map[int32]struct{}),
@@ -327,6 +378,13 @@ func (e *engine) init() {
 		if st.ds[i].pendPreds == 0 {
 			st.frontier[int32(i)] = struct{}{}
 		}
+	}
+	// The partitioned compiler's wake ticks enter the event heap up
+	// front; they pop before same-time completion events (lower seq),
+	// which is immaterial — advance drains all events of a time at once.
+	for _, t := range e.wakes {
+		st.seq++
+		st.events.push(event{t: t, seq: st.seq, kind: evWake, ref: -1})
 	}
 	e.st = st
 	e.winDepth = make([]int32, n)
@@ -408,6 +466,9 @@ func (e *engine) advance() {
 			e.crossDone(ev.ref, t)
 		case evInDone:
 			e.inDone(ev.ref, t)
+		case evWake:
+			// Partition timeline tick: no state change, the pass after
+			// this advance is the point.
 		}
 	}
 	e.consumeCascade(t)
@@ -557,6 +618,15 @@ func (e *engine) maybeCheckpoint() {
 // state and downgrade the strategy, escalating to strict on-demand from
 // the initial state if the issue persists.
 func (e *engine) retry() error {
+	if e.failFast {
+		// Partition mode: a retry reverts state and downgrades the
+		// strategy globally in the serial engine, which a partition
+		// cannot reproduce locally. Abort; the coordinator recompiles
+		// the whole workload serially (a partition sticks if and only
+		// if the serial engine would have at the same point, since the
+		// partitions' resources are disjoint).
+		return errPartitionRetry
+	}
 	if debugStuck != nil {
 		debugStuck(e)
 	}
@@ -608,6 +678,10 @@ func (e *engine) result() *Result {
 		Params:          e.p,
 		Opts:            e.opts,
 	}
+	// The echoed options always report CompileParallel as 0 (mergeResult
+	// does the same): the knob never changes the schedule, so results
+	// stay DeepEqual across worker counts and serial fallbacks.
+	r.Opts.CompileParallel = 0
 	if e.opts.DistillK >= 2 {
 		r.DistilledPairs = st.splitCount
 	}

@@ -45,6 +45,26 @@ func newCompileMetrics(r *obs.Registry) compileMetrics {
 	}
 }
 
+// partitionMetrics holds the partitioned compiler's registry handles
+// (parallel.go). The zero value is all nil handles — recording is a
+// no-op then, like compileMetrics.
+type partitionMetrics struct {
+	compiles   *obs.Counter
+	partitions *obs.Counter
+	fallbacks  *obs.Counter
+}
+
+func newPartitionMetrics(r *obs.Registry) partitionMetrics {
+	return partitionMetrics{
+		compiles: r.Counter("switchqnet_compile_partitioned_total",
+			"Compilations completed by the partitioned (intra-compile parallel) scheduler."),
+		partitions: r.Counter("switchqnet_compile_partitions_total",
+			"Partitions scheduled across partitioned compilations."),
+		fallbacks: r.Counter("switchqnet_compile_partition_fallbacks_total",
+			"Partitioned compilations abandoned to the serial engine (partition retry or resource conflict)."),
+	}
+}
+
 // record accumulates a finished compilation's outcome.
 func (m *compileMetrics) record(r *Result) {
 	m.compiles.Inc()

@@ -92,6 +92,18 @@ type Options struct {
 	// one reconfiguration per request.
 	KeepChannels bool
 
+	// CompileParallel is the number of worker goroutines one compilation
+	// may use internally. 0 and 1 select the serial scheduler. Above 1
+	// the compiler partitions the demand DAG by rack-connected component
+	// (every rack group with no cross-rack traffic schedules on its own
+	// worker, with a private router and network view) and merges the
+	// partial schedules deterministically — the result is byte-identical
+	// to a serial compile at every worker count. Workloads that cannot
+	// be partitioned (strict strategy, a single connected group, or a
+	// partition hitting the retry path) fall back to the serial engine,
+	// still producing identical output.
+	CompileParallel int
+
 	// CheckpointEvery is the event interval between retry checkpoints.
 	CheckpointEvery int
 	// RecoveryWindow is how long (in time units) a downgraded strategy
@@ -143,6 +155,12 @@ func StrictOptions() Options {
 
 // normalize fills defaults and validates ranges.
 func (o *Options) normalize(commQubits, bufferSize int) error {
+	if o.CompileParallel < 0 {
+		return fmt.Errorf("core: CompileParallel = %d < 0", o.CompileParallel)
+	}
+	if o.CompileParallel == 0 {
+		o.CompileParallel = 1
+	}
 	if o.LookAhead < 1 {
 		o.LookAhead = 1
 	}

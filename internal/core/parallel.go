@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
+	"switchqnet/internal/topology"
+)
+
+// errPartitionRetry aborts a partition run whose engine reached the
+// retry path; the coordinator abandons partitioning and recompiles
+// serially (see engine.retry).
+var errPartitionRetry = errors.New("core: partition reached the retry path")
+
+// debugPartitioned, when non-nil, is invoked after every partitioned
+// compile attempt with the partition count and whether it fell back to
+// the serial engine. Tests use it to assert which path produced a
+// result; it is never called when the workload forms a single group.
+var debugPartitioned func(partitions int, fallback bool)
+
+// compileParallel runs one compilation across Options.CompileParallel
+// worker goroutines by partitioning the demands into rack-connected
+// components (partition.go), scheduling each on a private engine —
+// own router, own netstate, own gens log — and merging the partial
+// schedules into the exact serial result. It returns (nil, nil) when
+// partitioning does not apply (a single component) or is abandoned
+// (a partition retried, or the reserve phase found a resource
+// conflict); the caller then runs the serial engine. The returned
+// result is byte-identical to the serial engine's at every worker
+// count.
+func compileParallel(dag *epr.DAG, arch *topology.Arch, p hw.Params, opts Options, o *obs.Obs, sp *obs.Span) (*Result, error) {
+	var pm partitionMetrics
+	if o != nil {
+		pm = newPartitionMetrics(o.Reg())
+	}
+	psp := sp.StartSpan("partition")
+	groups := partitionDemands(dag.Demands, arch)
+	psp.End()
+	if len(groups) < 2 {
+		return nil, nil // one component: nothing to parallelize
+	}
+	fallback := func() (*Result, error) {
+		pm.fallbacks.Inc()
+		if debugPartitioned != nil {
+			debugPartitioned(len(groups), true)
+		}
+		return nil, nil
+	}
+
+	// The cross-rack partition needs wake ticks (evWake) only when it
+	// can split: a split queues work the serial engine would pick up at
+	// the next global pass time, which may belong to another partition.
+	// It then must run after the others, whose pass times feed the
+	// ticks. Without splits every partition is self-paced.
+	cross := crossGroup(groups)
+	needWakes := cross != nil && opts.Strategy == StrategyFull && opts.Split
+	phaseA := groups
+	if needWakes {
+		phaseA = make([]*partGroup, 0, len(groups)-1)
+		for _, g := range groups {
+			if !g.cross {
+				phaseA = append(phaseA, g)
+			}
+		}
+	}
+
+	rsp := sp.StartSpan("compile_partitions")
+	proto := topology.NewRouter(arch.Net)
+	errs := make([]error, len(phaseA))
+	workers := opts.CompileParallel
+	if workers > len(phaseA) {
+		workers = len(phaseA)
+	}
+	var next atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			router := proto.Clone() // private scratch per worker
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(phaseA) {
+					return
+				}
+				errs[i] = phaseA[i].run(arch, p, opts, router)
+			}
+		}()
+	}
+	wg.Wait()
+	if needWakes {
+		cross.wakes = wakeTimes(groups, cross)
+		errs = append(errs, cross.run(arch, p, opts, proto))
+	}
+	rsp.End()
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, errPartitionRetry) {
+			return fallback()
+		}
+		return nil, err // debug-gated invariant violations surface loudly
+	}
+
+	msp := sp.StartSpan("merge")
+	r, ok := mergeResult(dag, arch, p, opts, groups)
+	msp.End()
+	if !ok {
+		return fallback()
+	}
+	pm.compiles.Inc()
+	pm.partitions.Add(int64(len(groups)))
+	if debugPartitioned != nil {
+		debugPartitioned(len(groups), false)
+	}
+	return r, nil
+}
+
+// wakeTimes collects the pass times of every partition but the cross
+// one (sorted, deduplicated, t=0 dropped — the initial pass is shared).
+func wakeTimes(groups []*partGroup, cross *partGroup) []hw.Time {
+	var times []hw.Time
+	for _, g := range groups {
+		if g == cross {
+			continue
+		}
+		for _, t := range g.eng.meta.passTimes {
+			if t != 0 {
+				times = append(times, t)
+			}
+		}
+	}
+	slices.Sort(times)
+	return slices.Compact(times)
+}
+
+// claimResources is the reserve phase of the merge's two-phase
+// reserve/commit: every partition claims exclusive ownership of each
+// QPU, fiber edge and BSM rack it used, in partition order. The
+// partition rule guarantees the claims are disjoint; if a claim ever
+// conflicts anyway, the merge reports failure and the coordinator
+// recompiles serially — a correctness bug degrades to a performance
+// fallback instead of a double-booked channel capacity.
+func claimResources(groups []*partGroup, arch *topology.Arch) bool {
+	edgeOwner := newOwners(len(arch.Net.Edges))
+	rackOwner := newOwners(arch.Racks)
+	qpuOwner := newOwners(arch.NumQPUs())
+	for gi, g := range groups {
+		id := int32(gi)
+		m := g.eng.meta
+		for eid, used := range m.edgeUsed {
+			if used && !claim(edgeOwner, eid, id) {
+				return false
+			}
+		}
+		for rk, used := range m.rackUsed {
+			if used && !claim(rackOwner, rk, id) {
+				return false
+			}
+		}
+		for _, ge := range g.eng.gens {
+			if !claim(qpuOwner, int(ge.A), id) || !claim(qpuOwner, int(ge.B), id) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func newOwners(n int) []int32 {
+	o := make([]int32, n)
+	for i := range o {
+		o[i] = -1
+	}
+	return o
+}
+
+func claim(owner []int32, idx int, g int32) bool {
+	if owner[idx] == -1 {
+		owner[idx] = g
+	}
+	return owner[idx] == g
+}
+
+// mergeResult is the commit phase: it stitches the partitions' partial
+// schedules into the serial result. Per-demand outputs scatter by
+// global id; counters sum; channel ids renumber through the merged
+// serial-order open log; the generation log concatenates, remaps and
+// sorts exactly as the serial engine's result() does.
+func mergeResult(dag *epr.DAG, arch *topology.Arch, p hw.Params, opts Options, groups []*partGroup) (*Result, bool) {
+	if !claimResources(groups, arch) {
+		return nil, false
+	}
+
+	// Reconstruct the serial channel-id order: every open, from every
+	// partition, sorted by its serial-order key (openRec). Window-phase
+	// keys are made globally comparable by rewriting the local demand id
+	// to the global one; part and split opens occur in the cross
+	// partition only, so their keys never compare across partitions.
+	type taggedOpen struct {
+		g   int32
+		rec openRec
+	}
+	var nOpens, nGens int
+	for _, g := range groups {
+		nOpens += len(g.eng.meta.opens)
+		nGens += len(g.eng.gens)
+	}
+	all := make([]taggedOpen, 0, nOpens)
+	for gi, g := range groups {
+		for _, rec := range g.eng.meta.opens {
+			if rec.ord1 >= 0 {
+				rec.ord2 = g.ids[rec.ord2]
+			}
+			all = append(all, taggedOpen{g: int32(gi), rec: rec})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i].rec, &all[j].rec
+		switch {
+		case a.t != b.t:
+			return a.t < b.t
+		case a.stage != b.stage:
+			return a.stage < b.stage
+		case a.iter != b.iter:
+			return a.iter < b.iter
+		case a.phase != b.phase:
+			return a.phase < b.phase
+		case a.ord1 != b.ord1:
+			return a.ord1 < b.ord1
+		case a.ord2 != b.ord2:
+			return a.ord2 < b.ord2
+		default:
+			return all[i].g < all[j].g // unreachable: keys are unique
+		}
+	})
+	chanMap := make([][]int32, len(groups))
+	for gi, g := range groups {
+		chanMap[gi] = make([]int32, len(g.eng.meta.opens))
+	}
+	for serial, to := range all {
+		chanMap[to.g][to.rec.local] = int32(serial)
+	}
+
+	n := dag.Len()
+	r := &Result{
+		Demands:    dag.Demands,
+		Gens:       make([]GenEvent, 0, nGens),
+		ReadyAt:    make([]hw.Time, n),
+		ConsumedAt: make([]hw.Time, n),
+		CommHeld:   make([][2]bool, n),
+		Params:     p,
+		Opts:       opts,
+	}
+	r.Opts.CompileParallel = 0 // match the serial echo (see engine.result)
+	var times []hw.Time
+	for gi, g := range groups {
+		st := g.eng.st
+		for li, gid := range g.ids {
+			d := &st.ds[li]
+			r.ReadyAt[gid] = d.readyAt
+			r.ConsumedAt[gid] = d.consumedAt
+			r.CommHeld[gid] = [2]bool{d.commHeldA, d.commHeldB}
+			if d.consumedAt > r.Makespan {
+				r.Makespan = d.consumedAt
+			}
+		}
+		r.Splits += st.splitCount
+		r.ExtraInRack += st.extraInRack
+		r.Reconfigs += st.net.Reconfigs
+		for _, ge := range g.eng.gens {
+			ge.Demand = g.ids[ge.Demand]
+			ge.Channel = chanMap[gi][ge.Channel]
+			r.Gens = append(r.Gens, ge)
+		}
+		times = append(times, g.eng.meta.passTimes...)
+	}
+	if opts.DistillK >= 2 {
+		r.DistilledPairs = r.Splits
+	}
+	// The serial engine runs one pass per distinct event time (plus the
+	// shared t=0 pass); a merged compile never retried, so processed and
+	// final pass counts coincide.
+	slices.Sort(times)
+	r.EventsFinal = len(slices.Compact(times))
+	r.EventsProcessed = r.EventsFinal
+	// Same final ordering as engine.result. Ties on (Start, Demand) are
+	// always within one partition (a demand belongs to exactly one), so
+	// the concatenation order above preserves the serial log's tie
+	// order and the stable sort lands them identically.
+	sort.SliceStable(r.Gens, func(i, j int) bool {
+		if r.Gens[i].Start != r.Gens[j].Start {
+			return r.Gens[i].Start < r.Gens[j].Start
+		}
+		return r.Gens[i].Demand < r.Gens[j].Demand
+	})
+	return r, true
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// localDemands builds in-rack demand chains on every rack of a,
+// interleaved across racks in list order so the serial schedule keeps
+// all racks active at once (the LCG keeps the list stable across runs).
+func localDemands(a *topology.Arch, perRack int, seed uint64) []epr.Demand {
+	s := seed * 0x9E3779B97F4A7C15
+	next := func(m int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(m))
+	}
+	var ds []epr.Demand
+	for i := 0; i < perRack; i++ {
+		for r := 0; r < a.Racks; r++ {
+			x := next(a.QPUsPerRack)
+			y := next(a.QPUsPerRack)
+			if x == y {
+				y = (x + 1) % a.QPUsPerRack
+			}
+			p := epr.Cat
+			if next(3) == 0 {
+				p = epr.TP
+			}
+			ds = append(ds, dmd(len(ds), a.QPUID(r, x), a.QPUID(r, y), p))
+		}
+	}
+	return ds
+}
+
+// crossDemands appends cross-rack demands between random QPUs of racks
+// ra and rb.
+func crossDemands(ds []epr.Demand, a *topology.Arch, ra, rb, n int, seed uint64) []epr.Demand {
+	s := seed * 0x9E3779B97F4A7C15
+	next := func(m int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(m))
+	}
+	for i := 0; i < n; i++ {
+		p := epr.Cat
+		if next(2) == 0 {
+			p = epr.TP
+		}
+		ds = append(ds, dmd(len(ds), a.QPUID(ra, next(a.QPUsPerRack)), a.QPUID(rb, next(a.QPUsPerRack)), p))
+	}
+	return ds
+}
+
+// compileTracked compiles with the debugPartitioned hook installed and
+// reports whether the partitioned path produced the result.
+func compileTracked(t *testing.T, ds []epr.Demand, a *topology.Arch, opts Options) (r *Result, partitioned, attempted bool) {
+	t.Helper()
+	defer func() { debugPartitioned = nil }()
+	var fellBack bool
+	debugPartitioned = func(parts int, fallback bool) {
+		attempted = true
+		fellBack = fallback
+	}
+	r, err := Compile(ds, a, hw.Default(), opts)
+	if err != nil {
+		t.Fatalf("Compile (parallel %d): %v", opts.CompileParallel, err)
+	}
+	return r, attempted && !fellBack, attempted
+}
+
+// assertParallelEqual compiles serially and at worker counts 2, 4 and 8
+// (twice each, for the double-compile determinism property) and requires
+// every result to be deeply equal to the serial one.
+func assertParallelEqual(t *testing.T, ds []epr.Demand, a *topology.Arch, opts Options, wantPartitioned bool) *Result {
+	t.Helper()
+	serial := compile(t, ds, a, opts)
+	for _, w := range []int{2, 4, 8} {
+		po := opts
+		po.CompileParallel = w
+		r1, partitioned, _ := compileTracked(t, ds, a, po)
+		if wantPartitioned && !partitioned {
+			t.Fatalf("workers=%d: expected the partitioned path to produce the result", w)
+		}
+		if !reflect.DeepEqual(serial, r1) {
+			t.Fatalf("workers=%d: partitioned result differs from serial (makespans %d vs %d, gens %d vs %d, reconfigs %d vs %d, events %d vs %d)",
+				w, r1.Makespan, serial.Makespan, len(r1.Gens), len(serial.Gens),
+				r1.Reconfigs, serial.Reconfigs, r1.EventsFinal, serial.EventsFinal)
+		}
+		r2, _, _ := compileTracked(t, ds, a, po)
+		if !reflect.DeepEqual(r1, r2) {
+			t.Fatalf("workers=%d: double compile not deterministic", w)
+		}
+	}
+	return serial
+}
+
+func TestPartitionDemands(t *testing.T) {
+	a := arch(t, 4, 2, 30, 10, 2)
+	q := a.QPUID
+	ds := []epr.Demand{
+		dmd(0, q(0, 0), q(0, 1), epr.Cat), // rack 0 local
+		dmd(1, q(1, 0), q(1, 1), epr.Cat), // rack 1 local
+		dmd(2, q(2, 0), q(3, 0), epr.TP),  // cross: merges racks 2, 3
+		dmd(3, q(2, 0), q(2, 1), epr.Cat), // rack 2 local -> cross group
+		dmd(4, q(3, 0), q(3, 1), epr.Cat), // rack 3 local -> cross group
+		dmd(5, q(0, 0), q(0, 1), epr.TP),  // rack 0 local again
+	}
+	for i := range ds {
+		ds[i].CrossRack = !a.Net.InRack(ds[i].A, ds[i].B)
+	}
+	groups := partitionDemands(ds, a)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	wantIDs := [][]int32{{0, 5}, {1}, {2, 3, 4}}
+	wantCross := []bool{false, false, true}
+	for i, g := range groups {
+		if !reflect.DeepEqual(g.ids, wantIDs[i]) {
+			t.Errorf("group %d ids = %v, want %v", i, g.ids, wantIDs[i])
+		}
+		if g.cross != wantCross[i] {
+			t.Errorf("group %d cross = %v, want %v", i, g.cross, wantCross[i])
+		}
+		for li, dm := range g.demands {
+			if dm.ID != li {
+				t.Errorf("group %d demand %d has local ID %d", i, li, dm.ID)
+			}
+			if dm.A != ds[g.ids[li]].A || dm.B != ds[g.ids[li]].B {
+				t.Errorf("group %d demand %d endpoints scrambled", i, li)
+			}
+		}
+	}
+}
+
+// TestCompileParallelEquivalence is the partition-merge equivalence
+// property on synthetic workloads that exercise the genuinely parallel
+// path: the partitioned compile must be deeply equal to the serial one
+// at every worker count, including the channel-id numbering, event
+// counts and the generation log order.
+func TestCompileParallelEquivalence(t *testing.T) {
+	t.Run("local-only", func(t *testing.T) {
+		a := arch(t, 6, 4, 30, 10, 2)
+		ds := localDemands(a, 20, 7)
+		assertParallelEqual(t, ds, a, DefaultOptions(), true)
+	})
+	t.Run("mixed-with-splits", func(t *testing.T) {
+		// Racks 0-1 exchange congested cross-rack traffic (the cross
+		// partition, with wake ticks and splits); racks 2-5 stay pure
+		// local. Splits must actually occur for the wake-tick path to be
+		// exercised.
+		a := arch(t, 6, 4, 30, 10, 2)
+		ds := localDemands(a, 12, 11)
+		ds = crossDemands(ds, a, 0, 1, 40, 13)
+		r := assertParallelEqual(t, ds, a, DefaultOptions(), true)
+		if r.Splits == 0 {
+			t.Errorf("workload produced no splits; the wake-tick path went unexercised")
+		}
+	})
+	t.Run("baseline-options", func(t *testing.T) {
+		a := arch(t, 5, 4, 30, 10, 2)
+		ds := localDemands(a, 15, 3)
+		ds = crossDemands(ds, a, 1, 3, 10, 5)
+		assertParallelEqual(t, ds, a, BaselineOptions(), true)
+	})
+	t.Run("no-collection-no-keep", func(t *testing.T) {
+		opts := DefaultOptions()
+		opts.Collection = false
+		opts.KeepChannels = false
+		a := arch(t, 4, 4, 30, 10, 2)
+		ds := localDemands(a, 10, 17)
+		ds = crossDemands(ds, a, 2, 3, 8, 19)
+		assertParallelEqual(t, ds, a, opts, true)
+	})
+}
+
+// TestCompileParallelRetryFallsBack pins the retry interaction: a
+// partition that reaches engine.retry() aborts the partitioned attempt
+// and the serial fallback (which retries the same way a plain serial
+// compile would) produces the identical result.
+func TestCompileParallelRetryFallsBack(t *testing.T) {
+	// Racks 0-1 carry the congested retry workload of
+	// TestRetryPathDeterministic; rack 2 adds an independent local
+	// partition so the workload actually partitions.
+	a := arch(t, 3, 2, 10, 2, 2)
+	ds := retryWorkload(38, 50, 4) // QPUs 0..3 = racks 0 and 1
+	for q := 0; q < a.QPUsPerRack; q++ {
+		ds = append(ds, dmd(len(ds), a.QPUID(2, 0), a.QPUID(2, 1), epr.Cat))
+	}
+	opts := DefaultOptions()
+	opts.SoftThreshold = 1
+	opts.CheckpointEvery = 8
+	serial := compile(t, ds, a, opts)
+	if serial.Retries == 0 {
+		t.Fatalf("workload no longer exercises the retry path")
+	}
+	po := opts
+	po.CompileParallel = 4
+	r, partitioned, attempted := compileTracked(t, ds, a, po)
+	if !attempted {
+		t.Fatalf("workload no longer partitions")
+	}
+	if partitioned {
+		t.Fatalf("retrying compile was not abandoned to the serial engine")
+	}
+	if !reflect.DeepEqual(serial, r) {
+		t.Errorf("fallback result differs from serial (makespans %d vs %d)", r.Makespan, serial.Makespan)
+	}
+}
+
+// TestCompileParallelStrictStaysSerial: the strict strategy schedules
+// one demand at a time in global preprocessed order, which cannot be
+// partitioned; CompileParallel must leave it on the serial path.
+func TestCompileParallelStrictStaysSerial(t *testing.T) {
+	a := arch(t, 4, 2, 30, 10, 2)
+	ds := localDemands(a, 8, 23)
+	serial := compile(t, ds, a, StrictOptions())
+	po := StrictOptions()
+	po.CompileParallel = 8
+	r, _, attempted := compileTracked(t, ds, a, po)
+	if attempted {
+		t.Errorf("strict compile attempted partitioning")
+	}
+	if !reflect.DeepEqual(serial, r) {
+		t.Errorf("strict result differs with CompileParallel set")
+	}
+}
+
+// TestCompileParallelSingleGroup: a workload whose racks are all joined
+// by cross-rack traffic forms one component and must run serially.
+func TestCompileParallelSingleGroup(t *testing.T) {
+	a := arch(t, 2, 2, 30, 10, 2)
+	ds := syntheticDemands(60, a.NumQPUs())
+	serial := compile(t, ds, a, DefaultOptions())
+	po := DefaultOptions()
+	po.CompileParallel = 4
+	r, _, attempted := compileTracked(t, ds, a, po)
+	if attempted {
+		t.Errorf("single-component workload attempted partitioning")
+	}
+	if !reflect.DeepEqual(serial, r) {
+		t.Errorf("single-component result differs with CompileParallel set")
+	}
+}
+
+func TestCompileParallelRejectsNegative(t *testing.T) {
+	a := arch(t, 2, 2, 30, 10, 2)
+	opts := DefaultOptions()
+	opts.CompileParallel = -1
+	if _, err := Compile(nil, a, hw.Default(), opts); err == nil {
+		t.Fatalf("negative CompileParallel accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/netstate"
+	"switchqnet/internal/topology"
+)
+
+// This file holds the partitioning half of the intra-compile
+// parallelism (parallel.go holds the execution and merge half): the
+// demand list is split into rack-connected components that the serial
+// engine provably never lets interact, so each can schedule on its own
+// worker goroutine and the partial schedules can be stitched back into
+// the exact serial result.
+//
+// The partition rule is a union-find over racks plus one sentinel for
+// the switch-level fabric (spines, aggregates, cores): every cross-rack
+// demand unions both endpoint racks with the sentinel. The resulting
+// components are resource-disjoint under the serial scheduler:
+//
+//   - The dependency DAG only has edges between demands sharing a QPU
+//     (per-QPU chains), and all demands touching a QPU land in that
+//     QPU's rack component, so dependencies never cross partitions.
+//   - In-rack channels route over exactly the two QPU-to-ToR uplinks
+//     (Router.searchSameToR), so a pure-local partition only ever
+//     touches its own racks' uplink edges and BSMs. Every ToR-to-spine
+//     and spine-level edge belongs to the cross-rack partition, as do
+//     split helpers (chosen in a cross-rack demand's endpoint rack).
+//
+// The merge relies on that disjointness; claimResources (parallel.go)
+// re-checks it per compile as a reserve/commit safety net.
+
+// partGroup is one partition: a rack-connected component of the demand
+// list, with demands renumbered to local ids.
+type partGroup struct {
+	// ids maps local demand id -> global demand id (ascending: groups
+	// preserve the preprocessed order).
+	ids []int32
+	// demands are the group's demands with ID rewritten to the local
+	// index (epr.BuildDAG requires ID == index).
+	demands []epr.Demand
+	// cross marks the component containing the switch-level sentinel —
+	// all cross-rack demands plus every in-rack demand in their racks.
+	// At most one group has it.
+	cross bool
+	// wakes are the no-op pass times injected into the cross partition
+	// (see evWake); empty for the others.
+	wakes []hw.Time
+	// eng is the engine that ran the partition, set by run().
+	eng *engine
+}
+
+// partitionDemands groups the demand list into rack-connected
+// components, ordered by each component's first demand id. Demands must
+// already be normalized (IDs equal to indices, CrossRack set).
+func partitionDemands(demands []epr.Demand, arch *topology.Arch) []*partGroup {
+	racks := arch.Racks
+	spine := int32(racks) // sentinel for the switch-level fabric
+	parent := make([]int32, racks+1)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, dm := range demands {
+		if dm.CrossRack {
+			union(int32(arch.RackOf(dm.A)), spine)
+			union(int32(arch.RackOf(dm.B)), spine)
+		}
+	}
+	spineRoot := find(spine)
+	groupOf := make(map[int32]*partGroup)
+	var groups []*partGroup
+	for i, dm := range demands {
+		root := find(int32(arch.RackOf(dm.A)))
+		g := groupOf[root]
+		if g == nil {
+			g = &partGroup{cross: root == spineRoot}
+			groupOf[root] = g
+			groups = append(groups, g)
+		}
+		local := dm
+		local.ID = len(g.demands)
+		g.ids = append(g.ids, int32(i))
+		g.demands = append(g.demands, local)
+	}
+	return groups
+}
+
+// crossGroup returns the partition holding the cross-rack component, or
+// nil when the workload has none.
+func crossGroup(groups []*partGroup) *partGroup {
+	for _, g := range groups {
+		if g.cross {
+			return g
+		}
+	}
+	return nil
+}
+
+// run compiles the partition on the given router (one per worker; the
+// router's precompute is shared, its scratch is private). The engine is
+// kept on the group for the merge to read.
+func (g *partGroup) run(arch *topology.Arch, p hw.Params, opts Options, router *topology.Router) error {
+	dag, err := epr.BuildDAG(g.demands)
+	if err != nil {
+		return err
+	}
+	e := &engine{
+		dag: dag, arch: arch, p: p, opts: opts,
+		router: router, failFast: true, wakes: g.wakes,
+		meta: newPartMeta(arch),
+	}
+	e.init()
+	g.eng = e
+	return e.run()
+}
+
+// openRec is one channel open in a partition's log, keyed by its
+// position in the pass structure. Sorting all partitions' opens by
+// (t, stage, iter, phase, ord1, ord2) reconstructs the order the serial
+// engine would have opened them in — and therefore the serial channel
+// ids (see mergeResult). Within one partition the key is strictly
+// increasing in log order; across partitions the window-phase keys
+// differ in the global demand id and the part/split-phase keys occur in
+// the cross partition only.
+type openRec struct {
+	t     hw.Time
+	stage uint8 // 0 main loop, 1 split round, 2 post-split drain
+	phase uint8 // within stage 0: 0 parts, 1 window
+	iter  int32 // 1-based iteration within the stage
+	ord1  int32 // window depth, or -1 for a part open
+	ord2  int32 // demand id (local until the merge rewrites it) or part seq
+	local int32 // channel id in the partition's private numbering
+}
+
+// partMeta is the per-partition record the merge consumes: the
+// serial-order open log, the pass-time log, and the touched-resource
+// sets backing the reserve/commit conflict check.
+type partMeta struct {
+	passTimes []hw.Time
+	opens     []openRec
+	edgeUsed  []bool // indexed by edge id
+	rackUsed  []bool // BSM racks, indexed by rack
+}
+
+func newPartMeta(arch *topology.Arch) *partMeta {
+	return &partMeta{
+		edgeUsed: make([]bool, len(arch.Net.Edges)),
+		rackUsed: make([]bool, arch.Racks),
+	}
+}
+
+// noteOpen logs a successful channel open under the current serial-order
+// key and marks the resources it pinned. No-op on the serial path.
+func (e *engine) noteOpen(ch *netstate.Channel) {
+	if e.meta == nil {
+		return
+	}
+	e.meta.opens = append(e.meta.opens, openRec{
+		t:     e.st.net.Now,
+		stage: e.curStage,
+		phase: e.curPhase,
+		iter:  e.curIter,
+		ord1:  e.curOrd1,
+		ord2:  e.curOrd2,
+		local: int32(ch.ID),
+	})
+	for _, eid := range ch.Path {
+		e.meta.edgeUsed[eid] = true
+	}
+	e.meta.rackUsed[ch.BSMRack] = true
+}

@@ -18,6 +18,12 @@ func (e *engine) pass() {
 	defer sp.End()
 	e.st.slices++
 	e.totalSlices++
+	if e.meta != nil {
+		// Pass times are strictly increasing within one run (advance
+		// drains every event of a time before the next pass), so this
+		// log is sorted and duplicate-free by construction.
+		e.meta.passTimes = append(e.meta.passTimes, e.st.net.Now)
+	}
 	if e.routeFail == nil {
 		e.routeFail = make(map[[2]int]uint64)
 	} else {
@@ -38,13 +44,22 @@ func (e *engine) pass() {
 		lookAhead = 1
 		collection = false
 	}
+	// The curStage/curIter/curPhase/curOrd* trackers below key every
+	// channel open by its position in the pass structure; the
+	// partitioned compiler's merge sorts opens from all partitions by
+	// that key to reconstruct the serial channel-id order (noteOpen).
+	e.curStage, e.curIter = 0, 0
 	window := e.window(lookAhead)
 	for {
+		e.curIter++
+		e.curPhase = 0
 		n := e.scheduleParts(collection)
+		e.curPhase = 1
 		for _, id := range window {
 			if e.st.ds[id].status != stPending {
 				continue
 			}
+			e.curOrd1, e.curOrd2 = e.windowDepth(id), id
 			if e.tryScheduleDemand(id, collection) {
 				n++
 			}
@@ -55,18 +70,26 @@ func (e *engine) pass() {
 		window = e.window(lookAhead)
 	}
 	if strat == StrategyFull && e.opts.Split {
+		e.curStage, e.curIter, e.curPhase = 1, 1, 1
 		split := false
 		for _, id := range e.window(lookAhead) {
 			d := e.st.ds[id]
 			if d.status != stPending || !e.dag.Demands[id].CrossRack {
 				continue
 			}
+			e.curOrd1, e.curOrd2 = e.windowDepth(id), id
 			if e.trySplit(id, collection) {
 				split = true
 			}
 		}
 		if split {
-			for e.scheduleParts(collection) > 0 {
+			e.curStage, e.curIter = 2, 0
+			for {
+				e.curIter++
+				e.curPhase = 0
+				if e.scheduleParts(collection) == 0 {
+					break
+				}
 			}
 		}
 	}
@@ -169,6 +192,18 @@ func (e *engine) window(depth int) []int32 {
 	return out
 }
 
+// windowDepth returns the BFS depth of id in the most recent look-ahead
+// window — the first component of window()'s (depth, id) iteration
+// order, and thus of the serial-order open key the partitioned compiler
+// merges by. Depth-1 windows never run the BFS, so every demand sits at
+// depth 0 then (the initial all-zero table covers that case too).
+func (e *engine) windowDepth(id int32) int32 {
+	if e.winStamp[id] == e.winEpoch {
+		return e.winDepth[id]
+	}
+	return 0
+}
+
 // genLatency returns the raw generation latency for a pair between a
 // and b.
 func (e *engine) genLatency(a, b int) hw.Time {
@@ -247,6 +282,7 @@ func (e *engine) acquireChannel(a, b int, collection bool) (ch *netstate.Channel
 		e.markRouteFail(key)
 		return nil, false
 	}
+	e.noteOpen(ch)
 	return ch, true
 }
 
@@ -496,6 +532,12 @@ func (e *engine) scheduleParts(collection bool) int {
 	n := 0
 	remaining := st.parts[:0]
 	for _, splitID := range st.parts {
+		// Part opens carry a sentinel depth of -1 plus a monotonic
+		// attempt sequence: parts are queued and attempted in one global
+		// order, which only the cross-rack partition ever does, so the
+		// sequence alone reconstructs the serial order (noteOpen).
+		e.curOrd1, e.curOrd2 = -1, e.partSeq
+		e.partSeq++
 		if e.tryScheduleInPart(splitID, collection) {
 			n++
 		} else {

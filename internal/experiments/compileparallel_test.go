@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/frontend"
+	"switchqnet/internal/hw"
+)
+
+// TestTab2CompileParallelEquivalence is the end-to-end half of the
+// partition-merge equivalence property: for every Table 2 topology and
+// benchmark — the real frontend demand lists, not synthetic workloads —
+// the partitioned compile must be deeply equal to the serial one at
+// every worker count. core's own property tests cover the synthetic
+// corner cases (splits, retries, strict, single-component); this grid
+// pins the experiments the paper actually reports. The default grid
+// takes one setting per Table 2 group (covering all three topologies);
+// SWITCHQNET_FULLGRID=1 sweeps every setting, and short mode halves the
+// benchmark list.
+func TestTab2CompileParallelEquivalence(t *testing.T) {
+	p := hw.Default()
+	cache := frontend.New()
+	benches := Benchmarks()
+	if testing.Short() {
+		benches = benches[:2]
+	}
+	for _, g := range Table2Groups() {
+		settings := g.Settings
+		if os.Getenv("SWITCHQNET_FULLGRID") == "" {
+			settings = settings[:1]
+		}
+		for _, s := range settings {
+			arch, err := s.Arch()
+			if err != nil {
+				t.Fatalf("%s: %v", s.Label, err)
+			}
+			for _, bench := range benches {
+				bench, s, arch := bench, s, arch
+				t.Run(BenchLabel(bench, s), func(t *testing.T) {
+					t.Parallel()
+					demands, err := cache.Demands(bench, arch, comm.DefaultOptions())
+					if err != nil {
+						t.Fatalf("demands: %v", err)
+					}
+					serial, err := core.Compile(demands, arch, p, core.DefaultOptions())
+					if err != nil {
+						t.Fatalf("serial compile: %v", err)
+					}
+					for _, w := range []int{2, 4, 8} {
+						opts := core.DefaultOptions()
+						opts.CompileParallel = w
+						r, err := core.Compile(demands, arch, p, opts)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", w, err)
+						}
+						if !reflect.DeepEqual(serial, r) {
+							t.Fatalf("workers=%d: partitioned result differs from serial (makespans %d vs %d, gens %d vs %d)",
+								w, r.Makespan, serial.Makespan, len(r.Gens), len(serial.Gens))
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRunBenchmarkCompileParallelByteIdentical pins the RunConfig
+// plumbing: a cell compiled with CompileParallel set produces the same
+// Outcome — both pipelines, ours and baseline — as the default config.
+func TestRunBenchmarkCompileParallelByteIdentical(t *testing.T) {
+	s := Program480()
+	serialCfg := RunConfig{Frontend: frontend.New()}
+	parallelCfg := RunConfig{Frontend: serialCfg.Frontend, CompileParallel: 8}
+	serial, err := RunBenchmark(serialCfg, "QFT", s, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := RunBenchmark(parallelCfg, "QFT", s, hw.Default(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("Outcome differs with CompileParallel=8:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -48,7 +48,11 @@ func atomicMax(addr *int64, v int64) {
 }
 
 // workers returns the bounded worker-pool size: Parallel when positive,
-// else 1 (serial).
+// else 1 (serial). The clamp is deliberate and silent at this layer so
+// library callers with a zero-valued RunConfig get the serial behavior;
+// the CLIs validate their -parallel/-compileparallel flags up front and
+// reject invalid values with an explicit error instead of relying on
+// this coercion.
 func (cfg RunConfig) workers() int {
 	if cfg.Parallel < 1 {
 		return 1

@@ -115,6 +115,43 @@ func TestForEachCellFirstErrorWins(t *testing.T) {
 	}
 }
 
+// TestForEachCellMultiErrorLowestWins injects simultaneous failures on
+// every worker of the pool: the whole first wave blocks until all
+// workers are inside fn, then every cell fails at once, so all the
+// failures land after the context has been cancelled. The contract —
+// the lowest-indexed error among cells that ran wins, matching what a
+// serial run would have reported first — must hold deterministically.
+func TestForEachCellMultiErrorLowestWins(t *testing.T) {
+	const workers = 4
+	cfg := RunConfig{Parallel: workers}
+	var (
+		arrived = make(chan struct{})
+		entered int32
+		ran     int32
+	)
+	err := cfg.forEachCell(64, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if atomic.AddInt32(&entered, 1) == workers {
+			close(arrived) // release the whole wave at once
+		}
+		<-arrived
+		return fmt.Errorf("cell %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	// Indices are claimed in order, and fn blocks until all `workers`
+	// goroutines are inside it, so the wave is exactly cells 0..3; all
+	// four fail concurrently and race to cancel. Whichever cancels
+	// first, the collected errors must resolve to the lowest index.
+	if got := err.Error(); got != "cell 0 failed" {
+		t.Fatalf("err = %q, want the lowest-indexed %q", got, "cell 0 failed")
+	}
+	if n := atomic.LoadInt32(&ran); n != workers {
+		t.Fatalf("%d cells ran, want exactly the first wave of %d (cancellation leaked work)", n, workers)
+	}
+}
+
 func TestForEachCellStats(t *testing.T) {
 	stats := &SweepStats{}
 	cfg := RunConfig{Parallel: 4, Stats: stats}

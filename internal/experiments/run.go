@@ -32,6 +32,9 @@ func (cfg RunConfig) compilePipeline(bench string, arch *topology.Arch, p hw.Par
 	opts core.Options, xopts comm.Options) (*core.Result, error) {
 	sp := cfg.Obs.StartSpan("cell")
 	defer sp.End()
+	if cfg.CompileParallel > 0 {
+		opts.CompileParallel = cfg.CompileParallel
+	}
 	ex := sp.StartSpan("extract")
 	demands, err := cfg.Frontend.Demands(bench, arch, xopts)
 	ex.End()
@@ -78,6 +81,12 @@ type RunConfig struct {
 	// is byte-identical at every setting — cells are collected by index,
 	// and core.Compile is deterministic and race-clean.
 	Parallel int
+	// CompileParallel bounds the worker goroutines INSIDE each single
+	// compilation (core.Options.CompileParallel): orthogonal to
+	// Parallel, which fans out across compilations. 0 leaves each
+	// cell's configured default (serial). Output is byte-identical at
+	// every setting.
+	CompileParallel int
 	// Stats, when non-nil, accumulates the sweep execution profile
 	// (cells, peak concurrency, wall clock) for throughput reporting.
 	Stats *SweepStats

@@ -8,7 +8,10 @@
 // and deterministic. The paper's defaults are 0.1 ms / 1 ms / 10 ms.
 package hw
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Time is a point in time or a duration, in microseconds.
 type Time int64
@@ -17,7 +20,37 @@ type Time int64
 const (
 	Microsecond Time = 1
 	Millisecond Time = 1000
+
+	// MaxTime is the largest representable instant, the saturation
+	// point of SatAdd and SatMul.
+	MaxTime Time = math.MaxInt64
 )
+
+// SatAdd returns a+b saturated at MaxTime for non-negative operands,
+// where plain addition would wrap negative. Durations in this package
+// are non-negative; a negative operand is passed through unclamped.
+func SatAdd(a, b Time) Time {
+	if a < 0 || b < 0 {
+		return a + b
+	}
+	if a > MaxTime-b {
+		return MaxTime
+	}
+	return a + b
+}
+
+// SatMul returns a*k saturated at MaxTime for non-negative operands
+// (the scaling direction fault horizons grow in); a negative operand is
+// passed through unclamped.
+func SatMul(a Time, k int64) Time {
+	if a <= 0 || k <= 0 {
+		return a * Time(k)
+	}
+	if a > MaxTime/Time(k) {
+		return MaxTime
+	}
+	return a * Time(k)
+}
 
 // Params captures every hardware knob the compiler and the experiments
 // vary: the three latencies of the QDC communication stack and the

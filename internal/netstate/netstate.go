@@ -97,6 +97,15 @@ type State struct {
 
 // New initializes the state for an architecture at time 0.
 func New(arch *topology.Arch, p hw.Params) *State {
+	return NewWithRouter(arch, p, topology.NewRouter(arch.Net))
+}
+
+// NewWithRouter is New with a caller-supplied router. The partitioned
+// compiler uses it to give every partition's state a router of its own
+// (a Router is not safe for concurrent use, so partitions scheduling on
+// worker goroutines cannot share one); the router's precompute may be
+// shared across clones, only its scratch must be private.
+func NewWithRouter(arch *topology.Arch, p hw.Params, r *topology.Router) *State {
 	s := &State{
 		Arch:     arch,
 		Params:   p,
@@ -104,7 +113,7 @@ func New(arch *topology.Arch, p hw.Params) *State {
 		EdgeFree: make([]int, len(arch.Net.Edges)),
 		BSMFree:  make([]int, arch.Racks),
 		byPair:   make(map[[2]int]int),
-		router:   topology.NewRouter(arch.Net),
+		router:   r,
 	}
 	for i := range s.QPUs {
 		s.QPUs[i] = QPU{FreeComm: arch.CommQubits, FreeBuf: arch.BufferSize}

@@ -268,3 +268,33 @@ func TestPercentileExactRanks(t *testing.T) {
 		t.Errorf("n=100 p100 = %d, want 100", p)
 	}
 }
+
+// TestHorizonSaturates is the overflow regression test for Horizon: at
+// extreme makespans 4*makespan + 100*reconfig wraps int64 negative,
+// which would seed the fault model with an empty placement window. The
+// saturating arithmetic must pin the horizon at hw.MaxTime instead.
+func TestHorizonSaturates(t *testing.T) {
+	p := hw.Default()
+	cases := []struct {
+		name     string
+		makespan hw.Time
+		want     hw.Time
+	}{
+		{"small", 1000, 4*1000 + 100*p.ReconfigLatency},
+		{"quarter-max", hw.MaxTime / 4, hw.MaxTime},
+		{"near-max", hw.MaxTime - 1, hw.MaxTime},
+		{"max", hw.MaxTime, hw.MaxTime},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res := &core.Result{Makespan: tc.makespan, Params: p}
+			got := Horizon(res)
+			if got < 0 {
+				t.Fatalf("Horizon overflowed negative: %d", got)
+			}
+			if got != tc.want {
+				t.Errorf("Horizon = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -54,9 +54,12 @@ func percentile(sorted []hw.Time, p int) hw.Time {
 
 // Horizon returns the fault-placement horizon used for a schedule:
 // generously past the compiled makespan so recovery delays stay inside
-// the window seeded outages are drawn from.
+// the window seeded outages are drawn from. The arithmetic saturates at
+// hw.MaxTime: thousand-rack schedules push 4x the makespan past the
+// int64 microsecond range, and a wrapped-negative horizon would seed
+// the fault model with an empty window.
 func Horizon(res *core.Result) hw.Time {
-	return 4*res.Makespan + 100*res.Params.ReconfigLatency
+	return hw.SatAdd(hw.SatMul(res.Makespan, 4), hw.SatMul(res.Params.ReconfigLatency, 100))
 }
 
 // RunTrials executes the schedule `trials` times against independently
@@ -74,6 +77,11 @@ func RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Pol
 // count), with recovery counters on o's registry. A nil o disables all
 // of it — the statistics produced are identical either way, at any
 // worker count.
+//
+// Zero or negative trials/parallel are clamped to 1 so library callers
+// get the serial single-trial behavior rather than an error; the CLIs
+// validate their -trials/-parallel flags up front and reject invalid
+// values with an explicit message instead of relying on this clamp.
 func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, o *obs.Obs) *Stats {
 	if trials < 1 {
 		trials = 1

@@ -71,6 +71,23 @@ func NewRouter(n *Network) *Router {
 	return r
 }
 
+// Clone returns an independent Router over the same network. The
+// immutable precompute (uplink tables, switch adjacency) is shared with
+// the receiver; only the per-query scratch is fresh, so a clone costs
+// two slice allocations instead of re-deriving the topology. Use one
+// clone per goroutine: the partitioned compiler hands every worker its
+// own clone so partitions of a single compile can route concurrently.
+func (r *Router) Clone() *Router {
+	return &Router{
+		net:       r.net,
+		upEdge:    r.upEdge,
+		upTor:     r.upTor,
+		switchAdj: r.switchAdj,
+		stamp:     make([]uint32, len(r.net.Nodes)),
+		prevEdge:  make([]int32, len(r.net.Nodes)),
+	}
+}
+
 // Route reports whether a path between QPUs a and b exists under the
 // residual capacities, without materializing it. It allocates nothing.
 func (r *Router) Route(residual []int, a, b int) bool {

@@ -254,6 +254,14 @@ func CompileBaselineCachedObserved(fc *FrontendCache, bench string, arch *Arch, 
 	return compileCached(fc, bench, arch, p, BaselineOptions(), comm.BaselineOptions(), o)
 }
 
+// CompileCachedWithExtractObserved is CompileCachedObserved with
+// explicit extract options, for callers that tune a pipeline whose
+// scheduler and frontend options both differ from the defaults — e.g.
+// a baseline compile carrying a CompileParallel override.
+func CompileCachedWithExtractObserved(fc *FrontendCache, bench string, arch *Arch, p Params, opts Options, xopts ExtractOptions, o *Obs) (*Compiled, error) {
+	return compileCached(fc, bench, arch, p, opts, xopts, o)
+}
+
 func compileCached(fc *FrontendCache, bench string, arch *Arch, p Params, opts Options, xopts ExtractOptions, o *Obs) (*Compiled, error) {
 	sp := o.StartSpan("cell")
 	defer sp.End()
