@@ -376,6 +376,35 @@ func BenchmarkCompileParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileScale measures one serial compile end to end on
+// large fabrics (the BENCH_scale.json regime): racks x 4 QPUs with
+// in-rack chains on every rack plus cross-rack traffic between racks 0
+// and 1, so the checkpoint arena carries the whole fabric's channel
+// set. Run with -benchmem: the bytes/op series tracks the netstate
+// checkpoint-clone cost at scale.
+func BenchmarkCompileScale(b *testing.B) {
+	p := sq.DefaultParams()
+	for _, racks := range []int{64, 256} {
+		arch, err := sq.NewArch(sq.ArchConfig{
+			Topology: "clos", Racks: racks, QPUsPerRack: 4,
+			DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		demands := parallelCompileDemands(arch, 8, racks/2)
+		opts := sq.DefaultOptions()
+		b.Run(fmt.Sprintf("racks=%d", racks), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sq.CompileDemands(demands, arch, p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCompileBaseline measures the on-demand baseline pipeline on
 // the primary setting — the strict/buffer-assisted code paths share the
 // engine, so their hot-path regressions show up here.

@@ -116,7 +116,9 @@ func main() {
 	compilePar := flag.Int("compileparallel", 1,
 		"worker goroutines inside each single compilation cell (1 = serial; >1 partitions each schedule by rack group, output is identical)")
 	benchjson := flag.String("benchjson", "", "append one JSON throughput record per experiment to this file")
+	scalejson := flag.String("scalejson", "", "append one JSON record per scale-sweep cell to this file (with -exp scale; e.g. BENCH_scale.json)")
 	nocache := flag.Bool("nocache", false, "disable the frontend artifact cache (rebuild circuits, placements and demand lists per cell; output is identical)")
+	cachecap := flag.Int("cachecap", 0, "LRU bound per frontend-cache stage (0 = unbounded; output is identical at every bound)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write an allocs/heap profile taken after the sweep to this file")
 	faultsProfile := flag.String("faults", "", "fault profile for the fault sweep (off, default, harsh); implies -exp faults unless -exp is set")
@@ -172,6 +174,7 @@ func main() {
 	var cache *frontend.Cache
 	if !*nocache {
 		cache = frontend.New()
+		cache.Bound(*cachecap)
 	}
 
 	// Observability is opt-in: -metrics and/or -spans attach a registry
@@ -198,7 +201,8 @@ func main() {
 			Quick: *quick, CSV: *csv, Charts: *charts,
 			Parallel: *parallel, CompileParallel: *compilePar,
 			Stats: stats, Frontend: cache,
-			Faults: *faultsProfile, Seed: *seed, Trials: *trials,
+			ScaleJSON: *scalejson,
+			Faults:    *faultsProfile, Seed: *seed, Trials: *trials,
 			Obs: o,
 		}
 		start := time.Now()

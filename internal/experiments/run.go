@@ -97,6 +97,12 @@ type RunConfig struct {
 	// output is byte-identical either way.
 	Frontend *frontend.Cache
 
+	// ScaleJSON, when non-empty, makes the "scale" experiment append
+	// one JSON record per sweep cell to this file (qdcbench
+	// -scalejson; BENCH_scale.json's data feed). The other experiments
+	// ignore it.
+	ScaleJSON string
+
 	// Faults names the fault profile of the "faults" experiment
 	// (faults.ProfileNames; "" means off), Seed seeds its fault model,
 	// and Trials sets the number of fault realizations per cell
@@ -139,13 +145,15 @@ func Registry() map[string]Runner {
 		"fig10c":   Fig10c,
 		"ablation": Ablation,
 		"faults":   FaultSweep,
+		"scale":    Scale,
 	}
 }
 
 // IDs returns the experiment ids in presentation order. The "faults"
-// sweep is registered but excluded here: it is not a paper artifact, so
-// "-exp all" (and results_full.txt) keep the paper's table set; run it
-// with -exp faults or the qdcbench -faults flag.
+// and "scale" sweeps are registered but excluded here: they are not
+// paper artifacts, so "-exp all" (and results_full.txt) keep the
+// paper's table set; run them with -exp faults (or the qdcbench
+// -faults flag) and -exp scale.
 func IDs() []string {
 	return []string{"fig2", "tab2", "fig8a", "fig8b", "fig9a", "fig9b", "fig9c",
 		"fig10a", "fig10b", "fig10c", "tab3", "ablation"}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+	"switchqnet/internal/runtime"
+)
+
+// ScaleRow is one cell of the scale sweep: a generated scenario
+// compiled at one intra-compile parallelism setting, plus a one-trial
+// replay against the scenario's scheduled-outage timeline.
+type ScaleRow struct {
+	Scenario        Scenario
+	CompileParallel int
+	// Demands and CrossRack count the generated workload.
+	Demands, CrossRack int
+	// Makespan is the compiled communication latency; it must be
+	// identical at every CompileParallel setting (ScaleRows enforces
+	// this).
+	Makespan hw.Time
+	// Splits counts cross-rack demands realized through channel splits.
+	Splits int
+	// Realized is the replayed makespan under the scenario's outage
+	// schedule (deterministic: scheduled windows only, one trial).
+	Realized hw.Time
+	// Wall is the cell's compile wall-clock time — the only
+	// machine-dependent column.
+	Wall time.Duration
+	// Params is the scenario's jittered hardware profile (for
+	// normalizing times in renderers).
+	Params hw.Params
+}
+
+// scaleRecord is ScaleRow's JSON form (RunConfig.ScaleJSON /
+// qdcbench -scalejson): everything a regression tracker needs to
+// compare topology families and parallelism settings across commits.
+type scaleRecord struct {
+	Topology        string  `json:"topology"`
+	Racks           int     `json:"racks"`
+	QPUs            int     `json:"qpus"`
+	Seed            uint64  `json:"seed"`
+	CompileParallel int     `json:"compile_parallel"`
+	Demands         int     `json:"demands"`
+	CrossRack       int     `json:"cross_rack"`
+	Makespan        float64 `json:"makespan_reconfig_units"`
+	Splits          int     `json:"splits"`
+	Realized        float64 `json:"realized_reconfig_units"`
+	WallSec         float64 `json:"compile_wall_sec"`
+}
+
+// scaleGrid returns the sweep's scenarios and intra-compile
+// parallelism settings. Full mode spans 64 to 1024 racks across all
+// three topology families at 1 to 8 workers; -quick keeps the grid
+// small enough for tests and smoke jobs.
+func scaleGrid(cfg RunConfig) ([]Scenario, []int) {
+	racks := []int{64, 256, 1024}
+	workers := []int{1, 2, 4, 8}
+	topos := []string{"clos", "spine-leaf", "fat-tree"}
+	if cfg.Quick {
+		racks = []int{64, 128}
+		workers = []int{1, 8}
+		topos = []string{"clos", "fat-tree"}
+	}
+	var scens []Scenario
+	for _, t := range topos {
+		for _, r := range racks {
+			scens = append(scens, ScaleScenario(t, r, cfg.Seed))
+		}
+	}
+	return scens, workers
+}
+
+// ScaleRows runs the scale sweep: every generated scenario is compiled
+// once per CompileParallel setting, fanning cells across cfg's worker
+// pool, and each compiled schedule is replayed once against the
+// scenario's deterministic outage timeline. Rows come back in grid
+// order. A makespan that differs between CompileParallel settings of
+// the same scenario is a determinism bug and fails the sweep.
+func ScaleRows(cfg RunConfig) ([]ScaleRow, error) {
+	scens, workers := scaleGrid(cfg)
+	type cell struct {
+		scen Scenario
+		cp   int
+	}
+	var cells []cell
+	for _, sc := range scens {
+		for _, cp := range workers {
+			cells = append(cells, cell{scen: sc, cp: cp})
+		}
+	}
+	rows := make([]ScaleRow, len(cells))
+	err := cfg.forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		arch, err := c.scen.Arch()
+		if err != nil {
+			return fmt.Errorf("experiments: scale %s: %w", c.scen.Label(), err)
+		}
+		demands := c.scen.Demands(arch)
+		p := c.scen.Params()
+		opts := core.DefaultOptions()
+		opts.CompileParallel = c.cp
+		start := time.Now()
+		res, err := core.CompileObserved(demands, arch, p, opts, cfg.Obs)
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("experiments: scale %s (cp=%d): %w", c.scen.Label(), c.cp, err)
+		}
+		cross := 0
+		for _, d := range demands {
+			if d.CrossRack {
+				cross++
+			}
+		}
+		st := runtime.RunTrialsObserved(res, arch, c.scen.FaultConfig(arch),
+			runtime.DefaultPolicy(), cfg.Seed, 1, 1, cfg.Obs)
+		rows[i] = ScaleRow{
+			Scenario: c.scen, CompileParallel: c.cp,
+			Demands: len(demands), CrossRack: cross,
+			Makespan: res.Makespan, Splits: res.Splits,
+			Realized: st.P50, Wall: wall, Params: p,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Cross-check determinism: within one scenario, every parallelism
+	// setting must compile to the same makespan.
+	for i := 0; i < len(rows); i += len(workers) {
+		for j := 1; j < len(workers); j++ {
+			if rows[i+j].Makespan != rows[i].Makespan {
+				return nil, fmt.Errorf("experiments: scale %s: makespan diverges between cp=%d (%d) and cp=%d (%d)",
+					rows[i].Scenario.Label(), rows[i].CompileParallel, rows[i].Makespan,
+					rows[i+j].CompileParallel, rows[i+j].Makespan)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Scale renders the scale sweep: compiled and realized latency per
+// (topology, racks, CompileParallel) cell, with the compile wall time
+// as the throughput column. With RunConfig.ScaleJSON set, one JSON
+// record per row is appended to that file (the BENCH_scale.json feed).
+func Scale(w io.Writer, cfg RunConfig) error {
+	rows, err := ScaleRows(cfg)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Scale sweep: generated scenarios (seed %d), compiled and replayed under scheduled outages "+
+			"(latency in units of reconfiguration latency)", cfg.Seed),
+		"Scenario", "CP", "Demands", "Cross", "Makespan", "Realized", "Splits", "Wall(s)")
+	for _, r := range rows {
+		t.AddRow(r.Scenario.Label(), r.CompileParallel, r.Demands, r.CrossRack,
+			r.Params.Normalized(r.Makespan), r.Params.Normalized(r.Realized),
+			r.Splits, fmt.Sprintf("%.2f", r.Wall.Seconds()))
+	}
+	if err := cfg.render(t, w); err != nil {
+		return err
+	}
+	if cfg.ScaleJSON == "" {
+		return nil
+	}
+	f, err := os.OpenFile(cfg.ScaleJSON, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, r := range rows {
+		rec := scaleRecord{
+			Topology: r.Scenario.Topology, Racks: r.Scenario.Racks,
+			QPUs: r.Scenario.Racks * r.Scenario.QPUsPerRack, Seed: r.Scenario.Seed,
+			CompileParallel: r.CompileParallel,
+			Demands:         r.Demands, CrossRack: r.CrossRack,
+			Makespan: r.Params.Normalized(r.Makespan), Splits: r.Splits,
+			Realized: r.Params.Normalized(r.Realized),
+			WallSec:  r.Wall.Seconds(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/runtime"
+)
+
+// scaleRacks returns the generated-instance sizes the scale properties
+// run at: 128 racks in the default run, with the thousand-rack instance
+// added under SWITCHQNET_SCALE=1 (it compiles in seconds but dominates
+// the package's test time, so it is opt-in like the fuzz soaks).
+func scaleRacks() []int {
+	racks := []int{128}
+	if os.Getenv("SWITCHQNET_SCALE") == "1" {
+		racks = append(racks, 1024)
+	}
+	return racks
+}
+
+// TestScenarioDeterministic pins the generator contract: the same knobs
+// produce the same instance — demand list, jittered parameters and
+// outage schedule — on every call.
+func TestScenarioDeterministic(t *testing.T) {
+	sc := ScaleScenario("clos", 128, 7)
+	arch, err := sc.Arch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc.Demands(arch), sc.Demands(arch)) {
+		t.Error("demand lists differ between generator calls")
+	}
+	if sc.Params() != sc.Params() {
+		t.Error("jittered params differ between generator calls")
+	}
+	a, b := sc.FaultConfig(arch), sc.FaultConfig(arch)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("outage schedules differ between generator calls")
+	}
+	if len(a.Schedule) == 0 || !a.Enabled() {
+		t.Errorf("scale scenario has no outage schedule: %+v", a)
+	}
+	// A different seed must actually change the instance.
+	other := ScaleScenario("clos", 128, 8)
+	if reflect.DeepEqual(sc.Demands(arch), other.Demands(arch)) {
+		t.Error("different seeds produced identical demand lists")
+	}
+}
+
+// TestScaleCompileEquivalence is the scale half of the partition-merge
+// equivalence property: on generated large instances (128 racks by
+// default, 1024 with SWITCHQNET_SCALE=1), the partitioned compile must
+// be deeply equal to the serial one at every worker count, and
+// double-compiling must be bit-for-bit reproducible on the sharded
+// netstate representation.
+func TestScaleCompileEquivalence(t *testing.T) {
+	for _, racks := range scaleRacks() {
+		for _, topo := range []string{"clos", "fat-tree"} {
+			sc := ScaleScenario(topo, racks, 1)
+			t.Run(sc.Label(), func(t *testing.T) {
+				t.Parallel()
+				arch, err := sc.Arch()
+				if err != nil {
+					t.Fatal(err)
+				}
+				demands := sc.Demands(arch)
+				p := sc.Params()
+				serial, err := core.Compile(demands, arch, p, core.DefaultOptions())
+				if err != nil {
+					t.Fatalf("serial compile: %v", err)
+				}
+				// Double-compile determinism: a second serial compile of
+				// the same instance is deeply equal.
+				again, err := core.Compile(demands, arch, p, core.DefaultOptions())
+				if err != nil {
+					t.Fatalf("recompile: %v", err)
+				}
+				if !reflect.DeepEqual(serial, again) {
+					t.Fatalf("double compile diverged (makespans %d vs %d)", serial.Makespan, again.Makespan)
+				}
+				for _, w := range []int{2, 8} {
+					opts := core.DefaultOptions()
+					opts.CompileParallel = w
+					r, err := core.Compile(demands, arch, p, opts)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", w, err)
+					}
+					if !reflect.DeepEqual(serial, r) {
+						t.Fatalf("workers=%d: partitioned result differs from serial (makespans %d vs %d, gens %d vs %d)",
+							w, r.Makespan, serial.Makespan, len(r.Gens), len(serial.Gens))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScaleReplayDeterministic pins the fault replay on a generated
+// instance: replaying a compiled schedule against the scenario's
+// scheduled-outage timeline yields the same realized makespan on every
+// run (the schedule is the only failure source, so even the trial seed
+// is irrelevant).
+func TestScaleReplayDeterministic(t *testing.T) {
+	sc := ScaleScenario("clos", 128, 1)
+	arch, err := sc.Arch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Compile(sc.Demands(arch), arch, sc.Params(), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := sc.FaultConfig(arch)
+	a := runtime.RunTrials(res, arch, fcfg, runtime.DefaultPolicy(), 1, 1, 1)
+	b := runtime.RunTrials(res, arch, fcfg, runtime.DefaultPolicy(), 99, 1, 1)
+	if a.P50 != b.P50 || a.P50 < res.Makespan {
+		t.Errorf("replay not deterministic or shorter than compiled: %d, %d vs %d",
+			a.P50, b.P50, res.Makespan)
+	}
+	// The schedule must survive the faults.Config round trip: a model
+	// built from it reports at least one scheduled window.
+	m := faults.New(fcfg, arch, res.Params, 1, runtime.Horizon(res))
+	seen := false
+	for _, o := range fcfg.Schedule {
+		if o.Kind == faults.OutageEdge && m.EdgeDownAt(o.Index, (o.From+o.To)/2) {
+			seen = true
+			break
+		}
+	}
+	if !seen && len(fcfg.Schedule) > 0 {
+		// Not fatal only if no edge outages were drawn at all.
+		for _, o := range fcfg.Schedule {
+			if o.Kind == faults.OutageEdge {
+				t.Error("scheduled edge outage not visible in the model")
+				break
+			}
+		}
+	}
+}
+
+// TestScale256Smoke is CI's scale smoke: one 256-rack generated
+// instance compiled with the partitioned engine and replayed against
+// its outage schedule. Kept separate from the equivalence grid so the
+// CI job can -run it alone under the race detector within a tight
+// timeout budget.
+func TestScale256Smoke(t *testing.T) {
+	sc := ScaleScenario("clos", 256, 1)
+	arch, err := sc.Arch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.CompileParallel = 8
+	res, err := core.Compile(sc.Demands(arch), arch, sc.Params(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %d", res.Makespan)
+	}
+	st := runtime.RunTrials(res, arch, sc.FaultConfig(arch), runtime.DefaultPolicy(), 1, 1, 1)
+	if st.P50 < res.Makespan {
+		t.Errorf("realized makespan %d shorter than compiled %d", st.P50, res.Makespan)
+	}
+}
+
+// TestScaleRunnerQuick exercises the registered runner end to end,
+// including the JSON record feed.
+func TestScaleRunnerQuick(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/cells.json"
+	var buf bytes.Buffer
+	cfg := RunConfig{Quick: true, Parallel: 4, Seed: 1, ScaleJSON: out}
+	if err := Scale(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("scale runner produced no table")
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(data, []byte("\n")); lines != 8 {
+		t.Errorf("scale JSON feed has %d records, want 8 (quick grid)", lines)
+	}
+	// Everything but the wall clock is identical at every worker-pool
+	// setting.
+	par, err := ScaleRows(RunConfig{Quick: true, Parallel: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := ScaleRows(RunConfig{Quick: true, Parallel: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ser {
+		a, b := ser[i], par[i]
+		a.Wall, b.Wall = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("row %d differs between -parallel settings:\nserial:   %+v\nparallel: %+v", i, a, b)
+		}
+	}
+	var zero hw.Time
+	if len(ser) > 0 && ser[0].Makespan == zero {
+		t.Error("scale rows have zero makespan")
+	}
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// Scenario deterministically generates a large synthetic compile
+// instance: a demand list over a parametric fabric, a jittered hardware
+// parameter set, and a scheduled-outage timeline for the fault model.
+// Every draw comes from splitmix64 streams derived from Seed, so two
+// generators with the same knobs produce byte-identical instances on
+// any machine — the scale sweep, the property tests and the CI smoke
+// job all rely on that.
+//
+// The generated workload deliberately mixes the paper's circuit shapes:
+// random pairs under a skewed rack-popularity distribution (hot racks),
+// structured nearest-neighbor chains (the RCA/QFT communication
+// pattern), and lattice-surgery style blocks of d parallel demands
+// (mixed QEC code distances).
+type Scenario struct {
+	// Seed drives every random draw. Same seed, same instance.
+	Seed uint64
+
+	// Topology, Racks, QPUsPerRack, DataQubits, BufferSize and
+	// CommQubits instantiate the architecture (topology.Config).
+	Topology                           string
+	Racks, QPUsPerRack                 int
+	DataQubits, BufferSize, CommQubits int
+
+	// DemandsPerRack scales the workload: the generator emits about
+	// Racks*DemandsPerRack demands (chains and blocks round it up).
+	DemandsPerRack int
+	// CrossFrac is the probability a random demand crosses racks.
+	CrossFrac float64
+	// Skew biases rack selection toward low-index racks: racks are
+	// drawn as floor(N * u^(1+Skew)), so 0 is uniform and larger
+	// values concentrate demand on a few hot racks.
+	Skew float64
+	// CatFrac is the fraction of random demands using the Cat protocol
+	// (the rest teleport).
+	CatFrac float64
+	// Mixed interleaves structured nearest-neighbor chains (one per
+	// four emissions) with the random pairs.
+	Mixed bool
+	// BlockSizes lists the lattice-surgery merge widths (QEC code
+	// distances) to draw from; every BlockEvery-th emission becomes a
+	// block of d parallel same-pair demands. Empty disables blocks.
+	BlockSizes []int
+	// BlockEvery is the emission period of surgery blocks (0 disables).
+	BlockEvery int
+
+	// LatencyJitter perturbs each hw.Default latency by a uniform
+	// factor in [1-j, 1+j], modeling heterogeneous link hardware.
+	LatencyJitter float64
+
+	// Outages is the number of scheduled outage windows (edge, BSM and
+	// QPU, drawn uniformly) placed in [0, Horizon).
+	Outages int
+	// Horizon bounds the outage schedule.
+	Horizon hw.Time
+}
+
+// ScaleScenario returns the scale sweep's canonical scenario for a
+// topology family and rack count: a skewed, protocol-mixed workload
+// with surgery blocks, ~12% cross-rack traffic, 20% latency jitter and
+// one scheduled outage per four racks packed into the first 50 ms —
+// dense enough that some windows intersect the executed schedule.
+func ScaleScenario(topo string, racks int, seed uint64) Scenario {
+	return Scenario{
+		Seed:     seed,
+		Topology: topo, Racks: racks, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+		DemandsPerRack: 6, CrossFrac: 0.125, Skew: 1.0, CatFrac: 0.5,
+		Mixed: true, BlockSizes: []int{3, 5, 7}, BlockEvery: 16,
+		LatencyJitter: 0.2,
+		Outages:       racks / 4, Horizon: 50 * hw.Millisecond,
+	}
+}
+
+// Arch instantiates the scenario's architecture.
+func (sc Scenario) Arch() (*topology.Arch, error) {
+	return topology.New(topology.Config{
+		Topology: sc.Topology, Racks: sc.Racks, QPUsPerRack: sc.QPUsPerRack,
+		DataQubits: sc.DataQubits, BufferSize: sc.BufferSize, CommQubits: sc.CommQubits,
+	})
+}
+
+// Params returns hw.Default with each latency scaled by a seeded
+// uniform factor in [1-LatencyJitter, 1+LatencyJitter].
+func (sc Scenario) Params() hw.Params {
+	p := hw.Default()
+	if sc.LatencyJitter <= 0 {
+		return p
+	}
+	rng := faults.NewRNG(faults.SubSeed(sc.Seed, 2))
+	jitter := func(t hw.Time) hw.Time {
+		f := 1 - sc.LatencyJitter + 2*sc.LatencyJitter*rng.Float64()
+		if j := hw.Time(float64(t) * f); j > 0 {
+			return j
+		}
+		return 1
+	}
+	p.InRackLatency = jitter(p.InRackLatency)
+	p.CrossRackLatency = jitter(p.CrossRackLatency)
+	p.ReconfigLatency = jitter(p.ReconfigLatency)
+	return p
+}
+
+// Demands generates the scenario's demand list for the architecture.
+// IDs are assigned in emission order (the DAG's preprocessed order).
+func (sc Scenario) Demands(arch *topology.Arch) []epr.Demand {
+	rng := faults.NewRNG(faults.SubSeed(sc.Seed, 1))
+	pickRack := func() int {
+		u := rng.Float64()
+		if sc.Skew > 0 {
+			u = math.Pow(u, 1+sc.Skew)
+		}
+		if r := int(u * float64(sc.Racks)); r < sc.Racks {
+			return r
+		}
+		return sc.Racks - 1
+	}
+	pickQPU := func(rack, not int) int {
+		q := arch.QPUID(rack, int(rng.Uint64()%uint64(sc.QPUsPerRack)))
+		if q == not {
+			q = arch.QPUID(rack, (q-arch.QPUID(rack, 0)+1)%sc.QPUsPerRack)
+		}
+		return q
+	}
+	total := sc.Racks * sc.DemandsPerRack
+	ds := make([]epr.Demand, 0, total+sc.QPUsPerRack)
+	emit := func(a, b int, proto epr.Protocol, block int) {
+		ds = append(ds, epr.Demand{
+			ID: len(ds), A: a, B: b, Protocol: proto,
+			CrossRack: arch.Net.RackOf(a) != arch.Net.RackOf(b),
+			Gates:     1 + int(rng.Uint64()%4),
+			Block:     block,
+		})
+	}
+	// Consuming a TP permanently moves one data qubit onto B, so a QPU's
+	// net teleport in-flow must stay within its buffer or the schedule
+	// wedges (comm.Extract enforces the same bound via MaxMigrants; the
+	// generator bypasses extraction and must account for it itself).
+	// TPs that would overfill the destination flip direction, or demote
+	// to Cat when both endpoints are full.
+	maxNet := sc.BufferSize / 2
+	if maxNet < 1 {
+		maxNet = 1
+	}
+	load := make([]int, arch.NumQPUs())
+	emitTP := func(a, b int) {
+		if load[b] >= maxNet {
+			if load[a] >= maxNet {
+				emit(a, b, epr.Cat, 0)
+				return
+			}
+			a, b = b, a
+		}
+		load[a]--
+		load[b]++
+		emit(a, b, epr.TP, 0)
+	}
+	nextBlock := 0
+	for emission := 0; len(ds) < total; emission++ {
+		switch {
+		case sc.BlockEvery > 0 && len(sc.BlockSizes) > 0 && emission%sc.BlockEvery == sc.BlockEvery-1:
+			// A lattice-surgery merge: d mutually independent pairs on
+			// one in-rack QPU pair, consumed together.
+			d := sc.BlockSizes[rng.Uint64()%uint64(len(sc.BlockSizes))]
+			rack := pickRack()
+			a := pickQPU(rack, -1)
+			b := pickQPU(rack, a)
+			nextBlock++
+			for i := 0; i < d; i++ {
+				emit(a, b, epr.Cat, nextBlock)
+			}
+		case sc.Mixed && emission%4 == 3:
+			// A structured nearest-neighbor chain through one rack (the
+			// ripple-carry / QFT communication shape).
+			rack := pickRack()
+			for i := 0; i+1 < sc.QPUsPerRack; i++ {
+				emitTP(arch.QPUID(rack, i), arch.QPUID(rack, i+1))
+			}
+		default:
+			cat := rng.Float64() < sc.CatFrac
+			ra := pickRack()
+			a := pickQPU(ra, -1)
+			b := 0
+			if rng.Float64() < sc.CrossFrac {
+				rb := pickRack()
+				for tries := 0; rb == ra && tries < 8; tries++ {
+					rb = pickRack()
+				}
+				if rb == ra {
+					rb = (ra + 1) % sc.Racks
+				}
+				b = pickQPU(rb, -1)
+			} else {
+				b = pickQPU(ra, a)
+			}
+			if cat {
+				emit(a, b, epr.Cat, 0)
+			} else {
+				emitTP(a, b)
+			}
+		}
+	}
+	return ds
+}
+
+// FaultConfig returns a fault configuration whose only failure source
+// is the scenario's deterministic outage schedule: Outages windows of
+// 1-6% of the horizon each, placed uniformly over edges, rack BSM
+// pools and QPUs.
+func (sc Scenario) FaultConfig(arch *topology.Arch) faults.Config {
+	if sc.Outages <= 0 {
+		return faults.Config{}
+	}
+	rng := faults.NewRNG(faults.SubSeed(sc.Seed, 3))
+	sched := make([]faults.ScheduledOutage, 0, sc.Outages)
+	horizon := sc.Horizon
+	if horizon <= 0 {
+		horizon = 500 * hw.Millisecond
+	}
+	for i := 0; i < sc.Outages; i++ {
+		o := faults.ScheduledOutage{Kind: faults.OutageKind(rng.Uint64() % 3)}
+		switch o.Kind {
+		case faults.OutageEdge:
+			o.Index = int(rng.Uint64() % uint64(len(arch.Net.Edges)))
+		case faults.OutageBSM:
+			o.Index = int(rng.Uint64() % uint64(sc.Racks))
+		case faults.OutageQPU:
+			o.Index = int(rng.Uint64() % uint64(arch.NumQPUs()))
+		}
+		o.From = hw.Time(rng.Uint64() % uint64(horizon))
+		o.To = o.From + horizon/100 + hw.Time(rng.Uint64()%uint64(horizon/20))
+		sched = append(sched, o)
+	}
+	return faults.Config{Schedule: sched}
+}
+
+// Label names the scenario in tables and JSON records.
+func (sc Scenario) Label() string {
+	return fmt.Sprintf("%s-%dr", sc.Topology, sc.Racks)
+}

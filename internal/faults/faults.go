@@ -60,12 +60,41 @@ type Config struct {
 	// mean length QPUDropLen within the horizon.
 	QPUDropProb float64
 	QPUDropLen  hw.Time
+
+	// Schedule holds explicit, time-varying outage windows injected on
+	// top of the seeded stochastic processes: planned maintenance,
+	// rolling upgrades, or the scenario generator's deterministic outage
+	// timelines. Windows may overlap the seeded ones; the model merges
+	// them per resource.
+	Schedule []ScheduledOutage
+}
+
+// OutageKind selects the resource class of a ScheduledOutage.
+type OutageKind int
+
+const (
+	// OutageEdge takes one fiber edge (by edge id) down.
+	OutageEdge OutageKind = iota
+	// OutageBSM takes a rack's whole BSM pool (by rack) down.
+	OutageBSM
+	// OutageQPU takes one QPU (by global QPU index) down.
+	OutageQPU
+)
+
+// ScheduledOutage is one explicit outage window [From, To) on the
+// resource identified by (Kind, Index). Out-of-range indices and empty
+// windows are ignored by New, so generated schedules can be applied to
+// differently sized fabrics without re-filtering.
+type ScheduledOutage struct {
+	Kind     OutageKind
+	Index    int
+	From, To hw.Time
 }
 
 // Enabled reports whether any fault mechanism is active.
 func (c Config) Enabled() bool {
 	return c.EPR || c.StallProb > 0 || c.LinkMTBF > 0 || c.LinkDeadProb > 0 ||
-		c.BSMMTBF > 0 || c.QPUDropProb > 0
+		c.BSMMTBF > 0 || c.QPUDropProb > 0 || len(c.Schedule) > 0
 }
 
 // Profile returns a named fault configuration. The profiles are the
@@ -181,6 +210,29 @@ func New(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.T
 			m.qpuWin[q] = []window{{From: from, To: from + dur}}
 		}
 	}
+	// Overlay the explicit outage schedule on the seeded processes, then
+	// re-normalize every touched list to sorted, disjoint windows (the
+	// lookup helpers rely on both properties).
+	for _, o := range cfg.Schedule {
+		if o.To <= o.From {
+			continue
+		}
+		w := window{From: o.From, To: o.To}
+		switch o.Kind {
+		case OutageEdge:
+			if o.Index >= 0 && o.Index < len(m.edgeWin) {
+				m.edgeWin[o.Index] = mergeWindows(append(m.edgeWin[o.Index], w))
+			}
+		case OutageBSM:
+			if o.Index >= 0 && o.Index < len(m.bsmWin) {
+				m.bsmWin[o.Index] = mergeWindows(append(m.bsmWin[o.Index], w))
+			}
+		case OutageQPU:
+			if o.Index >= 0 && o.Index < len(m.qpuWin) {
+				m.qpuWin[o.Index] = mergeWindows(append(m.qpuWin[o.Index], w))
+			}
+		}
+	}
 	if cfg.EPR {
 		in := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta}.Analyze()
 		cross := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta / 100}.Analyze()
@@ -188,6 +240,32 @@ func New(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.T
 		m.crossRack = newGenModel(cross, p.CrossRackLatency)
 	}
 	return m
+}
+
+// mergeWindows sorts windows by start and coalesces overlapping or
+// touching ones, so the merged list is ascending and disjoint.
+func mergeWindows(ws []window) []window {
+	if len(ws) < 2 {
+		return ws
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if ws[i].From != ws[j].From {
+			return ws[i].From < ws[j].From
+		}
+		return ws[i].To < ws[j].To
+	})
+	out := ws[:1]
+	for _, w := range ws[1:] {
+		last := &out[len(out)-1]
+		if w.From <= last.To {
+			if w.To > last.To {
+				last.To = w.To
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
 }
 
 // newGenModel calibrates the attempt duration so that the expected

@@ -201,3 +201,59 @@ func TestStallBounds(t *testing.T) {
 		t.Error("disabled stall must be zero")
 	}
 }
+
+func TestScheduledOutagesOverlaySeededWindows(t *testing.T) {
+	arch := testArch(t)
+	cfg := Config{Schedule: []ScheduledOutage{
+		{Kind: OutageEdge, Index: 0, From: 100, To: 200},
+		{Kind: OutageEdge, Index: 0, From: 150, To: 300}, // overlaps: must merge
+		{Kind: OutageBSM, Index: 1, From: 50, To: 60},
+		{Kind: OutageQPU, Index: 2, From: 10, To: 20},
+		{Kind: OutageEdge, Index: 1 << 20, From: 0, To: 1}, // out of range: ignored
+		{Kind: OutageQPU, Index: 3, From: 30, To: 30},      // empty: ignored
+	}}
+	if !cfg.Enabled() {
+		t.Fatal("schedule alone must enable the model")
+	}
+	m := New(cfg, arch, hw.Default(), 1, 1000)
+	if got := m.EdgeUpAfter(0, 120); got != 300 {
+		t.Errorf("edge 0 up after 120 = %d, want 300 (merged window)", got)
+	}
+	if m.EdgeDownAt(0, 99) || !m.EdgeDownAt(0, 100) || m.EdgeDownAt(0, 300) {
+		t.Error("edge 0 window boundaries wrong")
+	}
+	if got := m.BSMUpAfter(1, 55); got != 60 {
+		t.Errorf("rack 1 BSMs up after 55 = %d, want 60", got)
+	}
+	if got := m.QPUUpAfter(2, 10); got != 20 {
+		t.Errorf("QPU 2 up after 10 = %d, want 20", got)
+	}
+	if got := m.QPUUpAfter(3, 30); got != 30 {
+		t.Errorf("QPU 3 (empty window) up after 30 = %d, want 30", got)
+	}
+	start, end, dead, ok := m.PathOutageWithin([]int{0}, 0, 1000)
+	if !ok || start != 100 || end != 300 || dead {
+		t.Errorf("path outage = (%d, %d, %v, %v), want (100, 300, false, true)", start, end, dead, ok)
+	}
+}
+
+func TestScheduledOutagesMergeWithStochastic(t *testing.T) {
+	arch := testArch(t)
+	base, err := Profile("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := base
+	sched.Schedule = []ScheduledOutage{{Kind: OutageEdge, Index: 0, From: 500, To: 700}}
+	m := New(sched, arch, hw.Default(), 7, 100*hw.Millisecond)
+	if got := m.EdgeUpAfter(0, 600); got < 700 {
+		t.Errorf("edge 0 up after 600 = %d, want >= 700", got)
+	}
+	// Determinism: same seed, same merged timeline.
+	m2 := New(sched, arch, hw.Default(), 7, 100*hw.Millisecond)
+	for _, q := range []hw.Time{0, 100, 499, 500, 699, 5000, 50000} {
+		if m.EdgeUpAfter(0, q) != m2.EdgeUpAfter(0, q) {
+			t.Fatalf("merged timeline not deterministic at t=%d", q)
+		}
+	}
+}

@@ -86,16 +86,25 @@ type StageStats struct {
 	// arrived while the artifact was being computed by another
 	// goroutine and waited for it (singleflight deduplication).
 	Hits, Misses, Dedups int64
+	// Evictions counts entries discarded by the LRU size bound
+	// (always zero on an unbounded cache).
+	Evictions int64
 }
 
 // add returns the fieldwise sum s + o.
 func (s StageStats) add(o StageStats) StageStats {
-	return StageStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses, Dedups: s.Dedups + o.Dedups}
+	return StageStats{
+		Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses,
+		Dedups: s.Dedups + o.Dedups, Evictions: s.Evictions + o.Evictions,
+	}
 }
 
 // sub returns the fieldwise difference s - o.
 func (s StageStats) sub(o StageStats) StageStats {
-	return StageStats{Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses, Dedups: s.Dedups - o.Dedups}
+	return StageStats{
+		Hits: s.Hits - o.Hits, Misses: s.Misses - o.Misses,
+		Dedups: s.Dedups - o.Dedups, Evictions: s.Evictions - o.Evictions,
+	}
 }
 
 // Stats is a point-in-time snapshot of the cache's counters.
@@ -123,29 +132,34 @@ func (s Stats) Sub(o Stats) Stats {
 }
 
 // call is one singleflight computation: done is closed when val/err are
-// final.
+// final. seq is the entry's last-use stamp (guarded by the group mutex)
+// for LRU eviction.
 type call[V any] struct {
 	done chan struct{}
 	val  V
 	err  error
+	seq  uint64
 }
 
 // groupObs is a group's observability hook: registry counters per
 // request outcome and a span around each miss's computation. The zero
 // value (all nil handles) is the disabled state — every use is a no-op.
 type groupObs struct {
-	o                *obs.Obs
-	span             string // precomputed span name, "frontend:<stage>"
-	hit, miss, dedup *obs.Counter
+	o                       *obs.Obs
+	span                    string // precomputed span name, "frontend:<stage>"
+	hit, miss, dedup, evict *obs.Counter
 }
 
 // group is a concurrency-safe memoizing map with singleflight
-// deduplication. The zero value is ready to use.
+// deduplication and an optional LRU size bound. The zero value is an
+// unbounded ready-to-use group.
 type group[K comparable, V any] struct {
-	mu                   sync.Mutex
-	calls                map[K]*call[V]
-	hits, misses, dedups atomic.Int64
-	obs                  groupObs
+	mu                              sync.Mutex
+	calls                           map[K]*call[V]
+	seq                             uint64 // last-use clock (guarded by mu)
+	cap                             int    // max completed+in-flight entries; 0 = unbounded
+	hits, misses, dedups, evictions atomic.Int64
+	obs                             groupObs
 }
 
 // do returns the memoized value for key, computing it with fn exactly
@@ -157,7 +171,9 @@ func (g *group[K, V]) do(key K, fn func() (V, error)) (V, error) {
 	if g.calls == nil {
 		g.calls = make(map[K]*call[V])
 	}
+	g.seq++
 	if c, ok := g.calls[key]; ok {
+		c.seq = g.seq
 		select {
 		case <-c.done:
 			g.hits.Add(1)
@@ -170,10 +186,13 @@ func (g *group[K, V]) do(key K, fn func() (V, error)) (V, error) {
 		<-c.done
 		return c.val, c.err
 	}
-	c := &call[V]{done: make(chan struct{})}
+	c := &call[V]{done: make(chan struct{}), seq: g.seq}
 	g.calls[key] = c
 	g.misses.Add(1)
 	g.obs.miss.Inc()
+	if g.cap > 0 && len(g.calls) > g.cap {
+		g.evict()
+	}
 	g.mu.Unlock()
 	sp := g.obs.o.StartSpan(g.obs.span)
 	c.val, c.err = fn()
@@ -182,9 +201,55 @@ func (g *group[K, V]) do(key K, fn func() (V, error)) (V, error) {
 	return c.val, c.err
 }
 
+// evict discards least-recently-used completed entries until the group
+// fits its cap, with g.mu held. In-flight entries are pinned — waiters
+// hold their *call and will still see the value — so a cap smaller than
+// the number of concurrent computations can transiently overshoot. The
+// scan is linear in the (capped) map size, which is noise next to the
+// artifact computations the cache fronts.
+func (g *group[K, V]) evict() {
+	for len(g.calls) > g.cap {
+		var (
+			victim K
+			found  bool
+			oldest uint64
+		)
+		for k, c := range g.calls {
+			select {
+			case <-c.done:
+			default:
+				continue // in-flight: pinned
+			}
+			if !found || c.seq < oldest {
+				victim, oldest, found = k, c.seq, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(g.calls, victim)
+		g.evictions.Add(1)
+		g.obs.evict.Inc()
+	}
+}
+
+// bound sets the group's LRU cap (0 restores unbounded growth),
+// trimming immediately if the group is already over the new cap.
+func (g *group[K, V]) bound(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cap = n
+	if g.cap > 0 && len(g.calls) > g.cap {
+		g.evict()
+	}
+}
+
 // stats snapshots the group's counters.
 func (g *group[K, V]) stats() StageStats {
-	return StageStats{Hits: g.hits.Load(), Misses: g.misses.Load(), Dedups: g.dedups.Load()}
+	return StageStats{
+		Hits: g.hits.Load(), Misses: g.misses.Load(),
+		Dedups: g.dedups.Load(), Evictions: g.evictions.Load(),
+	}
 }
 
 // qecLowered bundles qec.Lower's two outputs under one key.
@@ -202,8 +267,25 @@ type Cache struct {
 	qec        group[QECDemandKey, qecLowered]
 }
 
-// New returns an empty cache.
+// New returns an empty, unbounded cache.
 func New() *Cache { return &Cache{} }
+
+// Bound caps each stage at perStage entries, evicting the least
+// recently used completed artifact when a new one would exceed the cap
+// (in-flight singleflight entries are pinned until they complete).
+// Zero restores unbounded growth — the default, which keeps rendered
+// output byte-identical to an uncached run at every cap. Evicted-entry
+// recomputations count as fresh misses. Nil-safe; may be called while
+// the cache is in use.
+func (c *Cache) Bound(perStage int) {
+	if c == nil {
+		return
+	}
+	c.circuits.bound(perStage)
+	c.placements.bound(perStage)
+	c.demands.bound(perStage)
+	c.qec.bound(perStage)
+}
 
 // Instrument attaches observability to the cache: every request
 // additionally increments a registry counter
@@ -225,6 +307,7 @@ func (c *Cache) Instrument(o *obs.Obs) {
 			o:    o,
 			span: "frontend:" + stage,
 			hit:  outcome("hit"), miss: outcome("miss"), dedup: outcome("dedup"),
+			evict: outcome("evict"),
 		}
 	}
 	c.circuits.obs = hook("circuit")

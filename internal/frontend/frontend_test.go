@@ -420,3 +420,91 @@ func TestInstrumentedCacheCounters(t *testing.T) {
 	nilCache.Instrument(obs.New(reg, tr))
 	c.Instrument(nil)
 }
+
+func TestBoundEvictsLRU(t *testing.T) {
+	c := New()
+	c.Bound(2)
+	// Fill the circuit stage: 40 -> 60 -> 80 leaves {60, 80} with 40
+	// evicted as the least recently used.
+	for _, w := range []int{40, 60, 80} {
+		if _, err := c.Circuit("mct", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats().Circuits
+	if s.Evictions != 1 || s.Misses != 3 {
+		t.Fatalf("after fill: stats = %+v, want 3 misses, 1 eviction", s)
+	}
+	// The survivors still hit; the evicted width recomputes as a miss.
+	if _, err := c.Circuit("mct", 80); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Circuit("mct", 40); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats().Circuits
+	if s.Hits != 1 || s.Misses != 4 || s.Evictions != 2 {
+		t.Fatalf("after reuse: stats = %+v, want 1 hit, 4 misses, 2 evictions", s)
+	}
+	// Touching an entry refreshes its recency: 40 was just used, so
+	// inserting a new width evicts 80, not 40.
+	if _, err := c.Circuit("mct", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Circuit("mct", 40); err != nil {
+		t.Fatal(err)
+	}
+	s = c.Stats().Circuits
+	if s.Hits != 2 {
+		t.Fatalf("recently used entry was evicted: stats = %+v", s)
+	}
+	// Unbinding stops eviction.
+	c.Bound(0)
+	for _, w := range []int{40, 60, 80, 100, 120} {
+		if _, err := c.Circuit("mct", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Circuits.Evictions; got != s.Evictions {
+		t.Fatalf("unbounded cache evicted: %d -> %d", s.Evictions, got)
+	}
+}
+
+func TestBoundPinsInFlight(t *testing.T) {
+	c := New()
+	c.Bound(1)
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	// Two concurrent in-flight computations on distinct keys: the cap of
+	// one must not discard either while they run, and both results must
+	// reach their waiters.
+	for i, w := range []int{40, 60} {
+		wg.Add(1)
+		go func(i, w int) {
+			defer wg.Done()
+			_, err := c.circuits.do(circuitKey("slow", w, false), func() (*circuit.Circuit, error) {
+				started <- struct{}{}
+				<-release
+				return circuit.Benchmark("mct", w)
+			})
+			if err != nil {
+				t.Errorf("slow %d: %v", w, err)
+			}
+		}(i, w)
+	}
+	<-started
+	<-started
+	if got := c.Stats().Circuits.Evictions; got != 0 {
+		t.Errorf("in-flight entries evicted: %d", got)
+	}
+	close(release)
+	wg.Wait()
+	// Once both complete, the next insert trims back to the cap.
+	if _, err := c.Circuit("mct", 80); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Circuits.Evictions; got != 2 {
+		t.Errorf("post-completion evictions = %d, want 2", got)
+	}
+}

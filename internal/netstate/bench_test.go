@@ -1,0 +1,90 @@
+package netstate_test
+
+import (
+	"fmt"
+	"testing"
+
+	"switchqnet/internal/hw"
+	"switchqnet/internal/netstate"
+	"switchqnet/internal/topology"
+)
+
+// benchRackCounts are the fabric sizes of the clone benchmarks: the
+// paper-scale-adjacent floor, the BENCH_scale.json acceptance point and
+// the thousand-rack target.
+var benchRackCounts = []int{64, 256, 1024}
+
+// scaleState builds a racks x 4 CLOS fabric with every in-rack pair
+// holding a live (busy) channel — six channels per rack, the channel
+// population of a keep-channels compile in steady state. The link
+// weight is raised to six so all pairs can be configured concurrently.
+func scaleState(tb testing.TB, racks int) (*netstate.State, *topology.Arch) {
+	tb.Helper()
+	arch, err := topology.New(topology.Config{
+		Topology: "clos", Racks: racks, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2, LinkWeight: 6,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s := netstate.New(arch, hw.Default())
+	for r := 0; r < racks; r++ {
+		for x := 0; x < 4; x++ {
+			for y := x + 1; y < 4; y++ {
+				ch := s.OpenChannel(arch.QPUID(r, x), arch.QPUID(r, y))
+				if ch == nil {
+					tb.Fatalf("rack %d pair %d-%d: no channel", r, x, y)
+				}
+				s.EnqueueGeneration(ch, 100)
+			}
+		}
+	}
+	return s, arch
+}
+
+// BenchmarkCloneCold measures a from-scratch checkpoint clone
+// (Clone() with no recycled destination): the cost paid at every
+// compile start and on every checkpoint-arena growth. This is the
+// bytes/op series BENCH_scale.json tracks — on the flat []*Channel
+// representation it is O(total channels) per op; on the sharded
+// copy-on-write representation it is O(shards) plus the flat resource
+// arrays.
+func BenchmarkCloneCold(b *testing.B) {
+	for _, racks := range benchRackCounts {
+		b.Run(fmt.Sprintf("racks=%d", racks), func(b *testing.B) {
+			s, _ := scaleState(b, racks)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink *netstate.State
+			for i := 0; i < b.N; i++ {
+				sink = s.Clone()
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkCheckpointCycle measures the engine's steady-state snapshot
+// pattern: one localized mutation (a generation on a rack-0 channel)
+// followed by CloneInto into the recycled arena state. The flat
+// representation re-copies every channel per snapshot regardless of
+// what changed; the sharded representation copies only the dirtied
+// rack group.
+func BenchmarkCheckpointCycle(b *testing.B) {
+	for _, racks := range benchRackCounts {
+		b.Run(fmt.Sprintf("racks=%d", racks), func(b *testing.B) {
+			s, _ := scaleState(b, racks)
+			dst := s.Clone()
+			ch := s.LiveChannel(0, 1)
+			if ch == nil {
+				b.Fatal("no rack-0 channel")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.EnqueueGeneration(ch, 1)
+				dst = s.CloneInto(dst)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package netstate
+
+import (
+	"testing"
+
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// TestEnqueueAfterClonePipelines pins the copy-on-write contract of
+// EnqueueGeneration: a channel pointer obtained before a clone may go
+// stale after the materialization, but generations addressed through it
+// must still pipeline on the live channel, and the clone must keep the
+// snapshot values.
+func TestEnqueueAfterClonePipelines(t *testing.T) {
+	s := newState(t, 2, 2)
+	ch := s.OpenChannel(0, 1)
+	c := s.Clone()
+	_, e1 := s.EnqueueGeneration(ch, 100)
+	_, e2 := s.EnqueueGeneration(ch, 100) // ch may be stale now; must still pipeline
+	if e1 != ch.ReadyAt+100 || e2 != e1+100 {
+		t.Errorf("generation ends = %d, %d, want %d, %d", e1, e2, ch.ReadyAt+100, ch.ReadyAt+200)
+	}
+	live := s.Channel(ch.ID)
+	if live == nil || live.BusyUntil != e2 {
+		t.Errorf("live BusyUntil = %v, want %d", live, e2)
+	}
+	if cc := c.Channel(ch.ID); cc == nil || cc.BusyUntil != ch.ReadyAt {
+		t.Errorf("clone BusyUntil = %v, want the snapshot value %d", cc, ch.ReadyAt)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCycleRecycles drives the engine's snapshot/restore
+// pattern — mutate, CloneInto a recycled arena state, repeat — and
+// checks both sides stay valid and independent at every step.
+func TestCheckpointCycleRecycles(t *testing.T) {
+	s := newState(t, 4, 4)
+	var cp *State
+	for round := 0; round < 6; round++ {
+		a, b := s.Arch.QPUID(round%4, 0), s.Arch.QPUID(round%4, 1)
+		var ch *Channel
+		if ch = s.LiveChannel(a, b); ch == nil {
+			ch = s.OpenChannel(a, b)
+		}
+		if ch == nil {
+			t.Fatalf("round %d: no channel", round)
+		}
+		s.EnqueueGeneration(ch, 50)
+		cp = s.CloneInto(cp)
+		want := s.Channel(ch.ID).BusyUntil
+		s.EnqueueGeneration(s.Channel(ch.ID), 50)
+		if got := cp.Channel(ch.ID).BusyUntil; got != want {
+			t.Fatalf("round %d: checkpoint BusyUntil = %d, want %d", round, got, want)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("round %d live: %v", round, err)
+		}
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("round %d checkpoint: %v", round, err)
+		}
+		if cp.NumChannels() != s.NumChannels() {
+			t.Fatalf("round %d: checkpoint has %d channels, live %d", round, cp.NumChannels(), s.NumChannels())
+		}
+	}
+	// Restoring the other way (checkpoint -> live) must also hold.
+	s = cp.CloneInto(s)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossGroupSharding pins that cross-rack channels land in the
+// trailing shard and stay reachable through every lookup path after a
+// clone-induced materialization.
+func TestCrossGroupSharding(t *testing.T) {
+	// 128 racks puts two racks per group (ceil(128/64)), so racks 0 and
+	// 1 share a group while racks 0 and 127 do not.
+	arch, err := topology.NewArch("clos", 128, 2, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(arch, hw.Default())
+	sameGroup := s.OpenChannel(arch.QPUID(0, 0), arch.QPUID(1, 0))
+	cross := s.OpenChannel(arch.QPUID(0, 1), arch.QPUID(127, 0))
+	if sameGroup == nil || cross == nil {
+		t.Fatal("channels failed to open")
+	}
+	if got := s.shardOf(sameGroup.A, sameGroup.B); got == s.nGroups {
+		t.Errorf("racks 0-1 channel in cross shard")
+	}
+	if got := s.shardOf(cross.A, cross.B); got != s.nGroups {
+		t.Errorf("racks 0-127 channel in shard %d, want cross shard %d", got, s.nGroups)
+	}
+	c := s.Clone()
+	s.EnqueueGeneration(cross, 100) // materializes the cross shard
+	if got := c.Channel(cross.ID); got == nil || got.BusyUntil != cross.ReadyAt {
+		t.Errorf("clone cross channel = %v, want snapshot BusyUntil %d", got, cross.ReadyAt)
+	}
+	if got := s.LiveChannel(arch.QPUID(0, 1), arch.QPUID(127, 0)); got == nil || got.ID != cross.ID {
+		t.Errorf("live cross lookup = %v, want id %d", got, cross.ID)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,14 @@
 // the set of currently configured optical channels with their
 // reconfiguration costs. The whole state is deep-copyable to support
 // the retry mechanism's checkpoints (Section 4.5).
+//
+// The channel set is sharded by rack group and shared copy-on-write
+// across checkpoint clones: a clone copies shard POINTERS (plus the
+// flat per-QPU/per-edge resource arrays), and a shard's channels are
+// only deep-copied when a state that does not solely own the shard
+// mutates it. On thousand-rack fabrics this turns the O(total
+// channels) per-checkpoint clone of the flat representation into
+// O(shards dirtied since the last snapshot).
 package netstate
 
 import (
@@ -36,7 +44,7 @@ type Channel struct {
 	ID   int
 	A, B int // QPU endpoints (A < B)
 	// Path is the edge-id route of the channel. It is IMMUTABLE after
-	// OpenChannel returns: Clone shares the backing array across state
+	// OpenChannel returns: clones share the backing array across state
 	// copies instead of deep-copying it, so mutating a path would
 	// corrupt every checkpoint holding the channel.
 	Path    []int
@@ -51,6 +59,66 @@ type Channel struct {
 // Idle reports whether the channel has no generation in flight at time t.
 func (c *Channel) Idle(t hw.Time) bool { return c.BusyUntil <= t }
 
+// maxGroups bounds the number of rack-group shards, so a checkpoint
+// clone touches at most maxGroups+1 shard pointers however large the
+// fabric is, while shards stay small enough that a copy-on-write
+// materialization is cheap. At paper scale (<= 64 racks) every rack is
+// its own group.
+const maxGroups = 64
+
+// shard is one rack group's live channel set: the channels whose
+// endpoint racks both fall in the group (cross-group channels live in
+// the dedicated trailing shard), in ascending-ID order, plus the
+// group's pair index. Shards are shared copy-on-write across checkpoint
+// clones: refs counts the states referencing the shard, and a state
+// that is not the sole owner materializes a private copy before
+// mutating (State.own). A shard's Channel structs are exclusively owned
+// by that shard — materialization copies them — so recycling a released
+// shard's structs is safe.
+type shard struct {
+	refs  int
+	chans []*Channel // ascending ID
+	// byPair maps a canonical QPU pair to a live channel id for
+	// collection lookups (at most one live channel per pair is indexed).
+	byPair map[[2]int]int
+	// minBusy is a conservative lower bound on the minimum BusyUntil
+	// over chans (hw.MaxTime when empty): if minBusy > now the shard has
+	// no idle channel and idle scans skip it wholesale. Opens lower it,
+	// generations only raise BusyUntil (the bound stays valid), and
+	// full-shard scans re-tighten it. Closing a channel can leave the
+	// bound stale-low, which is safe: a stale-low bound only costs a
+	// scan, never skips an idle channel.
+	minBusy hw.Time
+}
+
+// pool is the lineage-wide recycling arena shared by a state and every
+// clone derived from it (checkpoint lineages are confined to one
+// goroutine, like the router): released shards and closed channel
+// structs return here, and the scratch buffers of the idle-credit and
+// reclaim paths live here so the hot helpers allocate nothing in steady
+// state.
+type pool struct {
+	shards      []*shard   // recycled shard bodies (chans emptied, byPair cleared)
+	chans       []*Channel // recycled Channel structs
+	creditEdge  []int      // CanRoute/reclaimOne idle-credited residuals
+	creditBSM   []int
+	pathScratch []int // reclaimOne target-path buffer
+}
+
+func (p *pool) getChannel() *Channel {
+	if n := len(p.chans); n > 0 {
+		ch := p.chans[n-1]
+		p.chans = p.chans[:n-1]
+		return ch
+	}
+	return new(Channel)
+}
+
+func (p *pool) putChannel(ch *Channel) {
+	ch.Path = nil // drop the shared path; other shards keep their own reference
+	p.chans = append(p.chans, ch)
+}
+
 // State is the complete dynamic network state.
 type State struct {
 	Arch   *topology.Arch
@@ -61,17 +129,19 @@ type State struct {
 	EdgeFree []int
 	BSMFree  []int
 
-	// chans is the live channel set in ascending-ID order. IDs are
+	// shards holds the rack-group channel shards (index = rack group)
+	// plus the trailing cross-group shard at index nGroups. IDs are
 	// assigned monotonically (nextID), so OpenChannel appends and every
-	// by-id consumer is a linear scan with no sorting; CloseChannel
-	// removes in place. Pointers returned by OpenChannel/LiveChannel/
-	// Channel stay valid until that channel is closed (closed structs
-	// are recycled through freeCh).
-	chans []*Channel
-	// byPair maps a canonical QPU pair to a live channel id for
-	// collection lookups (at most one live channel per pair is indexed).
-	byPair map[[2]int]int
-	nextID int
+	// shard stays id-ordered with no sorting. Pointers returned by
+	// OpenChannel/LiveChannel/Channel stay valid for READING until the
+	// channel is closed; after a clone they may refer to a checkpoint's
+	// copy, so mutations must go through EnqueueGeneration, which
+	// re-resolves the live struct by identity.
+	shards    []*shard
+	groupSize int // racks per group
+	nGroups   int
+	live      int // total live channels across shards
+	nextID    int
 
 	// Reconfigs counts switch reconfigurations performed (for Fig. 2's
 	// latency attribution and overhead reporting).
@@ -83,16 +153,12 @@ type State struct {
 	// the verdict was recorded, so the cached "unroutable" may be stale.
 	TeardownEpoch uint64
 
-	// Scratch below carries no semantic state and is never deep-copied:
-	// clones start with their own empty scratch (except router, which is
-	// shared — its marks are epoch-stamped per query, and checkpoint
-	// clones are never routed concurrently with their source).
-	router      *topology.Router
-	freeCh      []*Channel // recycled Channel structs
-	creditEdge  []int      // CanRoute/reclaimOne idle-credited residuals
-	creditBSM   []int
-	idleScratch []*Channel // reclaimOne LRU ordering buffer
-	pathScratch []int      // reclaimOne target-path buffer
+	// router and pool carry no semantic state and are shared across the
+	// clone lineage rather than deep-copied (the router's marks are
+	// epoch-stamped per query, and checkpoint clones are never used
+	// concurrently with their source).
+	router *topology.Router
+	pool   *pool
 }
 
 // New initializes the state for an architecture at time 0.
@@ -104,16 +170,26 @@ func New(arch *topology.Arch, p hw.Params) *State {
 // compiler uses it to give every partition's state a router of its own
 // (a Router is not safe for concurrent use, so partitions scheduling on
 // worker goroutines cannot share one); the router's precompute may be
-// shared across clones, only its scratch must be private.
+// shared across clones, only its scratch must be private. Each state
+// built here starts its own clone lineage: its recycling pool and
+// shards are never shared with states from other NewWithRouter calls.
 func NewWithRouter(arch *topology.Arch, p hw.Params, r *topology.Router) *State {
+	groupSize := ceilDiv(arch.Racks, maxGroups)
+	nGroups := ceilDiv(arch.Racks, groupSize)
 	s := &State{
-		Arch:     arch,
-		Params:   p,
-		QPUs:     make([]QPU, arch.NumQPUs()),
-		EdgeFree: make([]int, len(arch.Net.Edges)),
-		BSMFree:  make([]int, arch.Racks),
-		byPair:   make(map[[2]int]int),
-		router:   r,
+		Arch:      arch,
+		Params:    p,
+		QPUs:      make([]QPU, arch.NumQPUs()),
+		EdgeFree:  make([]int, len(arch.Net.Edges)),
+		BSMFree:   make([]int, arch.Racks),
+		shards:    make([]*shard, nGroups+1),
+		groupSize: groupSize,
+		nGroups:   nGroups,
+		router:    r,
+		pool:      &pool{},
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{refs: 1, byPair: make(map[[2]int]int), minBusy: hw.MaxTime}
 	}
 	for i := range s.QPUs {
 		s.QPUs[i] = QPU{FreeComm: arch.CommQubits, FreeBuf: arch.BufferSize}
@@ -127,14 +203,33 @@ func NewWithRouter(arch *topology.Arch, p hw.Params, r *topology.Router) *State 
 	return s
 }
 
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// groupOf returns the rack-group shard index of a rack.
+func (s *State) groupOf(rack int) int { return rack / s.groupSize }
+
+// shardOf returns the shard index of a QPU pair: the common rack group
+// when both endpoints fall in one, else the trailing cross-group shard.
+func (s *State) shardOf(a, b int) int {
+	ga, gb := s.groupOf(s.Arch.RackOf(a)), s.groupOf(s.Arch.RackOf(b))
+	if ga == gb {
+		return ga
+	}
+	return s.nGroups
+}
+
 // Clone deep-copies the state for checkpointing.
 func (s *State) Clone() *State { return s.CloneInto(nil) }
 
-// CloneInto deep-copies the state into dst, reusing dst's storage
-// (slices, map, channel structs) when possible; dst == nil allocates a
-// fresh state. Channel paths are shared, not copied: they are immutable
-// after OpenChannel (see Channel.Path). The router scratch is shared
-// too — clones are never routed concurrently with their source.
+// CloneInto snapshots the state into dst, reusing dst's storage when
+// possible; dst == nil allocates a fresh state. The flat resource
+// arrays are copied; the channel shards are SHARED copy-on-write — the
+// clone costs O(shards) pointer copies plus the arrays, not O(total
+// channels) — and a shard is deep-copied only when a sharer mutates it.
+// Channel paths are shared too: they are immutable after OpenChannel
+// (see Channel.Path). The router and recycling pool are shared across
+// the lineage — clones are never used concurrently with their source.
 func (s *State) CloneInto(dst *State) *State {
 	if dst == nil {
 		dst = &State{}
@@ -143,31 +238,83 @@ func (s *State) CloneInto(dst *State) *State {
 	dst.QPUs = append(dst.QPUs[:0], s.QPUs...)
 	dst.EdgeFree = append(dst.EdgeFree[:0], s.EdgeFree...)
 	dst.BSMFree = append(dst.BSMFree[:0], s.BSMFree...)
+	dst.groupSize, dst.nGroups, dst.live = s.groupSize, s.nGroups, s.live
 	dst.nextID = s.nextID
 	dst.Reconfigs = s.Reconfigs
 	dst.TeardownEpoch = s.TeardownEpoch
 	dst.router = s.router
-	old := dst.chans
-	dst.chans = dst.chans[:0]
-	for i, ch := range s.chans {
-		var c *Channel
-		if i < len(old) {
-			c = old[i]
-		} else {
-			c = new(Channel)
+	if dst.pool != s.pool {
+		// dst joins this lineage (it was zero-valued, or — never in
+		// practice — from another lineage: then just drop its references
+		// without recycling into a pool its shards did not come from).
+		for _, sh := range dst.shards {
+			sh.refs--
 		}
-		*c = *ch
-		dst.chans = append(dst.chans, c)
-	}
-	if dst.byPair == nil {
-		dst.byPair = make(map[[2]int]int, len(s.byPair))
+		dst.shards = dst.shards[:0]
+		dst.pool = s.pool
 	} else {
-		clear(dst.byPair)
+		for _, sh := range dst.shards {
+			s.releaseShard(sh)
+		}
+		dst.shards = dst.shards[:0]
 	}
-	for k, v := range s.byPair {
-		dst.byPair[k] = v
+	for _, sh := range s.shards {
+		sh.refs++
 	}
+	dst.shards = append(dst.shards, s.shards...)
 	return dst
+}
+
+// releaseShard drops one reference to sh, recycling its storage into
+// the lineage pool once nobody references it. Channel structs are
+// exclusively owned by their shard, so they recycle with it.
+func (s *State) releaseShard(sh *shard) {
+	sh.refs--
+	if sh.refs > 0 {
+		return
+	}
+	for i, ch := range sh.chans {
+		s.pool.putChannel(ch)
+		sh.chans[i] = nil
+	}
+	sh.chans = sh.chans[:0]
+	clear(sh.byPair)
+	sh.minBusy = hw.MaxTime
+	s.pool.shards = append(s.pool.shards, sh)
+}
+
+// own returns shards[i], first materializing a private copy when the
+// shard is shared with a checkpoint clone (copy-on-write). Channel
+// order — and therefore every index into the shard — is preserved.
+func (s *State) own(i int) *shard {
+	sh := s.shards[i]
+	if sh.refs == 1 {
+		return sh
+	}
+	var cp *shard
+	if n := len(s.pool.shards); n > 0 {
+		cp = s.pool.shards[n-1]
+		s.pool.shards = s.pool.shards[:n-1]
+	} else {
+		cp = &shard{byPair: make(map[[2]int]int, len(sh.byPair))}
+	}
+	cp.refs = 1
+	cp.minBusy = sh.minBusy
+	cp.chans = cp.chans[:0]
+	for _, ch := range sh.chans {
+		c := s.pool.getChannel()
+		*c = *ch
+		cp.chans = append(cp.chans, c)
+	}
+	if cp.byPair == nil {
+		cp.byPair = make(map[[2]int]int, len(sh.byPair))
+	}
+	for k, v := range sh.byPair {
+		cp.byPair[k] = v
+	}
+	sh.refs--
+	s.shards[i] = cp
+	return cp
 }
 
 func pairKey(a, b int) [2]int {
@@ -177,58 +324,75 @@ func pairKey(a, b int) [2]int {
 	return [2]int{a, b}
 }
 
-// chanIndex returns the position of channel id in the id-ordered live
+// findIdx returns the position of channel id in the shard's id-ordered
 // list, or -1. Binary search over the ascending IDs.
-func (s *State) chanIndex(id int) int {
-	lo, hi := 0, len(s.chans)
+func findIdx(sh *shard, id int) int {
+	lo, hi := 0, len(sh.chans)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if s.chans[mid].ID < id {
+		if sh.chans[mid].ID < id {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < len(s.chans) && s.chans[lo].ID == id {
+	if lo < len(sh.chans) && sh.chans[lo].ID == id {
 		return lo
 	}
 	return -1
 }
 
 // LiveChannel returns the live channel between QPUs a and b, or nil.
+// The pointer is valid for reading until the channel is closed; see
+// EnqueueGeneration for mutation.
 func (s *State) LiveChannel(a, b int) *Channel {
-	if id, ok := s.byPair[pairKey(a, b)]; ok {
-		return s.Channel(id)
+	sh := s.shards[s.shardOf(a, b)]
+	if id, ok := sh.byPair[pairKey(a, b)]; ok {
+		if i := findIdx(sh, id); i >= 0 {
+			return sh.chans[i]
+		}
 	}
 	return nil
 }
 
 // Channel returns a channel by id, or nil.
 func (s *State) Channel(id int) *Channel {
-	if i := s.chanIndex(id); i >= 0 {
-		return s.chans[i]
+	if id < 0 || id >= s.nextID {
+		return nil
+	}
+	for _, sh := range s.shards {
+		if i := findIdx(sh, id); i >= 0 {
+			return sh.chans[i]
+		}
 	}
 	return nil
 }
 
 // NumChannels returns the number of live channels.
-func (s *State) NumChannels() int { return len(s.chans) }
+func (s *State) NumChannels() int { return s.live }
 
-// creditIdle copies the current residuals into the reusable credit
-// buffers and credits every idle channel's pinned capacity and BSM,
-// returning the buffers. The result is only valid until the next call.
+// creditIdle copies the current residuals into the lineage's reusable
+// credit buffers and credits every idle channel's pinned capacity and
+// BSM, returning the buffers. Shards whose minBusy bound proves them
+// busy are skipped wholesale. The result is only valid until the next
+// call on any state of the lineage.
 func (s *State) creditIdle() (res, bsm []int) {
-	res = append(s.creditEdge[:0], s.EdgeFree...)
-	bsm = append(s.creditBSM[:0], s.BSMFree...)
-	s.creditEdge, s.creditBSM = res, bsm
-	for _, ch := range s.chans {
-		if !ch.Idle(s.Now) {
+	res = append(s.pool.creditEdge[:0], s.EdgeFree...)
+	bsm = append(s.pool.creditBSM[:0], s.BSMFree...)
+	s.pool.creditEdge, s.pool.creditBSM = res, bsm
+	for _, sh := range s.shards {
+		if len(sh.chans) == 0 || sh.minBusy > s.Now {
 			continue
 		}
-		for _, eid := range ch.Path {
-			res[eid]++
+		for _, ch := range sh.chans {
+			if !ch.Idle(s.Now) {
+				continue
+			}
+			for _, eid := range ch.Path {
+				res[eid]++
+			}
+			bsm[ch.BSMRack]++
 		}
-		bsm[ch.BSMRack]++
 	}
 	return res, bsm
 }
@@ -281,13 +445,8 @@ func (s *State) OpenChannel(a, b int) *Channel {
 		s.EdgeFree[eid]--
 	}
 	s.Reconfigs++
-	var ch *Channel
-	if n := len(s.freeCh); n > 0 {
-		ch = s.freeCh[n-1]
-		s.freeCh = s.freeCh[:n-1]
-	} else {
-		ch = new(Channel)
-	}
+	sh := s.own(s.shardOf(a, b))
+	ch := s.pool.getChannel()
 	*ch = Channel{
 		ID: s.nextID, A: min(a, b), B: max(a, b), Path: path,
 		BSMRack: rack, InRack: s.Arch.Net.InRack(a, b),
@@ -295,31 +454,70 @@ func (s *State) OpenChannel(a, b int) *Channel {
 	}
 	ch.BusyUntil = ch.ReadyAt
 	s.nextID++
-	s.chans = append(s.chans, ch) // nextID is monotonic: append keeps id order
-	s.byPair[pairKey(a, b)] = ch.ID
+	sh.chans = append(sh.chans, ch) // nextID is monotonic: append keeps id order
+	sh.byPair[pairKey(a, b)] = ch.ID
+	if ch.BusyUntil < sh.minBusy {
+		sh.minBusy = ch.BusyUntil
+	}
+	s.live++
 	return ch
 }
 
-// idleByLRU fills the reusable scratch with the idle channels,
-// least-recently-busy first (earliest BusyUntil, ties broken by id).
-// The slice is only valid until the next call.
-func (s *State) idleByLRU() []*Channel {
-	idle := s.idleScratch[:0]
-	for _, ch := range s.chans { // ascending id
-		if !ch.Idle(s.Now) {
+// minIdleEdge returns the shard index and position of the
+// least-recently-busy idle channel whose path contains edge eid
+// (earliest BusyUntil, ties broken by lowest id), or (-1, -1). This is
+// the victim the flat representation found by walking its LRU-ordered
+// idle list: the first LRU entry containing the edge is exactly the
+// (BusyUntil, id)-minimal contributor.
+func (s *State) minIdleEdge(eid int) (si, idx int) {
+	si, idx = -1, -1
+	var best *Channel
+	for j, sh := range s.shards {
+		if len(sh.chans) == 0 || sh.minBusy > s.Now {
 			continue
 		}
-		// Insertion sort by BusyUntil: stable (strict > comparison), so
-		// equal BusyUntil keeps the id order — same as sort.SliceStable
-		// over an id-sorted input. Idle sets are small (bounded by live
-		// channels), so O(n²) never matters.
-		idle = append(idle, ch)
-		for i := len(idle) - 1; i > 0 && idle[i-1].BusyUntil > idle[i].BusyUntil; i-- {
-			idle[i-1], idle[i] = idle[i], idle[i-1]
+		for i, ch := range sh.chans {
+			if !ch.Idle(s.Now) || !containsEdge(ch.Path, eid) {
+				continue
+			}
+			if best == nil || ch.BusyUntil < best.BusyUntil ||
+				(ch.BusyUntil == best.BusyUntil && ch.ID < best.ID) {
+				best, si, idx = ch, j, i
+			}
 		}
 	}
-	s.idleScratch = idle
-	return idle
+	return si, idx
+}
+
+// minIdleBSM returns the shard index and position of the
+// least-recently-busy idle channel holding a BSM in rack ra or rb, or
+// (-1, -1). A channel's BSM always sits in one of its endpoint racks,
+// so every candidate lives in the rack-group shard of ra, of rb, or in
+// the cross-group shard — the scan skips the rest of the fabric.
+func (s *State) minIdleBSM(ra, rb int) (si, idx int) {
+	si, idx = -1, -1
+	var best *Channel
+	g1, g2 := s.groupOf(ra), s.groupOf(rb)
+	cand := [3]int{g1, g2, s.nGroups}
+	for k, j := range cand {
+		if k == 1 && g2 == g1 {
+			continue
+		}
+		sh := s.shards[j]
+		if len(sh.chans) == 0 || sh.minBusy > s.Now {
+			continue
+		}
+		for i, ch := range sh.chans {
+			if !ch.Idle(s.Now) || (ch.BSMRack != ra && ch.BSMRack != rb) {
+				continue
+			}
+			if best == nil || ch.BusyUntil < best.BusyUntil ||
+				(ch.BusyUntil == best.BusyUntil && ch.ID < best.ID) {
+				best, si, idx = ch, j, i
+			}
+		}
+	}
+	return si, idx
 }
 
 // reclaimOne tears down one idle channel that contributes to the
@@ -330,16 +528,15 @@ func (s *State) idleByLRU() []*Channel {
 // least-recently-busy channel is evicted. It returns false when no
 // teardown can help.
 func (s *State) reclaimOne(a, b int, havePath bool) bool {
-	idle := s.idleByLRU()
-	if len(idle) == 0 {
+	if s.live == 0 {
 		return false
 	}
 	if !havePath {
 		// Find the path that would exist with every idle channel's
 		// capacity credited, then free its first saturated edge.
 		res, _ := s.creditIdle()
-		target, ok := s.router.AppendPath(s.pathScratch[:0], res, a, b)
-		s.pathScratch = target[:0]
+		target, ok := s.router.AppendPath(s.pool.pathScratch[:0], res, a, b)
+		s.pool.pathScratch = target[:0]
 		if !ok {
 			return false
 		}
@@ -347,11 +544,9 @@ func (s *State) reclaimOne(a, b int, havePath bool) bool {
 			if s.EdgeFree[eid] > 0 {
 				continue
 			}
-			for _, ch := range idle {
-				if containsEdge(ch.Path, eid) {
-					s.CloseChannel(ch.ID)
-					return true
-				}
+			if si, idx := s.minIdleEdge(eid); si >= 0 {
+				s.closeAt(si, idx)
+				return true
 			}
 		}
 		// Every edge of the credited path already has capacity, yet no
@@ -360,12 +555,9 @@ func (s *State) reclaimOne(a, b int, havePath bool) bool {
 	}
 	// A path exists, so only BSMs block: a teardown helps only if its
 	// BSM sits in one of the endpoint racks.
-	ra, rb := s.Arch.RackOf(a), s.Arch.RackOf(b)
-	for _, ch := range idle {
-		if ch.BSMRack == ra || ch.BSMRack == rb {
-			s.CloseChannel(ch.ID)
-			return true
-		}
+	if si, idx := s.minIdleBSM(s.Arch.RackOf(a), s.Arch.RackOf(b)); si >= 0 {
+		s.closeAt(si, idx)
+		return true
 	}
 	return false
 }
@@ -383,59 +575,116 @@ func containsEdge(path []int, eid int) bool {
 // teardown epoch. The channel struct is recycled: pointers to it are
 // invalid once it is closed.
 func (s *State) CloseChannel(id int) {
-	i := s.chanIndex(id)
-	if i < 0 {
-		return
+	for si, sh := range s.shards {
+		if i := findIdx(sh, id); i >= 0 {
+			s.closeAt(si, i)
+			return
+		}
 	}
-	ch := s.chans[i]
+}
+
+// closeAt tears down the channel at position idx of shard si (indices
+// are preserved across the copy-on-write materialization).
+func (s *State) closeAt(si, idx int) {
+	sh := s.own(si)
+	ch := sh.chans[idx]
 	for _, eid := range ch.Path {
 		s.EdgeFree[eid]++
 	}
 	s.BSMFree[ch.BSMRack]++
 	s.TeardownEpoch++
-	s.chans = append(s.chans[:i], s.chans[i+1:]...)
+	sh.chans = append(sh.chans[:idx], sh.chans[idx+1:]...)
+	sh.chans[:len(sh.chans)+1][len(sh.chans)] = nil // un-alias the compacted-over tail slot
 	key := pairKey(ch.A, ch.B)
-	if s.byPair[key] == id {
-		delete(s.byPair, key)
+	if sh.byPair[key] == ch.ID {
+		delete(sh.byPair, key)
 	}
-	ch.Path = nil // drop the shared path; clones keep their own reference
-	s.freeCh = append(s.freeCh, ch)
+	s.pool.putChannel(ch)
+	s.live--
+	// Removal can only raise the true minimum BusyUntil; the stale-low
+	// bound stays valid (see shard.minBusy).
 }
 
 // CloseIdleChannels tears down every channel idle at the current time.
 // The baseline strategies use this to model per-request reconfiguration.
-// One in-place compaction over the id-ordered list: no sorting, no
-// allocation.
+// Shards with no idle channel — proven by the minBusy bound or by one
+// read-only scan that re-tightens it — are skipped without triggering
+// copy-on-write; each dirty shard is compacted in place.
 func (s *State) CloseIdleChannels() {
-	live := s.chans[:0]
-	for _, ch := range s.chans {
-		if !ch.Idle(s.Now) {
-			live = append(live, ch)
+	for si := range s.shards {
+		sh := s.shards[si]
+		if len(sh.chans) == 0 || sh.minBusy > s.Now {
 			continue
 		}
-		for _, eid := range ch.Path {
-			s.EdgeFree[eid]++
+		// Scan the (possibly shared) shard read-only first: most shards
+		// in a keep-channels compile are fully busy, and materializing
+		// them here would defeat the copy-on-write clone.
+		first := -1
+		minBusy := hw.MaxTime
+		for i, ch := range sh.chans {
+			if ch.Idle(s.Now) {
+				first = i
+				break
+			}
+			if ch.BusyUntil < minBusy {
+				minBusy = ch.BusyUntil
+			}
 		}
-		s.BSMFree[ch.BSMRack]++
-		s.TeardownEpoch++
-		key := pairKey(ch.A, ch.B)
-		if s.byPair[key] == ch.ID {
-			delete(s.byPair, key)
+		if first < 0 {
+			// No idle channel: re-tighten the bound. The bound is a
+			// property of the channel values alone, so writing it on a
+			// shard shared with checkpoints is sound.
+			sh.minBusy = minBusy
+			continue
 		}
-		ch.Path = nil
-		s.freeCh = append(s.freeCh, ch)
+		sh = s.own(si)
+		live := sh.chans[:first]
+		for _, ch := range sh.chans[first:] {
+			if !ch.Idle(s.Now) {
+				if ch.BusyUntil < minBusy {
+					minBusy = ch.BusyUntil
+				}
+				live = append(live, ch)
+				continue
+			}
+			for _, eid := range ch.Path {
+				s.EdgeFree[eid]++
+			}
+			s.BSMFree[ch.BSMRack]++
+			s.TeardownEpoch++
+			key := pairKey(ch.A, ch.B)
+			if sh.byPair[key] == ch.ID {
+				delete(sh.byPair, key)
+			}
+			s.pool.putChannel(ch)
+			s.live--
+		}
+		// Clear the compacted-over tail so recycled structs are not
+		// aliased from the live slice.
+		for i := len(live); i < len(sh.chans); i++ {
+			sh.chans[i] = nil
+		}
+		sh.chans = live
+		sh.minBusy = minBusy
 	}
-	// Clear the compacted-over tail so recycled structs are not aliased
-	// from the live slice.
-	for i := len(live); i < len(s.chans); i++ {
-		s.chans[i] = nil
-	}
-	s.chans = live
 }
 
 // EnqueueGeneration appends one EPR generation of the given duration to
-// the channel's pipeline and returns its start and end times.
+// the channel's pipeline and returns its start and end times. ch may be
+// a pointer obtained before a checkpoint clone: the generation is
+// applied to the live channel with ch's identity (the copy-on-write
+// materialization may have replaced the struct), so the caller's
+// pointer can go stale for reading BusyUntil but scheduling stays
+// correct.
 func (s *State) EnqueueGeneration(ch *Channel, d hw.Time) (start, end hw.Time) {
+	si := s.shardOf(ch.A, ch.B)
+	if i := findIdx(s.shards[si], ch.ID); i >= 0 {
+		sh := s.shards[si]
+		if sh.refs > 1 {
+			sh = s.own(si)
+		}
+		ch = sh.chans[i]
+	}
 	start = ch.BusyUntil
 	if start < s.Now {
 		start = s.Now
@@ -449,7 +698,7 @@ func (s *State) EnqueueGeneration(ch *Channel, d hw.Time) (start, end hw.Time) {
 }
 
 // Validate checks resource invariants (never negative, never above
-// capacity).
+// capacity) and the sharded representation's structural invariants.
 func (s *State) Validate() error {
 	for i, q := range s.QPUs {
 		if q.FreeComm < 0 || q.FreeComm > s.Arch.CommQubits {
@@ -476,11 +725,34 @@ func (s *State) Validate() error {
 			return fmt.Errorf("netstate: rack %d BSMs %d outside [0, %d]", r, free, s.Arch.Net.BSMsPerRack)
 		}
 	}
-	for i := 1; i < len(s.chans); i++ {
-		if s.chans[i-1].ID >= s.chans[i].ID {
-			return fmt.Errorf("netstate: channel list out of id order at %d (%d >= %d)",
-				i, s.chans[i-1].ID, s.chans[i].ID)
+	total := 0
+	for si, sh := range s.shards {
+		if sh.refs < 1 {
+			return fmt.Errorf("netstate: shard %d refcount %d < 1", si, sh.refs)
 		}
+		total += len(sh.chans)
+		for i, ch := range sh.chans {
+			if i > 0 && sh.chans[i-1].ID >= ch.ID {
+				return fmt.Errorf("netstate: shard %d out of id order at %d (%d >= %d)",
+					si, i, sh.chans[i-1].ID, ch.ID)
+			}
+			if want := s.shardOf(ch.A, ch.B); want != si {
+				return fmt.Errorf("netstate: channel %d (%d-%d) in shard %d, want %d",
+					ch.ID, ch.A, ch.B, si, want)
+			}
+			if ch.BusyUntil < sh.minBusy {
+				return fmt.Errorf("netstate: shard %d minBusy %d above channel %d BusyUntil %d",
+					si, sh.minBusy, ch.ID, ch.BusyUntil)
+			}
+		}
+		for k, id := range sh.byPair {
+			if findIdx(sh, id) < 0 {
+				return fmt.Errorf("netstate: shard %d pair %v indexes dead channel %d", si, k, id)
+			}
+		}
+	}
+	if total != s.live {
+		return fmt.Errorf("netstate: live count %d, shards hold %d", s.live, total)
 	}
 	return nil
 }

@@ -100,8 +100,23 @@ func ceilDiv(a, b int) int { return (a + b - 1) / b }
 // aggregate capacity for all communication qubits in the rack (full
 // bisection bandwidth).
 func NewCLOS(racks, qpusPerRack, linkWeight int) *Network {
+	n, _ := NewCLOSK(racks, qpusPerRack, linkWeight, 0)
+	return n
+}
+
+// NewCLOSK is the k-ary generalization of NewCLOS: cores core switches
+// (0 means the paper's 4), each ToR connected to every core with the
+// rack's communication capacity split evenly across them (full
+// bisection bandwidth at any core count). Large-fabric sweeps raise the
+// core count so per-link capacity stays bounded as racks grow.
+func NewCLOSK(racks, qpusPerRack, linkWeight, cores int) (*Network, error) {
+	if cores == 0 {
+		cores = 4
+	}
+	if cores < 1 {
+		return nil, fmt.Errorf("topology: clos needs >= 1 core switch, got %d", cores)
+	}
 	n := baseRacks("clos", racks, qpusPerRack, linkWeight)
-	const cores = 4
 	up := ceilDiv(qpusPerRack*linkWeight, cores)
 	coreIDs := make([]int, cores)
 	for c := 0; c < cores; c++ {
@@ -112,15 +127,28 @@ func NewCLOS(racks, qpusPerRack, linkWeight int) *Network {
 			n.addEdge(n.torNode[r], c, up)
 		}
 	}
-	return n
+	return n, nil
 }
 
 // NewSpineLeaf builds a two-spine spine-leaf core: every ToR (leaf)
 // connects to both spines with half the rack's communication capacity
 // each (full bisection through two spines).
 func NewSpineLeaf(racks, qpusPerRack, linkWeight int) *Network {
+	n, _ := NewSpineLeafK(racks, qpusPerRack, linkWeight, 0)
+	return n
+}
+
+// NewSpineLeafK is NewSpineLeaf with a parametric spine count (0 means
+// the paper's 2): every leaf connects to every spine with the rack's
+// capacity split evenly across spines.
+func NewSpineLeafK(racks, qpusPerRack, linkWeight, spines int) (*Network, error) {
+	if spines == 0 {
+		spines = 2
+	}
+	if spines < 1 {
+		return nil, fmt.Errorf("topology: spine-leaf needs >= 1 spine, got %d", spines)
+	}
 	n := baseRacks("spine-leaf", racks, qpusPerRack, linkWeight)
-	const spines = 2
 	up := ceilDiv(qpusPerRack*linkWeight, spines)
 	for s := 0; s < spines; s++ {
 		spine := n.addNode(Node{Kind: KindCore, Rack: -1, Index: s})
@@ -128,7 +156,7 @@ func NewSpineLeaf(racks, qpusPerRack, linkWeight int) *Network {
 			n.addEdge(n.torNode[r], spine, up)
 		}
 	}
-	return n
+	return n, nil
 }
 
 // NewFatTree builds a three-level fat tree: racks are grouped into pods
@@ -138,27 +166,62 @@ func NewSpineLeaf(racks, qpusPerRack, linkWeight int) *Network {
 // source of the extra contention (and retries) Table 2 shows on this
 // topology. racks must be even.
 func NewFatTree(racks, qpusPerRack, linkWeight int) (*Network, error) {
-	if racks%2 != 0 {
-		return nil, fmt.Errorf("topology: fat tree needs an even rack count, got %d", racks)
+	return NewFatTreeK(racks, qpusPerRack, linkWeight, 0, 0, 0)
+}
+
+// NewFatTreeK is the parametric fat tree: podSize racks per pod (0
+// means the paper's 2), aggsPerPod aggregation switches per pod (0
+// means 2) and cores core switches (0 means 2). racks must be a
+// multiple of podSize. Every ToR connects to each of its pod's aggs
+// with the rack capacity split across them; each agg connects to every
+// core with half the pod's share of demand, preserving the 2:1
+// aggregation-to-core oversubscription of the paper's instance at any
+// scale.
+func NewFatTreeK(racks, qpusPerRack, linkWeight, podSize, aggsPerPod, cores int) (*Network, error) {
+	if podSize == 0 {
+		podSize = 2
+	}
+	if aggsPerPod == 0 {
+		aggsPerPod = 2
+	}
+	if cores == 0 {
+		cores = 2
+	}
+	if podSize < 1 || aggsPerPod < 1 || cores < 1 {
+		return nil, fmt.Errorf("topology: fat tree needs >= 1 pod size, aggs and cores, got %d/%d/%d",
+			podSize, aggsPerPod, cores)
+	}
+	if racks%podSize != 0 {
+		return nil, fmt.Errorf("topology: fat tree needs a rack count divisible by the pod size %d, got %d",
+			podSize, racks)
 	}
 	n := baseRacks("fat-tree", racks, qpusPerRack, linkWeight)
 	rackCap := qpusPerRack * linkWeight
-	torUp := ceilDiv(rackCap, 2) // ToR to each of its 2 aggs
-	aggUp := ceilDiv(rackCap, 4) // agg to each of the 2 cores: 2:1 oversubscription
-	pods := racks / 2
-	core0 := n.addNode(Node{Kind: KindCore, Rack: -1, Index: 0})
-	core1 := n.addNode(Node{Kind: KindCore, Rack: -1, Index: 1})
+	torUp := ceilDiv(rackCap, aggsPerPod) // ToR to each of its pod's aggs
+	// Each agg-to-core link carries the pod's demand share at 2:1
+	// oversubscription: podSize*rackCap spread over aggsPerPod*cores
+	// links, halved. At the paper's 2/2/2 this is ceil(rackCap/4).
+	aggUp := ceilDiv(podSize*rackCap, aggsPerPod*cores*2)
+	pods := racks / podSize
+	coreIDs := make([]int, cores)
+	for c := 0; c < cores; c++ {
+		coreIDs[c] = n.addNode(Node{Kind: KindCore, Rack: -1, Index: c})
+	}
+	aggIDs := make([]int, aggsPerPod)
 	for p := 0; p < pods; p++ {
-		agg0 := n.addNode(Node{Kind: KindAgg, Rack: p, Index: 0})
-		agg1 := n.addNode(Node{Kind: KindAgg, Rack: p, Index: 1})
-		for r := 2 * p; r < 2*p+2; r++ {
-			n.addEdge(n.torNode[r], agg0, torUp)
-			n.addEdge(n.torNode[r], agg1, torUp)
+		for j := 0; j < aggsPerPod; j++ {
+			aggIDs[j] = n.addNode(Node{Kind: KindAgg, Rack: p, Index: j})
 		}
-		n.addEdge(agg0, core0, aggUp)
-		n.addEdge(agg0, core1, aggUp)
-		n.addEdge(agg1, core0, aggUp)
-		n.addEdge(agg1, core1, aggUp)
+		for r := p * podSize; r < (p+1)*podSize; r++ {
+			for _, agg := range aggIDs {
+				n.addEdge(n.torNode[r], agg, torUp)
+			}
+		}
+		for _, agg := range aggIDs {
+			for _, c := range coreIDs {
+				n.addEdge(agg, c, aggUp)
+			}
+		}
 	}
 	return n, nil
 }
@@ -175,6 +238,14 @@ type Config struct {
 	// LinkWeight is the QPU-to-ToR fiber multiplexing weight; 0 means
 	// CommQubits (the evaluation default).
 	LinkWeight int
+	// Cores is the core-switch count — CLOS cores, spine-leaf spines or
+	// fat-tree cores. 0 keeps the paper's instance (4, 2 and 2
+	// respectively). Large-fabric sweeps raise it with the rack count.
+	Cores int
+	// PodSize and AggsPerPod shape the fat tree: racks per pod and
+	// aggregation switches per pod (0 means the paper's 2 and 2). The
+	// other topologies ignore them.
+	PodSize, AggsPerPod int
 }
 
 // New assembles an Arch from a Config.
@@ -188,16 +259,17 @@ func New(cfg Config) (*Arch, error) {
 	)
 	switch cfg.Topology {
 	case "clos":
-		net = NewCLOS(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight)
+		net, err = NewCLOSK(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight, cfg.Cores)
 	case "spine-leaf":
-		net = NewSpineLeaf(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight)
+		net, err = NewSpineLeafK(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight, cfg.Cores)
 	case "fat-tree":
-		net, err = NewFatTree(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight)
-		if err != nil {
-			return nil, err
-		}
+		net, err = NewFatTreeK(cfg.Racks, cfg.QPUsPerRack, cfg.LinkWeight,
+			cfg.PodSize, cfg.AggsPerPod, cfg.Cores)
 	default:
 		return nil, fmt.Errorf("topology: unknown topology %q (want clos, spine-leaf or fat-tree)", cfg.Topology)
+	}
+	if err != nil {
+		return nil, err
 	}
 	a := &Arch{
 		Racks: cfg.Racks, QPUsPerRack: cfg.QPUsPerRack,

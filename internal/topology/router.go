@@ -24,12 +24,19 @@ type Router struct {
 	// upTor[q] that ToR's node id.
 	upEdge []int32
 	upTor  []int32
-	// switchAdj[node] holds the outgoing hops of a switch node
-	// restricted to switch-to-switch edges, preserving the network's
-	// adjacency order so BFS tie-breaking matches Network.FindPath.
-	switchAdj [][]hop
+	// The switch-to-switch adjacency in CSR layout: node id's hops are
+	// hops[adjOff[id]:adjOff[id+1]], preserving the network's adjacency
+	// order so BFS tie-breaking matches Network.FindPath. One backing
+	// array for the whole fabric instead of a slice per switch keeps the
+	// precompute cache-friendly and allocation-light at thousand-rack
+	// scale.
+	adjOff []int32
+	hops   []hop
 
-	// Per-query scratch, valid while stamp[node] == epoch.
+	// Per-query scratch, valid while stamp[node] == epoch. Allocated
+	// lazily on the first cross-ToR search: a partition router that only
+	// ever routes within a rack (the common case in a partitioned
+	// compile) never pays for fabric-sized scratch.
 	epoch    uint32
 	stamp    []uint32
 	prevEdge []int32
@@ -44,18 +51,32 @@ type hop struct {
 // NewRouter builds a Router for the network.
 func NewRouter(n *Network) *Router {
 	r := &Router{
-		net:       n,
-		upEdge:    make([]int32, n.NumQPUs()),
-		upTor:     make([]int32, n.NumQPUs()),
-		switchAdj: make([][]hop, len(n.Nodes)),
-		stamp:     make([]uint32, len(n.Nodes)),
-		prevEdge:  make([]int32, len(n.Nodes)),
+		net:    n,
+		upEdge: make([]int32, n.NumQPUs()),
+		upTor:  make([]int32, n.NumQPUs()),
+		adjOff: make([]int32, len(n.Nodes)+1),
 	}
 	for q, nd := range n.qpuNode {
 		eid := n.adj[nd][0] // exactly one uplink per QPU (Validate)
 		r.upEdge[q] = int32(eid)
 		r.upTor[q] = int32(n.Edges[eid].Other(nd))
 	}
+	// Two passes over the adjacency: count switch-to-switch hops per
+	// node, then fill the CSR array in order.
+	total := 0
+	for id, nd := range n.Nodes {
+		r.adjOff[id] = int32(total)
+		if nd.Kind == KindQPU {
+			continue
+		}
+		for _, eid := range n.adj[id] {
+			if n.Nodes[n.Edges[eid].Other(id)].Kind != KindQPU {
+				total++
+			}
+		}
+	}
+	r.adjOff[len(n.Nodes)] = int32(total)
+	r.hops = make([]hop, 0, total)
 	for id, nd := range n.Nodes {
 		if nd.Kind == KindQPU {
 			continue
@@ -65,7 +86,7 @@ func NewRouter(n *Network) *Router {
 			if n.Nodes[next].Kind == KindQPU {
 				continue
 			}
-			r.switchAdj[id] = append(r.switchAdj[id], hop{edge: int32(eid), next: int32(next)})
+			r.hops = append(r.hops, hop{edge: int32(eid), next: int32(next)})
 		}
 	}
 	return r
@@ -73,18 +94,18 @@ func NewRouter(n *Network) *Router {
 
 // Clone returns an independent Router over the same network. The
 // immutable precompute (uplink tables, switch adjacency) is shared with
-// the receiver; only the per-query scratch is fresh, so a clone costs
-// two slice allocations instead of re-deriving the topology. Use one
-// clone per goroutine: the partitioned compiler hands every worker its
-// own clone so partitions of a single compile can route concurrently.
+// the receiver, and the per-query scratch is allocated lazily on the
+// clone's first cross-ToR search — a clone that never routes across
+// racks costs one struct allocation. Use one clone per goroutine: the
+// partitioned compiler hands every worker its own clone so partitions
+// of a single compile can route concurrently.
 func (r *Router) Clone() *Router {
 	return &Router{
-		net:       r.net,
-		upEdge:    r.upEdge,
-		upTor:     r.upTor,
-		switchAdj: r.switchAdj,
-		stamp:     make([]uint32, len(r.net.Nodes)),
-		prevEdge:  make([]int32, len(r.net.Nodes)),
+		net:    r.net,
+		upEdge: r.upEdge,
+		upTor:  r.upTor,
+		adjOff: r.adjOff,
+		hops:   r.hops,
 	}
 }
 
@@ -157,6 +178,10 @@ func (r *Router) search(residual []int, a, b int) int {
 	if src == dst {
 		return searchSameToR
 	}
+	if len(r.stamp) == 0 { // lazy scratch: first cross-ToR search
+		r.stamp = make([]uint32, len(r.net.Nodes))
+		r.prevEdge = make([]int32, len(r.net.Nodes))
+	}
 	r.epoch++
 	if r.epoch == 0 { // wrapped: invalidate all stale stamps
 		clear(r.stamp)
@@ -171,7 +196,7 @@ func (r *Router) search(residual []int, a, b int) int {
 		if cur == dst {
 			break
 		}
-		for _, h := range r.switchAdj[cur] {
+		for _, h := range r.hops[r.adjOff[cur]:r.adjOff[cur+1]] {
 			if residual[h.edge] <= 0 || r.stamp[h.next] == epoch {
 				continue
 			}
