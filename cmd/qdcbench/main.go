@@ -107,7 +107,7 @@ func dumpObs(reg *obs.Registry, trc *obs.Tracer, spans bool, metricsOut string) 
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig2, tab2, fig8a, fig8b, fig9a-c, fig10a-c, tab3, ablation, faults) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (fig2, tab2, fig8a, fig8b, fig9a-c, fig10a-c, tab3, ablation, faults, adapt) or 'all'")
 	quick := flag.Bool("quick", false, "reduced benchmark set and sweep grids")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	charts := flag.Bool("charts", false, "append ASCII charts to sweep experiments")
@@ -117,6 +117,8 @@ func main() {
 		"worker goroutines inside each single compilation cell (1 = serial; >1 partitions each schedule by rack group, output is identical)")
 	benchjson := flag.String("benchjson", "", "append one JSON throughput record per experiment to this file")
 	scalejson := flag.String("scalejson", "", "append one JSON record per scale-sweep cell to this file (with -exp scale; e.g. BENCH_scale.json)")
+	adaptjson := flag.String("adaptjson", "", "append one JSON record per adapt-sweep cell to this file (with -exp adapt; e.g. BENCH_adapt.json)")
+	emptyProfile := flag.Bool("emptyprofile", false, "compile every cell with an empty routing profile (must be byte-identical to a plain run; CI identity check)")
 	nocache := flag.Bool("nocache", false, "disable the frontend artifact cache (rebuild circuits, placements and demand lists per cell; output is identical)")
 	cachecap := flag.Int("cachecap", 0, "LRU bound per frontend-cache stage (0 = unbounded; output is identical at every bound)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -146,6 +148,8 @@ func main() {
 			fmt.Println(id)
 		}
 		fmt.Println("faults")
+		fmt.Println("scale")
+		fmt.Println("adapt")
 		return
 	}
 	reg := experiments.Registry()
@@ -201,8 +205,9 @@ func main() {
 			Quick: *quick, CSV: *csv, Charts: *charts,
 			Parallel: *parallel, CompileParallel: *compilePar,
 			Stats: stats, Frontend: cache,
-			ScaleJSON: *scalejson,
-			Faults:    *faultsProfile, Seed: *seed, Trials: *trials,
+			ScaleJSON: *scalejson, AdaptJSON: *adaptjson,
+			EmptyProfile: *emptyProfile,
+			Faults:       *faultsProfile, Seed: *seed, Trials: *trials,
 			Obs: o,
 		}
 		start := time.Now()

@@ -45,6 +45,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "fault-model seed (same seed = identical realized trace)")
 		trials     = flag.Int("trials", 20, "fault realizations for the realized-latency distribution")
 		faultJSON  = flag.String("faultjson", "", "write the -seed realized trace as JSON to this file (requires -faults)")
+		adaptN     = flag.Int("adapt", 0, "run N closed-loop adaptation rounds (replay, fold telemetry, recompile); requires -faults")
+		emptyProf  = flag.Bool("emptyprofile", false, "compile with an empty routing profile (must be byte-identical to a plain run; CI identity check)")
 		nocache    = flag.Bool("nocache", false, "disable the frontend artifact cache (rebuild circuit/placement/demands per pipeline; output is identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the compilation to this file")
 		memprofile = flag.String("memprofile", "", "write an allocs/heap profile taken after compilation to this file")
@@ -64,6 +66,12 @@ func main() {
 	}
 	if *trials < 1 {
 		fail(fmt.Errorf("-trials must be >= 1, got %d", *trials))
+	}
+	if *adaptN < 0 {
+		fail(fmt.Errorf("-adapt must be >= 0, got %d", *adaptN))
+	}
+	if *adaptN > 0 && *faultsProf == "" {
+		fail(fmt.Errorf("-adapt requires -faults (telemetry comes from fault-injected replays)"))
 	}
 
 	// Observability is opt-in: -metrics and/or -spans attach a registry
@@ -126,6 +134,11 @@ func main() {
 	opts.CompileParallel = *compilePar
 	bopts := sq.BaselineOptions()
 	bopts.CompileParallel = *compilePar
+	if *emptyProf {
+		// Canonicalized away by the compiler: output must stay identical.
+		opts.Profile = &sq.NetProfile{}
+		bopts.Profile = &sq.NetProfile{}
+	}
 
 	compileOurs := func() (*sq.Compiled, error) {
 		if *qasmPath != "" {
@@ -235,6 +248,29 @@ func main() {
 				fail(err)
 			}
 			fmt.Printf("realized trace written to %s\n", *faultJSON)
+		}
+		if *adaptN > 0 {
+			rc, err := sq.NewRecompiler(c.Demands, arch, sq.DefaultParams(), opts, o)
+			if err != nil {
+				fail(err)
+			}
+			hwp := sq.DefaultParams()
+			st, prof := sq.RunFaultTrialsProfiled(rc.Result(), arch, fcfg, pol, *seed, *trials, *parallel, hwp, o)
+			fmt.Printf("adapt[0]: compiled=%d us realized p50=%d p95=%d p99=%d us (static)\n",
+				st.Compiled, st.P50, st.P95, st.P99)
+			for r := 1; r <= *adaptN; r++ {
+				if err := rc.ApplyProfile(prof, sq.DefaultFoldOptions()); err != nil {
+					fail(err)
+				}
+				st, prof = sq.RunFaultTrialsProfiled(rc.Result(), arch, fcfg, pol, *seed, *trials, *parallel, hwp, o)
+				plan := rc.Plan()
+				fmt.Printf("adapt[%d]: compiled=%d us realized p50=%d p95=%d p99=%d us scales=%.2f/%.2f/%.2f\n",
+					r, st.Compiled, st.P50, st.P95, st.P99,
+					plan.InRackScale, plan.CrossRackScale, plan.ReconfigScale)
+			}
+			rs := rc.Stats()
+			fmt.Printf("adapt: folds=%d recompiles full=%d partial=%d component=%d warm-hits=%d fallbacks=%d\n",
+				rs.Folds, rs.FullRecompiles, rs.PartialRecompiles, rs.ComponentCompiles, rs.WarmHits, rs.Fallbacks)
 		}
 	}
 

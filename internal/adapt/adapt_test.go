@@ -1,0 +1,384 @@
+package adapt
+
+import (
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/runtime"
+	"switchqnet/internal/sim"
+	"switchqnet/internal/topology"
+)
+
+func testArch(t *testing.T, racks, perRack int) *topology.Arch {
+	t.Helper()
+	a, err := topology.NewArch("clos", racks, perRack, 30, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func dmd(id, a, b int, p epr.Protocol) epr.Demand {
+	return epr.Demand{ID: id, A: a, B: b, Protocol: p, Gates: 1}
+}
+
+// testDemands is a 4-rack workload partitioning into three components:
+// cross{racks 0,1}, rack 2 and rack 3 in-rack traffic.
+func testDemands() []epr.Demand {
+	return []epr.Demand{
+		dmd(0, 0, 1, epr.Cat),  // rack 0
+		dmd(1, 4, 5, epr.Cat),  // rack 1
+		dmd(2, 0, 6, epr.Cat),  // cross 0-1
+		dmd(3, 8, 9, epr.Cat),  // rack 2
+		dmd(4, 12, 13, epr.TP), // rack 3
+	}
+}
+
+func mustValidate(t *testing.T, res *core.Result, a *topology.Arch) {
+	t.Helper()
+	if err := sim.Validate(res, a, res.Params).Err(); err != nil {
+		t.Fatalf("merged schedule fails validation: %v", err)
+	}
+}
+
+// uplinkOf returns the uplink edge id of a QPU (the first edge of any
+// route leaving it).
+func uplinkOf(t *testing.T, a *topology.Arch, qpu, other int) int {
+	t.Helper()
+	r := topology.NewRouter(a.Net)
+	res := make([]int, len(a.Net.Edges))
+	for i, e := range a.Net.Edges {
+		res[i] = e.Cap
+	}
+	path := r.FindPath(res, qpu, other)
+	if len(path) == 0 {
+		t.Fatalf("no route %d->%d", qpu, other)
+	}
+	return path[0]
+}
+
+// spineOf returns a switch-level edge on the route between two QPUs.
+func spineOf(t *testing.T, a *topology.Arch, qa, qb int) int {
+	t.Helper()
+	r := topology.NewRouter(a.Net)
+	res := make([]int, len(a.Net.Edges))
+	for i, e := range a.Net.Edges {
+		res[i] = e.Cap
+	}
+	path := r.FindPath(res, qa, qb)
+	if len(path) < 3 {
+		t.Fatalf("route %d->%d has no spine segment: %v", qa, qb, path)
+	}
+	return path[1]
+}
+
+func TestFoldIdentityAndClamps(t *testing.T) {
+	hwp := hw.Default()
+	fo := DefaultFoldOptions()
+	p := Fold(nil, hwp, fo)
+	if p.Params != hwp || p.Profile != nil || p.InRackScale != 1 || p.ReconfigScale != 1 {
+		t.Errorf("nil-profile fold not identity: %+v", p)
+	}
+	// Empty profile: identity too.
+	if p := Fold(&runtime.Profile{}, hwp, fo); p.Params != hwp || p.Profile != nil {
+		t.Errorf("empty-profile fold not identity: %+v", p)
+	}
+	// A class 3x slower than hardware inflates its latency 3x; a class
+	// 100x slower clamps at MaxLatencyScale.
+	prof := &runtime.Profile{Trials: 1}
+	prof.InRack = runtime.ClassStats{Gens: 100, TrueUS: 1000, RealizedUS: 3000}
+	prof.CrossRack = runtime.ClassStats{Gens: 100, TrueUS: 1000, RealizedUS: 100000}
+	p = Fold(prof, hwp, fo)
+	if want := 3 * hwp.InRackLatency; p.Params.InRackLatency != want {
+		t.Errorf("in-rack latency %d, want %d", p.Params.InRackLatency, want)
+	}
+	if want := hw.Time(float64(hwp.CrossRackLatency) * fo.MaxLatencyScale); p.Params.CrossRackLatency != want {
+		t.Errorf("cross-rack latency %d, want clamped %d", p.Params.CrossRackLatency, want)
+	}
+	// Below MinGens the ratio is not trusted.
+	prof.InRack.Gens = fo.MinGens - 1
+	if p := Fold(prof, hwp, fo); p.Params.InRackLatency != hwp.InRackLatency {
+		t.Errorf("under-sampled class scaled: %d", p.Params.InRackLatency)
+	}
+	// Reconfig stalls inflate (and clamp) the reconfiguration latency.
+	rp := &runtime.Profile{Opens: 10, StallUS: 5 * int64(hwp.ReconfigLatency)}
+	if p := Fold(rp, hwp, fo); p.Params.ReconfigLatency != hw.Time(1.5*float64(hwp.ReconfigLatency)) {
+		t.Errorf("reconfig latency %d, want 1.5x", p.Params.ReconfigLatency)
+	}
+	rp.StallUS = 100 * int64(hwp.ReconfigLatency) * 10
+	if p := Fold(rp, hwp, fo); p.Params.ReconfigLatency != hw.Time(fo.MaxReconfigScale*float64(hwp.ReconfigLatency)) {
+		t.Errorf("reconfig latency %d not clamped", p.Params.ReconfigLatency)
+	}
+}
+
+func TestFoldLinkSelection(t *testing.T) {
+	hwp := hw.Default()
+	fo := DefaultFoldOptions()
+	prof := &runtime.Profile{Trials: 4, Links: make([]runtime.LinkStats, 6)}
+	prof.Links[1].Dead = true
+	prof.Links[2].Retries = 2 // 0.5 events/trial: avoided
+	prof.Links[3].Retries = 1 // 0.25 events/trial: kept
+	prof.Links[4].DwellUS = 4 * int64(hw.Millisecond)
+	p := Fold(prof, hwp, fo)
+	if p.Profile == nil {
+		t.Fatal("fold reported no routing profile")
+	}
+	if !reflect.DeepEqual(p.Profile.DeadEdges, []int{1}) {
+		t.Errorf("dead edges %v, want [1]", p.Profile.DeadEdges)
+	}
+	if !reflect.DeepEqual(p.Profile.AvoidEdges, []int{2, 4}) {
+		t.Errorf("avoid edges %v, want [2 4]", p.Profile.AvoidEdges)
+	}
+}
+
+func TestRecompilerInitialMergeValidates(t *testing.T) {
+	a := testArch(t, 4, 4)
+	r, err := NewRecompiler(testDemands(), a, hw.Default(), core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Result()
+	if len(res.Demands) != 5 || len(res.Gens) == 0 || res.Makespan <= 0 {
+		t.Fatalf("degenerate merged result: %d demands, %d gens, makespan %d",
+			len(res.Demands), len(res.Gens), res.Makespan)
+	}
+	mustValidate(t, res, a)
+	if got := len(r.Components()); got != 3 {
+		t.Fatalf("%d components, want 3", got)
+	}
+	if s := r.Stats(); s.ComponentCompiles != 3 || s.FullRecompiles != 1 || s.WarmHits != 0 {
+		t.Errorf("initial stats %+v", s)
+	}
+	// Lifecycle arrays must be scattered consistently.
+	for i := range res.Demands {
+		if res.ConsumedAt[i] <= 0 || res.ReadyAt[i] <= 0 {
+			t.Errorf("demand %d lifecycle not scattered: ready %d consumed %d",
+				i, res.ReadyAt[i], res.ConsumedAt[i])
+		}
+	}
+	// The whole construction is deterministic.
+	r2, err := NewRecompiler(testDemands(), a, hw.Default(), core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, r2.Result()) {
+		t.Error("recompiler initial merge is nondeterministic")
+	}
+}
+
+func TestRecompilerPartialKillUplink(t *testing.T) {
+	a := testArch(t, 4, 4)
+	r, err := NewRecompiler(testDemands(), a, hw.Default(), core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats()
+	// QPU 10 (rack 2) serves no demand; its uplink dying affects only
+	// the rack-2 component.
+	if err := r.KillEdge(uplinkOf(t, a, 10, 11)); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.PartialRecompiles != 1 || s.Fallbacks != 0 {
+		t.Errorf("stats after uplink kill: %+v", s)
+	}
+	if s.WarmHits != 2 {
+		t.Errorf("warm hits %d, want 2 (cross and rack-3 components reused)", s.WarmHits)
+	}
+	if s.ComponentCompiles != before.ComponentCompiles+1 {
+		t.Errorf("component compiles %d, want %d", s.ComponentCompiles, before.ComponentCompiles+1)
+	}
+	mustValidate(t, r.Result(), a)
+	// Killing the same edge again is an idempotent no-op.
+	if err := r.KillEdge(uplinkOf(t, a, 10, 11)); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := r.Stats(); s2.PartialRecompiles != 1 || s2.ComponentCompiles != s.ComponentCompiles {
+		t.Errorf("idempotent kill recompiled: %+v", s2)
+	}
+}
+
+func TestRecompilerSpineKillAffectsCrossOnly(t *testing.T) {
+	a := testArch(t, 4, 4)
+	r, err := NewRecompiler(testDemands(), a, hw.Default(), core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.KillEdge(spineOf(t, a, 0, 6)); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.PartialRecompiles != 1 || s.WarmHits != 2 || s.Fallbacks != 0 {
+		t.Errorf("spine kill stats %+v, want partial with 2 warm hits", s)
+	}
+	mustValidate(t, r.Result(), a)
+	// The degraded schedule still covers every demand.
+	for i, c := range r.Result().ConsumedAt {
+		if c <= 0 {
+			t.Errorf("demand %d not consumed after spine kill", i)
+		}
+	}
+}
+
+func TestRecompilerFallbackSingleComponent(t *testing.T) {
+	a := testArch(t, 2, 4)
+	ds := []epr.Demand{dmd(0, 0, 1, epr.Cat), dmd(1, 0, 5, epr.Cat)}
+	r, err := NewRecompiler(ds, a, hw.Default(), core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Components()) != 1 {
+		t.Fatalf("%d components, want 1", len(r.Components()))
+	}
+	// QPU 2 serves no demand; the whole (single-component) workload is
+	// still considered affected, so the kill falls back to a full
+	// recompile with a recorded reason.
+	if err := r.KillEdge(uplinkOf(t, a, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Fallbacks != 1 || s.PartialRecompiles != 0 || len(s.FallbackReasons) != 1 {
+		t.Errorf("fallback stats %+v", s)
+	}
+	mustValidate(t, r.Result(), a)
+}
+
+func TestRecompilerKillOnlyUplinkErrors(t *testing.T) {
+	a := testArch(t, 4, 4)
+	r, err := NewRecompiler(testDemands(), a, hw.Default(), core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Result()
+	if err := r.KillEdge(uplinkOf(t, a, 8, 9)); err == nil {
+		t.Fatal("killing demand 3's only uplink did not error")
+	}
+	if !reflect.DeepEqual(before, r.Result()) {
+		t.Error("failed kill replaced the last good schedule")
+	}
+}
+
+func TestRecompilerKillBSMRack(t *testing.T) {
+	a := testArch(t, 4, 4)
+	// Leave rack 3 demand-free.
+	ds := []epr.Demand{
+		dmd(0, 0, 1, epr.Cat),
+		dmd(1, 0, 6, epr.Cat),
+		dmd(2, 8, 9, epr.Cat),
+	}
+	r, err := NewRecompiler(ds, a, hw.Default(), core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiles := r.Stats().ComponentCompiles
+	// Rack 3 hosts no demands: recorded, nothing recompiled.
+	if err := r.KillBSMRack(3); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.ComponentCompiles != compiles || s.PartialRecompiles != 0 {
+		t.Errorf("unused-rack BSM kill recompiled: %+v", s)
+	}
+	// Rack 2 hosts an in-rack demand with no alternative BSM pool: the
+	// demand is unsatisfiable and the kill must surface the error.
+	if err := r.KillBSMRack(2); err == nil {
+		t.Error("killing the BSM pool under an in-rack demand succeeded")
+	}
+	// Range validation.
+	if err := r.KillBSMRack(99); err == nil {
+		t.Error("out-of-range rack accepted")
+	}
+	if err := r.KillEdge(-1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+}
+
+// TestRecompilerApplyProfileLoop runs one full closed loop: replay the
+// static schedule under faults, fold the telemetry, recompile, and
+// check the adapted schedule is valid, deterministic, and planned
+// against inflated latencies.
+func TestRecompilerApplyProfileLoop(t *testing.T) {
+	a := testArch(t, 4, 4)
+	hwp := hw.Default()
+	cfg, _ := faults.Profile("harsh")
+	loop := func() (*Recompiler, *core.Result, Plan) {
+		r, err := NewRecompiler(testDemands(), a, hwp, core.DefaultOptions(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, prof := runtime.RunTrialsProfiled(r.Result(), a, cfg, runtime.DefaultPolicy(), 11, 10, 4, hwp, nil)
+		if err := r.ApplyProfile(prof, DefaultFoldOptions()); err != nil {
+			t.Fatal(err)
+		}
+		return r, r.Result(), r.Plan()
+	}
+	r1, res1, plan1 := loop()
+	mustValidate(t, res1, a)
+	if plan1.CrossRackScale <= 1 {
+		t.Errorf("harsh faults folded to cross-rack scale %v, want > 1", plan1.CrossRackScale)
+	}
+	if res1.Params != plan1.Params {
+		t.Error("adapted schedule not stamped with planning params")
+	}
+	if s := r1.Stats(); s.Folds != 1 || s.FullRecompiles != 2 {
+		t.Errorf("loop stats %+v, want 1 fold and 2 full recompiles", s)
+	}
+	// Same profile + seed => byte-for-byte the same adapted schedule.
+	_, res2, plan2 := loop()
+	if !reflect.DeepEqual(res1, res2) || !reflect.DeepEqual(plan1, plan2) {
+		t.Error("adaptation loop is nondeterministic")
+	}
+}
+
+// TestApplyProfileDemotesLoadBearingDeadEdge: a telemetry-observed
+// dead edge that some demand cannot live without is demoted to soft
+// avoidance (with a recorded fallback) instead of wedging the loop.
+func TestApplyProfileDemotesLoadBearingDeadEdge(t *testing.T) {
+	a := testArch(t, 4, 4)
+	hwp := hw.Default()
+	r, err := NewRecompiler(testDemands(), a, hwp, core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := runtime.NewProfile(a)
+	prof.Trials = 1
+	up := uplinkOf(t, a, 0, 1) // demand 0's only uplink
+	prof.Links[up].Dead = true
+	if err := r.ApplyProfile(prof, DefaultFoldOptions()); err != nil {
+		t.Fatalf("load-bearing dead edge wedged ApplyProfile: %v", err)
+	}
+	s := r.Stats()
+	if s.Fallbacks != 1 || len(s.FallbackReasons) != 1 {
+		t.Errorf("demotion not recorded: %+v", s)
+	}
+	p := r.Plan()
+	if p.Profile == nil || len(p.Profile.DeadEdges) != 0 || !reflect.DeepEqual(p.Profile.AvoidEdges, []int{up}) {
+		t.Errorf("plan profile after demotion: %+v", p.Profile)
+	}
+	mustValidate(t, r.Result(), a)
+}
+
+// TestRecompilerZeroFaultFoldIsIdentity: folding a fault-free profile
+// recompiles to exactly the initial schedule.
+func TestRecompilerZeroFaultFoldIsIdentity(t *testing.T) {
+	a := testArch(t, 4, 4)
+	hwp := hw.Default()
+	r, err := NewRecompiler(testDemands(), a, hwp, core.DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := r.Result()
+	_, prof := runtime.RunTrialsProfiled(before, a, faults.Config{}, runtime.DefaultPolicy(), 1, 2, 1, hwp, nil)
+	if err := r.ApplyProfile(prof, DefaultFoldOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if p := r.Plan(); p.Params != hwp || p.Profile != nil {
+		t.Errorf("zero-fault fold changed the plan: %+v", p)
+	}
+	if !reflect.DeepEqual(before, r.Result()) {
+		t.Error("zero-fault fold changed the schedule")
+	}
+}

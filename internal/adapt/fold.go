@@ -1,0 +1,152 @@
+// Package adapt closes the loop between the runtime and the compiler
+// (ROADMAP "Closed-loop fault-adaptive recompilation"). It has two
+// halves:
+//
+//   - Fold turns a runtime.Profile — the telemetry a schedule gathered
+//     while executing under faults — into compile-side inputs: a
+//     calibrated planning hw.Params (latencies inflated by the
+//     realized/true ratio each generation class actually saw) and a
+//     core.NetProfile (soft routing penalties for flaky links, dead
+//     resources removed outright).
+//
+//   - Recompiler maintains a compiled schedule across fault events and
+//     profile folds, recompiling only the affected demand components on
+//     a permanent link or BSM death and reusing every unaffected
+//     component's cached sub-schedule (the warm start).
+//
+// Everything here is deterministic: Fold is a pure function of
+// (profile, params, options), and the Recompiler's merge orders
+// generations by a total key, so the same profile and seed always
+// produce the same recompiled schedule.
+package adapt
+
+import (
+	"math"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/runtime"
+)
+
+// FoldOptions tunes how aggressively Fold turns telemetry into
+// planning inputs.
+type FoldOptions struct {
+	// MaxLatencyScale caps the per-class planning-latency inflation
+	// (realized/true ratio). Scales are clamped to [1, MaxLatencyScale]:
+	// the fold only ever slows the planning model down, never below the
+	// hardware baseline.
+	MaxLatencyScale float64
+	// MaxReconfigScale caps the reconfiguration-latency inflation
+	// derived from observed switch stalls.
+	MaxReconfigScale float64
+	// MinGens is the minimum number of completed generations a class
+	// needs before its ratio is trusted; below it the class keeps the
+	// hardware latency.
+	MinGens int64
+	// AvoidDwellUS marks a link for soft routing avoidance when its
+	// summed outage dwell per trial reaches this many microseconds.
+	AvoidDwellUS int64
+	// AvoidEvents marks a link for soft avoidance when its recovery
+	// events (retries + reroutes + outage hits) per trial reach this
+	// rate.
+	AvoidEvents float64
+}
+
+// DefaultFoldOptions returns the calibration used by the adapt
+// experiments: latency inflation capped at 4x, reconfiguration at 2x,
+// and links avoided after one recovery event every other trial or one
+// millisecond of outage dwell per trial.
+func DefaultFoldOptions() FoldOptions {
+	return FoldOptions{
+		MaxLatencyScale:  4,
+		MaxReconfigScale: 2,
+		MinGens:          8,
+		AvoidDwellUS:     int64(hw.Millisecond),
+		AvoidEvents:      0.5,
+	}
+}
+
+// Plan is the compile-side product of a fold: inflated planning
+// parameters plus routing penalties. Zero-valued scales mean "no
+// profile folded yet"; NewRecompiler starts from Plan{Params: hwp}.
+type Plan struct {
+	// Params are the planning latencies to compile against. Fidelities
+	// are copied from the hardware parameters unchanged.
+	Params hw.Params
+	// Profile carries soft-avoid penalties and dead resources for the
+	// compiler; nil when the fold found nothing to report.
+	Profile *core.NetProfile
+	// InRackScale, CrossRackScale and ReconfigScale record the applied
+	// inflation factors (1 when a class had too few samples).
+	InRackScale, CrossRackScale, ReconfigScale float64
+}
+
+// Fold calibrates planning inputs from telemetry. hwp must be the true
+// hardware parameters the profile's executions were modeled with — not
+// a previous round's planning parameters. Because ClassStats.TrueUS is
+// derived from the hardware base latency (pairs x base), the
+// realized/true ratio is independent of whatever planning latencies
+// the profiled schedule was compiled with, which makes repeated
+// fold-recompile-replay rounds converge instead of compounding.
+func Fold(prof *runtime.Profile, hwp hw.Params, o FoldOptions) Plan {
+	p := Plan{Params: hwp, InRackScale: 1, CrossRackScale: 1, ReconfigScale: 1}
+	if prof == nil {
+		return p
+	}
+	p.InRackScale = classScale(&prof.InRack, o)
+	p.CrossRackScale = classScale(&prof.CrossRack, o)
+	p.Params.InRackLatency = scaleTime(hwp.InRackLatency, p.InRackScale)
+	p.Params.CrossRackLatency = scaleTime(hwp.CrossRackLatency, p.CrossRackScale)
+	if prof.Opens > 0 && hwp.ReconfigLatency > 0 {
+		r := 1 + float64(prof.StallUS)/(float64(prof.Opens)*float64(hwp.ReconfigLatency))
+		p.ReconfigScale = clamp(r, 1, o.MaxReconfigScale)
+		p.Params.ReconfigLatency = scaleTime(hwp.ReconfigLatency, p.ReconfigScale)
+	}
+	trials := prof.Trials
+	if trials < 1 {
+		trials = 1
+	}
+	np := &core.NetProfile{}
+	for i := range prof.Links {
+		l := &prof.Links[i]
+		if l.Dead {
+			np.DeadEdges = append(np.DeadEdges, i)
+			continue
+		}
+		events := float64(l.Retries+l.Reroutes+l.OutageHits) / float64(trials)
+		if l.DwellUS/trials >= o.AvoidDwellUS || (o.AvoidEvents > 0 && events >= o.AvoidEvents) {
+			np.AvoidEdges = append(np.AvoidEdges, i)
+		}
+	}
+	if !np.Empty() {
+		p.Profile = np
+	}
+	return p
+}
+
+// classScale returns the clamped realized/true calibration ratio for
+// one generation class.
+func classScale(c *runtime.ClassStats, o FoldOptions) float64 {
+	if c.Gens < o.MinGens || c.TrueUS <= 0 {
+		return 1
+	}
+	return clamp(float64(c.RealizedUS)/float64(c.TrueUS), 1, o.MaxLatencyScale)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if hi > lo && x > hi {
+		return hi
+	}
+	return x
+}
+
+// scaleTime inflates an integer latency by a scale >= 1.
+func scaleTime(t hw.Time, s float64) hw.Time {
+	if s <= 1 || t <= 0 {
+		return t
+	}
+	return hw.Time(math.Round(float64(t) * s))
+}

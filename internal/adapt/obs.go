@@ -1,0 +1,31 @@
+package adapt
+
+import "switchqnet/internal/obs"
+
+// adaptMetrics instruments the closed adaptation loop, mirroring the
+// partitioned-compile metrics in internal/core.
+type adaptMetrics struct {
+	folds             *obs.Counter
+	fullRecompiles    *obs.Counter
+	partialRecompiles *obs.Counter
+	componentCompiles *obs.Counter
+	warmHits          *obs.Counter
+	fallbacks         *obs.Counter
+}
+
+func newAdaptMetrics(r *obs.Registry) adaptMetrics {
+	return adaptMetrics{
+		folds: r.Counter("switchqnet_adapt_folds_total",
+			"Telemetry profiles folded into new planning inputs."),
+		fullRecompiles: r.Counter("switchqnet_adapt_full_recompiles_total",
+			"Adaptation rounds that recompiled every demand component."),
+		partialRecompiles: r.Counter("switchqnet_adapt_partial_recompiles_total",
+			"Degraded-topology rounds that recompiled only affected components."),
+		componentCompiles: r.Counter("switchqnet_adapt_component_compiles_total",
+			"Individual demand-component compilations run by the recompiler."),
+		warmHits: r.Counter("switchqnet_adapt_warm_hits_total",
+			"Component sub-schedules reused from cache instead of recompiled."),
+		fallbacks: r.Counter("switchqnet_adapt_fallbacks_total",
+			"Degraded rounds escalated to a full recompile (load-bearing resource)."),
+	}
+}

@@ -1,0 +1,391 @@
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
+	"switchqnet/internal/runtime"
+	"switchqnet/internal/topology"
+)
+
+// Stats counts the Recompiler's work, for reports and tests.
+type Stats struct {
+	// Folds counts ApplyProfile calls.
+	Folds int
+	// FullRecompiles counts rounds that recompiled every component
+	// (profile folds and fallbacks); PartialRecompiles counts degraded
+	// rounds that recompiled only the affected components.
+	FullRecompiles, PartialRecompiles int
+	// ComponentCompiles counts individual component compilations;
+	// WarmHits counts components whose cached sub-schedule was reused
+	// instead of recompiled.
+	ComponentCompiles, WarmHits int
+	// Fallbacks counts degraded rounds that escalated to a full
+	// recompile; FallbackReasons records why, in order.
+	Fallbacks       int
+	FallbackReasons []string
+}
+
+// Recompiler maintains a compiled schedule for a fixed workload across
+// fault events and telemetry folds. The demand list is partitioned once
+// into resource-disjoint components (core.Components); each component's
+// sub-schedule is compiled and cached separately, and the published
+// Result is a deterministic merge of the caches. When a link or BSM
+// pool dies mid-run, only the components whose racks (or the
+// switch-level spine) depend on it are recompiled — every other
+// component is a warm-start cache hit. When the dead resource is
+// load-bearing for every component (or the workload is a single
+// component), the Recompiler falls back to a full recompile and records
+// the reason.
+//
+// The caller supplies the demand list already extracted by the
+// frontend; reusing it across rounds is what makes the frontend's
+// demand cache the other half of the warm start.
+//
+// A Recompiler is not safe for concurrent use. After a method returns
+// an error (a demand became unsatisfiable, e.g. its only uplink died),
+// Result still returns the last successfully merged schedule.
+type Recompiler struct {
+	arch    *topology.Arch
+	hwp     hw.Params
+	opts    core.Options
+	demands []epr.Demand // normalized: ID == index, CrossRack set
+	comps   []core.Component
+	plan    Plan
+	// deadEdges / deadBSMs accumulate Kill* events; they are folded
+	// into every subsequent compile's NetProfile.
+	deadEdges, deadBSMs []int
+	cache               []*core.Result
+	res                 *core.Result
+	o                   *obs.Obs
+	m                   adaptMetrics
+	stats               Stats
+}
+
+// NewRecompiler partitions the workload, compiles every component
+// against the true hardware parameters and returns the recompiler with
+// its initial merged schedule. opts.Profile must be nil — routing
+// profiles are owned by the fold loop; opts.CompileParallel is ignored
+// (components already compile independently).
+func NewRecompiler(demands []epr.Demand, arch *topology.Arch, hwp hw.Params, opts core.Options, o *obs.Obs) (*Recompiler, error) {
+	if opts.Profile != nil {
+		return nil, fmt.Errorf("adapt: opts.Profile is owned by the recompiler; fold profiles via ApplyProfile")
+	}
+	comps, err := core.Components(demands, arch)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recompiler{
+		arch:    arch,
+		hwp:     hwp,
+		opts:    opts,
+		demands: make([]epr.Demand, len(demands)),
+		comps:   comps,
+		plan:    Plan{Params: hwp, InRackScale: 1, CrossRackScale: 1, ReconfigScale: 1},
+		cache:   make([]*core.Result, len(comps)),
+		o:       o,
+		m:       newAdaptMetrics(o.Reg()),
+	}
+	for _, c := range comps {
+		for li, gid := range c.IDs {
+			d := c.Demands[li]
+			d.ID = gid
+			r.demands[gid] = d
+		}
+	}
+	if err := r.recompile(nil); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Result returns the current merged schedule.
+func (r *Recompiler) Result() *core.Result { return r.res }
+
+// Plan returns the current planning inputs (hardware parameters until
+// the first ApplyProfile).
+func (r *Recompiler) Plan() Plan { return r.plan }
+
+// Components exposes the workload partition (do not mutate).
+func (r *Recompiler) Components() []core.Component { return r.comps }
+
+// Stats returns a copy of the work counters.
+func (r *Recompiler) Stats() Stats {
+	s := r.stats
+	s.FallbackReasons = append([]string(nil), r.stats.FallbackReasons...)
+	return s
+}
+
+// ApplyProfile folds telemetry from the current schedule's executions
+// into new planning inputs and recompiles the whole workload against
+// them. The profile must have been collected with the true hardware
+// parameters (runtime.RunTrialsProfiled's hwp argument), not the
+// current planning parameters.
+//
+// Telemetry-observed link deaths are advisory: when removing them
+// leaves a demand unsatisfiable (a dead QPU uplink under a dense
+// workload), the dead edges are demoted to soft avoidance and the
+// recompile retried, with the fallback reason recorded — the schedule
+// then still routes through the dead link and the runtime aborts those
+// demands, exactly as the unadapted schedule would. Edges killed
+// explicitly via KillEdge stay authoritative and are never demoted.
+func (r *Recompiler) ApplyProfile(prof *runtime.Profile, fo FoldOptions) error {
+	sp := r.o.StartSpan("adapt.fold")
+	plan := Fold(prof, r.hwp, fo)
+	sp.End()
+	r.plan = plan
+	r.stats.Folds++
+	r.m.folds.Inc()
+	// New planning parameters invalidate every cached sub-schedule.
+	err := r.recompile(nil)
+	if err != nil && plan.Profile != nil && len(plan.Profile.DeadEdges) > 0 {
+		demoted := plan.Profile.Clone()
+		demoted.AvoidEdges = append(demoted.AvoidEdges, demoted.DeadEdges...)
+		demoted.DeadEdges = nil
+		r.plan.Profile = demoted
+		r.stats.Fallbacks++
+		r.stats.FallbackReasons = append(r.stats.FallbackReasons,
+			"observed dead edges load-bearing: demoted to soft avoidance")
+		r.m.fallbacks.Inc()
+		err = r.recompile(nil)
+	}
+	return err
+}
+
+// KillEdge marks a fiber edge permanently dead and recompiles the
+// affected components. A QPU uplink affects every component touching
+// its rack; a switch-level (spine) edge affects only the cross
+// component. Killing an edge no live component routes through is
+// recorded but recompiles nothing. Killing a demand's only uplink
+// returns that component's compile error.
+func (r *Recompiler) KillEdge(edge int) error {
+	n := r.arch.Net
+	if edge < 0 || edge >= len(n.Edges) {
+		return fmt.Errorf("adapt: edge %d outside %d edges", edge, len(n.Edges))
+	}
+	for _, e := range r.deadEdges {
+		if e == edge {
+			return nil // already dead: idempotent
+		}
+	}
+	r.deadEdges = append(r.deadEdges, edge)
+	e := n.Edges[edge]
+	rack := -1
+	if n.Nodes[e.A].Kind == topology.KindQPU {
+		rack = n.Nodes[e.A].Rack
+	} else if n.Nodes[e.B].Kind == topology.KindQPU {
+		rack = n.Nodes[e.B].Rack
+	}
+	var affected []int
+	if rack >= 0 {
+		affected = r.compsTouchingRack(rack)
+	} else {
+		for ci, c := range r.comps {
+			if c.Cross {
+				affected = append(affected, ci)
+			}
+		}
+	}
+	return r.degraded(affected, fmt.Sprintf("edge %d", edge))
+}
+
+// KillBSMRack marks a rack's BSM pool permanently dead and recompiles
+// the components touching that rack. In-rack demands of the rack have
+// no other BSM to use, so such a kill legitimately returns a compile
+// error — the demands are unsatisfiable on the degraded hardware.
+func (r *Recompiler) KillBSMRack(rack int) error {
+	if rack < 0 || rack >= r.arch.Racks {
+		return fmt.Errorf("adapt: rack %d outside %d racks", rack, r.arch.Racks)
+	}
+	for _, b := range r.deadBSMs {
+		if b == rack {
+			return nil
+		}
+	}
+	r.deadBSMs = append(r.deadBSMs, rack)
+	return r.degraded(r.compsTouchingRack(rack), fmt.Sprintf("bsm rack %d", rack))
+}
+
+func (r *Recompiler) compsTouchingRack(rack int) []int {
+	var affected []int
+	for ci, c := range r.comps {
+		for _, cr := range c.Racks {
+			if cr == rack {
+				affected = append(affected, ci)
+				break
+			}
+		}
+	}
+	return affected
+}
+
+// degraded runs the fast path for a dead resource: recompile only the
+// affected components, or fall back to a full recompile when the
+// resource is load-bearing for the whole workload.
+func (r *Recompiler) degraded(affected []int, cause string) error {
+	switch {
+	case len(affected) == 0:
+		// Nothing routes through the dead resource; the cached
+		// sub-schedules remain valid as-is.
+		return nil
+	case len(affected) == len(r.comps):
+		reason := "all components affected by " + cause
+		if len(r.comps) == 1 {
+			reason = "single-component workload, " + cause
+		}
+		r.stats.Fallbacks++
+		r.stats.FallbackReasons = append(r.stats.FallbackReasons, reason)
+		r.m.fallbacks.Inc()
+		return r.recompile(nil)
+	default:
+		return r.recompile(affected)
+	}
+}
+
+// recompile compiles the listed components (nil = all), reusing every
+// unlisted component's cached sub-schedule, then re-merges. On error
+// the merged result is left at the last good schedule.
+func (r *Recompiler) recompile(affected []int) error {
+	sp := r.o.StartSpan("adapt.recompile")
+	defer sp.End()
+	o := r.o.Under(sp)
+	full := affected == nil
+	if full {
+		affected = make([]int, len(r.comps))
+		for i := range affected {
+			affected[i] = i
+		}
+		r.stats.FullRecompiles++
+		r.m.fullRecompiles.Inc()
+	} else {
+		r.stats.PartialRecompiles++
+		r.m.partialRecompiles.Inc()
+		warm := len(r.comps) - len(affected)
+		r.stats.WarmHits += warm
+		r.m.warmHits.Add(int64(warm))
+	}
+	if len(r.comps) == 0 {
+		// Degenerate empty workload: compile it whole.
+		res, err := core.CompileObserved(nil, r.arch, r.plan.Params, r.compileOpts(), o)
+		if err != nil {
+			return err
+		}
+		r.res = res
+		return nil
+	}
+	opts := r.compileOpts()
+	for _, ci := range affected {
+		sub, err := core.CompileObserved(r.comps[ci].Demands, r.arch, r.plan.Params, opts, o)
+		if err != nil {
+			return fmt.Errorf("adapt: component %v: %w", r.comps[ci].IDs, err)
+		}
+		r.cache[ci] = sub
+		r.stats.ComponentCompiles++
+		r.m.componentCompiles.Inc()
+	}
+	r.merge()
+	return nil
+}
+
+// compileOpts returns the component-compile options: the caller's
+// options with partitioning off (components are already minimal) and
+// the current routing profile folded in.
+func (r *Recompiler) compileOpts() core.Options {
+	opts := r.opts
+	opts.CompileParallel = 0
+	opts.Profile = r.netProfile()
+	return opts
+}
+
+// netProfile combines the fold's routing profile with the accumulated
+// kill events; nil when there is nothing to report.
+func (r *Recompiler) netProfile() *core.NetProfile {
+	np := &core.NetProfile{}
+	if p := r.plan.Profile; p != nil {
+		np = p.Clone()
+	}
+	np.DeadEdges = append(np.DeadEdges, r.deadEdges...)
+	np.DeadBSMRacks = append(np.DeadBSMRacks, r.deadBSMs...)
+	if np.Empty() {
+		return nil
+	}
+	return np
+}
+
+// merge combines the cached per-component sub-schedules into one
+// Result. Components are QPU- and rack-disjoint (the cross component
+// alone uses the spine), so the union of their schedules is conflict-
+// free once channel ids are offset into disjoint ranges. Generations
+// are ordered by a total key, making the merge deterministic; the
+// merged schedule is NOT claimed to be identical to a whole-workload
+// serial compile (components compiled standalone see no cross-
+// component pass boundaries) — it is validated by sim.Validate instead.
+func (r *Recompiler) merge() {
+	sp := r.o.StartSpan("adapt.merge")
+	defer sp.End()
+	total := len(r.demands)
+	out := &core.Result{
+		Demands:    append([]epr.Demand(nil), r.demands...),
+		ReadyAt:    make([]hw.Time, total),
+		ConsumedAt: make([]hw.Time, total),
+		CommHeld:   make([][2]bool, total),
+	}
+	var chanOff int32
+	for ci, c := range r.comps {
+		sub := r.cache[ci]
+		var maxCh int32 = -1
+		for _, g := range sub.Gens {
+			ng := g
+			ng.Demand = int32(c.IDs[g.Demand])
+			ng.Channel += chanOff
+			if g.Channel > maxCh {
+				maxCh = g.Channel
+			}
+			out.Gens = append(out.Gens, ng)
+		}
+		chanOff += maxCh + 1
+		for li, gid := range c.IDs {
+			out.ReadyAt[gid] = sub.ReadyAt[li]
+			out.ConsumedAt[gid] = sub.ConsumedAt[li]
+			out.CommHeld[gid] = sub.CommHeld[li]
+		}
+		if sub.Makespan > out.Makespan {
+			out.Makespan = sub.Makespan
+		}
+		out.Splits += sub.Splits
+		out.DistilledPairs += sub.DistilledPairs
+		out.ExtraInRack += sub.ExtraInRack
+		out.Reconfigs += sub.Reconfigs
+		out.Retries += sub.Retries
+		out.EventsProcessed += sub.EventsProcessed
+		out.EventsFinal += sub.EventsFinal
+	}
+	sort.Slice(out.Gens, func(i, j int) bool {
+		a, b := &out.Gens[i], &out.Gens[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Demand != b.Demand {
+			return a.Demand < b.Demand
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		return a.B < b.B
+	})
+	out.Params = r.plan.Params
+	// Echo the component-compile options (identical across components:
+	// same opts, same canonicalized profile).
+	out.Opts = r.cache[0].Opts
+	r.res = out
+}

@@ -297,6 +297,18 @@ func CompileObserved(demands []epr.Demand, arch *topology.Arch, p hw.Params, opt
 		norm.End()
 		return nil, err
 	}
+	// Canonicalize the adaptive network profile: validate indices, sort
+	// and deduplicate, and collapse an empty profile to nil so compiling
+	// with one is indistinguishable — DeepEqual included — from the
+	// static path.
+	if opts.Profile != nil {
+		q, err := opts.Profile.canonical(arch)
+		if err != nil {
+			norm.End()
+			return nil, err
+		}
+		opts.Profile = q
+	}
 	// Normalize the CrossRack flags against the architecture rather than
 	// trusting the caller.
 	ds := make([]epr.Demand, len(demands))
@@ -361,6 +373,13 @@ func (e *engine) init() {
 		net = netstate.NewWithRouter(e.arch, e.p, e.router)
 	} else {
 		net = netstate.New(e.arch, e.p)
+	}
+	// Apply the adaptive network profile before the first checkpoint
+	// snapshot, so retries restore the degraded view rather than the
+	// pristine fabric. Partition engines pass through here too, each
+	// applying the profile to its own router clone and state.
+	if prof := e.opts.Profile; prof != nil {
+		net.ApplyNetProfile(prof.avoidMask(len(e.arch.Net.Edges)), prof.DeadEdges, prof.DeadBSMRacks)
 	}
 	st := &engineState{
 		net:         net,

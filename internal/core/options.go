@@ -104,6 +104,16 @@ type Options struct {
 	// still producing identical output.
 	CompileParallel int
 
+	// Profile carries adaptive-recompilation feedback from observed
+	// executions into the compiler's network view: soft routing
+	// penalties for flaky edges and hard removal of dead edges / BSM
+	// pools (internal/adapt folds a runtime telemetry profile into one).
+	// nil — and an empty profile, which Compile canonicalizes to nil —
+	// leaves compilation bit-for-bit identical to the non-adaptive path.
+	// Calibrated latency feedback is NOT carried here: adapted planning
+	// latencies are ordinary hw.Params passed to Compile.
+	Profile *NetProfile
+
 	// CheckpointEvery is the event interval between retry checkpoints.
 	CheckpointEvery int
 	// RecoveryWindow is how long (in time units) a downgraded strategy

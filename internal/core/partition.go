@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"switchqnet/internal/epr"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/netstate"
@@ -98,6 +100,61 @@ func partitionDemands(demands []epr.Demand, arch *topology.Arch) []*partGroup {
 		g.demands = append(g.demands, local)
 	}
 	return groups
+}
+
+// Component is one rack-connected component of a demand list, exported
+// for the adaptive recompiler (internal/adapt): when a resource dies
+// permanently mid-run, only the components whose racks (or the spine,
+// for the cross component) depend on it need recompiling — the others'
+// cached schedules remain valid because components are resource-
+// disjoint under the serial scheduler (see the package comment above).
+type Component struct {
+	// IDs maps local demand index -> id in the original demand list
+	// (ascending).
+	IDs []int
+	// Demands holds the component's demands, renumbered so ID == index
+	// — ready to hand to Compile as a standalone workload.
+	Demands []epr.Demand
+	// Cross marks the component owning the switch-level fabric (all
+	// cross-rack demands plus every in-rack demand sharing their racks).
+	Cross bool
+	// Racks lists the racks the component's demands touch (sorted).
+	Racks []int
+}
+
+// Components partitions demands into rack-connected components using
+// the same union-find rule as the parallel compiler. Unlike
+// partitionDemands it accepts unnormalized input: endpoints are
+// validated and CrossRack flags are recomputed from the architecture.
+func Components(demands []epr.Demand, arch *topology.Arch) ([]Component, error) {
+	ds := make([]epr.Demand, len(demands))
+	for i, d := range demands {
+		if d.A < 0 || d.A >= arch.NumQPUs() || d.B < 0 || d.B >= arch.NumQPUs() {
+			return nil, fmt.Errorf("core: demand %d endpoints (%d, %d) outside %d QPUs", i, d.A, d.B, arch.NumQPUs())
+		}
+		d.ID = i
+		d.CrossRack = !arch.Net.InRack(d.A, d.B)
+		ds[i] = d
+	}
+	groups := partitionDemands(ds, arch)
+	comps := make([]Component, len(groups))
+	rackMark := make([]bool, arch.Racks)
+	for gi, g := range groups {
+		c := Component{Demands: g.demands, Cross: g.cross, IDs: make([]int, len(g.ids))}
+		clear(rackMark)
+		for li, gid := range g.ids {
+			c.IDs[li] = int(gid)
+			rackMark[arch.RackOf(g.demands[li].A)] = true
+			rackMark[arch.RackOf(g.demands[li].B)] = true
+		}
+		for r, used := range rackMark {
+			if used {
+				c.Racks = append(c.Racks, r)
+			}
+		}
+		comps[gi] = c
+	}
+	return comps, nil
 }
 
 // crossGroup returns the partition holding the cross-rack component, or

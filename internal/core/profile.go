@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"switchqnet/internal/topology"
+)
+
+// NetProfile is the compile-side summary of observed network health the
+// adaptive recompilation loop feeds back into scheduling (ROADMAP
+// "Closed-loop fault-adaptive recompilation"). It deliberately carries
+// only *network-shape* feedback — which edges to route around and which
+// resources are gone — because latency feedback is expressed as adapted
+// hw.Params and needs no new plumbing.
+type NetProfile struct {
+	// AvoidEdges lists edge ids the router should penalize: channels
+	// route around them whenever an alternative path exists, falling
+	// back to them only when they are the sole way through (so penalties
+	// can never make a routable demand unroutable).
+	AvoidEdges []int
+	// DeadEdges lists permanently failed edge ids: they grant no
+	// capacity, so no channel ever opens over them.
+	DeadEdges []int
+	// DeadBSMRacks lists racks whose BSM pool is permanently gone: no
+	// channel terminates its generation there.
+	DeadBSMRacks []int
+}
+
+// Empty reports whether the profile constrains nothing.
+func (p *NetProfile) Empty() bool {
+	return p == nil || len(p.AvoidEdges) == 0 && len(p.DeadEdges) == 0 && len(p.DeadBSMRacks) == 0
+}
+
+// Clone returns a deep copy (nil stays nil).
+func (p *NetProfile) Clone() *NetProfile {
+	if p == nil {
+		return nil
+	}
+	q := &NetProfile{}
+	if len(p.AvoidEdges) > 0 {
+		q.AvoidEdges = append([]int(nil), p.AvoidEdges...)
+	}
+	if len(p.DeadEdges) > 0 {
+		q.DeadEdges = append([]int(nil), p.DeadEdges...)
+	}
+	if len(p.DeadBSMRacks) > 0 {
+		q.DeadBSMRacks = append([]int(nil), p.DeadBSMRacks...)
+	}
+	return q
+}
+
+// canonical validates the profile against the architecture and returns
+// a sorted, deduplicated copy — or nil when the profile constrains
+// nothing, so an empty profile normalizes away entirely and the
+// compile result is DeepEqual to a profile-less compile. The input is
+// never mutated (options echo back to callers).
+func (p *NetProfile) canonical(arch *topology.Arch) (*NetProfile, error) {
+	if p.Empty() {
+		return nil, nil
+	}
+	q := &NetProfile{
+		AvoidEdges:   canonIndices(p.AvoidEdges),
+		DeadEdges:    canonIndices(p.DeadEdges),
+		DeadBSMRacks: canonIndices(p.DeadBSMRacks),
+	}
+	nEdges := len(arch.Net.Edges)
+	for _, e := range q.AvoidEdges {
+		if e < 0 || e >= nEdges {
+			return nil, fmt.Errorf("core: Profile.AvoidEdges[%d] out of range [0, %d)", e, nEdges)
+		}
+	}
+	for _, e := range q.DeadEdges {
+		if e < 0 || e >= nEdges {
+			return nil, fmt.Errorf("core: Profile.DeadEdges[%d] out of range [0, %d)", e, nEdges)
+		}
+	}
+	for _, r := range q.DeadBSMRacks {
+		if r < 0 || r >= arch.Racks {
+			return nil, fmt.Errorf("core: Profile.DeadBSMRacks[%d] out of range [0, %d)", r, arch.Racks)
+		}
+	}
+	return q, nil
+}
+
+// canonIndices sorts and deduplicates into a fresh slice (nil for
+// empty input, keeping the canonical form comparable with DeepEqual).
+func canonIndices(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	n := 1
+	for _, x := range out[1:] {
+		if x != out[n-1] {
+			out[n] = x
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// avoidMask renders AvoidEdges as the router's dense avoid slice, or
+// nil when there is nothing to avoid (which keeps the router on its
+// penalty-free single-pass search).
+func (p *NetProfile) avoidMask(nEdges int) []bool {
+	if p == nil || len(p.AvoidEdges) == 0 {
+		return nil
+	}
+	mask := make([]bool, nEdges)
+	for _, e := range p.AvoidEdges {
+		mask[e] = true
+	}
+	return mask
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/epr"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// profileDemands is a small multi-rack workload with both in-rack and
+// cross-rack traffic.
+func profileDemands() []epr.Demand {
+	return []epr.Demand{
+		dmd(0, 0, 1, epr.Cat),  // rack 0
+		dmd(1, 4, 5, epr.Cat),  // rack 1
+		dmd(2, 0, 6, epr.Cat),  // cross 0-1
+		dmd(3, 8, 9, epr.Cat),  // rack 2
+		dmd(4, 12, 13, epr.TP), // rack 3
+	}
+}
+
+// TestEmptyProfileIsIdentity is the tentpole identity guarantee: a
+// compile with a non-nil but empty profile must be DeepEqual to the
+// static compile — including the echoed Options — on both the serial
+// and the partitioned paths.
+func TestEmptyProfileIsIdentity(t *testing.T) {
+	a := arch(t, 4, 4, 30, 10, 2)
+	ds := profileDemands()
+	for _, cp := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.CompileParallel = cp
+		static := compile(t, ds, a, opts)
+		withEmpty := opts
+		withEmpty.Profile = &NetProfile{}
+		got := compile(t, ds, a, withEmpty)
+		if !reflect.DeepEqual(static, got) {
+			t.Errorf("CompileParallel=%d: empty-profile result differs from static compile", cp)
+		}
+		if got.Opts.Profile != nil {
+			t.Errorf("CompileParallel=%d: empty profile not canonicalized to nil in echoed Opts", cp)
+		}
+	}
+}
+
+// TestProfileDeterministicAndCanonical: the same profile (in any
+// order, with duplicates) compiles to the same schedule, and the
+// echoed profile is sorted and deduplicated without mutating the input.
+func TestProfileDeterministicAndCanonical(t *testing.T) {
+	a := arch(t, 4, 4, 30, 10, 2)
+	ds := profileDemands()
+	opts1 := DefaultOptions()
+	opts1.Profile = &NetProfile{AvoidEdges: []int{5, 3, 5}, DeadEdges: []int{17}}
+	opts2 := DefaultOptions()
+	opts2.Profile = &NetProfile{AvoidEdges: []int{3, 5, 3}, DeadEdges: []int{17, 17}}
+	r1 := compile(t, ds, a, opts1)
+	r2 := compile(t, ds, a, opts2)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("equivalent profiles compiled to different schedules")
+	}
+	if got := r1.Opts.Profile; got == nil || !reflect.DeepEqual(got.AvoidEdges, []int{3, 5}) || !reflect.DeepEqual(got.DeadEdges, []int{17}) {
+		t.Errorf("echoed profile not canonical: %+v", r1.Opts.Profile)
+	}
+	if !reflect.DeepEqual(opts1.Profile.AvoidEdges, []int{5, 3, 5}) {
+		t.Error("canonicalization mutated the caller's profile")
+	}
+	// Serial and partitioned compiles agree under a profile too.
+	optsP := opts1
+	optsP.CompileParallel = 4
+	if rp := compile(t, ds, a, optsP); !reflect.DeepEqual(r1, rp) {
+		t.Error("partitioned compile under profile differs from serial")
+	}
+}
+
+// TestProfileDeadEdgeReroutes: killing a spine edge keeps cross-rack
+// demands compilable (the clos core has redundant paths).
+func TestProfileDeadEdgeReroutes(t *testing.T) {
+	a := arch(t, 4, 4, 30, 10, 2)
+	ds := profileDemands()
+	static := compile(t, ds, a, DefaultOptions())
+	// Find a spine edge (not a QPU uplink): uplinks are the unique edges
+	// incident to QPU nodes.
+	r := topology.NewRouter(a.Net)
+	res := make([]int, len(a.Net.Edges))
+	for i, e := range a.Net.Edges {
+		res[i] = e.Cap
+	}
+	path := r.FindPath(res, 0, 6)
+	if len(path) < 3 {
+		t.Fatalf("expected a cross-rack path with a spine segment, got %v", path)
+	}
+	opts := DefaultOptions()
+	opts.Profile = &NetProfile{DeadEdges: []int{path[1]}}
+	adapted := compile(t, ds, a, opts)
+	if adapted.Makespan <= 0 || len(adapted.Gens) != len(static.Gens) {
+		t.Errorf("dead-spine compile degenerate: makespan %d, %d gens (static %d)",
+			adapted.Makespan, len(adapted.Gens), len(static.Gens))
+	}
+}
+
+// TestProfileDeadUplinkFailsDemand: a dead QPU uplink makes that QPU's
+// demands uncompilable — the compile must error, not hang or silently
+// drop the demand.
+func TestProfileDeadUplinkFailsDemand(t *testing.T) {
+	a := arch(t, 2, 2, 30, 10, 2)
+	r := topology.NewRouter(a.Net)
+	res := make([]int, len(a.Net.Edges))
+	for i, e := range a.Net.Edges {
+		res[i] = e.Cap
+	}
+	up := r.FindPath(res, 0, 1)[0] // QPU 0's only uplink
+	opts := DefaultOptions()
+	opts.MaxRetries = 2
+	opts.Profile = &NetProfile{DeadEdges: []int{up}}
+	if _, err := Compile([]epr.Demand{dmd(0, 0, 1, epr.Cat)}, a, hw.Default(), opts); err == nil {
+		t.Error("compile with the demand's only uplink dead succeeded")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	a := arch(t, 2, 2, 30, 10, 2)
+	for _, p := range []*NetProfile{
+		{AvoidEdges: []int{len(a.Net.Edges)}},
+		{DeadEdges: []int{-1}},
+		{DeadBSMRacks: []int{2}},
+	} {
+		opts := DefaultOptions()
+		opts.Profile = p
+		if _, err := Compile(nil, a, hw.Default(), opts); err == nil {
+			t.Errorf("out-of-range profile %+v accepted", p)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	a := arch(t, 4, 4, 30, 10, 2)
+	// Demands omit CrossRack flags on purpose: Components must normalize.
+	ds := []epr.Demand{
+		{ID: 0, A: 0, B: 1, Protocol: epr.Cat, Gates: 1},   // rack 0
+		{ID: 1, A: 0, B: 6, Protocol: epr.Cat, Gates: 1},   // cross 0-1
+		{ID: 2, A: 8, B: 9, Protocol: epr.Cat, Gates: 1},   // rack 2
+		{ID: 3, A: 12, B: 15, Protocol: epr.Cat, Gates: 1}, // rack 3
+	}
+	comps, err := Components(ds, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3 (cross{0,1}, rack2, rack3): %+v", len(comps), comps)
+	}
+	var crossCount int
+	for _, c := range comps {
+		if c.Cross {
+			crossCount++
+			if !reflect.DeepEqual(c.IDs, []int{0, 1}) || !reflect.DeepEqual(c.Racks, []int{0, 1}) {
+				t.Errorf("cross component = %+v, want demands {0,1} racks {0,1}", c)
+			}
+		}
+		for li, d := range c.Demands {
+			if d.ID != li {
+				t.Errorf("component demand %d has local ID %d", li, d.ID)
+			}
+		}
+		// Each component compiles standalone.
+		if _, err := Compile(c.Demands, a, hw.Default(), DefaultOptions()); err != nil {
+			t.Errorf("component %+v failed standalone compile: %v", c.IDs, err)
+		}
+	}
+	if crossCount != 1 {
+		t.Errorf("crossCount = %d, want 1", crossCount)
+	}
+	if _, err := Components([]epr.Demand{{A: 0, B: 99}}, a); err == nil {
+		t.Error("out-of-range endpoints accepted")
+	}
+}

@@ -1,0 +1,345 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+
+	"switchqnet/internal/adapt"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/metrics"
+	"switchqnet/internal/runtime"
+	"switchqnet/internal/topology"
+)
+
+// adaptMaxRounds caps the fold-recompile-replay iterations per cell.
+// The loop usually converges earlier: a round whose fold reproduces the
+// previous plan ends the cell.
+const adaptMaxRounds = 3
+
+// AdaptRow is one cell of the adaptive-recompilation experiment: the
+// realized distribution of the static schedule, of the schedule after
+// one telemetry fold, and of the converged schedule, plus the
+// recompiler's work counters.
+type AdaptRow struct {
+	Label string
+	// Static, Adapted and Converged are the realized distributions of
+	// the unadapted schedule, the one-round schedule and the final
+	// schedule (Adapted == Converged when one round converges).
+	Static, Adapted, Converged *runtime.Stats
+	// Degraded is the realized distribution after a mid-run link death
+	// triggered the partial-recompile fast path; nil when the cell's
+	// workload has no killable spare uplink (dense single-component
+	// grids).
+	Degraded *runtime.Stats
+	// Rounds is the number of fold-recompile-replay rounds executed.
+	Rounds int
+	// Plan is the converged planning calibration.
+	Plan adapt.Plan
+	// Recomp counts the recompiler's work, including the degraded
+	// phase's warm-start hits.
+	Recomp adapt.Stats
+	// Params is the cell's true hardware profile (for normalization).
+	Params hw.Params
+}
+
+// adaptRecord is AdaptRow's JSON form (RunConfig.AdaptJSON / qdcbench
+// -adaptjson, the BENCH_adapt.json feed).
+type adaptRecord struct {
+	Label          string  `json:"label"`
+	Seed           uint64  `json:"seed"`
+	Trials         int     `json:"trials"`
+	Faults         string  `json:"faults"`
+	Rounds         int     `json:"rounds"`
+	CompiledStatic float64 `json:"compiled_static_reconfig_units"`
+	CompiledConv   float64 `json:"compiled_converged_reconfig_units"`
+	StaticP50      float64 `json:"static_p50"`
+	StaticP95      float64 `json:"static_p95"`
+	StaticP99      float64 `json:"static_p99"`
+	Adapt1P95      float64 `json:"adapt1_p95"`
+	ConvP50        float64 `json:"conv_p50"`
+	ConvP95        float64 `json:"conv_p95"`
+	ConvP99        float64 `json:"conv_p99"`
+	DegradedP95    float64 `json:"degraded_p95,omitempty"`
+	P95Improvement float64 `json:"p95_improvement"`
+	InRackScale    float64 `json:"inrack_scale"`
+	CrossRackScale float64 `json:"crossrack_scale"`
+	ReconfigScale  float64 `json:"reconfig_scale"`
+	WarmHits       int     `json:"warm_hits"`
+	Partial        int     `json:"partial_recompiles"`
+	Fallbacks      int     `json:"fallbacks"`
+}
+
+// adaptCell is one grid point: either a frontend benchmark on a paper
+// setting or a generated scenario workload.
+type adaptCell struct {
+	label string
+	bench string
+	s     Setting
+	scen  *Scenario
+}
+
+// adaptGrid mirrors the fault sweep's grid and appends generated
+// scenario workloads: their sparse cross-rack traffic splits into many
+// demand components, which is what exercises the degraded-topology
+// partial-recompile path (the dense paper benchmarks form a single
+// cross component).
+func adaptGrid(cfg RunConfig) []adaptCell {
+	benches := Benchmarks()
+	if cfg.Quick {
+		benches = []string{"MCT", "QFT"}
+	}
+	var cells []adaptCell
+	for _, s := range faultSettings(cfg) {
+		for _, bench := range benches {
+			cells = append(cells, adaptCell{label: BenchLabel(bench, s), bench: bench, s: s})
+		}
+	}
+	scens := []Scenario{ScaleScenario("clos", 16, cfg.Seed)}
+	if !cfg.Quick {
+		scens = append(scens, ScaleScenario("fat-tree", 32, cfg.Seed))
+	}
+	for i := range scens {
+		sc := scens[i]
+		cells = append(cells, adaptCell{label: "scenario-" + sc.Label(), scen: &sc})
+	}
+	return cells
+}
+
+// planEqual reports whether two plans would compile the same schedule.
+func planEqual(a, b adapt.Plan) bool {
+	return a.Params == b.Params && reflect.DeepEqual(a.Profile, b.Profile)
+}
+
+// spareUplink returns the uplink edge of a demand-free QPU in a rack
+// touched by at least one but not every component — an edge whose death
+// exercises the partial-recompile fast path without making any demand
+// unsatisfiable. ok is false when no such edge exists (single-component
+// workloads, fully loaded racks).
+func spareUplink(arch *topology.Arch, demands []epr.Demand, comps []core.Component) (int, bool) {
+	if len(comps) < 2 {
+		return 0, false
+	}
+	rackComps := make([]int, arch.Racks)
+	for _, c := range comps {
+		for _, r := range c.Racks {
+			rackComps[r]++
+		}
+	}
+	used := make([]bool, arch.NumQPUs())
+	for _, d := range demands {
+		used[d.A], used[d.B] = true, true
+	}
+	n := arch.Net
+	for eid, e := range n.Edges {
+		var nd topology.Node
+		if n.Nodes[e.A].Kind == topology.KindQPU {
+			nd = n.Nodes[e.A]
+		} else if n.Nodes[e.B].Kind == topology.KindQPU {
+			nd = n.Nodes[e.B]
+		} else {
+			continue
+		}
+		qpu := arch.QPUID(nd.Rack, nd.Index)
+		if !used[qpu] && rackComps[nd.Rack] >= 1 && rackComps[nd.Rack] < len(comps) {
+			return eid, true
+		}
+	}
+	return 0, false
+}
+
+// AdaptRows runs the closed-loop experiment. Per cell: compile the
+// static schedule, replay it cfg.Trials times under the fault profile
+// while collecting telemetry, fold the profile into calibrated
+// planning inputs, recompile, and repeat until the fold reaches a
+// fixed point (or adaptMaxRounds). Replays reuse the cell's seed, so
+// every schedule faces the same fault realizations and the comparison
+// is paired. Where the workload has a spare uplink, the cell finishes
+// with a mid-run link death and a partial recompile of the affected
+// components. Cells fan across the worker pool; rows are
+// index-addressed, so output is byte-identical at any -parallel.
+func AdaptRows(cfg RunConfig) ([]AdaptRow, error) {
+	profile := cfg.Faults
+	if profile == "" {
+		profile = "default"
+	}
+	fcfg, err := faults.Profile(profile)
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.Trials
+	if trials < 1 {
+		trials = 20
+	}
+	fo := adapt.DefaultFoldOptions()
+	pol := runtime.DefaultPolicy()
+	cells := adaptGrid(cfg)
+	rows := make([]AdaptRow, len(cells))
+	err = cfg.forEachCell(len(cells), func(i int) error {
+		c := cells[i]
+		var (
+			arch    *topology.Arch
+			demands []epr.Demand
+			hwp     hw.Params
+			err     error
+		)
+		if c.scen != nil {
+			if arch, err = c.scen.Arch(); err != nil {
+				return fmt.Errorf("experiments: adapt %s: %w", c.label, err)
+			}
+			demands = c.scen.Demands(arch)
+			hwp = c.scen.Params()
+		} else {
+			if arch, err = c.s.Arch(); err != nil {
+				return fmt.Errorf("experiments: adapt %s: %w", c.label, err)
+			}
+			if demands, err = cfg.Frontend.Demands(c.bench, arch, comm.DefaultOptions()); err != nil {
+				return fmt.Errorf("experiments: adapt %s: %w", c.label, err)
+			}
+			hwp = hw.Default()
+		}
+		rc, err := adapt.NewRecompiler(demands, arch, hwp, core.DefaultOptions(), cfg.Obs)
+		if err != nil {
+			return fmt.Errorf("experiments: adapt %s: %w", c.label, err)
+		}
+		replay := func(res *core.Result) (*runtime.Stats, *runtime.Profile) {
+			return runtime.RunTrialsProfiled(res, arch, fcfg, pol, cfg.Seed, trials, 1, hwp, cfg.Obs)
+		}
+		row := AdaptRow{Label: c.label, Params: hwp}
+		var prof *runtime.Profile
+		row.Static, prof = replay(rc.Result())
+		prevPlan := rc.Plan()
+		for r := 1; r <= adaptMaxRounds; r++ {
+			if err := rc.ApplyProfile(prof, fo); err != nil {
+				return fmt.Errorf("experiments: adapt %s (round %d): %w", c.label, r, err)
+			}
+			row.Rounds = r
+			stats, next := replay(rc.Result())
+			if r == 1 {
+				row.Adapted = stats
+			}
+			row.Converged = stats
+			if planEqual(rc.Plan(), prevPlan) {
+				break
+			}
+			prevPlan, prof = rc.Plan(), next
+		}
+		row.Plan = rc.Plan()
+		if edge, ok := spareUplink(arch, demands, rc.Components()); ok {
+			if err := rc.KillEdge(edge); err != nil {
+				return fmt.Errorf("experiments: adapt %s (kill edge %d): %w", c.label, edge, err)
+			}
+			deg, _ := replay(rc.Result())
+			row.Degraded = deg
+		}
+		row.Recomp = rc.Stats()
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Adapt renders the closed-loop adaptive-recompilation experiment:
+// static vs one-round vs converged realized percentiles, the applied
+// calibration scales and the recompiler's warm-start counters. With
+// RunConfig.AdaptJSON set, one JSON record per row is appended to that
+// file (the BENCH_adapt.json feed).
+func Adapt(w io.Writer, cfg RunConfig) error {
+	rows, err := AdaptRows(cfg)
+	if err != nil {
+		return err
+	}
+	profile := cfg.Faults
+	if profile == "" {
+		profile = "default"
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Adaptive recompilation: realized latency before/after telemetry folds, "+
+			"profile %q, seed %d, %d trials (latency in units of reconfiguration latency)",
+			profile, cfg.Seed, adaptTrials(rows)),
+		"Cell", "Compiled", "p95", "Adapted", "Conv p95", "Gain", "Rounds",
+		"Scales", "Degraded", "Warm", "Partial", "Fallback")
+	for _, r := range rows {
+		degraded := "-"
+		if r.Degraded != nil {
+			degraded = fmt.Sprintf("%.1f", r.Params.Normalized(r.Degraded.P95))
+		}
+		t.AddRow(r.Label,
+			r.Params.Normalized(r.Static.Compiled),
+			r.Params.Normalized(r.Static.P95),
+			r.Params.Normalized(r.Adapted.P95),
+			r.Params.Normalized(r.Converged.P95),
+			fmt.Sprintf("%.2fx", p95Gain(r)),
+			r.Rounds,
+			fmt.Sprintf("%.2f/%.2f/%.2f", r.Plan.InRackScale, r.Plan.CrossRackScale, r.Plan.ReconfigScale),
+			degraded,
+			r.Recomp.WarmHits, r.Recomp.PartialRecompiles, r.Recomp.Fallbacks)
+	}
+	if err := cfg.render(t, w); err != nil {
+		return err
+	}
+	if cfg.AdaptJSON == "" {
+		return nil
+	}
+	f, err := os.OpenFile(cfg.AdaptJSON, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	trials := adaptTrials(rows)
+	for _, r := range rows {
+		rec := adaptRecord{
+			Label: r.Label, Seed: cfg.Seed, Trials: trials, Faults: profile,
+			Rounds:         r.Rounds,
+			CompiledStatic: r.Params.Normalized(r.Static.Compiled),
+			CompiledConv:   r.Params.Normalized(r.Converged.Compiled),
+			StaticP50:      r.Params.Normalized(r.Static.P50),
+			StaticP95:      r.Params.Normalized(r.Static.P95),
+			StaticP99:      r.Params.Normalized(r.Static.P99),
+			Adapt1P95:      r.Params.Normalized(r.Adapted.P95),
+			ConvP50:        r.Params.Normalized(r.Converged.P50),
+			ConvP95:        r.Params.Normalized(r.Converged.P95),
+			ConvP99:        r.Params.Normalized(r.Converged.P99),
+			P95Improvement: p95Gain(r),
+			InRackScale:    r.Plan.InRackScale,
+			CrossRackScale: r.Plan.CrossRackScale,
+			ReconfigScale:  r.Plan.ReconfigScale,
+			WarmHits:       r.Recomp.WarmHits,
+			Partial:        r.Recomp.PartialRecompiles,
+			Fallbacks:      r.Recomp.Fallbacks,
+		}
+		if r.Degraded != nil {
+			rec.DegradedP95 = r.Params.Normalized(r.Degraded.P95)
+		}
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// p95Gain is the static-over-converged realized-p95 factor (> 1 means
+// the adapted schedule finishes sooner at the 95th percentile).
+func p95Gain(r AdaptRow) float64 {
+	if r.Converged == nil || r.Converged.P95 <= 0 {
+		return 0
+	}
+	return float64(r.Static.P95) / float64(r.Converged.P95)
+}
+
+func adaptTrials(rows []AdaptRow) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	return len(rows[0].Static.Trials)
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAdaptParallelByteIdentical: the adapt sweep's rendered table must
+// be byte-identical whether cells run serially or on a worker pool —
+// each cell's whole fold-recompile-replay loop is a pure function of
+// (workload, seed).
+func TestAdaptParallelByteIdentical(t *testing.T) {
+	base := RunConfig{Quick: true, Seed: 1, Trials: 4}
+	var serial bytes.Buffer
+	if err := Adapt(&serial, base); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg := base
+		cfg.Parallel = workers
+		var parallel bytes.Buffer
+		if err := Adapt(&parallel, cfg); err != nil {
+			t.Fatalf("parallel run (%d workers): %v", workers, err)
+		}
+		if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+			t.Errorf("adapt sweep differs between 1 and %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial.String(), parallel.String())
+		}
+	}
+}
+
+// TestAdaptRowsShape checks the loop's invariants on the quick grid:
+// paired replays, bounded rounds, a converged plan no faster than
+// hardware, and — on the scenario cell — a degraded phase with
+// warm-start cache hits.
+func TestAdaptRowsShape(t *testing.T) {
+	rows, err := AdaptRows(RunConfig{Quick: true, Seed: 3, Trials: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // MCT, QFT on program-480 + one scenario
+		t.Fatalf("quick grid has %d rows, want 3", len(rows))
+	}
+	sawDegraded := false
+	for _, r := range rows {
+		if r.Static == nil || r.Adapted == nil || r.Converged == nil {
+			t.Fatalf("%s: missing distributions: %+v", r.Label, r)
+		}
+		if r.Rounds < 1 || r.Rounds > adaptMaxRounds {
+			t.Errorf("%s: %d rounds outside [1, %d]", r.Label, r.Rounds, adaptMaxRounds)
+		}
+		if len(r.Static.Trials) != 5 || len(r.Converged.Trials) != 5 {
+			t.Errorf("%s: unpaired trial counts %d/%d", r.Label, len(r.Static.Trials), len(r.Converged.Trials))
+		}
+		if r.Plan.InRackScale < 1 || r.Plan.CrossRackScale < 1 || r.Plan.ReconfigScale < 1 {
+			t.Errorf("%s: fold deflated latencies: %+v", r.Label, r.Plan)
+		}
+		if r.Recomp.Folds != r.Rounds {
+			t.Errorf("%s: %d folds for %d rounds", r.Label, r.Recomp.Folds, r.Rounds)
+		}
+		if r.Degraded != nil {
+			sawDegraded = true
+			if r.Recomp.PartialRecompiles == 0 || r.Recomp.WarmHits == 0 {
+				t.Errorf("%s: degraded phase ran without partial recompile / warm hits: %+v",
+					r.Label, r.Recomp)
+			}
+			if r.Degraded.TotalAborted > r.Converged.TotalAborted+len(r.Degraded.Trials) {
+				t.Errorf("%s: degraded schedule aborts exploded: %d", r.Label, r.Degraded.TotalAborted)
+			}
+		}
+	}
+	if !sawDegraded {
+		t.Error("no cell exercised the degraded-topology fast path")
+	}
+}
+
+// TestAdaptJSONFeed: AdaptJSON appends one well-formed record per row.
+func TestAdaptJSONFeed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adapt.json")
+	cfg := RunConfig{Quick: true, Seed: 1, Trials: 3, AdaptJSON: path}
+	var buf bytes.Buffer
+	if err := Adapt(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	n := 0
+	for dec.More() {
+		var rec adaptRecord
+		if err := dec.Decode(&rec); err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		if rec.Label == "" || rec.Trials != 3 || rec.StaticP95 <= 0 || rec.ConvP95 <= 0 {
+			t.Errorf("degenerate record: %+v", rec)
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("wrote %d records, want 3", n)
+	}
+}
+
+// TestAdaptRegistered: reachable via the registry, absent from the
+// paper-order id list.
+func TestAdaptRegistered(t *testing.T) {
+	if Registry()["adapt"] == nil {
+		t.Fatal("adapt runner not registered")
+	}
+	for _, id := range IDs() {
+		if id == "adapt" {
+			t.Fatal("adapt must not be part of the paper-order id list")
+		}
+	}
+}
+
+// TestEmptyProfileByteIdentity: compiling every cell with an empty
+// NetProfile must render byte-identically to a plain run (the profile
+// canonicalizes to nil before it can perturb the schedule).
+func TestEmptyProfileByteIdentity(t *testing.T) {
+	var plain, empty bytes.Buffer
+	if err := FaultSweep(&plain, RunConfig{Quick: true, Faults: "default", Seed: 1, Trials: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := FaultSweep(&empty, RunConfig{Quick: true, Faults: "default", Seed: 1, Trials: 3, EmptyProfile: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), empty.Bytes()) {
+		t.Error("empty-profile fault sweep differs from plain run")
+	}
+}

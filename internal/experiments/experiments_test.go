@@ -207,7 +207,7 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	// Registry-only experiments: runnable via -exp but excluded from the
 	// paper-order "all" sweep.
-	extras := map[string]bool{"faults": true, "scale": true}
+	extras := map[string]bool{"faults": true, "scale": true, "adapt": true}
 	if len(reg) != len(IDs())+len(extras) {
 		t.Errorf("registry has %d entries, IDs() %d + %d extras", len(reg), len(IDs()), len(extras))
 	}

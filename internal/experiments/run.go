@@ -35,6 +35,9 @@ func (cfg RunConfig) compilePipeline(bench string, arch *topology.Arch, p hw.Par
 	if cfg.CompileParallel > 0 {
 		opts.CompileParallel = cfg.CompileParallel
 	}
+	if cfg.EmptyProfile {
+		opts.Profile = &core.NetProfile{}
+	}
 	ex := sp.StartSpan("extract")
 	demands, err := cfg.Frontend.Demands(bench, arch, xopts)
 	ex.End()
@@ -103,6 +106,17 @@ type RunConfig struct {
 	// ignore it.
 	ScaleJSON string
 
+	// AdaptJSON, when non-empty, makes the "adapt" experiment append
+	// one JSON record per cell to this file (qdcbench -adaptjson;
+	// BENCH_adapt.json's data feed). The other experiments ignore it.
+	AdaptJSON string
+
+	// EmptyProfile compiles every cell with a non-nil but empty
+	// core.NetProfile. The compiler canonicalizes an empty profile to
+	// nil, so output must be byte-identical to a plain run — the CLIs'
+	// -emptyprofile flag and the CI byte-identity check rely on it.
+	EmptyProfile bool
+
 	// Faults names the fault profile of the "faults" experiment
 	// (faults.ProfileNames; "" means off), Seed seeds its fault model,
 	// and Trials sets the number of fault realizations per cell
@@ -146,14 +160,15 @@ func Registry() map[string]Runner {
 		"ablation": Ablation,
 		"faults":   FaultSweep,
 		"scale":    Scale,
+		"adapt":    Adapt,
 	}
 }
 
-// IDs returns the experiment ids in presentation order. The "faults"
-// and "scale" sweeps are registered but excluded here: they are not
-// paper artifacts, so "-exp all" (and results_full.txt) keep the
-// paper's table set; run them with -exp faults (or the qdcbench
-// -faults flag) and -exp scale.
+// IDs returns the experiment ids in presentation order. The "faults",
+// "scale" and "adapt" sweeps are registered but excluded here: they
+// are not paper artifacts, so "-exp all" (and results_full.txt) keep
+// the paper's table set; run them with -exp faults (or the qdcbench
+// -faults flag), -exp scale and -exp adapt.
 func IDs() []string {
 	return []string{"fig2", "tab2", "fig8a", "fig8b", "fig9a", "fig9b", "fig9c",
 		"fig10a", "fig10b", "fig10c", "tab3", "ablation"}

@@ -244,7 +244,18 @@ func New(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.T
 
 // mergeWindows sorts windows by start and coalesces overlapping or
 // touching ones, so the merged list is ascending and disjoint.
+// Zero-width (and inverted) windows are dropped: they carry no outage
+// dwell, and keeping them would let a [t, t) entry glue two otherwise
+// separate windows sharing the endpoint t into one, or surface as a
+// no-op window the telemetry would still count as an outage hit.
 func mergeWindows(ws []window) []window {
+	nonEmpty := ws[:0]
+	for _, w := range ws {
+		if w.To > w.From {
+			nonEmpty = append(nonEmpty, w)
+		}
+	}
+	ws = nonEmpty
 	if len(ws) < 2 {
 		return ws
 	}
@@ -326,6 +337,13 @@ func (m *Model) Config() Config { return m.cfg }
 // Seed returns the model's seed.
 func (m *Model) Seed() uint64 { return m.seed }
 
+// Params returns the hardware parameters the model was calibrated
+// against. These are the *true* (hardware) latencies — when a schedule
+// was compiled against adapted (inflated) planning latencies, the
+// executor charges physical costs like switch reconfiguration from
+// these, not from the schedule's planning params.
+func (m *Model) Params() hw.Params { return m.params }
+
 // upAfter returns the earliest time >= t not inside any window.
 func upAfter(ws []window, t hw.Time) hw.Time {
 	for _, w := range ws {
@@ -359,7 +377,18 @@ func (m *Model) EdgeDownAt(e int, t hw.Time) bool { return upAfter(m.edgeWin[e],
 // path intersecting [from, to): its start (clamped to from), its end,
 // and whether the blocking edge is permanently dead.
 func (m *Model) PathOutageWithin(path []int, from, to hw.Time) (start, end hw.Time, dead, ok bool) {
-	start = Forever
+	start, end, _, dead, ok = m.PathOutageEdgeWithin(path, from, to)
+	return start, end, dead, ok
+}
+
+// PathOutageEdgeWithin is PathOutageWithin plus the id of the blocking
+// edge (the edge whose outage starts earliest; ties resolve to the
+// longer outage, matching PathOutageWithin's selection exactly). The
+// telemetry profile uses the edge id to attribute retries, reroutes and
+// outage dwell to the physical link that caused them. edge is -1 when
+// no outage intersects the interval.
+func (m *Model) PathOutageEdgeWithin(path []int, from, to hw.Time) (start, end hw.Time, edge int, dead, ok bool) {
+	start, edge = Forever, -1
 	for _, e := range path {
 		w, hit := outageWithin(m.edgeWin[e], from, to)
 		if !hit {
@@ -370,10 +399,10 @@ func (m *Model) PathOutageWithin(path []int, from, to hw.Time) (start, end hw.Ti
 			s = from
 		}
 		if !ok || s < start || (s == start && w.To > end) {
-			start, end, dead, ok = s, w.To, w.To >= Forever, true
+			start, end, edge, dead, ok = s, w.To, e, w.To >= Forever, true
 		}
 	}
-	return start, end, dead, ok
+	return start, end, edge, dead, ok
 }
 
 // PathUpAfter returns the earliest time >= t at which every edge of the
@@ -428,6 +457,27 @@ const fallbackCap = 4
 // EPR mechanism disabled the compiled duration is returned unchanged,
 // which is what makes zero-fault replay exact.
 func (m *Model) GenDuration(rng *RNG, inRack bool, compiled hw.Time) (dur hw.Time, fallbacks int) {
+	base := m.params.CrossRackLatency
+	if inRack {
+		base = m.params.InRackLatency
+	}
+	pairs := 1
+	if base > 0 {
+		if pairs = int(compiled / base); pairs < 1 {
+			pairs = 1
+		}
+	}
+	return m.GenDurationPairs(rng, inRack, pairs, compiled)
+}
+
+// GenDurationPairs is GenDuration with the pair count supplied by the
+// caller instead of inferred from compiled/base. The executor derives
+// pairs from the schedule's *planning* latencies, so replaying a
+// schedule compiled against adapted (inflated) params still repeats the
+// physically correct number of EPR pairs — against the model's true
+// hardware calibration. When planning and hardware params coincide
+// (every non-adaptive path) this is exactly GenDuration.
+func (m *Model) GenDurationPairs(rng *RNG, inRack bool, pairs int, compiled hw.Time) (dur hw.Time, fallbacks int) {
 	if !m.cfg.EPR {
 		return compiled, 0
 	}
@@ -438,7 +488,6 @@ func (m *Model) GenDuration(rng *RNG, inRack bool, compiled hw.Time) (dur hw.Tim
 	if g.succ <= 0 || base <= 0 {
 		return compiled, 0
 	}
-	pairs := int(compiled / base)
 	if pairs < 1 {
 		pairs = 1
 	}

@@ -237,6 +237,171 @@ func TestScheduledOutagesOverlaySeededWindows(t *testing.T) {
 	}
 }
 
+// dwell sums the covered time of a sorted, disjoint window list.
+func dwell(ws []window) hw.Time {
+	var d hw.Time
+	for _, w := range ws {
+		d += w.To - w.From
+	}
+	return d
+}
+
+func TestMergeWindowsEndpointSharing(t *testing.T) {
+	// Windows sharing an endpoint must coalesce into one — never stay
+	// split (double-counting a boundary in outage-hit telemetry) and
+	// never double-count dwell.
+	got := mergeWindows([]window{{From: 10, To: 20}, {From: 20, To: 30}})
+	if len(got) != 1 || got[0] != (window{From: 10, To: 30}) {
+		t.Fatalf("adjacent windows = %+v, want one [10,30)", got)
+	}
+	if d := dwell(got); d != 20 {
+		t.Fatalf("adjacent dwell = %d, want 20", d)
+	}
+	got = mergeWindows([]window{{From: 10, To: 25}, {From: 20, To: 30}})
+	if len(got) != 1 || got[0] != (window{From: 10, To: 30}) || dwell(got) != 20 {
+		t.Fatalf("overlapping windows = %+v (dwell %d), want one [10,30) dwell 20", got, dwell(got))
+	}
+}
+
+func TestMergeWindowsDropsZeroWidth(t *testing.T) {
+	// A zero-width [t, t) window carries no dwell and must not survive —
+	// nor glue two windows that merely touch it at t.
+	got := mergeWindows([]window{{From: 20, To: 20}})
+	if len(got) != 0 {
+		t.Fatalf("lone zero-width window survived: %+v", got)
+	}
+	got = mergeWindows([]window{{From: 10, To: 20}, {From: 20, To: 20}, {From: 25, To: 30}})
+	want := []window{{From: 10, To: 20}, {From: 25, To: 30}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("zero-width glue: got %+v, want %+v", got, want)
+	}
+	// Inverted windows are empty too.
+	if got := mergeWindows([]window{{From: 30, To: 10}}); len(got) != 0 {
+		t.Fatalf("inverted window survived: %+v", got)
+	}
+}
+
+// TestMergeWindowsProperty checks mergeWindows against a brute-force
+// boolean timeline over randomized inputs including adjacent,
+// overlapping, nested, duplicate and zero-width windows.
+func TestMergeWindowsProperty(t *testing.T) {
+	rng := NewRNG(0xfeed)
+	const span = 64
+	for trial := 0; trial < 500; trial++ {
+		n := int(rng.Uint64() % 8)
+		in := make([]window, 0, n)
+		covered := [span]bool{}
+		for i := 0; i < n; i++ {
+			from := hw.Time(rng.Uint64() % span)
+			to := from + hw.Time(rng.Uint64()%10) // may equal from: zero width
+			if to > span {
+				to = span
+			}
+			in = append(in, window{From: from, To: to})
+			for u := from; u < to; u++ {
+				covered[u] = true
+			}
+		}
+		got := mergeWindows(append([]window(nil), in...))
+		// Structural invariants: ascending, disjoint, non-touching, non-empty.
+		for i, w := range got {
+			if w.To <= w.From {
+				t.Fatalf("trial %d: empty window %+v in output %+v (input %+v)", trial, w, got, in)
+			}
+			if i > 0 && w.From <= got[i-1].To {
+				t.Fatalf("trial %d: windows %d,%d not disjoint/ascending: %+v (input %+v)", trial, i-1, i, got, in)
+			}
+		}
+		// Exact coverage: merged windows cover a time unit iff some input
+		// window did — so total dwell is never double-counted.
+		var wantDwell hw.Time
+		for u := 0; u < span; u++ {
+			if covered[u] {
+				wantDwell++
+			}
+			inMerged := false
+			for _, w := range got {
+				if hw.Time(u) >= w.From && hw.Time(u) < w.To {
+					inMerged = true
+					break
+				}
+			}
+			if inMerged != covered[u] {
+				t.Fatalf("trial %d: coverage mismatch at t=%d: merged=%v brute=%v (input %+v, output %+v)",
+					trial, u, inMerged, covered[u], in, got)
+			}
+		}
+		if d := dwell(got); d != wantDwell {
+			t.Fatalf("trial %d: dwell %d != brute-force %d (input %+v, output %+v)", trial, d, wantDwell, in, got)
+		}
+	}
+}
+
+func TestGenDurationPairsMatchesGenDuration(t *testing.T) {
+	arch := testArch(t)
+	p := hw.Default()
+	cfg, _ := Profile("default")
+	m := New(cfg, arch, p, 1, hw.Millisecond)
+	for _, tc := range []struct {
+		inRack   bool
+		compiled hw.Time
+	}{
+		{true, p.InRackLatency}, {true, 3 * p.InRackLatency}, {true, 1},
+		{false, p.CrossRackLatency}, {false, 7 * p.CrossRackLatency}, {false, p.CrossRackLatency / 2},
+	} {
+		base := p.CrossRackLatency
+		if tc.inRack {
+			base = p.InRackLatency
+		}
+		pairs := int(tc.compiled / base)
+		if pairs < 1 {
+			pairs = 1
+		}
+		r1, r2 := NewRNG(42), NewRNG(42)
+		d1, f1 := m.GenDuration(r1, tc.inRack, tc.compiled)
+		d2, f2 := m.GenDurationPairs(r2, tc.inRack, pairs, tc.compiled)
+		if d1 != d2 || f1 != f2 {
+			t.Errorf("GenDuration(%v, %d) = (%d, %d) but GenDurationPairs(pairs=%d) = (%d, %d)",
+				tc.inRack, tc.compiled, d1, f1, pairs, d2, f2)
+		}
+	}
+	// Disabled model: compiled passes through regardless of pairs.
+	off := New(Config{}, arch, p, 1, hw.Millisecond)
+	if d, fb := off.GenDurationPairs(NewRNG(1), true, 5, 999); d != 999 || fb != 0 {
+		t.Errorf("disabled GenDurationPairs = (%d, %d), want (999, 0)", d, fb)
+	}
+}
+
+func TestPathOutageEdgeWithin(t *testing.T) {
+	arch := testArch(t)
+	cfg := Config{Schedule: []ScheduledOutage{
+		{Kind: OutageEdge, Index: 2, From: 100, To: 200},
+		{Kind: OutageEdge, Index: 5, From: 50, To: 120},
+	}}
+	m := New(cfg, arch, hw.Default(), 1, 1000)
+	start, end, edge, dead, ok := m.PathOutageEdgeWithin([]int{2, 5}, 0, 1000)
+	if !ok || edge != 5 || start != 50 || end != 120 || dead {
+		t.Errorf("earliest outage = (start=%d end=%d edge=%d dead=%v ok=%v), want edge 5 at [50,120)", start, end, edge, dead, ok)
+	}
+	// Clamped query starting inside both windows: edge 5's clamped start
+	// ties edge 2's, and the longer outage (edge 2, to 200) must win —
+	// the same tie-break PathOutageWithin uses.
+	start, end, edge, dead, ok = m.PathOutageEdgeWithin([]int{2, 5}, 110, 1000)
+	if !ok || edge != 2 || start != 110 || end != 200 || dead {
+		t.Errorf("tied outage = (start=%d end=%d edge=%d dead=%v ok=%v), want edge 2 to 200", start, end, edge, dead, ok)
+	}
+	// No outage in range: edge must be -1.
+	if _, _, edge, _, ok := m.PathOutageEdgeWithin([]int{2, 5}, 500, 600); ok || edge != -1 {
+		t.Errorf("no-outage query returned ok=%v edge=%d", ok, edge)
+	}
+	// Delegation: PathOutageWithin agrees with the edge-reporting variant.
+	s1, e1, d1, ok1 := m.PathOutageWithin([]int{2, 5}, 0, 1000)
+	s2, e2, _, d2, ok2 := m.PathOutageEdgeWithin([]int{2, 5}, 0, 1000)
+	if s1 != s2 || e1 != e2 || d1 != d2 || ok1 != ok2 {
+		t.Error("PathOutageWithin disagrees with PathOutageEdgeWithin")
+	}
+}
+
 func TestScheduledOutagesMergeWithStochastic(t *testing.T) {
 	arch := testArch(t)
 	base, err := Profile("default")

@@ -203,6 +203,32 @@ func NewWithRouter(arch *topology.Arch, p hw.Params, r *topology.Router) *State 
 	return s
 }
 
+// ApplyNetProfile installs an adaptive-recompilation network profile:
+// soft routing penalties for flaky edges (forwarded to the router's
+// avoid pass) and hard removal of dead resources. Dead edges and dead
+// BSM pools are modeled by zeroing their free counts — topology.Arch
+// validation requires Cap > 0, so capacity is taken at the state layer
+// instead: a dead resource simply never has capacity to grant, and
+// since no channel ever opens over it, teardown never credits it back.
+// Must be called right after New/NewWithRouter, before any channel is
+// opened. Out-of-range indices are ignored (profiles can be replayed
+// onto differently sized fabrics, mirroring faults.ScheduledOutage).
+func (s *State) ApplyNetProfile(avoid []bool, deadEdges, deadBSMRacks []int) {
+	if avoid != nil {
+		s.router.SetAvoid(avoid)
+	}
+	for _, e := range deadEdges {
+		if e >= 0 && e < len(s.EdgeFree) {
+			s.EdgeFree[e] = 0
+		}
+	}
+	for _, r := range deadBSMRacks {
+		if r >= 0 && r < len(s.BSMFree) {
+			s.BSMFree[r] = 0
+		}
+	}
+}
+
 // ceilDiv returns ceil(a/b) for positive b.
 func ceilDiv(a, b int) int { return (a + b - 1) / b }
 

@@ -255,6 +255,12 @@ type executor struct {
 	// (nil when observability is disabled; marks are then no-ops).
 	span *obs.Span
 	om   execMetrics
+
+	// prof, when non-nil, accumulates the telemetry profile the
+	// adaptive recompilation loop feeds on (profile.go). Every hook is
+	// nil-guarded, so collection is zero-cost when disabled and the
+	// produced Trace is identical either way.
+	prof *Profile
 }
 
 // Execute replays the compiled schedule against the fault model and
@@ -270,6 +276,16 @@ func Execute(res *core.Result, arch *topology.Arch, model *faults.Model, pol Pol
 // counters on o's registry. A nil o disables all of it — the trace
 // produced is identical either way.
 func ExecuteObserved(res *core.Result, arch *topology.Arch, model *faults.Model, pol Policy, o *obs.Obs) *Trace {
+	return ExecuteProfiled(res, arch, model, pol, o, nil)
+}
+
+// ExecuteProfiled is ExecuteObserved plus telemetry collection: when
+// prof is non-nil (allocate it with NewProfile for this architecture),
+// the run's realized generation latencies, per-link outage hits and
+// dwell, recovery rungs, stalls and BSM waits are accumulated into it.
+// The Trace returned is byte-identical with collection on or off, and
+// repeated calls may share one profile (accumulation is additive).
+func ExecuteProfiled(res *core.Result, arch *topology.Arch, model *faults.Model, pol Policy, o *obs.Obs, prof *Profile) *Trace {
 	var startT time.Time
 	if o != nil {
 		startT = time.Now()
@@ -277,7 +293,7 @@ func ExecuteObserved(res *core.Result, arch *topology.Arch, model *faults.Model,
 	sp := o.StartSpan("execute")
 	defer sp.End()
 	e := &executor{
-		res: res, arch: arch, model: model, pol: pol.withDefaults(),
+		res: res, arch: arch, model: model, pol: pol.withDefaults(), prof: prof,
 		router:  topology.NewRouter(arch.Net),
 		free:    make([]int, len(arch.Net.Edges)),
 		mask:    make([]int, len(arch.Net.Edges)),
@@ -292,6 +308,9 @@ func ExecuteObserved(res *core.Result, arch *topology.Arch, model *faults.Model,
 	}
 	if o != nil {
 		e.om = newExecMetrics(o.Reg())
+	}
+	if prof != nil {
+		prof.Trials++
 	}
 	for i, edge := range arch.Net.Edges {
 		e.free[i] = edge.Cap
@@ -319,6 +338,14 @@ func ExecuteObserved(res *core.Result, arch *topology.Arch, model *faults.Model,
 	fin := sp.StartSpan("finish")
 	e.finish()
 	fin.End()
+	if prof != nil {
+		// Mirror the trace's recovery totals exactly (the per-link
+		// attribution above is a breakdown of the same events).
+		prof.Retries += int64(e.tr.Retries)
+		prof.Reroutes += int64(e.tr.Reroutes)
+		prof.Rescheduled += int64(e.tr.Rescheduled)
+		prof.Aborts += int64(len(e.tr.Aborted))
+	}
 	if o != nil {
 		e.om.record(e.tr)
 		e.om.duration.Observe(time.Since(startT).Seconds())
@@ -390,9 +417,22 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 			return
 		}
 		// The BSM pool of at least one endpoint rack must be live.
-		bsmA := e.model.BSMUpAfter(e.arch.RackOf(c.a), t)
-		bsmB := e.model.BSMUpAfter(e.arch.RackOf(c.b), t)
+		rackA, rackB := e.arch.RackOf(c.a), e.arch.RackOf(c.b)
+		bsmA := e.model.BSMUpAfter(rackA, t)
+		bsmB := e.model.BSMUpAfter(rackB, t)
 		if avail := min(bsmA, bsmB); avail > t {
+			if e.prof != nil {
+				// Both pools are down at t (avail is the earlier recovery);
+				// the wait is attributed to each blocked rack.
+				if bsmA > t {
+					e.prof.BSMs[rackA].Waits++
+					e.prof.BSMs[rackA].DwellUS += int64(avail - t)
+				}
+				if bsmB > t && rackB != rackA {
+					e.prof.BSMs[rackB].Waits++
+					e.prof.BSMs[rackB].DwellUS += int64(avail - t)
+				}
+			}
 			c.ph = phOpen
 			e.heap.push(ev{t: avail, prio: prioOpen, ch: ci})
 			return
@@ -438,11 +478,24 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 		c.path = path
 		ready := t
 		if !c.first {
-			ready += e.res.Params.ReconfigLatency
+			// A re-establishment pays a fresh reconfiguration at the
+			// *hardware* cost: when the schedule was compiled against
+			// adapted (inflated) planning params, the switch itself is no
+			// slower. Identical to the planning cost on every non-adaptive
+			// path, where the two parameter sets coincide.
+			ready += e.model.Params().ReconfigLatency
 			e.tr.Reroutes++
 			e.span.Mark("recover:reroute")
 		}
-		ready += e.model.Stall(c.rng)
+		stall := e.model.Stall(c.rng)
+		ready += stall
+		if e.prof != nil {
+			e.prof.Opens++
+			if stall > 0 {
+				e.prof.Stalls++
+				e.prof.StallUS += int64(stall)
+			}
+		}
 		if degradedPass {
 			e.tr.Rescheduled++
 			e.span.Mark("recover:degrade")
@@ -459,6 +512,31 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 		e.runGens(c, ci, ready)
 		return
 	}
+}
+
+// genPairs derives the EPR pair count of a scheduled generation from
+// the planning latencies it was compiled against: the compiled
+// duration is pairs x the class base latency (distillation factors are
+// folded into the duration, so they scale the pair count, as they
+// physically must).
+func genPairs(p hw.Params, inRack bool, compiled hw.Time) int {
+	base := classBase(p, inRack)
+	if base <= 0 {
+		return 1
+	}
+	pairs := int(compiled / base)
+	if pairs < 1 {
+		pairs = 1
+	}
+	return pairs
+}
+
+// classBase returns the base generation latency of a class.
+func classBase(p hw.Params, inRack bool) hw.Time {
+	if inRack {
+		return p.InRackLatency
+	}
+	return p.CrossRackLatency
 }
 
 // reconfigBudget returns the reconfiguration time the compiled schedule
@@ -497,20 +575,32 @@ func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
 		}
 		gi := c.gens[c.next]
 		g := e.res.Gens[gi]
+		// The pair count comes from the schedule's *planning* latencies
+		// (res.Params): replaying an adapted schedule — compiled against
+		// inflated planning params — must still generate the physically
+		// required pairs, sampled against the model's true hardware
+		// calibration. Identical to the model-side derivation whenever
+		// planning and hardware params coincide (every non-adaptive path).
+		pairs := genPairs(e.res.Params, g.InRack, g.Duration())
 		// Static dispatch: never before the compiled start, the switch
 		// configuration, or the end of the previous generation (t).
 		anchor := maxTime(t, g.Start, c.readyAt)
 		anchor = e.qpusUpAfter(int(g.A), int(g.B), anchor)
+		anchor0 := anchor // first dispatch, for realized-duration telemetry
 		retries := 0
 		for {
-			dur, fb := e.model.GenDuration(c.rng, g.InRack, g.Duration())
-			s, end, dead, hit := e.model.PathOutageWithin(c.path, anchor, anchor+dur)
+			dur, fb := e.model.GenDurationPairs(c.rng, g.InRack, pairs, g.Duration())
+			s, end, blockEdge, dead, hit := e.model.PathOutageEdgeWithin(c.path, anchor, anchor+dur)
 			if !hit {
 				done := anchor + dur
 				e.tr.Gens[gi] = GenTrace{Start: anchor, End: done, Retries: retries, Fallbacks: fb}
 				e.tr.Fallbacks += fb
 				for i := 0; i < fb; i++ {
 					e.span.Mark("recover:fallback")
+				}
+				if e.prof != nil {
+					e.prof.recordGen(g.InRack, int64(pairs), g.Duration(),
+						hw.Time(pairs)*classBase(e.model.Params(), g.InRack), done-anchor0, fb, c.path)
 				}
 				d := g.Demand
 				if done > e.tr.ReadyAt[d] {
@@ -523,6 +613,15 @@ func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
 			// The generation fails at the outage start; recover.
 			retries++
 			e.tr.Retries++
+			if e.prof != nil {
+				l := &e.prof.Links[blockEdge]
+				l.OutageHits++
+				if dead {
+					l.Dead = true
+				} else {
+					l.DwellUS += int64(end - s)
+				}
+			}
 			if dead || retries > e.pol.MaxRetries {
 				// Permanent failure (or a flapping path that exhausted its
 				// retry budget): tear down and re-route at the fail time.
@@ -531,11 +630,17 @@ func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
 					e.tr.Retries++
 					e.span.Mark("recover:retry")
 				}
+				if e.prof != nil {
+					e.prof.Links[blockEdge].Reroutes++
+				}
 				c.ph = phReroute
 				e.heap.push(ev{t: s, prio: prioRelease, ch: ci})
 				return
 			}
 			e.span.Mark("recover:retry")
+			if e.prof != nil {
+				e.prof.Links[blockEdge].Retries++
+			}
 			anchor = maxTime(end, s+e.pol.backoff(retries))
 			anchor = e.qpusUpAfter(int(g.A), int(g.B), anchor)
 		}

@@ -1,0 +1,190 @@
+package runtime
+
+import (
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+)
+
+// This file holds the telemetry half of the adaptive recompilation
+// loop (ROADMAP "Closed-loop fault-adaptive recompilation"): a
+// deterministic, mergeable profile of what the executor actually saw —
+// realized EPR latencies per class, per-link outage frequency and
+// dwell, recovery-ladder rungs, switch stalls and BSM-pool waits.
+// internal/adapt folds a Profile back into compile-side inputs
+// (calibrated planning latencies + core.NetProfile routing penalties).
+//
+// Collection is strictly additive: ExecuteProfiled produces the exact
+// same Trace as Execute, and a nil profile (every pre-existing entry
+// point) skips all accounting, so the telemetry is zero-cost when
+// disabled. All fields are integer counters/sums, so merging is
+// commutative and order-independent — per-trial profiles merged in
+// trial-index order are byte-identical at any worker count.
+
+// histBuckets is the number of log2-microsecond histogram buckets in a
+// ClassStats: bucket i counts realized generation durations in
+// [2^i, 2^(i+1)) µs, with the last bucket absorbing the tail.
+const histBuckets = 16
+
+// ClassStats aggregates realized generation telemetry for one
+// generation class (in-rack or cross-rack).
+type ClassStats struct {
+	// Gens counts completed (non-aborted) generations; Pairs the EPR
+	// pairs they carried (derived from the schedule's planning params,
+	// so distillation factors are included).
+	Gens, Pairs int64
+	// CompiledUS sums the compiled (planned) durations, TrueUS the
+	// fault-free hardware cost of the same pairs (pairs x the hardware
+	// base latency), and RealizedUS the observed wall time from first
+	// dispatch to completion — retries, backoff and outage dwell
+	// included. RealizedUS/TrueUS is the calibration ratio the fold
+	// uses; it is independent of the planning latencies, which keeps
+	// the fold a fixed point across adaptation rounds.
+	CompiledUS, TrueUS, RealizedUS int64
+	// MaxUS is the largest single realized generation duration.
+	MaxUS int64
+	// Fallbacks counts false-positive heralds caught and regenerated.
+	Fallbacks int64
+	// Hist is the log2-µs histogram of realized generation durations.
+	Hist [histBuckets]int64
+}
+
+// LinkStats aggregates per-fiber-edge telemetry.
+type LinkStats struct {
+	// Gens counts completed generations whose channel path used the
+	// edge; RealizedUS sums their realized durations.
+	Gens, RealizedUS int64
+	// Retries and Reroutes count recovery rungs attributed to this edge
+	// (it was the blocking edge of the outage that triggered them).
+	Retries, Reroutes int64
+	// OutageHits counts generation attempts interrupted by an outage on
+	// this edge; DwellUS sums the outage time remaining when hit
+	// (unbounded dead-edge windows excluded).
+	OutageHits, DwellUS int64
+	// Dead records that the edge was seen permanently dead.
+	Dead bool
+}
+
+// BSMStats aggregates per-rack BSM-pool telemetry.
+type BSMStats struct {
+	// Waits counts channel establishments that had to wait for the
+	// pool; DwellUS sums the waiting time.
+	Waits, DwellUS int64
+}
+
+// Profile is the mergeable telemetry summary of one or more executions
+// of one schedule shape on one architecture.
+type Profile struct {
+	// Trials counts the executions merged into this profile.
+	Trials int64
+	// InRack and CrossRack split generation telemetry by class.
+	InRack, CrossRack ClassStats
+	// Opens counts channel establishments; Stalls/StallUS the switch
+	// reconfiguration stalls among them.
+	Opens, Stalls int64
+	StallUS       int64
+	// Retries, Reroutes, Rescheduled and Aborts sum the recovery-ladder
+	// rungs across trials (matching the Trace counters).
+	Retries, Reroutes, Rescheduled, Aborts int64
+	// Links is indexed by edge id, BSMs by rack.
+	Links []LinkStats
+	BSMs  []BSMStats
+}
+
+// NewProfile returns an empty profile sized for the architecture.
+func NewProfile(arch *topology.Arch) *Profile {
+	return &Profile{
+		Links: make([]LinkStats, len(arch.Net.Edges)),
+		BSMs:  make([]BSMStats, arch.Racks),
+	}
+}
+
+// Merge folds q into p (element-wise sums; Dead flags OR; MaxUS max).
+// Merging is commutative, so any merge order yields the same profile.
+func (p *Profile) Merge(q *Profile) {
+	if q == nil {
+		return
+	}
+	p.Trials += q.Trials
+	p.InRack.merge(&q.InRack)
+	p.CrossRack.merge(&q.CrossRack)
+	p.Opens += q.Opens
+	p.Stalls += q.Stalls
+	p.StallUS += q.StallUS
+	p.Retries += q.Retries
+	p.Reroutes += q.Reroutes
+	p.Rescheduled += q.Rescheduled
+	p.Aborts += q.Aborts
+	for i := range q.Links {
+		if i >= len(p.Links) {
+			break
+		}
+		l, m := &p.Links[i], &q.Links[i]
+		l.Gens += m.Gens
+		l.RealizedUS += m.RealizedUS
+		l.Retries += m.Retries
+		l.Reroutes += m.Reroutes
+		l.OutageHits += m.OutageHits
+		l.DwellUS += m.DwellUS
+		l.Dead = l.Dead || m.Dead
+	}
+	for i := range q.BSMs {
+		if i >= len(p.BSMs) {
+			break
+		}
+		p.BSMs[i].Waits += q.BSMs[i].Waits
+		p.BSMs[i].DwellUS += q.BSMs[i].DwellUS
+	}
+}
+
+func (c *ClassStats) merge(d *ClassStats) {
+	c.Gens += d.Gens
+	c.Pairs += d.Pairs
+	c.CompiledUS += d.CompiledUS
+	c.TrueUS += d.TrueUS
+	c.RealizedUS += d.RealizedUS
+	if d.MaxUS > c.MaxUS {
+		c.MaxUS = d.MaxUS
+	}
+	c.Fallbacks += d.Fallbacks
+	for i := range d.Hist {
+		c.Hist[i] += d.Hist[i]
+	}
+}
+
+// class returns the stats bucket for a generation class.
+func (p *Profile) class(inRack bool) *ClassStats {
+	if inRack {
+		return &p.InRack
+	}
+	return &p.CrossRack
+}
+
+// recordGen accounts one completed generation.
+func (p *Profile) recordGen(inRack bool, pairs int64, compiled, trueUS, realized hw.Time, fallbacks int, path []int) {
+	c := p.class(inRack)
+	c.Gens++
+	c.Pairs += pairs
+	c.CompiledUS += int64(compiled)
+	c.TrueUS += int64(trueUS)
+	c.RealizedUS += int64(realized)
+	if int64(realized) > c.MaxUS {
+		c.MaxUS = int64(realized)
+	}
+	c.Fallbacks += int64(fallbacks)
+	c.Hist[histBucket(realized)]++
+	for _, eid := range path {
+		l := &p.Links[eid]
+		l.Gens++
+		l.RealizedUS += int64(realized)
+	}
+}
+
+// histBucket maps a duration to its log2-µs bucket.
+func histBucket(d hw.Time) int {
+	b := 0
+	for d > 1 && b < histBuckets-1 {
+		d >>= 1
+		b++
+	}
+	return b
+}

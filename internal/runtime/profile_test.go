@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+)
+
+// TestProfileByteIdenticalAtAnyParallelism is the tentpole determinism
+// property: same (schedule, seed, trials) must serialize to the exact
+// same LinkStats profile bytes at every -parallel worker count, merged
+// in worker-id-independent order.
+func TestProfileByteIdenticalAtAnyParallelism(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "QFT", arch)
+	cfg, _ := faults.Profile("default")
+	var want []byte
+	var wantStats *Stats
+	for _, par := range []int{1, 2, 4, 8} {
+		stats, prof := RunTrialsProfiled(res, arch, cfg, DefaultPolicy(), 7, 12, par, res.Params, nil)
+		got, err := json.Marshal(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want, wantStats = got, stats
+			if prof.Trials != 12 {
+				t.Fatalf("profile merged %d trials, want 12", prof.Trials)
+			}
+			if prof.InRack.Gens+prof.CrossRack.Gens == 0 {
+				t.Fatal("profile recorded no generations")
+			}
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("parallel=%d: serialized profile differs from serial run", par)
+		}
+		if !reflect.DeepEqual(stats, wantStats) {
+			t.Errorf("parallel=%d: stats differ from serial run", par)
+		}
+	}
+}
+
+// TestProfiledTraceIdentity: collecting a profile must not change a
+// thing about the trace, and the profiled stats must equal the
+// unprofiled ones.
+func TestProfiledTraceIdentity(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "MCT", arch)
+	cfg, _ := faults.Profile("harsh")
+	model1 := faults.New(cfg, arch, res.Params, 3, Horizon(res))
+	model2 := faults.New(cfg, arch, res.Params, 3, Horizon(res))
+	plain := Execute(res, arch, model1, DefaultPolicy())
+	prof := NewProfile(arch)
+	profiled := ExecuteProfiled(res, arch, model2, DefaultPolicy(), nil, prof)
+	if !reflect.DeepEqual(plain, profiled) {
+		t.Error("profiled trace differs from plain trace")
+	}
+	if prof.Retries != int64(plain.Retries) || prof.Reroutes != int64(plain.Reroutes) ||
+		prof.Rescheduled != int64(plain.Rescheduled) || prof.Aborts != int64(len(plain.Aborted)) {
+		t.Errorf("profile recovery totals %+v disagree with trace %+v", prof, plain)
+	}
+	s1 := RunTrials(res, arch, cfg, DefaultPolicy(), 5, 8, 2)
+	s2, p2 := RunTrialsProfiled(res, arch, cfg, DefaultPolicy(), 5, 8, 2, res.Params, nil)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("RunTrialsProfiled stats differ from RunTrials")
+	}
+	if p2 == nil || p2.Trials != 8 {
+		t.Fatalf("merged profile = %+v, want 8 trials", p2)
+	}
+}
+
+// TestProfileAccounting sanity-checks the telemetry sums on a
+// deterministic scheduled-outage timeline.
+func TestProfileAccounting(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "QFT", arch)
+	// Zero-fault run: realized == compiled, no recovery, no stalls.
+	off := faults.Config{}
+	_, prof := RunTrialsProfiled(res, arch, off, DefaultPolicy(), 1, 1, 1, res.Params, nil)
+	total := prof.InRack.Gens + prof.CrossRack.Gens
+	if total != int64(len(res.Gens)) {
+		t.Errorf("zero-fault profile recorded %d gens, schedule has %d", total, len(res.Gens))
+	}
+	if prof.InRack.RealizedUS != prof.InRack.CompiledUS {
+		t.Errorf("zero-fault in-rack realized %d != compiled %d", prof.InRack.RealizedUS, prof.InRack.CompiledUS)
+	}
+	if prof.Retries != 0 || prof.Stalls != 0 || prof.Aborts != 0 {
+		t.Errorf("zero-fault profile has recovery activity: %+v", prof)
+	}
+	// Planning latencies equal hardware here, so TrueUS == CompiledUS.
+	if prof.CrossRack.TrueUS != prof.CrossRack.CompiledUS {
+		t.Errorf("cross-rack TrueUS %d != CompiledUS %d under identical params",
+			prof.CrossRack.TrueUS, prof.CrossRack.CompiledUS)
+	}
+	// Per-link gens: every completed gen credits each edge of its path
+	// (>= 2 edges per channel), so link sums dominate the class sums.
+	var linkGens int64
+	for _, l := range prof.Links {
+		linkGens += l.Gens
+	}
+	if linkGens < 2*total {
+		t.Errorf("link gen credits %d < 2x %d gens", linkGens, total)
+	}
+	// EPR-enabled run records a spread-out histogram and positive dwell
+	// under harsh faults.
+	cfg, _ := faults.Profile("harsh")
+	_, prof = RunTrialsProfiled(res, arch, cfg, DefaultPolicy(), 2, 6, 3, res.Params, nil)
+	var histSum int64
+	for _, b := range prof.InRack.Hist {
+		histSum += b
+	}
+	for _, b := range prof.CrossRack.Hist {
+		histSum += b
+	}
+	if histSum != prof.InRack.Gens+prof.CrossRack.Gens {
+		t.Errorf("histogram total %d != gens %d", histSum, prof.InRack.Gens+prof.CrossRack.Gens)
+	}
+	if prof.Opens == 0 {
+		t.Error("no channel establishments recorded")
+	}
+}
+
+// TestProfileMergeCommutative: merging profiles in any order yields
+// the same result.
+func TestProfileMergeCommutative(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "MCT", arch)
+	cfg, _ := faults.Profile("default")
+	mk := func(seed uint64) *Profile {
+		p := NewProfile(arch)
+		model := faults.New(cfg, arch, res.Params, seed, Horizon(res))
+		ExecuteProfiled(res, arch, model, DefaultPolicy(), nil, p)
+		return p
+	}
+	a, b, c := mk(1), mk(2), mk(3)
+	m1 := NewProfile(arch)
+	m1.Merge(a)
+	m1.Merge(b)
+	m1.Merge(c)
+	m2 := NewProfile(arch)
+	m2.Merge(c)
+	m2.Merge(a)
+	m2.Merge(b)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Error("profile merge is order-dependent")
+	}
+}
+
+// TestRunTrialsClampContract pins the documented API-boundary clamp:
+// zero/negative trials and parallel behave as 1.
+func TestRunTrialsClampContract(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "MCT", arch)
+	cfg := faults.Config{}
+	want := RunTrials(res, arch, cfg, DefaultPolicy(), 1, 1, 1)
+	for _, tc := range [][2]int{{0, 1}, {-3, 1}, {1, 0}, {1, -8}, {0, 0}} {
+		got := RunTrials(res, arch, cfg, DefaultPolicy(), 1, tc[0], tc[1])
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("RunTrials(trials=%d, parallel=%d) != single serial trial", tc[0], tc[1])
+		}
+		gotS, gotP := RunTrialsProfiled(res, arch, cfg, DefaultPolicy(), 1, tc[0], tc[1], res.Params, nil)
+		if !reflect.DeepEqual(gotS, want) || gotP.Trials != 1 {
+			t.Errorf("RunTrialsProfiled(trials=%d, parallel=%d) violated the clamp contract", tc[0], tc[1])
+		}
+	}
+}
+
+// TestGenPairsPlanningParams: pair derivation follows the planning
+// latencies (res.Params), scaling with distillation-inflated durations.
+func TestGenPairsPlanningParams(t *testing.T) {
+	p := hw.Default()
+	if got := genPairs(p, true, p.InRackLatency); got != 1 {
+		t.Errorf("one base latency = %d pairs, want 1", got)
+	}
+	if got := genPairs(p, true, 3*p.InRackLatency); got != 3 {
+		t.Errorf("3x base latency = %d pairs, want 3", got)
+	}
+	if got := genPairs(p, false, p.CrossRackLatency/2); got != 1 {
+		t.Errorf("sub-base duration = %d pairs, want 1 (floor)", got)
+	}
+	inflated := p
+	inflated.InRackLatency *= 2
+	if got := genPairs(inflated, true, 2*inflated.InRackLatency); got != 2 {
+		t.Errorf("inflated planning params = %d pairs, want 2", got)
+	}
+	if got := genPairs(hw.Params{}, true, 100); got != 1 {
+		t.Errorf("zero base latency = %d pairs, want 1", got)
+	}
+}

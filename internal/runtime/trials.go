@@ -67,6 +67,13 @@ func Horizon(res *core.Result) hw.Time {
 // returns the realized distribution. Trials run on up to `parallel`
 // workers; results land in index-addressed slots, so the output is
 // byte-identical at any worker count.
+//
+// The trials/parallel contract is validated at this API boundary: zero
+// or negative values are clamped to 1 (serial, single trial), so
+// library callers always get a well-formed single-trial distribution
+// rather than an empty Stats or a panic. The CLIs additionally reject
+// invalid -trials/-parallel flags up front with an explicit message,
+// so a mistyped flag is not silently clamped.
 func RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int) *Stats {
 	return RunTrialsObserved(res, arch, cfg, pol, seed, trials, parallel, nil)
 }
@@ -83,6 +90,24 @@ func RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Pol
 // validate their -trials/-parallel flags up front and reject invalid
 // values with an explicit message instead of relying on this clamp.
 func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, o *obs.Obs) *Stats {
+	stats, _ := runTrials(res, arch, cfg, pol, seed, trials, parallel, res.Params, o, false)
+	return stats
+}
+
+// RunTrialsProfiled is RunTrialsObserved plus telemetry: it returns
+// the merged Profile of all trials alongside the distribution. hwp
+// supplies the *hardware* parameters the fault models calibrate
+// against — pass the schedule's own res.Params on the first (static)
+// round, and keep passing the true hardware params when replaying
+// adapted schedules whose res.Params are inflated planning latencies.
+// Per-trial profiles accumulate in index-addressed slots and merge in
+// trial order, so the profile — like the stats — is byte-identical at
+// every worker count. The same clamp contract as RunTrials applies.
+func RunTrialsProfiled(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, hwp hw.Params, o *obs.Obs) (*Stats, *Profile) {
+	return runTrials(res, arch, cfg, pol, seed, trials, parallel, hwp, o, true)
+}
+
+func runTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, hwp hw.Params, o *obs.Obs, profiled bool) (*Stats, *Profile) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -97,9 +122,18 @@ func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config,
 	ot := o.Under(sp)
 	horizon := Horizon(res)
 	stats := &Stats{Compiled: res.Makespan, Trials: make([]TrialStat, trials)}
+	var profs []*Profile
+	if profiled {
+		profs = make([]*Profile, trials)
+	}
 	run := func(i int) {
-		model := faults.New(cfg, arch, res.Params, faults.SubSeed(seed, faults.StreamTrial, uint64(i)), horizon)
-		tr := ExecuteObserved(res, arch, model, pol, ot)
+		model := faults.New(cfg, arch, hwp, faults.SubSeed(seed, faults.StreamTrial, uint64(i)), horizon)
+		var prof *Profile
+		if profiled {
+			prof = NewProfile(arch)
+			profs[i] = prof
+		}
+		tr := ExecuteProfiled(res, arch, model, pol, ot, prof)
 		stats.Trials[i] = TrialStat{
 			Makespan: tr.Makespan,
 			Retries:  tr.Retries, Reroutes: tr.Reroutes,
@@ -129,6 +163,16 @@ func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config,
 		close(next)
 		wg.Wait()
 	}
+	var merged *Profile
+	if profiled {
+		// Merge in trial-index order: worker-id independent (and Merge is
+		// commutative anyway), so the profile is identical at any
+		// parallelism.
+		merged = NewProfile(arch)
+		for _, p := range profs {
+			merged.Merge(p)
+		}
+	}
 	sorted := make([]hw.Time, trials)
 	var sum float64
 	for i, t := range stats.Trials {
@@ -150,5 +194,5 @@ func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config,
 	stats.MeanReroutes /= n
 	stats.MeanFallbacks /= n
 	stats.MeanRescheduled /= n
-	return stats
+	return stats, merged
 }

@@ -33,6 +33,14 @@ type Router struct {
 	adjOff []int32
 	hops   []hop
 
+	// avoid marks edges the router should route around when possible
+	// (adaptive recompilation's flaky-link penalties): a search first
+	// runs with avoided edges excluded and falls back to the
+	// unrestricted search only when no clean path exists. nil (the
+	// default) skips the first pass entirely, so routing behavior and
+	// results are bit-for-bit unchanged when no profile is installed.
+	avoid []bool
+
 	// Per-query scratch, valid while stamp[node] == epoch. Allocated
 	// lazily on the first cross-ToR search: a partition router that only
 	// ever routes within a rack (the common case in a partitioned
@@ -106,8 +114,18 @@ func (r *Router) Clone() *Router {
 		upTor:  r.upTor,
 		adjOff: r.adjOff,
 		hops:   r.hops,
+		avoid:  r.avoid,
 	}
 }
+
+// SetAvoid installs soft per-edge routing penalties: avoid[e] == true
+// asks the router to route around edge e when an alternative exists.
+// The slice must be len(Edges) (or nil to clear) and is retained, not
+// copied — callers must not mutate it afterwards. Avoided edges are a
+// preference, not a constraint: when only an avoided edge can complete
+// a path, the router still uses it, so installing penalties can never
+// make a routable query fail.
+func (r *Router) SetAvoid(avoid []bool) { r.avoid = avoid }
 
 // Route reports whether a path between QPUs a and b exists under the
 // residual capacities, without materializing it. It allocates nothing.
@@ -164,14 +182,31 @@ const (
 	searchCross          // prevEdge holds a ToR(a)→ToR(b) tree
 )
 
-// search runs the capacity-constrained BFS. Both QPU uplinks must have
-// residual capacity; the switch subgraph is searched with the same
-// visit order as Network.FindPath so the resulting path is identical.
+// search runs the capacity-constrained BFS. With avoid penalties
+// installed it tries a restricted pass (avoided edges excluded) first
+// and falls back to the unrestricted search; with no penalties it is a
+// single pass identical to the pre-adaptive behavior.
 func (r *Router) search(residual []int, a, b int) int {
+	if r.avoid != nil {
+		if kind := r.searchPass(residual, a, b, r.avoid); kind != searchFail {
+			return kind
+		}
+	}
+	return r.searchPass(residual, a, b, nil)
+}
+
+// searchPass runs one capacity-constrained BFS, skipping edges marked
+// in blocked (nil blocks nothing). Both QPU uplinks must have residual
+// capacity; the switch subgraph is searched with the same visit order
+// as Network.FindPath so the resulting path is identical.
+func (r *Router) searchPass(residual []int, a, b int, blocked []bool) int {
 	if r.net.qpuNode[a] == r.net.qpuNode[b] {
 		return searchFail
 	}
 	if residual[r.upEdge[a]] <= 0 || residual[r.upEdge[b]] <= 0 {
+		return searchFail
+	}
+	if blocked != nil && (blocked[r.upEdge[a]] || blocked[r.upEdge[b]]) {
 		return searchFail
 	}
 	src, dst := r.upTor[a], r.upTor[b]
@@ -198,6 +233,9 @@ func (r *Router) search(residual []int, a, b int) int {
 		}
 		for _, h := range r.hops[r.adjOff[cur]:r.adjOff[cur+1]] {
 			if residual[h.edge] <= 0 || r.stamp[h.next] == epoch {
+				continue
+			}
+			if blocked != nil && blocked[h.edge] {
 				continue
 			}
 			r.stamp[h.next] = epoch

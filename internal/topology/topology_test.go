@@ -352,6 +352,77 @@ func TestRouterAppendPathReusesDst(t *testing.T) {
 	}
 }
 
+// TestRouterSetAvoid covers the soft-penalty pass: avoided edges are
+// routed around when an alternative exists, still used when they are
+// the only way through, and cleared avoid reproduces the reference
+// path exactly.
+func TestRouterSetAvoid(t *testing.T) {
+	n := mustArch(t, "clos", 4, 4).Net
+	r := NewRouter(n)
+	res := fullResidual(n)
+	a, b := 0, 5 // different racks
+	base := r.FindPath(res, a, b)
+	if base == nil || len(base) < 3 {
+		t.Fatalf("expected a cross-rack path, got %v", base)
+	}
+	// Penalize the first spine edge of the baseline path: the clos core
+	// offers alternatives, so the avoided edge must disappear from the
+	// route while the endpoints' uplinks stay.
+	spine := base[1]
+	avoid := make([]bool, len(n.Edges))
+	avoid[spine] = true
+	r.SetAvoid(avoid)
+	got := r.FindPath(res, a, b)
+	if got == nil {
+		t.Fatal("avoid penalty made a routable pair unroutable")
+	}
+	for _, e := range got {
+		if e == spine {
+			t.Fatalf("path %v still uses avoided spine edge %d despite alternatives", got, spine)
+		}
+	}
+	// A clone inherits the penalties.
+	if cp := r.Clone().FindPath(res, a, b); !slices.Equal(cp, got) {
+		t.Errorf("clone path %v differs from parent's avoided path %v", cp, got)
+	}
+	// Soft, not hard: avoiding an endpoint uplink (the only attachment a
+	// QPU has) must fall back to using it.
+	avoidUp := make([]bool, len(n.Edges))
+	avoidUp[base[0]] = true
+	r.SetAvoid(avoidUp)
+	if p := r.FindPath(res, a, b); !slices.Equal(p, base) {
+		t.Errorf("uplink-avoid fallback path = %v, want baseline %v", p, base)
+	}
+	// In-rack pairs only have their two uplinks; avoiding one must not
+	// break them either.
+	inb := r.FindPath(res, 0, 1)
+	if inb == nil {
+		t.Fatal("in-rack pair unroutable under uplink avoid")
+	}
+	// Clearing restores the exact reference behavior.
+	r.SetAvoid(nil)
+	if p := r.FindPath(res, a, b); !slices.Equal(p, base) {
+		t.Errorf("cleared avoid path = %v, want %v", p, base)
+	}
+	// Sweep: under arbitrary avoid masks the router must never fail a
+	// pair the reference finds routable.
+	rng := lcg(7)
+	mask := make([]bool, len(n.Edges))
+	for trial := 0; trial < 50; trial++ {
+		for i := range mask {
+			mask[i] = rng.next(3) == 0
+		}
+		r.SetAvoid(mask)
+		for pair := 0; pair < 8; pair++ {
+			x, y := rng.next(n.NumQPUs()), rng.next(n.NumQPUs())
+			want := n.FindPath(res, x, y) != nil
+			if got := r.Route(res, x, y); got != want {
+				t.Fatalf("trial %d: avoid mask changed reachability of (%d,%d): got %v want %v", trial, x, y, got, want)
+			}
+		}
+	}
+}
+
 // TestRouterSameQPU mirrors TestFindPathSameQPU for the router.
 func TestRouterSameQPU(t *testing.T) {
 	n := mustArch(t, "clos", 2, 2).Net

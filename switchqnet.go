@@ -26,6 +26,7 @@ package switchqnet
 import (
 	"io"
 
+	"switchqnet/internal/adapt"
 	"switchqnet/internal/circuit"
 	"switchqnet/internal/comm"
 	"switchqnet/internal/core"
@@ -467,6 +468,58 @@ func RunFaultTrialsObserved(r *Result, arch *Arch, cfg FaultConfig, pol Recovery
 // WriteRunJSON writes one realized execution as indented JSON.
 func WriteRunJSON(w io.Writer, r *Result, tr *ExecTrace) error {
 	return trace.WriteRunJSON(w, r, tr)
+}
+
+// Closed-loop fault-adaptive recompilation: the runtime collects a
+// telemetry profile while replaying a schedule, adapt folds it into
+// calibrated planning inputs, and the recompiler rebuilds the schedule
+// — wholesale after a fold, or per affected demand component after a
+// permanent link/BSM death (warm-starting from cached sub-schedules).
+
+type (
+	// TelemetryProfile is the deterministic, mergeable per-execution
+	// telemetry summary (realized latencies per class, per-link outage
+	// frequency and dwell, recovery rungs, BSM waits).
+	TelemetryProfile = runtime.Profile
+	// LinkStats is TelemetryProfile's per-fiber-edge entry.
+	LinkStats = runtime.LinkStats
+	// NetProfile carries compile-side routing feedback: soft-avoided
+	// edges, dead edges and dead BSM pools (core.Options.Profile).
+	NetProfile = core.NetProfile
+	// FoldOptions tunes the telemetry-to-plan calibration.
+	FoldOptions = adapt.FoldOptions
+	// AdaptPlan is a fold's product: calibrated planning parameters
+	// plus a routing NetProfile.
+	AdaptPlan = adapt.Plan
+	// Recompiler maintains a schedule across folds and fault events
+	// with component-granular recompilation and warm-start caching.
+	Recompiler = adapt.Recompiler
+)
+
+// DefaultFoldOptions returns the calibration used by the adapt
+// experiments.
+func DefaultFoldOptions() FoldOptions { return adapt.DefaultFoldOptions() }
+
+// FoldProfile turns collected telemetry into planning inputs. hwp must
+// be the true hardware parameters the profile was collected under.
+func FoldProfile(prof *TelemetryProfile, hwp Params, o FoldOptions) AdaptPlan {
+	return adapt.Fold(prof, hwp, o)
+}
+
+// NewRecompiler partitions a demand workload and compiles its initial
+// schedule; see Recompiler for the adaptation entry points.
+func NewRecompiler(demands []Demand, arch *Arch, hwp Params, opts Options, o *Obs) (*Recompiler, error) {
+	return adapt.NewRecompiler(demands, arch, hwp, opts, o)
+}
+
+// RunFaultTrialsProfiled is RunFaultTrialsObserved plus telemetry: it
+// also returns the merged TelemetryProfile of all trials (byte-
+// identical at any worker count). hwp supplies the true hardware
+// parameters the fault models calibrate against — pass r.Params for a
+// static schedule, and keep passing the hardware params when replaying
+// adapted schedules whose r.Params are inflated planning latencies.
+func RunFaultTrialsProfiled(r *Result, arch *Arch, cfg FaultConfig, pol RecoveryPolicy, seed uint64, trials, parallel int, hwp Params, o *Obs) (*ExecStats, *TelemetryProfile) {
+	return runtime.RunTrialsProfiled(r, arch, cfg, pol, seed, trials, parallel, hwp, o)
 }
 
 // WriteFaultStatsJSON writes a trial distribution as indented JSON.
