@@ -255,14 +255,17 @@ func main() {
 				fail(err)
 			}
 			hwp := sq.DefaultParams()
-			st, prof := sq.RunFaultTrialsProfiled(rc.Result(), arch, fcfg, pol, *seed, *trials, *parallel, hwp, o)
+			// One replay pool across all rounds: each replay reuses the
+			// per-worker executor arenas and fault models.
+			pool := sq.NewReplayPool()
+			st, prof := pool.RunTrialsProfiled(rc.Result(), arch, fcfg, pol, *seed, *trials, *parallel, hwp, o)
 			fmt.Printf("adapt[0]: compiled=%d us realized p50=%d p95=%d p99=%d us (static)\n",
 				st.Compiled, st.P50, st.P95, st.P99)
 			for r := 1; r <= *adaptN; r++ {
 				if err := rc.ApplyProfile(prof, sq.DefaultFoldOptions()); err != nil {
 					fail(err)
 				}
-				st, prof = sq.RunFaultTrialsProfiled(rc.Result(), arch, fcfg, pol, *seed, *trials, *parallel, hwp, o)
+				st, prof = pool.RunTrialsProfiled(rc.Result(), arch, fcfg, pol, *seed, *trials, *parallel, hwp, o)
 				plan := rc.Plan()
 				fmt.Printf("adapt[%d]: compiled=%d us realized p50=%d p95=%d p99=%d us scales=%.2f/%.2f/%.2f\n",
 					r, st.Compiled, st.P50, st.P95, st.P99,

@@ -208,8 +208,12 @@ func AdaptRows(cfg RunConfig) ([]AdaptRow, error) {
 		if err != nil {
 			return fmt.Errorf("experiments: adapt %s: %w", c.label, err)
 		}
+		// One replay pool per cell: every round of the closed loop (and
+		// the degraded replay) reuses the same executor arena and fault
+		// model instead of reallocating them per trial.
+		pool := runtime.NewPool()
 		replay := func(res *core.Result) (*runtime.Stats, *runtime.Profile) {
-			return runtime.RunTrialsProfiled(res, arch, fcfg, pol, cfg.Seed, trials, 1, hwp, cfg.Obs)
+			return pool.RunTrialsProfiled(res, arch, fcfg, pol, cfg.Seed, trials, 1, hwp, cfg.Obs)
 		}
 		row := AdaptRow{Label: c.label, Params: hwp}
 		var prof *runtime.Profile

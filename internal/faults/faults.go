@@ -147,6 +147,11 @@ type Model struct {
 	bsmWin  [][]window // per-rack BSM pool outages
 	qpuWin  [][]window // per-QPU dropout windows
 
+	// outEdges lists the edges with at least one outage window
+	// (ascending), rebuilt by Reset: the executor masks capacities by
+	// checking only these instead of scanning the whole edge set.
+	outEdges []int32
+
 	// Per-attempt EPR protocol outcomes and attempt durations, scaled
 	// so mean realized generation time equals the compiler's latencies.
 	inRack, crossRack genModel
@@ -157,6 +162,16 @@ type genModel struct {
 	succ    float64 // per-attempt heralding probability
 	fpShare float64 // share of heralds that are false positives
 	tau0    float64 // attempt duration in microseconds (mean-matched)
+	logq    float64 // log1p(-succ), hoisted out of the geometric draws
+}
+
+// draw samples one pair's attempt count (identical to
+// RNG.Geometric(g.succ), with the log1p constant precomputed).
+func (g *genModel) draw(rng *RNG) int {
+	if g.succ >= 1 {
+		return 1
+	}
+	return rng.GeometricLog(g.logq)
 }
 
 // stream discriminators for SubSeed.
@@ -176,18 +191,49 @@ const (
 // so the replayed window is covered; p supplies the mean latencies the
 // attempt model is calibrated against.
 func New(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.Time) *Model {
+	m := &Model{}
+	m.Renew(cfg, arch, p, seed, horizon)
+	return m
+}
+
+// Renew rebinds the model to a new configuration, architecture,
+// calibration, seed and horizon, producing exactly the state
+// New(cfg, arch, p, seed, horizon) would — but reusing the receiver's
+// per-resource window storage where the shapes allow. Trial pools keep
+// one Model per worker and Renew it per RunTrials call instead of
+// materializing a fresh model per trial.
+func (m *Model) Renew(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.Time) {
 	if horizon <= 0 {
 		horizon = hw.Time(1)
 	}
-	m := &Model{
-		cfg: cfg, params: p, seed: seed, horizon: horizon,
-		edgeWin: make([][]window, len(arch.Net.Edges)),
-		bsmWin:  make([][]window, arch.Racks),
-		qpuWin:  make([][]window, arch.NumQPUs()),
+	m.cfg, m.params, m.horizon = cfg, p, horizon
+	m.edgeWin = resizeWins(m.edgeWin, len(arch.Net.Edges))
+	m.bsmWin = resizeWins(m.bsmWin, arch.Racks)
+	m.qpuWin = resizeWins(m.qpuWin, arch.NumQPUs())
+	if cfg.EPR {
+		in := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta}.Analyze()
+		cross := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta / 100}.Analyze()
+		m.inRack = newGenModel(in, p.InRackLatency)
+		m.crossRack = newGenModel(cross, p.CrossRackLatency)
+	} else {
+		m.inRack, m.crossRack = genModel{}, genModel{}
 	}
+	m.Reset(seed)
+}
+
+// Reset reseeds the model's counter-based streams and regenerates every
+// outage window in place, without reallocating the per-resource window
+// state: after Reset(s) the model answers every query exactly as a
+// fresh New with seed s would. Configuration, calibration and horizon
+// are unchanged (use Renew when those move too, e.g. when an adapted
+// schedule's makespan shifts the horizon).
+func (m *Model) Reset(seed uint64) {
+	m.seed = seed
+	cfg, horizon := m.cfg, m.horizon
+	var rng RNG
 	for e := range m.edgeWin {
-		rng := NewRNG(SubSeed(seed, streamEdge, uint64(e)))
-		ws := transientWindows(rng, cfg.LinkMTBF, cfg.LinkOutage, horizon)
+		rng.Reseed(SubSeed(seed, streamEdge, uint64(e)))
+		ws := transientWindowsInto(m.edgeWin[e][:0], &rng, cfg.LinkMTBF, cfg.LinkOutage, horizon)
 		if cfg.LinkDeadProb > 0 && rng.Float64() < cfg.LinkDeadProb {
 			deadAt := hw.Time(rng.Float64() * float64(horizon))
 			ws = truncateAt(ws, deadAt)
@@ -196,18 +242,19 @@ func New(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.T
 		m.edgeWin[e] = ws
 	}
 	for r := range m.bsmWin {
-		rng := NewRNG(SubSeed(seed, streamBSM, uint64(r)))
-		m.bsmWin[r] = transientWindows(rng, cfg.BSMMTBF, cfg.BSMOutage, horizon)
+		rng.Reseed(SubSeed(seed, streamBSM, uint64(r)))
+		m.bsmWin[r] = transientWindowsInto(m.bsmWin[r][:0], &rng, cfg.BSMMTBF, cfg.BSMOutage, horizon)
 	}
 	for q := range m.qpuWin {
-		rng := NewRNG(SubSeed(seed, streamQPU, uint64(q)))
+		rng.Reseed(SubSeed(seed, streamQPU, uint64(q)))
+		m.qpuWin[q] = m.qpuWin[q][:0]
 		if cfg.QPUDropProb > 0 && rng.Float64() < cfg.QPUDropProb {
 			from := hw.Time(rng.Float64() * float64(horizon))
 			dur := hw.Time(rng.Exp(float64(cfg.QPUDropLen)))
 			if dur < 1 {
 				dur = 1
 			}
-			m.qpuWin[q] = []window{{From: from, To: from + dur}}
+			m.qpuWin[q] = append(m.qpuWin[q], window{From: from, To: from + dur})
 		}
 	}
 	// Overlay the explicit outage schedule on the seeded processes, then
@@ -233,13 +280,23 @@ func New(cfg Config, arch *topology.Arch, p hw.Params, seed uint64, horizon hw.T
 			}
 		}
 	}
-	if cfg.EPR {
-		in := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta}.Analyze()
-		cross := photonic.Protocol{Alpha: cfg.Alpha, Eta: cfg.Eta / 100}.Analyze()
-		m.inRack = newGenModel(in, p.InRackLatency)
-		m.crossRack = newGenModel(cross, p.CrossRackLatency)
+	m.outEdges = m.outEdges[:0]
+	for e := range m.edgeWin {
+		if len(m.edgeWin[e]) > 0 {
+			m.outEdges = append(m.outEdges, int32(e))
+		}
 	}
-	return m
+}
+
+// resizeWins resizes a per-resource window table to n rows, keeping the
+// rows' backing arrays (and their capacity) alive across resets.
+func resizeWins(ws [][]window, n int) [][]window {
+	if cap(ws) < n {
+		nw := make([][]window, n)
+		copy(nw, ws)
+		return nw
+	}
+	return ws[:n]
 }
 
 // mergeWindows sorts windows by start and coalesces overlapping or
@@ -287,17 +344,21 @@ func newGenModel(out photonic.Outcome, mean hw.Time) genModel {
 	if out.SuccessProb > 0 {
 		g.fpShare = out.FalsePositive / out.SuccessProb
 		g.tau0 = float64(mean) * out.SuccessProb
+		if out.SuccessProb < 1 {
+			g.logq = math.Log1p(-out.SuccessProb)
+		}
 	}
 	return g
 }
 
-// transientWindows draws a Poisson outage process: exponential gaps of
-// the given MTBF, exponential outage durations, until the horizon.
-func transientWindows(rng *RNG, mtbf, outage, horizon hw.Time) []window {
+// transientWindowsInto draws a Poisson outage process — exponential
+// gaps of the given MTBF, exponential outage durations, until the
+// horizon — appending onto ws (pass a reused ws[:0] to regenerate in
+// place without reallocating).
+func transientWindowsInto(ws []window, rng *RNG, mtbf, outage, horizon hw.Time) []window {
 	if mtbf <= 0 {
-		return nil
+		return ws
 	}
-	var ws []window
 	t := hw.Time(0)
 	for {
 		t += hw.Time(rng.Exp(float64(mtbf)))
@@ -344,7 +405,27 @@ func (m *Model) Seed() uint64 { return m.seed }
 // these, not from the schedule's planning params.
 func (m *Model) Params() hw.Params { return m.params }
 
-// upAfter returns the earliest time >= t not inside any window.
+// windowsAfter returns the index of the first window ending after t
+// (hand-rolled binary search: these run on the executor's innermost
+// queries, where sort.Search's closure overhead is measurable).
+func windowsAfter(ws []window, t hw.Time) int {
+	lo, hi := 0, len(ws)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ws[mid].To <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upAfter returns the earliest time >= t not inside any window. The
+// scan is deliberately linear: capacity masking queries every outage
+// edge at the same instant, and for most edges t precedes the first
+// window, so the loop exits on the first comparison — cheaper than a
+// binary search would be on these short lists.
 func upAfter(ws []window, t hw.Time) hw.Time {
 	for _, w := range ws {
 		if t < w.From {
@@ -359,8 +440,7 @@ func upAfter(ws []window, t hw.Time) hw.Time {
 
 // outageWithin returns the earliest window overlapping [from, to).
 func outageWithin(ws []window, from, to hw.Time) (window, bool) {
-	i := sort.Search(len(ws), func(i int) bool { return ws[i].To > from })
-	if i < len(ws) && ws[i].From < to {
+	if i := windowsAfter(ws, from); i < len(ws) && ws[i].From < to {
 		return ws[i], true
 	}
 	return window{}, false
@@ -372,6 +452,30 @@ func (m *Model) EdgeUpAfter(e int, t hw.Time) hw.Time { return upAfter(m.edgeWin
 
 // EdgeDownAt reports whether edge e is in outage (or dead) at time t.
 func (m *Model) EdgeDownAt(e int, t hw.Time) bool { return upAfter(m.edgeWin[e], t) != t }
+
+// OutageEdges returns the ids (ascending) of edges with at least one
+// outage window under this realization; every other edge is up at all
+// times. Capacity masking iterates this instead of the full edge set —
+// under light fault regimes it is a small fraction, and with faults off
+// it is empty.
+func (m *Model) OutageEdges() []int32 { return m.outEdges }
+
+// EdgeDownNext reports whether edge e is down at t together with the
+// earliest time > t at which that answer can change (Forever if it
+// never does). Callers replaying events in time order use the bound to
+// reuse a computed down-set across queries instead of re-asking per
+// event.
+func (m *Model) EdgeDownNext(e int, t hw.Time) (bool, hw.Time) {
+	for _, w := range m.edgeWin[e] {
+		if t < w.From {
+			return false, w.From
+		}
+		if t < w.To {
+			return true, w.To
+		}
+	}
+	return false, Forever
+}
 
 // PathOutageWithin returns the earliest outage over any edge of the
 // path intersecting [from, to): its start (clamped to from), its end,
@@ -493,9 +597,9 @@ func (m *Model) GenDurationPairs(rng *RNG, inRack bool, pairs int, compiled hw.T
 	}
 	attempts := 0
 	for i := 0; i < pairs; i++ {
-		attempts += rng.Geometric(g.succ)
+		attempts += g.draw(rng)
 		for redo := 0; redo < fallbackCap && rng.Float64() < g.fpShare; redo++ {
-			attempts += rng.Geometric(g.succ)
+			attempts += g.draw(rng)
 			fallbacks++
 		}
 	}

@@ -15,6 +15,11 @@ type RNG struct {
 // NewRNG returns a generator for the given seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: mix64(seed)} }
 
+// Reseed rewinds the generator to the start of the stream for the given
+// seed, exactly as NewRNG(seed) would, without allocating. Pooled
+// executors keep one RNG value per channel and reseed it per trial.
+func (r *RNG) Reseed(seed uint64) { r.state = mix64(seed) }
+
 // mix64 is the splitmix64 output permutation.
 func mix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15
@@ -60,8 +65,16 @@ func (r *RNG) Geometric(p float64) int {
 	if p >= 1 || p <= 0 {
 		return 1
 	}
+	return r.GeometricLog(math.Log1p(-p))
+}
+
+// GeometricLog is Geometric for 0 < p < 1 with logq = math.Log1p(-p)
+// precomputed by the caller: hot sampling loops draw against a fixed p,
+// so the constant is hoisted out of the per-draw transcendental work.
+// Bit-identical to Geometric(p) for the same draw.
+func (r *RNG) GeometricLog(logq float64) int {
 	u := 1 - r.Float64() // (0, 1]
-	k := int(math.Floor(math.Log(u)/math.Log1p(-p))) + 1
+	k := int(math.Floor(math.Log(u)/logq)) + 1
 	if k < 1 {
 		return 1
 	}

@@ -1,0 +1,255 @@
+package runtime
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+)
+
+// These tests pin the arena/pool contract of prepared.go: the pooled
+// replay path — one Prepared per schedule, one Arena + faults.Model +
+// Profile per worker, everything reset in place between trials — must
+// be indistinguishable from the fresh-allocation path (ExecuteProfiled,
+// which builds throwaway state per call) for every workload, fault
+// preset and worker count: reflect.DeepEqual on the structs and
+// byte-identical JSON.
+
+// faultPresets returns the named fault configs the grid sweeps.
+func faultPresets(t *testing.T) map[string]faults.Config {
+	t.Helper()
+	out := map[string]faults.Config{}
+	for _, name := range faults.ProfileNames() {
+		cfg, err := faults.Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = cfg
+	}
+	return out
+}
+
+// mustJSON marshals for byte-level comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestArenaMatchesFresh is the pooled-vs-fresh property test over the
+// Table 2 topology grid x fault presets: one arena and one fault model
+// replay a run of seeds back to back (Reset between trials), and every
+// trace and profile must be DeepEqual — and byte-identical as JSON —
+// to the fresh-allocation path's for the same (schedule, seed).
+func TestArenaMatchesFresh(t *testing.T) {
+	pol := DefaultPolicy()
+	for label, arch := range tab2Archs(t) {
+		res := compileBench(t, "QFT", arch)
+		prep := Prepare(res, arch)
+		for preset, cfg := range faultPresets(t) {
+			arena := NewArena()
+			pooled := &faults.Model{}
+			pooled.Renew(cfg, arch, res.Params, 0, Horizon(res))
+			pooledProf := NewProfile(arch)
+			for seed := uint64(1); seed <= 5; seed++ {
+				freshProf := NewProfile(arch)
+				fresh := ExecuteProfiled(res, arch,
+					faults.New(cfg, arch, res.Params, seed, Horizon(res)), pol, nil, freshProf)
+				pooled.Reset(seed)
+				pooledProf.Reset()
+				got := prep.ExecuteInto(arena, pooled, pol, nil, pooledProf)
+				if !reflect.DeepEqual(got, fresh) {
+					t.Fatalf("%s/%s seed %d: pooled trace != fresh trace", label, preset, seed)
+				}
+				if !bytes.Equal(mustJSON(t, got), mustJSON(t, fresh)) {
+					t.Fatalf("%s/%s seed %d: pooled trace JSON differs", label, preset, seed)
+				}
+				if !reflect.DeepEqual(pooledProf, freshProf) {
+					t.Fatalf("%s/%s seed %d: pooled profile != fresh profile", label, preset, seed)
+				}
+				if !bytes.Equal(mustJSON(t, pooledProf), mustJSON(t, freshProf)) {
+					t.Fatalf("%s/%s seed %d: pooled profile JSON differs", label, preset, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolTrialsMatchFresh drives the full trial runner through a
+// reused Pool at -parallel 1, 4 and 8 and checks stats and merged
+// profile against a trial-by-trial fresh-allocation reference: the
+// per-trial summaries must match the fresh traces exactly, the merged
+// profile must equal the trial-order merge of fresh per-trial profiles,
+// and the whole Stats must be byte-identical across worker counts.
+func TestPoolTrialsMatchFresh(t *testing.T) {
+	const trials = 9
+	pol := DefaultPolicy()
+	for label, arch := range tab2Archs(t) {
+		res := compileBench(t, "QFT", arch)
+		for preset, cfg := range faultPresets(t) {
+			// Fresh reference: one model + profile per trial, merged in
+			// trial order (the pre-arena runTrials behavior).
+			refProf := NewProfile(arch)
+			refTrials := make([]TrialStat, trials)
+			for i := 0; i < trials; i++ {
+				p := NewProfile(arch)
+				tr := ExecuteProfiled(res, arch,
+					faults.New(cfg, arch, res.Params, faults.SubSeed(7, faults.StreamTrial, uint64(i)), Horizon(res)),
+					pol, nil, p)
+				refProf.Merge(p)
+				refTrials[i] = TrialStat{
+					Makespan: tr.Makespan,
+					Retries:  tr.Retries, Reroutes: tr.Reroutes,
+					Fallbacks: tr.Fallbacks, Rescheduled: tr.Rescheduled,
+					Aborted: len(tr.Aborted),
+				}
+			}
+			pool := NewPool()
+			var first *Stats
+			for _, parallel := range []int{1, 4, 8} {
+				name := fmt.Sprintf("%s/%s/parallel=%d", label, preset, parallel)
+				st, prof := pool.RunTrialsProfiled(res, arch, cfg, pol, 7, trials, parallel, res.Params, nil)
+				if !reflect.DeepEqual(st.Trials, refTrials) {
+					t.Fatalf("%s: pooled trial stats != fresh reference", name)
+				}
+				if !reflect.DeepEqual(prof, refProf) {
+					t.Fatalf("%s: pooled merged profile != fresh reference", name)
+				}
+				if !bytes.Equal(mustJSON(t, prof), mustJSON(t, refProf)) {
+					t.Fatalf("%s: merged profile JSON differs", name)
+				}
+				if first == nil {
+					first = st
+				} else if !bytes.Equal(mustJSON(t, st), mustJSON(t, first)) {
+					t.Fatalf("%s: stats JSON differs across worker counts", name)
+				}
+			}
+		}
+	}
+}
+
+// TestDirtyArenaReset pollutes every piece of arena scratch between two
+// replays of the same seed and asserts the reset still restores the
+// exact trace: no field of the arena may leak state across trials.
+func TestDirtyArenaReset(t *testing.T) {
+	arch := tab2Archs(t)["program-480"]
+	res := compileBench(t, "QFT", arch)
+	cfg, err := faults.Profile("harsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPolicy()
+	prep := Prepare(res, arch)
+	arena := NewArena()
+	model := &faults.Model{}
+	model.Renew(cfg, arch, res.Params, 0, Horizon(res))
+	model.Reset(42)
+	clean := prep.ExecuteInto(arena, model, pol, nil, nil)
+	want := mustJSON(t, clean)
+
+	// Trash every reusable buffer with plausible-but-wrong garbage.
+	for i := range arena.free {
+		arena.free[i] = -999
+	}
+	for i := range arena.mask {
+		arena.mask[i] = 123
+	}
+	for i := range arena.aborted {
+		arena.aborted[i] = true
+		arena.abortAt[i] = hw.Time(i + 1)
+	}
+	for i := range arena.tr.ReadyAt {
+		arena.tr.ReadyAt[i] = hw.Time(1e9)
+		arena.tr.ConsumedAt[i] = hw.Time(1e9)
+	}
+	for i := range arena.tr.Gens {
+		arena.tr.Gens[i] = GenTrace{Start: 1, End: 2, Retries: 3, Fallbacks: 4, Aborted: true}
+	}
+	arena.tr.Makespan = hw.Time(1e12)
+	arena.tr.Retries, arena.tr.Reroutes = 7, 7
+	arena.abortBuf = append(arena.abortBuf[:0], 1, 2, 3)
+	arena.heap = append(arena.heap[:0], ev{t: 5, prio: prioOpen, ch: 0})
+	for i := range arena.chans {
+		c := &arena.chans[i]
+		c.next = 99
+		c.ph = phDone
+		c.readyAt = hw.Time(1e9)
+		c.first = false
+		c.routeTries, c.degraded = 9, 9
+		c.rng.Reseed(0xDEAD)
+		if cap(c.pathBuf) > 0 {
+			c.pathBuf = c.pathBuf[:1]
+			c.pathBuf[0] = -1
+			c.path = c.pathBuf
+		}
+	}
+
+	model.Reset(42)
+	dirty := prep.ExecuteInto(arena, model, pol, nil, nil)
+	if !bytes.Equal(mustJSON(t, dirty), want) {
+		t.Fatal("replay after polluted arena differs from clean replay")
+	}
+	if !reflect.DeepEqual(dirty, clean) {
+		t.Fatal("replay after polluted arena not DeepEqual to clean replay")
+	}
+}
+
+// TestPoolAcrossSchedules reuses one Pool across different schedules
+// and architectures (the adaptive loop's access pattern: the compiled
+// result changes every round, the pool does not) and checks each call
+// against a cold pool.
+func TestPoolAcrossSchedules(t *testing.T) {
+	pol := DefaultPolicy()
+	cfg, err := faults.Profile("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := tab2Archs(t)
+	pool := NewPool()
+	for _, label := range []string{"fat-tree-960", "program-480", "spine-leaf-720", "program-480"} {
+		arch := archs[label]
+		res := compileBench(t, "Grover", arch)
+		gotSt, gotProf := pool.RunTrialsProfiled(res, arch, cfg, pol, 3, 6, 2, res.Params, nil)
+		wantSt, wantProf := NewPool().RunTrialsProfiled(res, arch, cfg, pol, 3, 6, 2, res.Params, nil)
+		if !reflect.DeepEqual(gotSt, wantSt) {
+			t.Fatalf("%s: reused-pool stats != cold-pool stats", label)
+		}
+		if !reflect.DeepEqual(gotProf, wantProf) {
+			t.Fatalf("%s: reused-pool profile != cold-pool profile", label)
+		}
+	}
+}
+
+// TestModelResetMatchesNew pins faults.Model.Renew/Reset to New:
+// replaying through a reseeded pooled model must equal replaying
+// through a freshly materialized one, seed by seed, including after
+// the model was previously bound to a different architecture.
+func TestModelResetMatchesNew(t *testing.T) {
+	pol := DefaultPolicy()
+	cfg, err := faults.Profile("harsh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := tab2Archs(t)
+	pooled := &faults.Model{}
+	for _, label := range []string{"spine-leaf-720", "program-480"} {
+		arch := archs[label]
+		res := compileBench(t, "RCA", arch)
+		pooled.Renew(cfg, arch, res.Params, 0, Horizon(res))
+		for seed := uint64(10); seed < 14; seed++ {
+			pooled.Reset(seed)
+			got := Execute(res, arch, pooled, pol)
+			want := Execute(res, arch, faults.New(cfg, arch, res.Params, seed, Horizon(res)), pol)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s seed %d: trace via Reset model != trace via fresh model", label, seed)
+			}
+		}
+	}
+}

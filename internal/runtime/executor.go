@@ -31,13 +31,19 @@
 // counter-based streams of the seed, and event ties break on
 // (time, action class, channel), so the same (schedule, seed) yields a
 // byte-identical trace at any trial-worker count.
+//
+// The executor's state is split along the trial boundary (prepared.go):
+// an immutable Prepared holds everything invariant across trials of one
+// (schedule, architecture) pair, and a reusable Arena holds everything
+// mutable. Execute and friends build a throwaway pair per call; the
+// trial runner pools both, replaying thousands of trials with no
+// per-trial allocation.
 package runtime
 
 import (
 	"time"
 
 	"switchqnet/internal/core"
-	"switchqnet/internal/epr"
 	"switchqnet/internal/faults"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/obs"
@@ -160,15 +166,19 @@ const (
 	prioOpen    = 1
 )
 
-// rchan is the replay state of one compiled channel.
+// rchan is the replay state of one compiled channel. The immutable half
+// (endpoints, generation queue, budgets) lives in the chanPlan the
+// state points at; everything here is reset per trial in place.
 type rchan struct {
-	id   int32
-	a, b int
-	gens []int // indices into Result.Gens, compiled-start order
+	plan *chanPlan
 	next int
 	ph   phase
 
+	// path is the currently held route (nil when closed); pathBuf is
+	// its reusable backing storage, kept across releases and trials so
+	// routing is allocation-free once grown.
 	path    []int
+	pathBuf []int
 	readyAt hw.Time // switches configured (reconfig + stall paid)
 
 	// first records whether the channel has never been established; the
@@ -178,7 +188,7 @@ type rchan struct {
 	// routeTries and degraded count the current establishment's ladder.
 	routeTries, degraded int
 
-	rng *faults.RNG
+	rng faults.RNG
 }
 
 // ev is one pending channel wake-up.
@@ -235,21 +245,16 @@ func (h *evHeap) pop() ev {
 	return top
 }
 
-// executor is the per-run working state.
+// executor is the per-run view: the immutable plan, the trial's fault
+// model and policy, and the arena holding all mutable state.
 type executor struct {
-	res    *core.Result
-	arch   *topology.Arch
-	model  *faults.Model
-	pol    Policy
-	router *topology.Router
-
-	free    []int // residual edge capacity (can go negative in degraded mode)
-	mask    []int // outage-masked residual scratch
-	chans   []*rchan
-	heap    evHeap
-	tr      *Trace
-	aborted []bool
-	abortAt []hw.Time
+	prep  *Prepared
+	res   *core.Result
+	arch  *topology.Arch
+	model *faults.Model
+	pol   Policy
+	a     *Arena
+	tr    *Trace
 
 	// span is the replay phase span recovery-ladder rungs mark into
 	// (nil when observability is disabled; marks are then no-ops).
@@ -285,26 +290,29 @@ func ExecuteObserved(res *core.Result, arch *topology.Arch, model *faults.Model,
 // dwell, recovery rungs, stalls and BSM waits are accumulated into it.
 // The Trace returned is byte-identical with collection on or off, and
 // repeated calls may share one profile (accumulation is additive).
+//
+// This is the fresh-allocation entry point: it builds a throwaway
+// Prepared and Arena per call. Replay loops should Prepare once and
+// reuse an Arena (or a Pool) — the trace is DeepEqual either way.
 func ExecuteProfiled(res *core.Result, arch *topology.Arch, model *faults.Model, pol Policy, o *obs.Obs, prof *Profile) *Trace {
+	return Prepare(res, arch).ExecuteInto(NewArena(), model, pol, o, prof)
+}
+
+// ExecuteInto replays the prepared schedule against the fault model
+// using the arena's storage, resetting it in place first. The returned
+// trace aliases the arena's buffers: it is valid until the arena's next
+// ExecuteInto (copy what must outlive it). One arena must not be used
+// from two goroutines at once; the Prepared is shared read-only.
+func (p *Prepared) ExecuteInto(a *Arena, model *faults.Model, pol Policy, o *obs.Obs, prof *Profile) *Trace {
 	var startT time.Time
 	if o != nil {
 		startT = time.Now()
 	}
 	sp := o.StartSpan("execute")
 	defer sp.End()
-	e := &executor{
-		res: res, arch: arch, model: model, pol: pol.withDefaults(), prof: prof,
-		router:  topology.NewRouter(arch.Net),
-		free:    make([]int, len(arch.Net.Edges)),
-		mask:    make([]int, len(arch.Net.Edges)),
-		aborted: make([]bool, len(res.Demands)),
-		abortAt: make([]hw.Time, len(res.Demands)),
-		tr: &Trace{
-			Seed:       model.Seed(),
-			ReadyAt:    make([]hw.Time, len(res.Demands)),
-			ConsumedAt: make([]hw.Time, len(res.Demands)),
-			Gens:       make([]GenTrace, len(res.Gens)),
-		},
+	e := executor{
+		prep: p, res: p.res, arch: p.arch,
+		model: model, pol: pol.withDefaults(), prof: prof, a: a,
 	}
 	if o != nil {
 		e.om = newExecMetrics(o.Reg())
@@ -312,27 +320,17 @@ func ExecuteProfiled(res *core.Result, arch *topology.Arch, model *faults.Model,
 	if prof != nil {
 		prof.Trials++
 	}
-	for i, edge := range arch.Net.Edges {
-		e.free[i] = edge.Cap
-	}
 	bc := sp.StartSpan("build_channels")
-	e.buildChannels()
-	for i, c := range e.chans {
-		first := res.Gens[c.gens[0]]
-		open := first.Start
-		if first.Reconfig {
-			open -= res.Params.ReconfigLatency
-		}
-		if open < 0 {
-			open = 0
-		}
-		e.heap.push(ev{t: open, prio: prioOpen, ch: int32(i)})
+	a.reset(p, model)
+	e.tr = &a.tr
+	for i := range p.chans {
+		a.heap.push(ev{t: p.chans[i].openAt, prio: prioOpen, ch: int32(i)})
 	}
 	bc.End()
 	e.span = sp.StartSpan("replay")
-	for len(e.heap) > 0 {
-		w := e.heap.pop()
-		e.step(e.chans[w.ch], int32(w.ch), w.t)
+	for len(a.heap) > 0 {
+		w := a.heap.pop()
+		e.step(&a.chans[w.ch], w.ch, w.t)
 	}
 	e.span.End()
 	fin := sp.StartSpan("finish")
@@ -346,29 +344,12 @@ func ExecuteProfiled(res *core.Result, arch *topology.Arch, model *faults.Model,
 		prof.Rescheduled += int64(e.tr.Rescheduled)
 		prof.Aborts += int64(len(e.tr.Aborted))
 	}
+	tr := a.publish()
 	if o != nil {
-		e.om.record(e.tr)
+		e.om.record(tr)
 		e.om.duration.Observe(time.Since(startT).Seconds())
 	}
-	return e.tr
-}
-
-// buildChannels groups the compiled generations by channel, preserving
-// the (already sorted) compiled start order.
-func (e *executor) buildChannels() {
-	index := make(map[int32]int)
-	for gi, g := range e.res.Gens {
-		ci, ok := index[g.Channel]
-		if !ok {
-			ci = len(e.chans)
-			index[g.Channel] = ci
-			e.chans = append(e.chans, &rchan{
-				id: g.Channel, a: int(g.A), b: int(g.B), first: true,
-				rng: faults.NewRNG(faults.SubSeed(e.model.Seed(), faults.StreamChannel, uint64(uint32(g.Channel)))),
-			})
-		}
-		e.chans[ci].gens = append(e.chans[ci].gens, gi)
-	}
+	return tr
 }
 
 func (e *executor) step(c *rchan, ci int32, t hw.Time) {
@@ -390,9 +371,9 @@ func (e *executor) step(c *rchan, ci int32, t hw.Time) {
 // marking their traces. It returns false when the channel is out of
 // work (and schedules its close if it still holds a path).
 func (e *executor) skipAborted(c *rchan, ci int32, t hw.Time) bool {
-	for c.next < len(c.gens) {
-		gi := c.gens[c.next]
-		if !e.aborted[e.res.Gens[gi].Demand] {
+	for c.next < len(c.plan.gens) {
+		gi := c.plan.gens[c.next]
+		if !e.a.aborted[e.res.Gens[gi].Demand] {
 			return true
 		}
 		e.tr.Gens[gi] = GenTrace{Start: t, End: t, Aborted: true}
@@ -400,7 +381,7 @@ func (e *executor) skipAborted(c *rchan, ci int32, t hw.Time) bool {
 	}
 	if c.path != nil {
 		c.ph = phClose
-		e.heap.push(ev{t: t, prio: prioRelease, ch: ci})
+		e.a.heap.push(ev{t: t, prio: prioRelease, ch: ci})
 	} else {
 		c.ph = phDone
 	}
@@ -417,7 +398,7 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 			return
 		}
 		// The BSM pool of at least one endpoint rack must be live.
-		rackA, rackB := e.arch.RackOf(c.a), e.arch.RackOf(c.b)
+		rackA, rackB := int(c.plan.rackA), int(c.plan.rackB)
 		bsmA := e.model.BSMUpAfter(rackA, t)
 		bsmB := e.model.BSMUpAfter(rackB, t)
 		if avail := min(bsmA, bsmB); avail > t {
@@ -434,12 +415,13 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 				}
 			}
 			c.ph = phOpen
-			e.heap.push(ev{t: avail, prio: prioOpen, ch: ci})
+			e.a.heap.push(ev{t: avail, prio: prioOpen, ch: ci})
 			return
 		}
 		degradedPass := false
-		path := e.router.FindPath(e.maskResidual(e.free, t), c.a, c.b)
-		if path == nil {
+		path, found := e.a.router.AppendPath(c.pathBuf[:0], e.maskResidual(e.a.free, t), int(c.plan.a), int(c.plan.b))
+		c.pathBuf = path
+		if !found {
 			c.routeTries++
 			if c.routeTries <= e.pol.MaxRouteAttempts {
 				if c.routeTries > 1 || !c.first {
@@ -447,25 +429,26 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 					e.span.Mark("recover:retry")
 				}
 				c.ph = phOpen
-				e.heap.push(ev{t: t + e.pol.backoff(c.routeTries), prio: prioOpen, ch: ci})
+				e.a.heap.push(ev{t: t + e.pol.backoff(c.routeTries), prio: prioOpen, ch: ci})
 				return
 			}
 			if e.pol.DegradedReschedule && c.degraded < e.pol.MaxDegraded {
 				// Degraded-mode pass: route as if every idle channel were
 				// preempted — full capacities, only outages masked.
 				c.degraded++
-				path = e.router.FindPath(e.maskResidual(nil, t), c.a, c.b)
-				degradedPass = path != nil
+				path, found = e.a.router.AppendPath(c.pathBuf[:0], e.maskResidual(nil, t), int(c.plan.a), int(c.plan.b))
+				c.pathBuf = path
+				degradedPass = found
 			}
-			if path == nil {
+			if !found {
 				if c.degraded < e.pol.MaxDegraded && e.pol.DegradedReschedule {
 					c.ph = phOpen
-					e.heap.push(ev{t: t + 4*e.pol.BackoffCap, prio: prioOpen, ch: ci})
+					e.a.heap.push(ev{t: t + 4*e.pol.BackoffCap, prio: prioOpen, ch: ci})
 					return
 				}
 				// Recovery ladder exhausted: abort the demand at the head
 				// of the queue and start a fresh ladder for the next one.
-				e.abortDemand(e.res.Gens[c.gens[c.next]].Demand, t)
+				e.abortDemand(e.res.Gens[c.plan.gens[c.next]].Demand, t)
 				c.routeTries, c.degraded = 0, 0
 				continue
 			}
@@ -473,7 +456,7 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 		// Established. The first open's reconfiguration is already part
 		// of the compiled start times; re-establishments pay a fresh one.
 		for _, eid := range path {
-			e.free[eid]--
+			e.a.free[eid]--
 		}
 		c.path = path
 		ready := t
@@ -487,7 +470,7 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 			e.tr.Reroutes++
 			e.span.Mark("recover:reroute")
 		}
-		stall := e.model.Stall(c.rng)
+		stall := e.model.Stall(&c.rng)
 		ready += stall
 		if e.prof != nil {
 			e.prof.Opens++
@@ -503,7 +486,7 @@ func (e *executor) establish(c *rchan, ci int32, t hw.Time) {
 		if c.first {
 			// The compiled schedule budgeted the reconfiguration before
 			// the first generation's start; only the stall is extra.
-			ready += reconfigBudget(e.res, c)
+			ready += c.plan.budget
 		}
 		c.first = false
 		c.routeTries, c.degraded = 0, 0
@@ -539,29 +522,41 @@ func classBase(p hw.Params, inRack bool) hw.Time {
 	return p.CrossRackLatency
 }
 
-// reconfigBudget returns the reconfiguration time the compiled schedule
-// already reserved before the channel's first generation.
-func reconfigBudget(res *core.Result, c *rchan) hw.Time {
-	if res.Gens[c.gens[0]].Reconfig {
-		return res.Params.ReconfigLatency
-	}
-	return 0
-}
-
 // maskResidual copies the residual capacities (or the raw edge
 // capacities when residual is nil — the degraded pass) into the scratch
-// buffer, zeroing edges in outage at time t.
+// buffer, zeroing edges in outage at time t. Only edges the model lists
+// as having outage windows are checked — a bulk copy plus a sparse
+// mask, instead of a per-edge query over the whole fabric (which
+// dominated replay time at scenario scale). The down-set is a pure
+// function of the model over any boundary-free time interval, and
+// events replay in non-decreasing time order, so it is memoized in the
+// arena together with its validity bound (the earliest outage boundary
+// after it was computed) and only rebuilt when t crosses that bound.
 func (e *executor) maskResidual(residual []int, t hw.Time) []int {
-	for i := range e.mask {
-		if e.model.EdgeDownAt(i, t) {
-			e.mask[i] = 0
-		} else if residual != nil {
-			e.mask[i] = residual[i]
-		} else {
-			e.mask[i] = e.arch.Net.Edges[i].Cap
-		}
+	mask := e.a.mask
+	if residual != nil {
+		copy(mask, residual)
+	} else {
+		copy(mask, e.prep.caps)
 	}
-	return e.mask
+	if !e.a.downOK || t < e.a.downT || t >= e.a.downUntil {
+		e.a.down = e.a.down[:0]
+		until := faults.Forever
+		for _, eid := range e.model.OutageEdges() {
+			down, next := e.model.EdgeDownNext(int(eid), t)
+			if down {
+				e.a.down = append(e.a.down, eid)
+			}
+			if next < until {
+				until = next
+			}
+		}
+		e.a.downT, e.a.downUntil, e.a.downOK = t, until, true
+	}
+	for _, eid := range e.a.down {
+		mask[eid] = 0
+	}
+	return mask
 }
 
 // runGens executes the channel's queued generations from time t. All
@@ -573,23 +568,22 @@ func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
 		if !e.skipAborted(c, ci, t) {
 			return
 		}
-		gi := c.gens[c.next]
+		gi := c.plan.gens[c.next]
 		g := e.res.Gens[gi]
 		// The pair count comes from the schedule's *planning* latencies
-		// (res.Params): replaying an adapted schedule — compiled against
-		// inflated planning params — must still generate the physically
-		// required pairs, sampled against the model's true hardware
-		// calibration. Identical to the model-side derivation whenever
-		// planning and hardware params coincide (every non-adaptive path).
-		pairs := genPairs(e.res.Params, g.InRack, g.Duration())
+		// (res.Params), precomputed per generation in the Prepared:
+		// replaying an adapted schedule — compiled against inflated
+		// planning params — must still generate the physically required
+		// pairs, sampled against the model's true hardware calibration.
+		pairs := int(e.prep.pairs[gi])
 		// Static dispatch: never before the compiled start, the switch
 		// configuration, or the end of the previous generation (t).
-		anchor := maxTime(t, g.Start, c.readyAt)
+		anchor := max(t, g.Start, c.readyAt)
 		anchor = e.qpusUpAfter(int(g.A), int(g.B), anchor)
 		anchor0 := anchor // first dispatch, for realized-duration telemetry
 		retries := 0
 		for {
-			dur, fb := e.model.GenDurationPairs(c.rng, g.InRack, pairs, g.Duration())
+			dur, fb := e.model.GenDurationPairs(&c.rng, g.InRack, pairs, g.Duration())
 			s, end, blockEdge, dead, hit := e.model.PathOutageEdgeWithin(c.path, anchor, anchor+dur)
 			if !hit {
 				done := anchor + dur
@@ -634,19 +628,19 @@ func (e *executor) runGens(c *rchan, ci int32, t hw.Time) {
 					e.prof.Links[blockEdge].Reroutes++
 				}
 				c.ph = phReroute
-				e.heap.push(ev{t: s, prio: prioRelease, ch: ci})
+				e.a.heap.push(ev{t: s, prio: prioRelease, ch: ci})
 				return
 			}
 			e.span.Mark("recover:retry")
 			if e.prof != nil {
 				e.prof.Links[blockEdge].Retries++
 			}
-			anchor = maxTime(end, s+e.pol.backoff(retries))
+			anchor = max(end, s+e.pol.backoff(retries))
 			anchor = e.qpusUpAfter(int(g.A), int(g.B), anchor)
 		}
-		if c.next >= len(c.gens) {
+		if c.next >= len(c.plan.gens) {
 			c.ph = phClose
-			e.heap.push(ev{t: t, prio: prioRelease, ch: ci})
+			e.a.heap.push(ev{t: t, prio: prioRelease, ch: ci})
 			return
 		}
 	}
@@ -668,18 +662,18 @@ func (e *executor) qpusUpAfter(a, b int, t hw.Time) hw.Time {
 // release returns the channel's held capacity.
 func (e *executor) release(c *rchan) {
 	for _, eid := range c.path {
-		e.free[eid]++
+		e.a.free[eid]++
 	}
 	c.path = nil
 }
 
 // abortDemand marks a demand as failed at time t.
 func (e *executor) abortDemand(d int32, t hw.Time) {
-	if e.aborted[d] {
+	if e.a.aborted[d] {
 		return
 	}
-	e.aborted[d] = true
-	e.abortAt[d] = t
+	e.a.aborted[d] = true
+	e.a.abortAt[d] = t
 	e.tr.Aborted = append(e.tr.Aborted, d)
 	e.span.Mark("recover:abort")
 }
@@ -691,42 +685,20 @@ func (e *executor) abortDemand(d int32, t hw.Time) {
 func (e *executor) finish() {
 	tr := e.tr
 	for d := range e.res.Demands {
-		if e.aborted[d] && e.abortAt[d] > tr.ReadyAt[d] {
-			tr.ReadyAt[d] = e.abortAt[d]
+		if e.a.aborted[d] && e.a.abortAt[d] > tr.ReadyAt[d] {
+			tr.ReadyAt[d] = e.a.abortAt[d]
 		}
 	}
-	// Demand IDs equal indices (core.Compile validated them), so the
-	// DAG rebuild cannot fail; fall back to ready times if it ever does.
-	dag, err := epr.BuildDAG(e.res.Demands)
 	for i := range e.res.Demands {
 		at := tr.ReadyAt[i]
-		if err == nil {
-			for _, p := range dag.Preds[i] {
-				if tr.ConsumedAt[p] > at {
-					at = tr.ConsumedAt[p]
-				}
+		for _, p := range e.prep.predsOf(i) {
+			if tr.ConsumedAt[p] > at {
+				at = tr.ConsumedAt[p]
 			}
 		}
 		tr.ConsumedAt[i] = at
-		if !e.aborted[i] && at > tr.Makespan {
+		if !e.a.aborted[i] && at > tr.Makespan {
 			tr.Makespan = at
 		}
 	}
-}
-
-func maxTime(ts ...hw.Time) hw.Time {
-	m := ts[0]
-	for _, t := range ts[1:] {
-		if t > m {
-			m = t
-		}
-	}
-	return m
-}
-
-func min(a, b hw.Time) hw.Time {
-	if a < b {
-		return a
-	}
-	return b
 }

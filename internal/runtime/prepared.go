@@ -1,0 +1,325 @@
+package runtime
+
+import (
+	"switchqnet/internal/core"
+	"switchqnet/internal/epr"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
+	"switchqnet/internal/topology"
+)
+
+// This file is the allocation-lean replay machinery: everything that is
+// invariant across trials of one (schedule, architecture) pair lives in
+// an immutable Prepared built once, and everything mutable lives in a
+// per-worker Arena reset in place between trials. The split mirrors
+// what PR 2 did to core.Compile — the executor (executor.go) is the
+// unchanged replay algorithm, just re-pointed at these two structs, so
+// the pooled path and the fresh path (Execute/ExecuteProfiled, which
+// build a throwaway Prepared + Arena per call) share one code path and
+// produce identical traces by construction.
+
+// chanPlan is the immutable replay plan of one compiled channel: its
+// generation queue (compiled-start order), endpoints with their racks,
+// the initial open time, and the reconfiguration budget the compiled
+// schedule reserved before the first generation.
+type chanPlan struct {
+	id           int32
+	a, b         int32
+	rackA, rackB int32
+	// gens slices Prepared.genIdx: the channel's generation indices
+	// into Result.Gens, in compiled-start order.
+	gens []int32
+	// openAt is when the initial establishment is scheduled: the first
+	// generation's compiled start minus its reconfiguration, clamped
+	// to 0.
+	openAt hw.Time
+	// budget is the reconfiguration time the compiled schedule already
+	// reserved before the first generation (reconfigBudget).
+	budget hw.Time
+}
+
+// Prepared is an immutable replay plan for one (schedule, architecture)
+// pair: the per-channel generation queues buildChannels used to rebuild
+// through a map every trial, per-generation EPR pair counts derived
+// from the planning latencies, the demand dependency DAG the lifecycle
+// derivation needs, initial edge capacities, the fault-placement
+// horizon, and a base Router whose precompute every worker's clone
+// shares. Build one with Prepare and replay it any number of times —
+// concurrently, from multiple workers — via ExecuteInto; the Prepared
+// itself is never written after construction.
+type Prepared struct {
+	res    *core.Result
+	arch   *topology.Arch
+	router *topology.Router
+	caps   []int      // initial residual capacity per edge
+	chans  []chanPlan // channel replay plans, first-appearance order
+	genIdx []int32    // backing array for chanPlan.gens
+	pairs  []int32    // per-generation EPR pair count (planning params)
+	// preds is the demand DAG's predecessor lists; nil when the DAG
+	// rebuild failed (finish then falls back to ready times, exactly as
+	// the unprepared executor did).
+	preds   [][]int32
+	horizon hw.Time
+}
+
+// Prepare builds the immutable replay plan for a compiled schedule on
+// its architecture. The result is safe for concurrent use.
+func Prepare(res *core.Result, arch *topology.Arch) *Prepared {
+	p := &Prepared{
+		res:     res,
+		arch:    arch,
+		router:  topology.NewRouter(arch.Net),
+		caps:    make([]int, len(arch.Net.Edges)),
+		pairs:   make([]int32, len(res.Gens)),
+		horizon: Horizon(res),
+	}
+	for i, edge := range arch.Net.Edges {
+		p.caps[i] = edge.Cap
+	}
+	// Group the compiled generations by channel, preserving the
+	// (already sorted) compiled start order — the per-trial work
+	// buildChannels used to do, done once. Two passes over a scratch
+	// index: count per channel, then fill contiguous slices of one
+	// backing array.
+	index := make(map[int32]int)
+	counts := []int32{}
+	for _, g := range res.Gens {
+		ci, ok := index[g.Channel]
+		if !ok {
+			ci = len(counts)
+			index[g.Channel] = ci
+			counts = append(counts, 0)
+			p.chans = append(p.chans, chanPlan{
+				id: g.Channel, a: g.A, b: g.B,
+				rackA: int32(arch.RackOf(int(g.A))),
+				rackB: int32(arch.RackOf(int(g.B))),
+			})
+		}
+		counts[ci]++
+	}
+	p.genIdx = make([]int32, len(res.Gens))
+	off := int32(0)
+	for ci := range p.chans {
+		p.chans[ci].gens = p.genIdx[off:off:(off + counts[ci])]
+		off += counts[ci]
+	}
+	for gi, g := range res.Gens {
+		ci := index[g.Channel]
+		p.chans[ci].gens = append(p.chans[ci].gens, int32(gi))
+		p.pairs[gi] = int32(genPairs(res.Params, g.InRack, g.Duration()))
+	}
+	for ci := range p.chans {
+		c := &p.chans[ci]
+		first := res.Gens[c.gens[0]]
+		open := first.Start
+		if first.Reconfig {
+			open -= res.Params.ReconfigLatency
+			c.budget = res.Params.ReconfigLatency
+		}
+		c.openAt = max(open, 0)
+	}
+	// Demand IDs equal indices (core.Compile validated them), so the
+	// DAG rebuild cannot fail; fall back to ready times if it ever does.
+	if dag, err := epr.BuildDAG(res.Demands); err == nil {
+		p.preds = dag.Preds
+	}
+	return p
+}
+
+// Result returns the schedule the plan replays.
+func (p *Prepared) Result() *core.Result { return p.res }
+
+// Horizon returns the fault-placement horizon of the schedule
+// (identical to Horizon(p.Result())).
+func (p *Prepared) PlanHorizon() hw.Time { return p.horizon }
+
+// predsOf returns demand i's DAG predecessors (empty when the DAG was
+// unavailable — the ready-time fallback of the lifecycle derivation).
+func (p *Prepared) predsOf(i int) []int32 {
+	if p.preds == nil {
+		return nil
+	}
+	return p.preds[i]
+}
+
+// Arena is the reusable mutable working state of one executor: residual
+// capacities, outage-mask scratch, channel replay states (stored by
+// value in one slice), the event heap, abort tracking, a Router clone,
+// and the Trace backing slices. ExecuteInto resets it in place, so one
+// Arena replayed across thousands of trials allocates only on first
+// growth. An Arena is not safe for concurrent use — keep one per
+// worker — but may be reused freely across different Prepared
+// schedules (buffers regrow as needed, which is what lets the adaptive
+// loop keep one arena per worker across recompilation rounds).
+type Arena struct {
+	router *topology.Router
+	// base remembers which Prepared's router the clone above came
+	// from, so switching schedules rebinds the clone exactly once.
+	base *topology.Router
+
+	free    []int
+	mask    []int
+	chans   []rchan
+	heap    evHeap
+	aborted []bool
+	abortAt []hw.Time
+
+	tr Trace
+	// abortBuf keeps the Trace.Aborted backing array alive between
+	// trials (the published trace nils an empty list to stay
+	// DeepEqual with the fresh path).
+	abortBuf []int32
+
+	// down memoizes the set of edges in outage over [downT, downUntil)
+	// — a pure function of the fault model, so establishes replayed in
+	// event-time order reuse it until an outage boundary is crossed
+	// instead of re-querying every outage edge per event.
+	down      []int32
+	downT     hw.Time
+	downUntil hw.Time
+	downOK    bool
+}
+
+// NewArena returns an empty arena. All storage is grown on first use.
+func NewArena() *Arena { return &Arena{} }
+
+// reset rebinds the arena to a plan and a trial's fault model,
+// clearing every buffer in place.
+func (a *Arena) reset(p *Prepared, model *faults.Model) {
+	if a.base != p.router {
+		a.router = p.router.Clone()
+		a.base = p.router
+	}
+	ne := len(p.caps)
+	a.free = resizeInts(a.free, ne)
+	copy(a.free, p.caps)
+	// mask needs no clearing: maskResidual overwrites every entry
+	// before any read.
+	a.mask = resizeInts(a.mask, ne)
+	nd := len(p.res.Demands)
+	a.aborted = resizeBools(a.aborted, nd)
+	a.abortAt = resizeTimes(a.abortAt, nd)
+	a.downOK = false // the memoized down-set belongs to the previous trial's model
+	seed := model.Seed()
+	a.tr = Trace{
+		Seed:       seed,
+		ReadyAt:    resizeTimes(a.tr.ReadyAt, nd),
+		ConsumedAt: resizeTimes(a.tr.ConsumedAt, nd),
+		Gens:       resizeGens(a.tr.Gens, len(p.res.Gens)),
+		Aborted:    a.abortBuf[:0],
+	}
+	if cap(a.chans) < len(p.chans) {
+		a.chans = make([]rchan, len(p.chans))
+	} else {
+		a.chans = a.chans[:len(p.chans)]
+	}
+	for i := range a.chans {
+		c := &a.chans[i]
+		c.plan = &p.chans[i]
+		c.next = 0
+		c.ph = phOpen
+		c.path = nil // pathBuf is deliberately kept: it is the reuse
+		c.readyAt = 0
+		c.first = true
+		c.routeTries, c.degraded = 0, 0
+		c.rng.Reseed(faults.SubSeed(seed, faults.StreamChannel, uint64(uint32(c.plan.id))))
+	}
+	a.heap = a.heap[:0]
+}
+
+// publish finalizes the arena's trace for return: the backing array of
+// the abort list is retained for the next trial, and an empty list is
+// published as nil so the pooled trace is DeepEqual to the fresh
+// path's.
+func (a *Arena) publish() *Trace {
+	a.abortBuf = a.tr.Aborted
+	if len(a.tr.Aborted) == 0 {
+		a.tr.Aborted = nil
+	}
+	return &a.tr
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeTimes(s []hw.Time, n int) []hw.Time {
+	if cap(s) < n {
+		return make([]hw.Time, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+func resizeGens(s []GenTrace, n int) []GenTrace {
+	if cap(s) < n {
+		return make([]GenTrace, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// Pool caches the per-worker replay state — executor arenas, fault
+// models and (for profiled runs) telemetry accumulators — across
+// RunTrials calls, plus the last schedule's Prepared plan. The adaptive
+// loop holds one Pool per cell so every fold-recompile-replay round
+// reuses the same arenas; a fresh Pool per call (what the package-level
+// RunTrials functions do) still amortizes all per-trial allocation
+// across the call's trials. A Pool is not safe for concurrent use —
+// its workers are owned by the single RunTrials call running on it.
+type Pool struct {
+	prep    *Prepared
+	workers []*poolWorker
+}
+
+// poolWorker is one worker's reusable state.
+type poolWorker struct {
+	arena *Arena
+	model *faults.Model
+	prof  *Profile
+}
+
+// NewPool returns an empty pool. Worker state is grown on demand.
+func NewPool() *Pool { return &Pool{} }
+
+// prepared returns the cached plan for (res, arch), rebuilding it only
+// when the schedule or architecture actually changed.
+func (pl *Pool) prepared(res *core.Result, arch *topology.Arch) *Prepared {
+	if pl.prep == nil || pl.prep.res != res || pl.prep.arch != arch {
+		pl.prep = Prepare(res, arch)
+	}
+	return pl.prep
+}
+
+// RunTrials is RunTrials reusing the pool's worker state across calls.
+func (pl *Pool) RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int) *Stats {
+	return pl.RunTrialsObserved(res, arch, cfg, pol, seed, trials, parallel, nil)
+}
+
+// RunTrialsObserved is RunTrialsObserved reusing the pool's worker
+// state across calls.
+func (pl *Pool) RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, o *obs.Obs) *Stats {
+	stats, _ := pl.runTrials(res, arch, cfg, pol, seed, trials, parallel, res.Params, o, false)
+	return stats
+}
+
+// RunTrialsProfiled is RunTrialsProfiled reusing the pool's worker
+// state across calls.
+func (pl *Pool) RunTrialsProfiled(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, hwp hw.Params, o *obs.Obs) (*Stats, *Profile) {
+	return pl.runTrials(res, arch, cfg, pol, seed, trials, parallel, hwp, o, true)
+}

@@ -98,6 +98,17 @@ func NewProfile(arch *topology.Arch) *Profile {
 	}
 }
 
+// Reset zeroes every counter in place, keeping the per-link and
+// per-rack tables' storage: after Reset the profile is exactly what
+// NewProfile would return for the same architecture. Trial pools keep
+// one Profile per worker and Reset it per RunTrialsProfiled call.
+func (p *Profile) Reset() {
+	links, bsms := p.Links, p.BSMs
+	clear(links)
+	clear(bsms)
+	*p = Profile{Links: links, BSMs: bsms}
+}
+
 // Merge folds q into p (element-wise sums; Dead flags OR; MaxUS max).
 // Merging is commutative, so any merge order yields the same profile.
 func (p *Profile) Merge(q *Profile) {

@@ -8,6 +8,7 @@ import (
 	"switchqnet/internal/faults"
 	"switchqnet/internal/hw"
 	"switchqnet/internal/obs"
+	"switchqnet/internal/stats"
 	"switchqnet/internal/topology"
 )
 
@@ -32,24 +33,6 @@ type Stats struct {
 	MeanRetries, MeanReroutes, MeanFallbacks, MeanRescheduled float64
 	// TotalAborted sums aborted demands over all trials.
 	TotalAborted int
-}
-
-// percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
-// sorted values: the element at 1-based rank ceil(n*p/100), computed in
-// exact integer arithmetic.
-func percentile(sorted []hw.Time, p int) hw.Time {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	rank := (n*p + 99) / 100 // ceil(n*p/100)
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > n {
-		rank = n
-	}
-	return sorted[rank-1]
 }
 
 // Horizon returns the fault-placement horizon used for a schedule:
@@ -90,7 +73,7 @@ func RunTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Pol
 // validate their -trials/-parallel flags up front and reject invalid
 // values with an explicit message instead of relying on this clamp.
 func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, o *obs.Obs) *Stats {
-	stats, _ := runTrials(res, arch, cfg, pol, seed, trials, parallel, res.Params, o, false)
+	stats, _ := NewPool().runTrials(res, arch, cfg, pol, seed, trials, parallel, res.Params, o, false)
 	return stats
 }
 
@@ -100,14 +83,19 @@ func RunTrialsObserved(res *core.Result, arch *topology.Arch, cfg faults.Config,
 // against — pass the schedule's own res.Params on the first (static)
 // round, and keep passing the true hardware params when replaying
 // adapted schedules whose res.Params are inflated planning latencies.
-// Per-trial profiles accumulate in index-addressed slots and merge in
-// trial order, so the profile — like the stats — is byte-identical at
-// every worker count. The same clamp contract as RunTrials applies.
+// Per-worker profiles accumulate additively and merge commutatively,
+// so the profile — like the stats — is byte-identical at every worker
+// count. The same clamp contract as RunTrials applies.
 func RunTrialsProfiled(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, hwp hw.Params, o *obs.Obs) (*Stats, *Profile) {
-	return runTrials(res, arch, cfg, pol, seed, trials, parallel, hwp, o, true)
+	return NewPool().runTrials(res, arch, cfg, pol, seed, trials, parallel, hwp, o, true)
 }
 
-func runTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, hwp hw.Params, o *obs.Obs, profiled bool) (*Stats, *Profile) {
+// runTrials is the shared trial engine: the schedule is Prepared once
+// (or fetched from the pool's cache), each worker replays trials into
+// its own pooled arena and fault model (Reset per trial), and results
+// land in index-addressed slots so the output is byte-identical to the
+// fresh-allocation path at any worker count.
+func (pl *Pool) runTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Policy, seed uint64, trials, parallel int, hwp hw.Params, o *obs.Obs, profiled bool) (*Stats, *Profile) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -120,21 +108,36 @@ func runTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Pol
 	sp := o.StartSpan("trials")
 	defer sp.End()
 	ot := o.Under(sp)
-	horizon := Horizon(res)
-	stats := &Stats{Compiled: res.Makespan, Trials: make([]TrialStat, trials)}
-	var profs []*Profile
-	if profiled {
-		profs = make([]*Profile, trials)
+	prep := pl.prepared(res, arch)
+	for len(pl.workers) < parallel {
+		pl.workers = append(pl.workers, &poolWorker{arena: NewArena(), model: &faults.Model{}})
 	}
-	run := func(i int) {
-		model := faults.New(cfg, arch, hwp, faults.SubSeed(seed, faults.StreamTrial, uint64(i)), horizon)
+	// Bind each participating worker's fault model to this call's
+	// configuration and horizon; the per-trial seeds are applied by
+	// Reset inside the trial loop. Profiled runs accumulate into one
+	// per-worker profile across the whole call (Merge is commutative,
+	// so grouping by worker instead of by trial yields the identical
+	// merged profile).
+	for w := 0; w < parallel; w++ {
+		pw := pl.workers[w]
+		pw.model.Renew(cfg, arch, hwp, 0, prep.horizon)
+		if profiled {
+			if pw.prof == nil || len(pw.prof.Links) != len(arch.Net.Edges) || len(pw.prof.BSMs) != arch.Racks {
+				pw.prof = NewProfile(arch)
+			} else {
+				pw.prof.Reset()
+			}
+		}
+	}
+	st := &Stats{Compiled: res.Makespan, Trials: make([]TrialStat, trials)}
+	run := func(pw *poolWorker, i int) {
+		pw.model.Reset(faults.SubSeed(seed, faults.StreamTrial, uint64(i)))
 		var prof *Profile
 		if profiled {
-			prof = NewProfile(arch)
-			profs[i] = prof
+			prof = pw.prof
 		}
-		tr := ExecuteProfiled(res, arch, model, pol, ot, prof)
-		stats.Trials[i] = TrialStat{
+		tr := prep.ExecuteInto(pw.arena, pw.model, pol, ot, prof)
+		st.Trials[i] = TrialStat{
 			Makespan: tr.Makespan,
 			Retries:  tr.Retries, Reroutes: tr.Reroutes,
 			Fallbacks: tr.Fallbacks, Rescheduled: tr.Rescheduled,
@@ -143,17 +146,18 @@ func runTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Pol
 	}
 	if parallel == 1 {
 		for i := 0; i < trials; i++ {
-			run(i)
+			run(pl.workers[0], i)
 		}
 	} else {
 		var wg sync.WaitGroup
 		next := make(chan int)
 		for w := 0; w < parallel; w++ {
+			pw := pl.workers[w]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					run(i)
+					run(pw, i)
 				}
 			}()
 		}
@@ -165,34 +169,31 @@ func runTrials(res *core.Result, arch *topology.Arch, cfg faults.Config, pol Pol
 	}
 	var merged *Profile
 	if profiled {
-		// Merge in trial-index order: worker-id independent (and Merge is
-		// commutative anyway), so the profile is identical at any
-		// parallelism.
 		merged = NewProfile(arch)
-		for _, p := range profs {
-			merged.Merge(p)
+		for w := 0; w < parallel; w++ {
+			merged.Merge(pl.workers[w].prof)
 		}
 	}
 	sorted := make([]hw.Time, trials)
 	var sum float64
-	for i, t := range stats.Trials {
+	for i, t := range st.Trials {
 		sorted[i] = t.Makespan
 		sum += float64(t.Makespan)
-		stats.MeanRetries += float64(t.Retries)
-		stats.MeanReroutes += float64(t.Reroutes)
-		stats.MeanFallbacks += float64(t.Fallbacks)
-		stats.MeanRescheduled += float64(t.Rescheduled)
-		stats.TotalAborted += t.Aborted
+		st.MeanRetries += float64(t.Retries)
+		st.MeanReroutes += float64(t.Reroutes)
+		st.MeanFallbacks += float64(t.Fallbacks)
+		st.MeanRescheduled += float64(t.Rescheduled)
+		st.TotalAborted += t.Aborted
 	}
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	n := float64(trials)
-	stats.P50 = percentile(sorted, 50)
-	stats.P95 = percentile(sorted, 95)
-	stats.P99 = percentile(sorted, 99)
-	stats.Mean = sum / n
-	stats.MeanRetries /= n
-	stats.MeanReroutes /= n
-	stats.MeanFallbacks /= n
-	stats.MeanRescheduled /= n
-	return stats, merged
+	st.P50 = stats.Percentile(sorted, 50)
+	st.P95 = stats.Percentile(sorted, 95)
+	st.P99 = stats.Percentile(sorted, 99)
+	st.Mean = sum / n
+	st.MeanRetries /= n
+	st.MeanReroutes /= n
+	st.MeanFallbacks /= n
+	st.MeanRescheduled /= n
+	return st, merged
 }

@@ -1,0 +1,28 @@
+// Package stats holds small statistical helpers shared across the
+// runtime and experiment layers, so the nearest-rank percentile has one
+// definition (and one set of edge-case tests) instead of per-package
+// copies drifting apart.
+package stats
+
+import "cmp"
+
+// Percentile returns the nearest-rank p-th percentile (0 < p <= 100) of
+// sorted values: the element at 1-based rank ceil(n*p/100), computed in
+// exact integer arithmetic. An empty input yields the zero value; p is
+// clamped into [1, 100] rank-wise, so Percentile(sorted, 100) is the
+// maximum.
+func Percentile[T cmp.Ordered](sorted []T, p int) T {
+	n := len(sorted)
+	if n == 0 {
+		var zero T
+		return zero
+	}
+	rank := (n*p + 99) / 100 // ceil(n*p/100)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}

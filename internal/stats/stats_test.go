@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"testing"
+
+	"switchqnet/internal/hw"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	vals := []hw.Time{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if p := Percentile(vals, 50); p != 50 {
+		t.Errorf("p50 = %d, want 50", p)
+	}
+	if p := Percentile(vals, 95); p != 100 {
+		t.Errorf("p95 = %d, want 100", p)
+	}
+	if p := Percentile(vals, 99); p != 100 {
+		t.Errorf("p99 = %d, want 100", p)
+	}
+	if p := Percentile([]hw.Time{7}, 50); p != 7 {
+		t.Errorf("singleton percentile = %d, want 7", p)
+	}
+	if p := Percentile[hw.Time](nil, 50); p != 0 {
+		t.Errorf("empty percentile = %d, want 0", p)
+	}
+}
+
+// TestPercentileExactRanks pins the nearest-rank definition at the
+// sizes where the old float rounding could drift off by one: with
+// sorted[i] = i+1, the p-th percentile must be exactly ceil(n*p/100).
+func TestPercentileExactRanks(t *testing.T) {
+	ceil := func(n, p int) hw.Time { return hw.Time((n*p + 99) / 100) }
+	for _, n := range []int{1, 2, 100, 101} {
+		vals := make([]hw.Time, n)
+		for i := range vals {
+			vals[i] = hw.Time(i + 1)
+		}
+		for _, p := range []int{50, 95, 99} {
+			if got, want := Percentile(vals, p), ceil(n, p); got != want {
+				t.Errorf("n=%d p=%d: rank %d, want %d", n, p, got, want)
+			}
+		}
+	}
+	// Spot-check the exact boundaries: n=100 is the case where
+	// n*p/100 is an integer and the old +0.9999999 fudge was one
+	// floating-point wobble away from overshooting by a rank.
+	hundred := make([]hw.Time, 100)
+	for i := range hundred {
+		hundred[i] = hw.Time(i + 1)
+	}
+	if p := Percentile(hundred, 50); p != 50 {
+		t.Errorf("n=100 p50 = %d, want 50", p)
+	}
+	if p := Percentile(hundred, 99); p != 99 {
+		t.Errorf("n=100 p99 = %d, want 99", p)
+	}
+	if p := Percentile(hundred, 100); p != 100 {
+		t.Errorf("n=100 p100 = %d, want 100", p)
+	}
+}

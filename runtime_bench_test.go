@@ -1,0 +1,149 @@
+package switchqnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	sq "switchqnet"
+	"switchqnet/internal/core"
+	"switchqnet/internal/experiments"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/runtime"
+	"switchqnet/internal/topology"
+)
+
+// Runtime-hotpath suite: the discrete-event executor replaying compiled
+// schedules against the fault model, measured per workload x fault
+// preset. Since the adaptive loop (PR 8) made replay the inner loop of
+// the whole system (-exp adapt runs trials x rounds x grid cells),
+// these are the benchmarks tracked by BENCH_runtime_hotpath.json; run
+// them with
+//
+//	go test -run='^$' -bench='BenchmarkExecute|BenchmarkRunTrials' -benchmem
+//
+// and see EXPERIMENTS.md ("Runtime performance") for the regeneration
+// workflow. The paper-scale case is QFT-480 on the primary 4x4 CLOS
+// setting; the scale case is the generated 256-rack scenario instance
+// of the -exp scale sweep.
+
+// runtimeCase is one replay workload: a compiled schedule plus its
+// architecture and the hardware params it was compiled against.
+type runtimeCase struct {
+	name string
+	res  *core.Result
+	arch *topology.Arch
+	hwp  hw.Params
+}
+
+func paperRuntimeCase(b *testing.B) runtimeCase {
+	b.Helper()
+	arch := program480Arch(b)
+	circ, err := sq.Benchmark("qft", arch.TotalQubits())
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands, err := sq.ExtractDemands(circ, arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := sq.DefaultParams()
+	res, err := core.Compile(demands, arch, p, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runtimeCase{name: "qft-480-clos", res: res, arch: arch, hwp: p}
+}
+
+func scaleRuntimeCase(b *testing.B) runtimeCase {
+	b.Helper()
+	scen := experiments.ScaleScenario("clos", 256, 1)
+	arch, err := scen.Arch()
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands := scen.Demands(arch)
+	p := scen.Params()
+	opts := core.DefaultOptions()
+	opts.CompileParallel = 8
+	res, err := core.Compile(demands, arch, p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return runtimeCase{name: "scenario-clos-256", res: res, arch: arch, hwp: p}
+}
+
+func runtimeCases(b *testing.B) []runtimeCase {
+	b.Helper()
+	return []runtimeCase{paperRuntimeCase(b), scaleRuntimeCase(b)}
+}
+
+// BenchmarkExecute measures one schedule replay per workload x fault
+// preset through the fresh-allocation entry point (Execute builds its
+// working state per call); the fault model is built once outside the
+// loop, so the measurement isolates the executor itself.
+func BenchmarkExecute(b *testing.B) {
+	pol := runtime.DefaultPolicy()
+	for _, tc := range runtimeCases(b) {
+		for _, preset := range faults.ProfileNames() {
+			cfg, err := faults.Profile(preset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model := faults.New(cfg, tc.arch, tc.hwp, 1, runtime.Horizon(tc.res))
+			b.Run(fmt.Sprintf("%s/faults=%s", tc.name, preset), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					runtime.Execute(tc.res, tc.arch, model, pol)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkExecuteArena measures the steady-state pooled replay: the
+// schedule Prepared once and an Arena reused across iterations — the
+// per-trial cost inside RunTrials once all buffers have grown. The
+// delta against BenchmarkExecute is what the arena saves per replay.
+func BenchmarkExecuteArena(b *testing.B) {
+	pol := runtime.DefaultPolicy()
+	for _, tc := range runtimeCases(b) {
+		for _, preset := range faults.ProfileNames() {
+			cfg, err := faults.Profile(preset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			model := faults.New(cfg, tc.arch, tc.hwp, 1, runtime.Horizon(tc.res))
+			prep := runtime.Prepare(tc.res, tc.arch)
+			arena := runtime.NewArena()
+			prep.ExecuteInto(arena, model, pol, nil, nil) // grow buffers outside the measurement
+			b.Run(fmt.Sprintf("%s/faults=%s", tc.name, preset), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					prep.ExecuteInto(arena, model, pol, nil, nil)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRunTrials measures the multi-trial distribution runner at
+// the adaptive loop's operating point (trials=20, serial): this is the
+// allocs/op and ns/op series the BENCH JSON tracks and CI guards.
+func BenchmarkRunTrials(b *testing.B) {
+	pol := runtime.DefaultPolicy()
+	for _, tc := range runtimeCases(b) {
+		for _, preset := range faults.ProfileNames() {
+			cfg, err := faults.Profile(preset)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/faults=%s/trials=20", tc.name, preset), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					runtime.RunTrials(tc.res, tc.arch, cfg, pol, 1, 20, 1)
+				}
+			})
+		}
+	}
+}

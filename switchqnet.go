@@ -420,7 +420,18 @@ type (
 	// ExecStats is a multi-trial realized-latency distribution
 	// (p50/p95/p99 makespan, recovery-action counts).
 	ExecStats = runtime.Stats
+	// ReplayPool caches per-worker executor arenas, fault models and
+	// telemetry accumulators across trial runs, plus the last
+	// schedule's prepared replay plan. Replay loops (the adaptive
+	// recompilation rounds, repeated sweeps over one schedule) hold one
+	// pool and call its RunTrials* methods; results are byte-identical
+	// to the package-level functions. Not safe for concurrent use.
+	ReplayPool = runtime.Pool
 )
+
+// NewReplayPool returns an empty replay pool; all worker state is
+// grown on first use and reused across its RunTrials* calls.
+func NewReplayPool() *ReplayPool { return runtime.NewPool() }
 
 // FaultProfile returns a named fault configuration ("off", "default",
 // "harsh").
