@@ -142,6 +142,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "qdcbench: -compileparallel must be >= 1, got %d\n", *compilePar)
 		os.Exit(2)
 	}
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "qdcbench: -trials must be >= 1, got %d\n", *trials)
+		os.Exit(2)
+	}
+	if *cachecap < 0 {
+		fmt.Fprintf(os.Stderr, "qdcbench: -cachecap must be >= 0 (0 = unbounded), got %d\n", *cachecap)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -67,6 +67,12 @@ func main() {
 	if *trials < 1 {
 		fail(fmt.Errorf("-trials must be >= 1, got %d", *trials))
 	}
+	if *look < 1 {
+		fail(fmt.Errorf("-lookahead must be >= 1, got %d", *look))
+	}
+	if *distill < 1 {
+		fail(fmt.Errorf("-distill must be >= 1 (1 = off), got %d", *distill))
+	}
 	if *adaptN < 0 {
 		fail(fmt.Errorf("-adapt must be >= 0, got %d", *adaptN))
 	}

@@ -1,0 +1,139 @@
+// Command switchqnetd is the SwitchQNet compiler-as-a-service daemon:
+// a long-lived HTTP server accepting compile, execute (fault-injected
+// replay) and adapt (closed-loop recompilation) jobs over JSON, with
+// polling and SSE progress streaming, and a live Prometheus /metrics
+// endpoint.
+//
+//	switchqnetd -addr :8080
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"compile","bench":"qft"}'
+//	curl -s localhost:8080/v1/jobs/j-1
+//	curl -s localhost:8080/v1/jobs/j-1/result
+//	curl -s localhost:8080/metrics
+//
+// A compile job's result is byte-identical to the switchqnet CLI's
+// -trace output for the same inputs. SIGTERM or SIGINT drains the
+// daemon: admission stops, in-flight jobs finish within -grace, and a
+// final metrics exposition is flushed (to -finalmetrics if set).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"switchqnet/internal/frontend"
+	"switchqnet/internal/server"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "switchqnetd:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "job worker goroutines (each owns one executor pool)")
+	queue := flag.Int("queue", 64, "bound on admitted-but-unstarted jobs (full queue rejects with 429)")
+	perClient := flag.Int("perclient", 8, "bound on one client's queued+running jobs (429 past it)")
+	cachecap := flag.Int("cachecap", frontend.DefaultResidentBound,
+		"LRU bound per shared frontend-cache stage (the resident default; 0 is rejected — a daemon cache must be bounded)")
+	maxJobs := flag.Int("maxjobs", 1024, "bound on retained terminal job records")
+	grace := flag.Duration("grace", 30*time.Second, "drain grace period on SIGTERM/SIGINT before outstanding jobs are cancelled")
+	finalMetrics := flag.String("finalmetrics", "", "write a final Prometheus exposition to this file after draining ('-' for stdout)")
+	flag.Parse()
+
+	// Reject nonsense up front rather than silently clamping — a daemon
+	// started with a mistyped flag should fail loudly at startup, not
+	// serve with surprise limits.
+	if *workers < 1 {
+		fail(fmt.Errorf("-workers must be >= 1, got %d", *workers))
+	}
+	if *queue < 1 {
+		fail(fmt.Errorf("-queue must be >= 1, got %d", *queue))
+	}
+	if *perClient < 1 {
+		fail(fmt.Errorf("-perclient must be >= 1, got %d", *perClient))
+	}
+	if *cachecap < 1 {
+		fail(fmt.Errorf("-cachecap must be >= 1, got %d (a resident process must bound its cache)", *cachecap))
+	}
+	if *maxJobs < 1 {
+		fail(fmt.Errorf("-maxjobs must be >= 1, got %d", *maxJobs))
+	}
+	if *grace <= 0 {
+		fail(fmt.Errorf("-grace must be positive, got %s", *grace))
+	}
+
+	srv, err := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		PerClientLimit: *perClient,
+		CacheCap:       *cachecap,
+		MaxJobs:        *maxJobs,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "switchqnetd: serving on %s (workers=%d queue=%d perclient=%d cachecap=%d)\n",
+		*addr, *workers, *queue, *perClient, *cachecap)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure (or Shutdown, which
+		// hasn't been called yet on this path).
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "switchqnetd: signal received; draining")
+
+	// Drain order: stop job admission first (submissions 503, /healthz
+	// flips), let in-flight jobs finish within the grace period, then
+	// close the HTTP listener. Pollers and SSE streams keep working
+	// through the drain so clients see their jobs reach terminal states.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "switchqnetd: drain:", err)
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "switchqnetd: grace period lapsed; outstanding jobs cancelled")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := hs.Shutdown(httpCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "switchqnetd: http shutdown:", err)
+	}
+
+	// Final metrics flush: the daemon's last exposition, for operators
+	// whose scraper missed the final interval.
+	if *finalMetrics != "" {
+		out := os.Stdout
+		if *finalMetrics != "-" {
+			f, err := os.Create(*finalMetrics)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := srv.Registry().WriteProm(out); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "switchqnetd: drained; exiting")
+}

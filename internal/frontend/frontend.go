@@ -23,6 +23,7 @@
 package frontend
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -195,10 +196,42 @@ func (g *group[K, V]) do(key K, fn func() (V, error)) (V, error) {
 	}
 	g.mu.Unlock()
 	sp := g.obs.o.StartSpan(g.obs.span)
+	finished := false
+	defer func() {
+		sp.End()
+		if finished {
+			return
+		}
+		// fn panicked. A one-shot CLI dies with the panic, but a resident
+		// process that recovers job panics must not leave this entry
+		// permanently in-flight: it would wedge every current and future
+		// waiter and stay pinned against eviction forever. Memoize the
+		// failure, unblock waiters, then let the panic propagate.
+		r := recover()
+		c.err = fmt.Errorf("frontend: artifact computation panicked: %v", r)
+		g.complete(c)
+		panic(r)
+	}()
 	c.val, c.err = fn()
-	sp.End()
-	close(c.done)
+	finished = true
+	g.complete(c)
 	return c.val, c.err
+}
+
+// complete publishes c's result — closing done unblocks every waiter —
+// and re-checks the size bound. Completion is the moment a previously
+// pinned in-flight entry becomes evictable, so a bounded group trims
+// here immediately: without this, a burst of concurrent computations
+// overshooting the cap would stay resident until the next miss (a
+// hit-only workload would never trim at all — harmless in a one-shot
+// sweep, a leak in a long-lived server).
+func (g *group[K, V]) complete(c *call[V]) {
+	close(c.done)
+	g.mu.Lock()
+	if g.cap > 0 && len(g.calls) > g.cap {
+		g.evict()
+	}
+	g.mu.Unlock()
 }
 
 // evict discards least-recently-used completed entries until the group
@@ -233,11 +266,16 @@ func (g *group[K, V]) evict() {
 	}
 }
 
-// bound sets the group's LRU cap (0 restores unbounded growth),
-// trimming immediately if the group is already over the new cap.
+// bound sets the group's LRU cap (0 restores unbounded growth; negative
+// values are normalized to 0), trimming immediately if the group is
+// already over the new cap — lowering the cap must not wait for the
+// next Get. Safe to call concurrently with do.
 func (g *group[K, V]) bound(n int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
 	g.cap = n
 	if g.cap > 0 && len(g.calls) > g.cap {
 		g.evict()
@@ -270,13 +308,23 @@ type Cache struct {
 // New returns an empty, unbounded cache.
 func New() *Cache { return &Cache{} }
 
+// DefaultResidentBound is the per-stage LRU cap a long-lived shared
+// cache (the switchqnetd server path) applies by default. A one-shot
+// sweep can stay unbounded — it exits before growth matters — but a
+// resident process serving arbitrary job mixes must not: every distinct
+// (bench, width, arch, options) combination otherwise stays cached
+// forever, including memoized errors from malformed submissions.
+const DefaultResidentBound = 256
+
 // Bound caps each stage at perStage entries, evicting the least
-// recently used completed artifact when a new one would exceed the cap
-// (in-flight singleflight entries are pinned until they complete).
-// Zero restores unbounded growth — the default, which keeps rendered
-// output byte-identical to an uncached run at every cap. Evicted-entry
-// recomputations count as fresh misses. Nil-safe; may be called while
-// the cache is in use.
+// recently used completed artifact whenever the stage exceeds the cap:
+// on insert, when an in-flight computation completes (a concurrent
+// burst can transiently overshoot — in-flight entries are pinned), and
+// immediately when Bound lowers the cap below the current size. Zero
+// (or negative) restores unbounded growth — the CLI default, which
+// keeps rendered output byte-identical to an uncached run at every
+// cap. Evicted-entry recomputations count as fresh misses. Nil-safe;
+// safe to call concurrently with cache use.
 func (c *Cache) Bound(perStage int) {
 	if c == nil {
 		return

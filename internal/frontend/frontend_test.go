@@ -500,11 +500,171 @@ func TestBoundPinsInFlight(t *testing.T) {
 	}
 	close(release)
 	wg.Wait()
-	// Once both complete, the next insert trims back to the cap.
+	// Completion itself trims the overshoot back toward the cap — no
+	// follow-up request is needed (see TestCompletionTrimsOverCap) —
+	// and a subsequent insert keeps the stage at its bound.
 	if _, err := c.Circuit("mct", 80); err != nil {
 		t.Fatal(err)
 	}
 	if got := c.Stats().Circuits.Evictions; got != 2 {
 		t.Errorf("post-completion evictions = %d, want 2", got)
+	}
+}
+
+// TestCompletionTrimsOverCap pins the resident-process fix: when
+// concurrent in-flight computations overshoot the cap (they are pinned
+// while running), the overshoot is reclaimed as soon as they complete —
+// not lazily on the next miss, which a hit-only or idle server might
+// never issue.
+func TestCompletionTrimsOverCap(t *testing.T) {
+	c := New()
+	c.Bound(1)
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	var wg sync.WaitGroup
+	for _, w := range []int{40, 60} {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, err := c.circuits.do(circuitKey("slow", w, false), func() (*circuit.Circuit, error) {
+				started <- struct{}{}
+				<-release
+				return circuit.Benchmark("mct", w)
+			})
+			if err != nil {
+				t.Errorf("slow %d: %v", w, err)
+			}
+		}(w)
+	}
+	<-started
+	<-started
+	close(release)
+	wg.Wait()
+	// No further cache traffic: the map must already be back at the cap.
+	c.circuits.mu.Lock()
+	n := len(c.circuits.calls)
+	c.circuits.mu.Unlock()
+	if n > 1 {
+		t.Fatalf("stage holds %d entries after completion, want <= 1 (cap)", n)
+	}
+	if got := c.Stats().Circuits.Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+}
+
+// TestReboundTrimsImmediately pins Bound's re-bound semantics: lowering
+// the cap below the current population evicts down to the new cap right
+// away, without waiting for the next request.
+func TestReboundTrimsImmediately(t *testing.T) {
+	c := New()
+	for _, w := range []int{40, 60, 80, 100} {
+		if _, err := c.Circuit("mct", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Bound(1)
+	c.circuits.mu.Lock()
+	n := len(c.circuits.calls)
+	c.circuits.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("stage holds %d entries after Bound(1), want 1", n)
+	}
+	if got := c.Stats().Circuits.Evictions; got != 3 {
+		t.Fatalf("evictions = %d, want 3", got)
+	}
+	// The survivor is the most recently used entry and still hits.
+	if _, err := c.Circuit("mct", 100); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Circuits.Hits; got != 1 {
+		t.Fatalf("hits = %d, want 1 (MRU entry should survive the trim)", got)
+	}
+	// Negative caps normalize to unbounded instead of wedging eviction.
+	c.Bound(-5)
+	for _, w := range []int{40, 60, 80} {
+		if _, err := c.Circuit("mct", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Circuits.Evictions; got != 3 {
+		t.Fatalf("negative bound evicted: %d, want 3", got)
+	}
+}
+
+// TestBoundRacesGets hammers one stage from reader goroutines while the
+// cap is raised, lowered and removed concurrently — the -race guard for
+// a server re-tuning a shared live cache.
+func TestBoundRacesGets(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Circuit("mct", 40+20*(i%5)); err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		c.Bound(i % 4) // 0 (unbounded) through 3
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPanicUnblocksWaiters pins the singleflight panic path: a
+// computation that panics must still close its entry — waiters get a
+// memoized error instead of blocking forever, later requests see the
+// same error, and the panic propagates to the computing caller.
+func TestPanicUnblocksWaiters(t *testing.T) {
+	c := New()
+	key := circuitKey("boom", 40, false)
+	entered := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	go func() {
+		<-entered
+		_, err := c.circuits.do(key, func() (*circuit.Circuit, error) {
+			t.Error("waiter recomputed an in-flight key")
+			return nil, nil
+		})
+		waiterErr <- err
+	}()
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("panic did not propagate to the computing caller")
+			}
+		}()
+		c.circuits.do(key, func() (*circuit.Circuit, error) {
+			close(entered)
+			// Give the waiter time to block on the in-flight entry.
+			time.Sleep(10 * time.Millisecond)
+			panic("boom")
+		})
+	}()
+	select {
+	case err := <-waiterErr:
+		if err == nil {
+			t.Fatal("waiter got nil error from a panicked computation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after the computation panicked")
+	}
+	// The failure is memoized like any other error.
+	if _, err := c.circuits.do(key, func() (*circuit.Circuit, error) {
+		t.Error("panicked entry was recomputed")
+		return nil, nil
+	}); err == nil {
+		t.Fatal("memoized panic error missing")
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -317,4 +318,102 @@ func TestSnapshotDiffStable(t *testing.T) {
 		t.Error("nested phase missing from snapshot")
 	}
 	open.End()
+}
+
+// TestScrapeRacesRegistration is the live-/metrics-endpoint guard: a
+// scrape loop renders the registry while other goroutines register new
+// series (mutating the family maps) and update metric values. Run under
+// -race this catches torn snapshots; each scrape must also be valid
+// exposition text even mid-update.
+func TestScrapeRacesRegistration(t *testing.T) {
+	r := NewRegistry()
+	// Seed one series so every scrape (including the last) is non-empty
+	// even if the racing registrars haven't been scheduled yet.
+	r.Counter("scrape_race_total", "requests", L("worker", "main")).Inc()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// New label values force fresh series registrations, the
+				// mutation path a scrape can race with.
+				l := L("worker", fmt.Sprintf("w%d_%d", w, i%17))
+				r.Counter("scrape_race_total", "requests", l).Inc()
+				r.Gauge("scrape_race_depth", "queue depth", l).Set(float64(i % 7))
+				r.Histogram("scrape_race_seconds", "latency", DefDurationBuckets, l).Observe(0.001 * float64(i%9))
+			}
+		}(w)
+	}
+	for i := 0; i < 100; i++ {
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 && b.Len() > 0 {
+			validateExposition(t, b.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	validateExposition(t, b.String())
+}
+
+// TestHistogramExpositionConsistent pins the torn-read fix: while
+// observations stream in, every scrape's +Inf bucket must equal its
+// _count (the validator checks bucket monotonicity; this checks the
+// count identity scrapers like Prometheus rely on).
+func TestHistogramExpositionConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", DefDurationBuckets)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Observe(0.0001 * float64(i%200))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		if err := r.WriteProm(&b); err != nil {
+			t.Fatal(err)
+		}
+		var inf, count int64
+		var haveInf, haveCount bool
+		for _, line := range strings.Split(b.String(), "\n") {
+			if strings.HasPrefix(line, `h_seconds_bucket{le="+Inf"} `) {
+				fmt.Sscanf(strings.TrimPrefix(line, `h_seconds_bucket{le="+Inf"} `), "%d", &inf)
+				haveInf = true
+			}
+			if strings.HasPrefix(line, "h_seconds_count ") {
+				fmt.Sscanf(strings.TrimPrefix(line, "h_seconds_count "), "%d", &count)
+				haveCount = true
+			}
+		}
+		if !haveInf || !haveCount {
+			t.Fatalf("scrape %d: missing histogram series:\n%s", i, b.String())
+		}
+		if inf != count {
+			t.Fatalf("scrape %d: +Inf bucket %d != count %d", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

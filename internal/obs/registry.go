@@ -293,10 +293,28 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// famSnap is one family's render snapshot: the immutable metadata plus
+// the series pointers in exposition order, captured under the registry
+// mutex. The series structs themselves are immutable after creation
+// (their metric values are atomics), so rendering from the snapshot
+// needs no further locking.
+type famSnap struct {
+	name, help string
+	k          kind
+	series     []*series
+}
+
 // WriteProm renders the registry in the Prometheus text exposition
 // format (version 0.0.4): families sorted by name, series sorted by
 // label string, histograms as cumulative _bucket/_sum/_count series. A
 // nil registry writes nothing.
+//
+// WriteProm is safe to call concurrently with metric registration and
+// updates — a live /metrics scrape loop against an actively
+// instrumented pipeline. The family and series maps are snapshotted
+// under the registry mutex (registration mutates them); metric values
+// are read atomically afterwards, so a scrape observes a near-point-in-
+// time state without blocking updates for the duration of the render.
 func (r *Registry) WriteProm(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -304,9 +322,16 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	sort.Strings(names)
-	fams := make([]*family, len(names))
+	fams := make([]famSnap, len(names))
 	for i, n := range names {
-		fams[i] = r.families[n]
+		f := r.families[n]
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		snap := famSnap{name: f.name, help: f.help, k: f.k, series: make([]*series, len(keys))}
+		for j, key := range keys {
+			snap.series[j] = f.series[key]
+		}
+		fams[i] = snap
 	}
 	r.mu.Unlock()
 
@@ -316,10 +341,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.k)
-		keys := append([]string(nil), f.order...)
-		sort.Strings(keys)
-		for _, key := range keys {
-			s := f.series[key]
+		for _, s := range f.series {
 			switch f.k {
 			case kindCounter:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
@@ -336,6 +358,13 @@ func (r *Registry) WriteProm(w io.Writer) error {
 
 func writeHistogram(b *strings.Builder, name string, s *series) {
 	h := s.h
+	// Snapshot the bucket counters first and derive _count from their
+	// sum: a concurrent Observe lands in its bucket before it lands in
+	// the total, so reading h.Count() separately could render a +Inf
+	// bucket smaller than _count — a torn exposition scrapers reject.
+	// The derived total and the buckets are mutually consistent by
+	// construction; _sum may trail by in-flight observations, which the
+	// format permits (it carries no cross-series atomicity guarantee).
 	cum := int64(0)
 	for i, bound := range h.buckets {
 		cum += h.counts[i].Load()
@@ -344,7 +373,7 @@ func writeHistogram(b *strings.Builder, name string, s *series) {
 	cum += h.counts[len(h.buckets)].Load()
 	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLabel(s.labels, "le", "+Inf"), cum)
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labels, formatValue(h.Sum()))
-	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, h.Count())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labels, cum)
 }
 
 // withLabel appends one label pair to an already-rendered label string.

@@ -1,0 +1,377 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"switchqnet/internal/circuit"
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/topology"
+)
+
+// Job kinds.
+const (
+	// KindCompile compiles a benchmark onto an architecture and stores
+	// the schedule JSON (byte-identical to the switchqnet CLI's -trace
+	// output for the same inputs).
+	KindCompile = "compile"
+	// KindExecute compiles and then replays the schedule under a fault
+	// profile, storing the realized-latency distribution JSON.
+	KindExecute = "execute"
+	// KindAdapt runs closed-loop adaptation rounds (replay, fold
+	// telemetry, recompile), storing the per-round distribution JSON.
+	KindAdapt = "adapt"
+)
+
+// jobRequest is the POST /v1/jobs submission body. Zero-valued fields
+// take the documented defaults (the CLI flag defaults); explicitly
+// negative or out-of-range values are rejected with HTTP 400 rather
+// than silently clamped. Unknown fields are rejected too: a typoed
+// option must not silently become a default.
+type jobRequest struct {
+	// Kind selects the pipeline: compile, execute or adapt.
+	Kind string `json:"kind"`
+	// Client optionally identifies the submitting tenant for the
+	// per-client concurrency limit (the X-Client header also works;
+	// the body field wins). Empty means "anonymous".
+	Client string `json:"client,omitempty"`
+
+	// Bench is the benchmark circuit: mct, qft, grover or rca
+	// (default qft).
+	Bench string `json:"bench,omitempty"`
+
+	// Architecture (defaults: clos, 4 racks, 4 QPUs/rack, 30 data
+	// qubits, 10 buffer slots, 2 comm qubits — the CLI defaults).
+	Topology    string `json:"topology,omitempty"`
+	Racks       int    `json:"racks,omitempty"`
+	QPUsPerRack int    `json:"qpus_per_rack,omitempty"`
+	DataQubits  int    `json:"data_qubits,omitempty"`
+	BufferSize  int    `json:"buffer_size,omitempty"`
+	CommQubits  int    `json:"comm_qubits,omitempty"`
+
+	// Scheduler options.
+	Baseline        bool `json:"baseline,omitempty"`
+	LookAhead       int  `json:"lookahead,omitempty"`
+	DistillK        int  `json:"distill_k,omitempty"`
+	CompileParallel int  `json:"compile_parallel,omitempty"`
+
+	// Replay options (execute and adapt kinds).
+	Faults   string `json:"faults,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Trials   int    `json:"trials,omitempty"`
+	Parallel int    `json:"parallel,omitempty"`
+
+	// Rounds is the number of adaptation rounds (adapt kind only,
+	// default 1).
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// Submission sanity caps: one job must not be able to monopolize the
+// daemon with a pathological parameterization. These are generous —
+// an order of magnitude above the largest evaluated instances.
+const (
+	maxRacks    = 4096
+	maxTrials   = 100000
+	maxRounds   = 100
+	maxParallel = 1024
+)
+
+// normalize fills defaults and validates, returning a human-readable
+// field error for anything nonsensical.
+func (r *jobRequest) normalize() error {
+	switch r.Kind {
+	case KindCompile, KindExecute, KindAdapt:
+	case "":
+		return fmt.Errorf("kind is required (compile, execute or adapt)")
+	default:
+		return fmt.Errorf("unknown kind %q (want compile, execute or adapt)", r.Kind)
+	}
+
+	if r.Bench == "" {
+		r.Bench = "qft"
+	}
+	names := circuit.BenchmarkNames()
+	ok := false
+	for _, n := range names {
+		if strings.EqualFold(n, r.Bench) {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown bench %q (want one of %s)", r.Bench, strings.ToLower(strings.Join(names, ", ")))
+	}
+
+	if r.Topology == "" {
+		r.Topology = "clos"
+	}
+	def := func(field *int, d int) { // zero = default
+		if *field == 0 {
+			*field = d
+		}
+	}
+	def(&r.Racks, 4)
+	def(&r.QPUsPerRack, 4)
+	def(&r.DataQubits, 30)
+	def(&r.BufferSize, 10)
+	def(&r.CommQubits, 2)
+	def(&r.LookAhead, 10)
+	def(&r.DistillK, 2)
+	def(&r.CompileParallel, 1)
+	def(&r.Trials, 20)
+	def(&r.Parallel, 1)
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	pos := func(name string, v int, max int) error {
+		if v < 1 {
+			return fmt.Errorf("%s must be >= 1, got %d", name, v)
+		}
+		if v > max {
+			return fmt.Errorf("%s must be <= %d, got %d", name, max, v)
+		}
+		return nil
+	}
+	checks := []error{
+		pos("racks", r.Racks, maxRacks),
+		pos("qpus_per_rack", r.QPUsPerRack, 1024),
+		pos("data_qubits", r.DataQubits, 1<<20),
+		pos("buffer_size", r.BufferSize, 1<<20),
+		pos("comm_qubits", r.CommQubits, 1024),
+		pos("lookahead", r.LookAhead, 1<<20),
+		pos("distill_k", r.DistillK, 1024),
+		pos("compile_parallel", r.CompileParallel, maxParallel),
+		pos("trials", r.Trials, maxTrials),
+		pos("parallel", r.Parallel, maxParallel),
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Validate the architecture at admission: a submission naming an
+	// unknown topology or an unbuildable shape is malformed input (400),
+	// not a failed job discovered minutes later.
+	if _, err := topology.New(r.archConfig()); err != nil {
+		return err
+	}
+
+	switch r.Kind {
+	case KindCompile:
+		if r.Faults != "" {
+			return fmt.Errorf("faults is only valid for execute and adapt jobs")
+		}
+		if r.Rounds != 0 {
+			return fmt.Errorf("rounds is only valid for adapt jobs")
+		}
+	case KindExecute:
+		if r.Faults == "" {
+			r.Faults = "default"
+		}
+		if _, err := faults.Profile(r.Faults); err != nil {
+			return err
+		}
+		if r.Rounds != 0 {
+			return fmt.Errorf("rounds is only valid for adapt jobs")
+		}
+	case KindAdapt:
+		if r.Faults == "" {
+			r.Faults = "default"
+		}
+		if _, err := faults.Profile(r.Faults); err != nil {
+			return err
+		}
+		if r.Rounds == 0 {
+			r.Rounds = 1
+		}
+		if r.Rounds < 1 || r.Rounds > maxRounds {
+			return fmt.Errorf("rounds must be in [1, %d], got %d", maxRounds, r.Rounds)
+		}
+	}
+	return nil
+}
+
+// archConfig maps the request's architecture fields to the topology
+// constructor's configuration.
+func (r *jobRequest) archConfig() topology.Config {
+	return topology.Config{
+		Topology: r.Topology, Racks: r.Racks, QPUsPerRack: r.QPUsPerRack,
+		DataQubits: r.DataQubits, BufferSize: r.BufferSize, CommQubits: r.CommQubits,
+	}
+}
+
+// options maps the request to scheduler and extraction options, the
+// same way the switchqnet CLI maps its flags.
+func (r *jobRequest) options() (core.Options, comm.Options) {
+	opts := core.DefaultOptions()
+	xopts := comm.DefaultOptions()
+	if r.Baseline {
+		opts = core.BaselineOptions()
+		xopts = comm.BaselineOptions()
+	}
+	opts.LookAhead = r.LookAhead
+	opts.DistillK = r.DistillK
+	opts.CompileParallel = r.CompileParallel
+	return opts, xopts
+}
+
+// jobView is the job JSON served by the poll, list, submit and cancel
+// endpoints and the SSE state/done events.
+type jobView struct {
+	ID          string  `json:"id"`
+	Kind        string  `json:"kind"`
+	Client      string  `json:"client"`
+	Bench       string  `json:"bench"`
+	State       State   `json:"state"`
+	Error       string  `json:"error,omitempty"`
+	SubmittedAt string  `json:"submitted_at"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	HasResult   bool    `json:"has_result"`
+}
+
+// view snapshots a job under the manager mutex.
+func (m *manager) view(j *job) jobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viewLocked(j)
+}
+
+func (m *manager) viewLocked(j *job) jobView {
+	v := jobView{
+		ID: j.id, Kind: j.req.Kind, Client: j.client, Bench: j.req.Bench,
+		State: j.state, Error: j.err,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		HasResult:   len(j.result) > 0,
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			v.DurationSec = j.finished.Sub(j.started).Seconds()
+		}
+	}
+	return v
+}
+
+// handleSubmit admits a job: 202 with the job JSON, 400 on a malformed
+// body, 429 when the queue or the client's slot budget is full, 503
+// while draining.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req jobRequest
+	if err := dec.Decode(&req); err != nil {
+		s.mgr.rejected("invalid")
+		writeError(w, http.StatusBadRequest, "malformed job submission: %v", err)
+		return
+	}
+	if dec.More() {
+		s.mgr.rejected("invalid")
+		writeError(w, http.StatusBadRequest, "malformed job submission: trailing data after the JSON object")
+		return
+	}
+	if err := req.normalize(); err != nil {
+		s.mgr.rejected("invalid")
+		writeError(w, http.StatusBadRequest, "invalid job submission: %v", err)
+		return
+	}
+	client := req.Client
+	if client == "" {
+		client = r.Header.Get("X-Client")
+	}
+	if client == "" {
+		client = "anonymous"
+	}
+	j, serr := s.mgr.submit(req, client)
+	if serr != nil {
+		writeError(w, serr.code, "%s", serr.msg)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, s.mgr.view(j))
+}
+
+// handleList returns every retained job, sorted by id (submission
+// order: ids are monotonic).
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.mgr.list()
+	views := make([]jobView, 0, len(jobs))
+	s.mgr.mu.Lock()
+	for _, j := range jobs {
+		views = append(views, s.mgr.viewLocked(j))
+	}
+	s.mgr.mu.Unlock()
+	sort.Slice(views, func(i, k int) bool {
+		return idNum(views[i].ID) < idNum(views[k].ID)
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// idNum extracts the numeric suffix of a job id for sorting.
+func idNum(id string) int64 {
+	var n int64
+	fmt.Sscanf(id, "j-%d", &n)
+	return n
+}
+
+// handleGet polls one job.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.mgr.view(j))
+}
+
+// handleResult serves a done job's result document verbatim.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.mgr.mu.Lock()
+	state, errMsg, result := j.state, j.err, j.result
+	s.mgr.mu.Unlock()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(result)
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job %s failed: %s", j.id, errMsg)
+	case StateCancelled:
+		writeError(w, http.StatusConflict, "job %s was cancelled", j.id)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; result not ready", j.id, state)
+	}
+}
+
+// handleCancel requests cancellation: 202 with the job JSON when the
+// request was applied (queued jobs finish immediately, running jobs at
+// their next checkpoint), 409 when the job is already terminal.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	drainBody(r)
+	j, ok, found := s.mgr.cancel(r.PathValue("id"))
+	if !found {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !ok {
+		writeError(w, http.StatusConflict, "job %s is already %s", j.id, j.state)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.mgr.view(j))
+}

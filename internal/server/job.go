@@ -1,0 +1,538 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"net/http"
+
+	"switchqnet/internal/adapt"
+	"switchqnet/internal/core"
+	"switchqnet/internal/faults"
+	"switchqnet/internal/frontend"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/obs"
+	"switchqnet/internal/runtime"
+	"switchqnet/internal/topology"
+	"switchqnet/internal/trace"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. queued -> running -> one of the terminal three. A queued
+// job may go straight to cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether st is an end state.
+func (st State) terminal() bool {
+	return st == StateDone || st == StateFailed || st == StateCancelled
+}
+
+// job is one submitted unit of work. State transitions and the
+// result/err fields are guarded by the manager mutex; the done channel
+// (closed exactly once, on the transition to a terminal state) is the
+// synchronization point for pollers and SSE streams.
+type job struct {
+	id     string
+	client string
+	req    jobRequest
+
+	state     State
+	err       string
+	result    []byte
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	// tracer collects this job's phase spans; the SSE stream snapshots
+	// it while the job runs. The registry half of the job's Obs is the
+	// server-wide one, so counters land on /metrics.
+	tracer *obs.Tracer
+
+	// cancelled is the cooperative cancellation flag: the worker checks
+	// it between pipeline stages (and between adapt rounds), so a
+	// running job stops at its next checkpoint.
+	cancelled atomic.Bool
+
+	done chan struct{}
+}
+
+// errCancelled is the sentinel a pipeline returns when it observes the
+// job's cancellation flag at a checkpoint.
+var errCancelled = errors.New("job cancelled")
+
+// checkpoint returns errCancelled once the job's flag is set; pipelines
+// call it between stages.
+func (j *job) checkpoint() error {
+	if j.cancelled.Load() {
+		return errCancelled
+	}
+	return nil
+}
+
+// manager owns the job table, the bounded queue and the worker pool.
+type manager struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *frontend.Cache
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	retained  []*job // terminal jobs in finish order, bounded by MaxJobs
+	perClient map[string]int
+	queue     chan *job
+	queued    int
+	running   int
+	nextID    int64
+	draining  bool
+
+	wg sync.WaitGroup
+
+	// stageGate is a test seam: when non-nil it runs at every pipeline
+	// checkpoint, letting lifecycle tests hold a job in the running
+	// state deterministically. Nil in production.
+	stageGate func(j *job, stage string)
+
+	mSubmitted *obs.Counter // labeled per kind at submit
+	gQueued    *obs.Gauge
+	gRunning   *obs.Gauge
+}
+
+// newManager builds the job table and starts cfg.Workers workers.
+func newManager(cfg Config, reg *obs.Registry, cache *frontend.Cache) *manager {
+	m := &manager{
+		cfg:       cfg,
+		reg:       reg,
+		cache:     cache,
+		jobs:      make(map[string]*job),
+		perClient: make(map[string]int),
+		queue:     make(chan *job, cfg.QueueDepth),
+		gQueued:   reg.Gauge("switchqnetd_jobs_queued", "Jobs admitted but not yet running."),
+		gRunning:  reg.Gauge("switchqnetd_jobs_running", "Jobs currently executing."),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// counter resolves a labeled counter on the live registry.
+func (m *manager) counter(name, help string, labels ...obs.Label) *obs.Counter {
+	return m.reg.Counter(name, help, labels...)
+}
+
+// rejected counts an admission rejection by reason.
+func (m *manager) rejected(reason string) {
+	m.counter("switchqnetd_jobs_rejected_total",
+		"Submissions rejected at admission, by reason.",
+		obs.L("reason", reason)).Inc()
+}
+
+// load reports the queue and worker occupancy plus the drain flag.
+func (m *manager) load() (queued, running int, draining bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queued, m.running, m.draining
+}
+
+// submitError is an admission failure with its HTTP status.
+type submitError struct {
+	code int
+	msg  string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// submit admits a job or rejects it (draining 503, per-client limit or
+// full queue 429). The queue send happens under the mutex: every sender
+// holds it, so the capacity check cannot race another submission.
+func (m *manager) submit(req jobRequest, client string) (*job, *submitError) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		m.rejected("draining")
+		return nil, &submitError{http.StatusServiceUnavailable, "server is draining; not accepting jobs"}
+	}
+	if m.perClient[client] >= m.cfg.PerClientLimit {
+		m.rejected("client_limit")
+		return nil, &submitError{http.StatusTooManyRequests,
+			fmt.Sprintf("client %q has %d active jobs (limit %d)", client, m.perClient[client], m.cfg.PerClientLimit)}
+	}
+	m.nextID++
+	j := &job{
+		id:        fmt.Sprintf("j-%d", m.nextID),
+		client:    client,
+		req:       req,
+		state:     StateQueued,
+		submitted: now(),
+		tracer:    obs.NewTracer(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.nextID-- // not admitted; reuse the id
+		m.rejected("queue_full")
+		return nil, &submitError{http.StatusTooManyRequests,
+			fmt.Sprintf("job queue is full (%d queued)", m.cfg.QueueDepth)}
+	}
+	m.jobs[j.id] = j
+	m.perClient[client]++
+	m.queued++
+	m.gQueued.Set(float64(m.queued))
+	m.counter("switchqnetd_jobs_submitted_total", "Jobs admitted, by kind.",
+		obs.L("kind", req.Kind)).Inc()
+	return j, nil
+}
+
+// get returns a job by id.
+func (m *manager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list snapshots all retained jobs in submission order.
+func (m *manager) list() []*job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// cancel requests cancellation. Queued jobs transition immediately
+// (the worker skips them when dequeued); running jobs stop at their
+// next checkpoint. Terminal jobs are left untouched (ok = false).
+func (m *manager) cancel(id string) (j *job, ok bool, found bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, found = m.jobs[id]
+	if !found {
+		return nil, false, false
+	}
+	switch j.state {
+	case StateQueued:
+		m.finishLocked(j, StateCancelled, nil, errCancelled)
+		return j, true, true
+	case StateRunning:
+		j.cancelled.Store(true)
+		return j, true, true
+	default:
+		return j, false, true
+	}
+}
+
+// worker is one job executor goroutine. It owns a runtime.Pool — the
+// "runtime.Pool family" of the server: executor arenas, fault models
+// and telemetry accumulators are reused across every job this worker
+// runs (the Pool is single-owner state, so per-worker is exactly the
+// granularity at which it is safe).
+func (m *manager) worker() {
+	defer m.wg.Done()
+	pool := runtime.NewPool()
+	for j := range m.queue {
+		if !m.start(j) {
+			continue // cancelled while queued
+		}
+		m.run(j, pool)
+	}
+}
+
+// start moves a dequeued job to running, unless it was cancelled while
+// waiting in the queue.
+func (m *manager) start(j *job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queued--
+	m.gQueued.Set(float64(m.queued))
+	if j.state != StateQueued {
+		return false // cancelled while queued; already terminal
+	}
+	j.state = StateRunning
+	j.started = now()
+	m.running++
+	m.gRunning.Set(float64(m.running))
+	return true
+}
+
+// run executes one job's pipeline, converting panics into job failures
+// — a malformed workload must not take the daemon down.
+func (m *manager) run(j *job, pool *runtime.Pool) {
+	var result []byte
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		result, err = m.execute(j, pool)
+	}()
+	state := StateDone
+	switch {
+	case errors.Is(err, errCancelled):
+		state = StateCancelled
+	case err != nil:
+		state = StateFailed
+	}
+	m.mu.Lock()
+	m.running--
+	m.gRunning.Set(float64(m.running))
+	m.finishLocked(j, state, result, err)
+	m.mu.Unlock()
+}
+
+// finishLocked moves j to a terminal state, releases its per-client
+// slot, records metrics and enforces the retention bound. Callers hold
+// m.mu. Idempotent-hostile by design: a job reaches exactly one
+// terminal state (guarded by the state machine above).
+func (m *manager) finishLocked(j *job, state State, result []byte, err error) {
+	j.state = state
+	j.result = result
+	j.finished = now()
+	if err != nil && !errors.Is(err, errCancelled) {
+		j.err = err.Error()
+	}
+	m.perClient[j.client]--
+	if m.perClient[j.client] <= 0 {
+		delete(m.perClient, j.client)
+	}
+	m.counter("switchqnetd_jobs_completed_total", "Jobs finished, by terminal state.",
+		obs.L("state", string(state))).Inc()
+	if !j.started.IsZero() {
+		m.reg.Histogram("switchqnetd_job_duration_seconds",
+			"Wall-clock execution time of finished jobs, by kind.",
+			obs.DefDurationBuckets, obs.L("kind", j.req.Kind)).
+			Observe(j.finished.Sub(j.started).Seconds())
+	}
+	close(j.done)
+	// Retention: drop the oldest terminal job past the bound so a
+	// resident process's job table cannot grow without limit.
+	m.retained = append(m.retained, j)
+	for len(m.retained) > m.cfg.MaxJobs {
+		old := m.retained[0]
+		m.retained = m.retained[1:]
+		delete(m.jobs, old.id)
+	}
+}
+
+// drain stops admission and waits for outstanding jobs. Until ctx
+// expires, queued and running jobs run to completion; at the deadline
+// every outstanding job is flagged cancelled (queued ones transition
+// immediately, running ones at their next checkpoint) and drain waits
+// for the workers to exit. See Server.Shutdown.
+func (m *manager) drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return errors.New("server: already draining")
+	}
+	m.draining = true
+	// All sends happen under the mutex and check the flag first, so
+	// closing here cannot race a submission.
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Grace period over: cancel everything still outstanding. Queued
+	// jobs become terminal here; the workers' dequeue loop skips them.
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			m.queued--
+			m.gQueued.Set(float64(m.queued))
+			m.finishLocked(j, StateCancelled, nil, errCancelled)
+		case StateRunning:
+			j.cancelled.Store(true)
+		}
+	}
+	m.mu.Unlock()
+	<-done
+	return ctx.Err()
+}
+
+// gate runs the test seam (nil in production) and then the job's own
+// cancellation checkpoint.
+func (m *manager) gate(j *job, stage string) error {
+	if m.stageGate != nil {
+		m.stageGate(j, stage)
+	}
+	return j.checkpoint()
+}
+
+// execute dispatches a job to its pipeline. The returned bytes are the
+// result document served verbatim by GET /v1/jobs/{id}/result.
+func (m *manager) execute(j *job, pool *runtime.Pool) ([]byte, error) {
+	// Counters land on the server registry; spans on the per-job tracer
+	// (the SSE feed). Compile/replay instrumentation runs under both.
+	o := obs.New(m.reg, j.tracer)
+	arch, err := topology.New(j.req.archConfig())
+	if err != nil {
+		return nil, err
+	}
+	switch j.req.Kind {
+	case KindCompile:
+		res, err := m.compile(j, arch, o)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteJSON(&buf, res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	case KindExecute:
+		return m.executeTrials(j, arch, pool, o)
+	case KindAdapt:
+		return m.adapt(j, arch, pool, o)
+	default:
+		// Unreachable: submissions are validated at admission.
+		return nil, fmt.Errorf("unknown job kind %q", j.req.Kind)
+	}
+}
+
+// compile runs the cached frontend + scheduler pipeline, mirroring the
+// switchqnet CLI's cached path stage for stage so the rendered schedule
+// JSON is byte-identical to the CLI's -trace output for equal inputs.
+func (m *manager) compile(j *job, arch *topology.Arch, o *obs.Obs) (*core.Result, error) {
+	if err := m.gate(j, "compile"); err != nil {
+		return nil, err
+	}
+	opts, xopts := j.req.options()
+	sp := o.StartSpan("cell")
+	defer sp.End()
+	ex := sp.StartSpan("extract")
+	demands, err := m.cache.Demands(j.req.Bench, arch, xopts)
+	ex.End()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.gate(j, "schedule"); err != nil {
+		return nil, err
+	}
+	return core.CompileObserved(demands, arch, hw.Default(), opts, o.Under(sp))
+}
+
+// executeTrials compiles the workload and replays it under the job's
+// fault profile on the worker's pooled executor state, returning the
+// realized-latency distribution JSON.
+func (m *manager) executeTrials(j *job, arch *topology.Arch, pool *runtime.Pool, o *obs.Obs) ([]byte, error) {
+	res, err := m.compile(j, arch, o)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.gate(j, "replay"); err != nil {
+		return nil, err
+	}
+	fcfg, err := faults.Profile(j.req.Faults)
+	if err != nil {
+		return nil, err
+	}
+	st := pool.RunTrialsObserved(res, arch, fcfg, runtime.DefaultPolicy(),
+		j.req.Seed, j.req.Trials, j.req.Parallel, o)
+	var buf bytes.Buffer
+	if err := trace.WriteStatsJSON(&buf, st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// adaptRound is one closed-loop round's realized distribution in the
+// adapt result document.
+type adaptRound struct {
+	Round      int     `json:"round"`
+	CompiledUS int64   `json:"compiled_us"`
+	P50US      int64   `json:"p50_us"`
+	P95US      int64   `json:"p95_us"`
+	P99US      int64   `json:"p99_us"`
+	InRack     float64 `json:"inrack_scale"`
+	CrossRack  float64 `json:"crossrack_scale"`
+	Reconfig   float64 `json:"reconfig_scale"`
+}
+
+// adaptResult is the adapt job's result document.
+type adaptResult struct {
+	Rounds     []adaptRound `json:"rounds"`
+	Recompiler adapt.Stats  `json:"recompiler"`
+}
+
+// adapt runs the closed-loop recompilation rounds of the CLI's -adapt
+// path: replay, fold telemetry, recompile, repeat — checking the job's
+// cancellation flag between rounds.
+func (m *manager) adapt(j *job, arch *topology.Arch, pool *runtime.Pool, o *obs.Obs) ([]byte, error) {
+	if err := m.gate(j, "compile"); err != nil {
+		return nil, err
+	}
+	opts, xopts := j.req.options()
+	demands, err := m.cache.Demands(j.req.Bench, arch, xopts)
+	if err != nil {
+		return nil, err
+	}
+	fcfg, err := faults.Profile(j.req.Faults)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := adapt.NewRecompiler(demands, arch, hw.Default(), opts, o)
+	if err != nil {
+		return nil, err
+	}
+	hwp := hw.Default()
+	pol := runtime.DefaultPolicy()
+	st, prof := pool.RunTrialsProfiled(rc.Result(), arch, fcfg, pol,
+		j.req.Seed, j.req.Trials, j.req.Parallel, hwp, o)
+	out := adaptResult{Rounds: []adaptRound{{
+		Round: 0, CompiledUS: int64(st.Compiled),
+		P50US: int64(st.P50), P95US: int64(st.P95), P99US: int64(st.P99),
+		InRack: 1, CrossRack: 1, Reconfig: 1,
+	}}}
+	for r := 1; r <= j.req.Rounds; r++ {
+		if err := m.gate(j, fmt.Sprintf("adapt-round-%d", r)); err != nil {
+			return nil, err
+		}
+		if err := rc.ApplyProfile(prof, adapt.DefaultFoldOptions()); err != nil {
+			return nil, err
+		}
+		st, prof = pool.RunTrialsProfiled(rc.Result(), arch, fcfg, pol,
+			j.req.Seed, j.req.Trials, j.req.Parallel, hwp, o)
+		plan := rc.Plan()
+		out.Rounds = append(out.Rounds, adaptRound{
+			Round: r, CompiledUS: int64(st.Compiled),
+			P50US: int64(st.P50), P95US: int64(st.P95), P99US: int64(st.P99),
+			InRack: plan.InRackScale, CrossRack: plan.CrossRackScale, Reconfig: plan.ReconfigScale,
+		})
+	}
+	out.Recompiler = rc.Stats()
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}

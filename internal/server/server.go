@@ -1,0 +1,235 @@
+// Package server is the compiler-as-a-service layer: a long-lived
+// HTTP/JSON daemon (cmd/switchqnetd) around the existing pipeline.
+// Clients submit compile, execute (fault-injected replay) and adapt
+// (closed-loop recompilation) jobs, poll their state or stream progress
+// over SSE, and fetch results as the same schedule/trace/stats JSON the
+// CLIs write. The internal/obs registry is served live at GET /metrics
+// — a continuous Prometheus scrape surface, not a dump-on-exit file.
+//
+// The server is where the pipeline's components become long-lived
+// shared state: one bounded frontend.Cache spans every job (artifact
+// reuse across tenants, LRU-bounded so a resident process cannot grow
+// without limit), and each job worker owns one runtime.Pool whose
+// executor arenas and fault models are reused across all the jobs it
+// runs. Jobs flow through a bounded queue with per-client concurrency
+// limits; a SIGTERM drain stops admission, finishes (or, past the
+// grace deadline, cancels) in-flight work, and flushes final metrics.
+//
+// Endpoints:
+//
+//	POST /v1/jobs              submit a job            -> 202 job JSON
+//	GET  /v1/jobs              list jobs               -> 200 {"jobs": [...]}
+//	GET  /v1/jobs/{id}         poll one job            -> 200 job JSON
+//	GET  /v1/jobs/{id}/result  fetch the result JSON   -> 200 result
+//	POST /v1/jobs/{id}/cancel  cancel queued/running   -> 202 job JSON
+//	GET  /v1/jobs/{id}/events  SSE progress stream
+//	GET  /metrics              live Prometheus text exposition
+//	GET  /healthz              200 while serving, 503 while draining
+//
+// Errors are JSON bodies: {"error": "..."} with a conventional status
+// (400 malformed submission, 404 unknown job, 409 wrong state, 429
+// queue full or per-client limit, 503 draining).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"switchqnet/internal/frontend"
+	"switchqnet/internal/obs"
+)
+
+// Config parameterizes a Server. The zero value of each field selects
+// the documented default; explicitly negative (or otherwise
+// nonsensical) values are rejected by Validate rather than silently
+// clamped.
+type Config struct {
+	// Workers is the number of job worker goroutines (default: number
+	// of CPUs). Each worker owns one runtime.Pool reused across the
+	// jobs it executes.
+	Workers int
+	// QueueDepth bounds the number of admitted-but-unstarted jobs
+	// (default 64). A full queue rejects submissions with 429.
+	QueueDepth int
+	// PerClientLimit bounds one client's queued+running jobs
+	// (default 8). At the limit, submissions are rejected with 429.
+	PerClientLimit int
+	// CacheCap is the per-stage LRU bound of the shared frontend cache
+	// (default frontend.DefaultResidentBound). The server cache is
+	// always bounded: unbounded growth is a one-shot-CLI affordance a
+	// resident process must not inherit.
+	CacheCap int
+	// MaxJobs bounds the number of retained terminal jobs (default
+	// 1024); beyond it the oldest finished job record (and its result)
+	// is dropped.
+	MaxJobs int
+}
+
+// Validate checks the configuration, returning an error for values
+// that are nonsense rather than "use the default" (zero).
+func (c Config) Validate() error {
+	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("server: workers must be >= 1 (or 0 for the default), got %d", c.Workers)
+	case c.QueueDepth < 0:
+		return fmt.Errorf("server: queue depth must be >= 1 (or 0 for the default), got %d", c.QueueDepth)
+	case c.PerClientLimit < 0:
+		return fmt.Errorf("server: per-client limit must be >= 1 (or 0 for the default), got %d", c.PerClientLimit)
+	case c.CacheCap < 0:
+		return fmt.Errorf("server: cache cap must be >= 1 (or 0 for the default), got %d", c.CacheCap)
+	case c.MaxJobs < 0:
+		return fmt.Errorf("server: max retained jobs must be >= 1 (or 0 for the default), got %d", c.MaxJobs)
+	}
+	return nil
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.PerClientLimit == 0 {
+		c.PerClientLimit = 8
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = frontend.DefaultResidentBound
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 1024
+	}
+	return c
+}
+
+// Server is the daemon state: the shared bounded frontend cache, the
+// live metrics registry, and the job manager (queue + workers).
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *frontend.Cache
+	mgr   *manager
+	mux   *http.ServeMux
+}
+
+// New validates cfg, builds the shared state and starts the worker
+// pool. Callers serve s.Handler() and call Shutdown to drain.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
+	cache := frontend.New()
+	cache.Bound(cfg.CacheCap)
+	// The cache's hit/miss/dedup/evict traffic lands on the live
+	// registry; per-job spans stay on per-job tracers (see job.tracer).
+	cache.Instrument(obs.New(reg, nil))
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		cache: cache,
+		mgr:   newManager(cfg, reg, cache),
+	}
+	s.mux = s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the live metrics registry (the /metrics source), so
+// the daemon can flush a final exposition during shutdown.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Shutdown drains the server: admission stops immediately (submissions
+// get 503, /healthz flips to 503), queued and running jobs are allowed
+// to finish until ctx expires, and past the deadline every outstanding
+// job is cancelled at its next checkpoint. Shutdown returns once all
+// workers have exited; the error is ctx's if the grace period lapsed.
+// No job is lost: every admitted job reaches a terminal state.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.mgr.drain(ctx)
+}
+
+// routes wires the endpoint table.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		c := s.reg.Counter("switchqnetd_http_requests_total",
+			"HTTP requests by route.", obs.L("route", pattern))
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			c.Inc()
+			h(w, r)
+		})
+	}
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleList)
+	handle("GET /v1/jobs/{id}", s.handleGet)
+	handle("GET /v1/jobs/{id}/result", s.handleResult)
+	handle("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	handle("GET /v1/jobs/{id}/events", s.handleEvents)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// handleMetrics serves the live Prometheus exposition. WriteProm
+// snapshots the registry under its mutex and reads metric values
+// atomically, so scrapes are safe against concurrent job traffic.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		// Headers are gone; nothing to do but drop the connection.
+		return
+	}
+}
+
+// handleHealthz reports liveness: 200 while admitting, 503 once
+// draining (load balancers stop routing, in-flight work finishes).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running, draining := s.mgr.load()
+	code := http.StatusOK
+	status := "ok"
+	if draining {
+		code = http.StatusServiceUnavailable
+		status = "draining"
+	}
+	writeJSON(w, code, map[string]any{
+		"status":  status,
+		"queued":  queued,
+		"running": running,
+	})
+}
+
+// writeJSON renders v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders the JSON error body every non-2xx response uses.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// drainBody discards and closes a request body so connections are
+// reusable even on early-rejected requests.
+func drainBody(r *http.Request) {
+	if r.Body != nil {
+		_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 1<<20))
+		_ = r.Body.Close()
+	}
+}
+
+// now is a seam for tests; the daemon uses wall-clock time.
+var now = time.Now

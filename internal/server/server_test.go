@@ -1,0 +1,665 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"switchqnet/internal/comm"
+	"switchqnet/internal/core"
+	"switchqnet/internal/frontend"
+	"switchqnet/internal/hw"
+	"switchqnet/internal/topology"
+	"switchqnet/internal/trace"
+)
+
+// newTestServer builds a Server plus an httptest front for it and
+// registers a drain on cleanup so worker goroutines never outlive the
+// test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx) // "already draining" in drain tests is fine
+	})
+	return srv, ts
+}
+
+// postJob submits body and returns the status code and decoded reply.
+func postJob(t *testing.T, ts *httptest.Server, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode submit reply: %v", err)
+	}
+	return resp.StatusCode, m
+}
+
+// getJSON fetches path and returns the status code and decoded body.
+func getJSON(t *testing.T, ts *httptest.Server, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+	return resp.StatusCode, m
+}
+
+// waitState polls a job until it reaches want (or any terminal state,
+// which fails the test if it isn't want).
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, m := getJSON(t, ts, "/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s: status %d (%v)", id, code, m)
+		}
+		st := State(m["state"].(string))
+		if st == want {
+			return m
+		}
+		if st.terminal() {
+			t.Fatalf("job %s reached %q (error=%v), want %q", id, st, m["error"], want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return nil
+}
+
+// smallJob is a fast-to-compile submission used where the result
+// content doesn't matter.
+const smallJob = `{"kind":"compile","bench":"mct","racks":2,"qpus_per_rack":2,"data_qubits":8,"buffer_size":4}`
+
+// TestCompileJobByteIdentity submits a default compile job and checks
+// the served result is byte-identical to the schedule JSON the library
+// pipeline (and therefore the switchqnet CLI's -trace path) renders for
+// the same inputs.
+func TestCompileJobByteIdentity(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	code, m := postJob(t, ts, `{"kind":"compile"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%v)", code, m)
+	}
+	id := m["id"].(string)
+	fin := waitState(t, ts, id, StateDone)
+	if fin["has_result"] != true {
+		t.Fatalf("done job has no result: %v", fin)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatalf("GET result: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET result: status %d, err %v", resp.StatusCode, err)
+	}
+
+	// The same pipeline, driven directly: the CLI defaults the server's
+	// normalize() fills in.
+	arch, err := topology.New(topology.Config{
+		Topology: "clos", Racks: 4, QPUsPerRack: 4,
+		DataQubits: 30, BufferSize: 10, CommQubits: 2,
+	})
+	if err != nil {
+		t.Fatalf("topology.New: %v", err)
+	}
+	demands, err := frontend.New().Demands("qft", arch, comm.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Demands: %v", err)
+	}
+	opts := core.DefaultOptions()
+	opts.LookAhead, opts.DistillK, opts.CompileParallel = 10, 2, 1
+	res, err := core.Compile(demands, arch, hw.Default(), opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteJSON(&want, res); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("result diverges from the library pipeline: got %d bytes, want %d", len(got), want.Len())
+	}
+}
+
+// TestExecuteAndAdaptJobs runs the two replay-based kinds end to end
+// and sanity-checks their result documents.
+func TestExecuteAndAdaptJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, m := postJob(t, ts, `{"kind":"execute","bench":"mct","racks":2,"qpus_per_rack":2,"data_qubits":8,"buffer_size":4,"trials":3}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit execute: status %d (%v)", code, m)
+	}
+	execID := m["id"].(string)
+
+	code, m = postJob(t, ts, `{"kind":"adapt","bench":"mct","racks":2,"qpus_per_rack":2,"data_qubits":8,"buffer_size":4,"trials":3,"rounds":2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit adapt: status %d (%v)", code, m)
+	}
+	adaptID := m["id"].(string)
+
+	waitState(t, ts, execID, StateDone)
+	waitState(t, ts, adaptID, StateDone)
+
+	code, stats := getJSON(t, ts, "/v1/jobs/"+execID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("execute result: status %d (%v)", code, stats)
+	}
+	if _, ok := stats["trials"]; !ok {
+		t.Fatalf("execute result has no trials field: %v", stats)
+	}
+
+	code, doc := getJSON(t, ts, "/v1/jobs/"+adaptID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("adapt result: status %d (%v)", code, doc)
+	}
+	rounds, ok := doc["rounds"].([]any)
+	if !ok || len(rounds) != 3 { // round 0 plus 2 adaptation rounds
+		t.Fatalf("adapt result rounds = %v, want 3 entries", doc["rounds"])
+	}
+}
+
+// TestSubmitValidation exercises the 400 surface: malformed bodies and
+// nonsense fields must be rejected at admission with a JSON error.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"kind":`},
+		{"trailing data", `{"kind":"compile"} {"kind":"compile"}`},
+		{"unknown field", `{"kind":"compile","bogus":1}`},
+		{"missing kind", `{}`},
+		{"unknown kind", `{"kind":"optimize"}`},
+		{"unknown bench", `{"kind":"compile","bench":"qaoa"}`},
+		{"unknown topology", `{"kind":"compile","topology":"torus"}`},
+		{"negative racks", `{"kind":"compile","racks":-4}`},
+		{"excessive racks", `{"kind":"compile","racks":100000}`},
+		{"negative trials", `{"kind":"execute","trials":-1}`},
+		{"excessive trials", `{"kind":"execute","trials":1000000}`},
+		{"negative lookahead", `{"kind":"compile","lookahead":-1}`},
+		{"negative compile_parallel", `{"kind":"compile","compile_parallel":-2}`},
+		{"faults on compile", `{"kind":"compile","faults":"default"}`},
+		{"rounds on execute", `{"kind":"execute","rounds":2}`},
+		{"unknown fault profile", `{"kind":"execute","faults":"catastrophic"}`},
+		{"negative rounds", `{"kind":"adapt","rounds":-1}`},
+		{"excessive rounds", `{"kind":"adapt","rounds":1000}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, m := postJob(t, ts, tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d (%v), want 400", code, m)
+			}
+			if m["error"] == nil || m["error"] == "" {
+				t.Fatalf("no error body: %v", m)
+			}
+		})
+	}
+
+	// Unknown-job surfaces.
+	if code, _ := getJSON(t, ts, "/v1/jobs/j-999"); code != http.StatusNotFound {
+		t.Fatalf("GET unknown job: status %d, want 404", code)
+	}
+	if code, _ := getJSON(t, ts, "/v1/jobs/j-999/result"); code != http.StatusNotFound {
+		t.Fatalf("GET unknown result: status %d, want 404", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/j-999/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST cancel: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConfigValidation checks the daemon-side limits reject negative
+// nonsense rather than clamping.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Workers: -1},
+		{QueueDepth: -2},
+		{PerClientLimit: -1},
+		{CacheCap: -5},
+		{MaxJobs: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("New(%+v) accepted a negative limit", cfg)
+		}
+	}
+}
+
+// blockJobs installs a stage gate that parks every job at its first
+// checkpoint until release is closed, and reports each parked job on
+// entered.
+func blockJobs(srv *Server) (entered chan string, release chan struct{}) {
+	entered = make(chan string, 64)
+	release = make(chan struct{})
+	var once sync.Map
+	srv.mgr.stageGate = func(j *job, stage string) {
+		if _, seen := once.LoadOrStore(j.id, true); seen {
+			return
+		}
+		entered <- j.id
+		for {
+			select {
+			case <-release:
+				return
+			default:
+			}
+			if j.cancelled.Load() {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return entered, release
+}
+
+// TestQueueFullRejects fills the one-deep queue behind a blocked worker
+// and checks the next submission gets 429.
+func TestQueueFullRejects(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, PerClientLimit: 8})
+	entered, release := blockJobs(srv)
+	defer close(release)
+
+	code, m := postJob(t, ts, smallJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1: status %d (%v)", code, m)
+	}
+	<-entered // job 1 is running and parked; the queue is empty again
+
+	code, m = postJob(t, ts, smallJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 2: status %d (%v)", code, m)
+	}
+	code, m = postJob(t, ts, smallJob)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d (%v), want 429", code, m)
+	}
+	if !strings.Contains(m["error"].(string), "queue") {
+		t.Fatalf("job 3 error %q does not mention the queue", m["error"])
+	}
+}
+
+// TestPerClientLimitRejects checks one client saturating its slot
+// budget is rejected while another client is still admitted.
+func TestPerClientLimitRejects(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, PerClientLimit: 2})
+	entered, release := blockJobs(srv)
+	defer close(release)
+
+	alice := `{"kind":"compile","bench":"mct","racks":2,"qpus_per_rack":2,"data_qubits":8,"buffer_size":4,"client":"alice"}`
+	code, m := postJob(t, ts, alice)
+	if code != http.StatusAccepted {
+		t.Fatalf("alice job 1: status %d (%v)", code, m)
+	}
+	<-entered
+	if code, m = postJob(t, ts, alice); code != http.StatusAccepted {
+		t.Fatalf("alice job 2: status %d (%v)", code, m)
+	}
+	if code, m = postJob(t, ts, alice); code != http.StatusTooManyRequests {
+		t.Fatalf("alice job 3: status %d (%v), want 429", code, m)
+	}
+	// Another tenant still has budget.
+	bob := strings.Replace(alice, "alice", "bob", 1)
+	if code, m = postJob(t, ts, bob); code != http.StatusAccepted {
+		t.Fatalf("bob job: status %d (%v)", code, m)
+	}
+}
+
+// TestCancelQueuedAndRunning cancels one job parked in the running
+// state and one waiting in the queue behind it.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	entered, release := blockJobs(srv)
+	defer close(release)
+
+	_, m := postJob(t, ts, smallJob)
+	runningID := m["id"].(string)
+	<-entered
+	_, m = postJob(t, ts, smallJob)
+	queuedID := m["id"].(string)
+
+	// The queued job cancels instantly: it never ran.
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+queuedID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel queued: status %d, want 202", resp.StatusCode)
+	}
+	if _, m := getJSON(t, ts, "/v1/jobs/"+queuedID); m["state"] != string(StateCancelled) {
+		t.Fatalf("queued job state %v after cancel, want cancelled", m["state"])
+	}
+
+	// The running job stops at its next checkpoint (the gate observes
+	// the flag and returns).
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+runningID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatalf("cancel running: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel running: status %d, want 202", resp.StatusCode)
+	}
+	fin := waitState(t, ts, runningID, StateCancelled)
+	if fin["has_result"] != false {
+		t.Fatalf("cancelled job has a result: %v", fin)
+	}
+
+	// Result fetch for a cancelled job is a 409, and a second cancel too.
+	if code, _ := getJSON(t, ts, "/v1/jobs/"+runningID+"/result"); code != http.StatusConflict {
+		t.Fatalf("result of cancelled job: status %d, want 409", code)
+	}
+	resp, err = http.Post(ts.URL+"/v1/jobs/"+runningID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatalf("re-cancel: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestSSEStream reads a job's event stream end to end: a state event on
+// connect, then a done event carrying the terminal job JSON. Phase
+// events in between are workload-timing dependent, so only their shape
+// is checked when present.
+func TestSSEStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	_, m := postJob(t, ts, `{"kind":"compile"}`)
+	id := m["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+
+	var events []string
+	var lastData string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	cur := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur = strings.TrimPrefix(line, "event: ")
+			events = append(events, cur)
+		case strings.HasPrefix(line, "data: "):
+			lastData = strings.TrimPrefix(line, "data: ")
+			if cur == "phase" {
+				var p phaseEvent
+				if err := json.Unmarshal([]byte(lastData), &p); err != nil || p.Path == "" {
+					t.Fatalf("malformed phase event %q: %v", lastData, err)
+				}
+			}
+		}
+		if cur == "done" && lastData != "" && strings.HasPrefix(line, "data: ") {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if len(events) == 0 || events[0] != "state" {
+		t.Fatalf("events %v: first must be state", events)
+	}
+	if events[len(events)-1] != "done" {
+		t.Fatalf("events %v: last must be done", events)
+	}
+	var fin jobView
+	if err := json.Unmarshal([]byte(lastData), &fin); err != nil {
+		t.Fatalf("done payload %q: %v", lastData, err)
+	}
+	if fin.State != StateDone || fin.ID != id {
+		t.Fatalf("done payload %+v, want job %s done", fin, id)
+	}
+}
+
+// TestDrainCompletesInFlight checks a graceful drain: admitted jobs
+// finish, late submissions get 503, healthz flips, and no job is lost.
+func TestDrainCompletesInFlight(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+
+	ids := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		code, m := postJob(t, ts, smallJob)
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d (%v)", i, code, m)
+		}
+		ids = append(ids, m["id"].(string))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Every admitted job reached done; nothing was lost or stuck.
+	for _, id := range ids {
+		code, m := getJSON(t, ts, "/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("post-drain poll %s: status %d", id, code)
+		}
+		if m["state"] != string(StateDone) {
+			t.Fatalf("post-drain job %s state %v, want done", id, m["state"])
+		}
+	}
+
+	// Admission is closed and health reflects the drain.
+	if code, m := postJob(t, ts, smallJob); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: status %d (%v), want 503", code, m)
+	}
+	if code, m := getJSON(t, ts, "/healthz"); code != http.StatusServiceUnavailable || m["status"] != "draining" {
+		t.Fatalf("post-drain healthz: status %d (%v), want 503 draining", code, m)
+	}
+}
+
+// TestDrainDeadlineCancels checks the other half of the drain contract:
+// when the grace period lapses, outstanding jobs are cancelled — not
+// lost, not left running.
+func TestDrainDeadlineCancels(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	entered, release := blockJobs(srv)
+	defer close(release)
+
+	_, m := postJob(t, ts, smallJob)
+	runningID := m["id"].(string)
+	<-entered
+	_, m = postJob(t, ts, smallJob)
+	queuedID := m["id"].(string)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown error %v, want deadline exceeded", err)
+	}
+
+	for _, id := range []string{runningID, queuedID} {
+		code, m := getJSON(t, ts, "/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("post-drain poll %s: status %d", id, code)
+		}
+		if m["state"] != string(StateCancelled) {
+			t.Fatalf("post-drain job %s state %v, want cancelled", id, m["state"])
+		}
+	}
+}
+
+// TestMetricsUnderTraffic hammers /metrics while jobs run, validating
+// the exposition stays parseable and the daemon series appear. This is
+// the live-scrape-vs-job-traffic race the -race build checks.
+func TestMetricsUnderTraffic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	ids := make([]string, 0, 6)
+	for i := 0; i < 6; i++ {
+		code, m := postJob(t, ts, smallJob)
+		if code != http.StatusAccepted {
+			t.Fatalf("job %d: status %d (%v)", i, code, m)
+		}
+		ids = append(ids, m["id"].(string))
+	}
+	for _, id := range ids {
+		waitState(t, ts, id, StateDone)
+	}
+	close(stop)
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("final scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, series := range []string{
+		"switchqnetd_jobs_submitted_total",
+		"switchqnetd_jobs_completed_total",
+		"switchqnetd_job_duration_seconds_bucket",
+		"switchqnetd_http_requests_total",
+		"switchqnetd_jobs_running 0",
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("final exposition missing %q:\n%s", series, text)
+		}
+	}
+}
+
+// TestRetentionBound checks the terminal-job table is trimmed to
+// MaxJobs, oldest first — a resident process must not grow its job
+// table without limit.
+func TestRetentionBound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 2})
+
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		_, m := postJob(t, ts, smallJob)
+		id := m["id"].(string)
+		ids = append(ids, id)
+		waitState(t, ts, id, StateDone)
+	}
+
+	if code, _ := getJSON(t, ts, "/v1/jobs/"+ids[0]); code != http.StatusNotFound {
+		t.Fatalf("oldest job still retained: status %d, want 404", code)
+	}
+	code, m := getJSON(t, ts, "/v1/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	jobs := m["jobs"].([]any)
+	if len(jobs) != 2 {
+		t.Fatalf("list retained %d jobs, want 2", len(jobs))
+	}
+	for i, want := range ids[1:] {
+		got := jobs[i].(map[string]any)["id"]
+		if got != want {
+			t.Fatalf("list[%d] = %v, want %s", i, got, want)
+		}
+	}
+}
+
+// TestSharedCacheAcrossJobs checks repeated submissions hit the shared
+// frontend cache: the second identical compile reuses the first's
+// artifacts (visible as cache hits on /metrics).
+func TestSharedCacheAcrossJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	for i := 0; i < 2; i++ {
+		_, m := postJob(t, ts, smallJob)
+		waitState(t, ts, m["id"].(string), StateDone)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "switchqnet_frontend_requests_total") &&
+			strings.Contains(line, `outcome="hit"`) && !strings.HasSuffix(line, " 0") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no frontend cache hits after identical jobs:\n%s", body)
+	}
+}
+
+// TestHealthzServing checks the happy-path health report.
+func TestHealthzServing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	code, m := getJSON(t, ts, "/healthz")
+	if code != http.StatusOK || m["status"] != "ok" {
+		t.Fatalf("healthz: status %d (%v), want 200 ok", code, m)
+	}
+}

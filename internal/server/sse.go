@@ -1,0 +1,105 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"switchqnet/internal/obs"
+)
+
+// ssePollInterval is how often the event stream samples the job's span
+// tracer while the job runs. Coarse enough to stay cheap (Snapshot
+// takes the tracer mutex), fine enough that compile phases show up as
+// they happen.
+const ssePollInterval = 50 * time.Millisecond
+
+// phaseEvent is the SSE "phase" payload: one span path's progress
+// delta since the previous event for that path.
+type phaseEvent struct {
+	Path     string  `json:"path"`
+	Count    int64   `json:"count"`
+	TotalSec float64 `json:"total_sec"`
+}
+
+// handleEvents streams a job's progress as Server-Sent Events:
+//
+//	event: state   the job JSON, sent on connect
+//	event: phase   one obs span path's newly accumulated count/time
+//	event: done    the final job JSON; the stream then closes
+//
+// The phase feed is the job's own span tracer (the same spans -spans
+// prints on the CLIs), sampled every ssePollInterval and emitted as
+// deltas, so a client sees compile/replay phases advance live. Streams
+// for already-terminal jobs emit the final phases and done event
+// immediately. The stream also ends when the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	if !send("state", s.mgr.view(j)) {
+		return
+	}
+	prev := map[string]obs.PhaseTotal{}
+	emitPhases := func() bool {
+		for _, p := range j.tracer.Snapshot() {
+			d := p
+			if q, ok := prev[p.Path]; ok {
+				d.Count -= q.Count
+				d.Total -= q.Total
+			}
+			prev[p.Path] = p
+			if d.Count != 0 || d.Total > 0 {
+				if !send("phase", phaseEvent{Path: p.Path, Count: d.Count, TotalSec: d.Total.Seconds()}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	ticker := time.NewTicker(ssePollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.done:
+			// Final snapshot so no phase accumulated in the last tick is
+			// lost, then the terminal job state.
+			emitPhases()
+			send("done", s.mgr.view(j))
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+			if !emitPhases() {
+				return
+			}
+		}
+	}
+}
