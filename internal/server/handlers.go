@@ -61,7 +61,8 @@ type jobRequest struct {
 	DistillK        int  `json:"distill_k,omitempty"`
 	CompileParallel int  `json:"compile_parallel,omitempty"`
 
-	// Replay options (execute and adapt kinds).
+	// Replay options (execute and adapt kinds only; rejected with 400
+	// on compile submissions).
 	Faults   string `json:"faults,omitempty"`
 	Seed     uint64 `json:"seed,omitempty"`
 	Trials   int    `json:"trials,omitempty"`
@@ -100,6 +101,13 @@ func (r *jobRequest) normalize() error {
 	ok := false
 	for _, n := range names {
 		if strings.EqualFold(n, r.Bench) {
+			// Canonicalize to a form circuit.Benchmark accepts: admission
+			// matches case-insensitively, but execution and the shared
+			// frontend cache key must always see the same spelling —
+			// otherwise a "Qft" submission fails at run time and the
+			// failure is memoized under the lowercased key, poisoning
+			// every subsequent "qft" job of that width.
+			r.Bench = strings.ToLower(n)
 			ok = true
 			break
 		}
@@ -124,11 +132,6 @@ func (r *jobRequest) normalize() error {
 	def(&r.LookAhead, 10)
 	def(&r.DistillK, 2)
 	def(&r.CompileParallel, 1)
-	def(&r.Trials, 20)
-	def(&r.Parallel, 1)
-	if r.Seed == 0 {
-		r.Seed = 1
-	}
 	pos := func(name string, v int, max int) error {
 		if v < 1 {
 			return fmt.Errorf("%s must be >= 1, got %d", name, v)
@@ -147,8 +150,6 @@ func (r *jobRequest) normalize() error {
 		pos("lookahead", r.LookAhead, 1<<20),
 		pos("distill_k", r.DistillK, 1024),
 		pos("compile_parallel", r.CompileParallel, maxParallel),
-		pos("trials", r.Trials, maxTrials),
-		pos("parallel", r.Parallel, maxParallel),
 	}
 	for _, err := range checks {
 		if err != nil {
@@ -165,34 +166,53 @@ func (r *jobRequest) normalize() error {
 
 	switch r.Kind {
 	case KindCompile:
+		// Replay-only fields are rejected outright (not defaulted and
+		// ignored): an option that has no effect on this kind must not
+		// pass admission silently.
 		if r.Faults != "" {
 			return fmt.Errorf("faults is only valid for execute and adapt jobs")
 		}
 		if r.Rounds != 0 {
 			return fmt.Errorf("rounds is only valid for adapt jobs")
 		}
-	case KindExecute:
+		if r.Trials != 0 {
+			return fmt.Errorf("trials is only valid for execute and adapt jobs")
+		}
+		if r.Seed != 0 {
+			return fmt.Errorf("seed is only valid for execute and adapt jobs")
+		}
+		if r.Parallel != 0 {
+			return fmt.Errorf("parallel is only valid for execute and adapt jobs")
+		}
+	case KindExecute, KindAdapt:
 		if r.Faults == "" {
 			r.Faults = "default"
 		}
 		if _, err := faults.Profile(r.Faults); err != nil {
 			return err
 		}
-		if r.Rounds != 0 {
-			return fmt.Errorf("rounds is only valid for adapt jobs")
+		def(&r.Trials, 20)
+		def(&r.Parallel, 1)
+		if r.Seed == 0 {
+			r.Seed = 1
 		}
-	case KindAdapt:
-		if r.Faults == "" {
-			r.Faults = "default"
-		}
-		if _, err := faults.Profile(r.Faults); err != nil {
+		if err := pos("trials", r.Trials, maxTrials); err != nil {
 			return err
 		}
-		if r.Rounds == 0 {
-			r.Rounds = 1
+		if err := pos("parallel", r.Parallel, maxParallel); err != nil {
+			return err
 		}
-		if r.Rounds < 1 || r.Rounds > maxRounds {
-			return fmt.Errorf("rounds must be in [1, %d], got %d", maxRounds, r.Rounds)
+		if r.Kind == KindExecute {
+			if r.Rounds != 0 {
+				return fmt.Errorf("rounds is only valid for adapt jobs")
+			}
+		} else {
+			if r.Rounds == 0 {
+				r.Rounds = 1
+			}
+			if r.Rounds < 1 || r.Rounds > maxRounds {
+				return fmt.Errorf("rounds must be in [1, %d], got %d", maxRounds, r.Rounds)
+			}
 		}
 	}
 	return nil

@@ -367,8 +367,10 @@ func (m *manager) drain(ctx context.Context) error {
 	for _, j := range m.jobs {
 		switch j.state {
 		case StateQueued:
-			m.queued--
-			m.gQueued.Set(float64(m.queued))
+			// Only transition the job (mirrors cancel): the worker still
+			// dequeues it from the closed channel, and start() accounts
+			// the m.queued decrement there — decrementing here too would
+			// drive the counter and its gauge negative.
 			m.finishLocked(j, StateCancelled, nil, errCancelled)
 		case StateRunning:
 			j.cancelled.Store(true)

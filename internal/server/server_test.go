@@ -210,6 +210,10 @@ func TestSubmitValidation(t *testing.T) {
 		{"excessive racks", `{"kind":"compile","racks":100000}`},
 		{"negative trials", `{"kind":"execute","trials":-1}`},
 		{"excessive trials", `{"kind":"execute","trials":1000000}`},
+		{"negative parallel", `{"kind":"execute","parallel":-1}`},
+		{"trials on compile", `{"kind":"compile","trials":3}`},
+		{"seed on compile", `{"kind":"compile","seed":7}`},
+		{"parallel on compile", `{"kind":"compile","parallel":2}`},
 		{"negative lookahead", `{"kind":"compile","lookahead":-1}`},
 		{"negative compile_parallel", `{"kind":"compile","compile_parallel":-2}`},
 		{"faults on compile", `{"kind":"compile","faults":"default"}`},
@@ -245,6 +249,32 @@ func TestSubmitValidation(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("cancel unknown job: status %d, want 404", resp.StatusCode)
 	}
+}
+
+// TestMixedCaseBenchCanonicalized checks admission canonicalizes the
+// benchmark name: a mixed-case spelling must compile exactly like the
+// lowercase form, and must not poison the shared frontend cache with a
+// memoized "unknown benchmark" error under the lowercased key.
+func TestMixedCaseBenchCanonicalized(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	mixed := `{"kind":"compile","bench":"McT","racks":2,"qpus_per_rack":2,"data_qubits":8,"buffer_size":4}`
+	code, m := postJob(t, ts, mixed)
+	if code != http.StatusAccepted {
+		t.Fatalf("mixed-case submit: status %d (%v)", code, m)
+	}
+	if m["bench"] != "mct" {
+		t.Fatalf("admitted bench %v, want canonical \"mct\"", m["bench"])
+	}
+	waitState(t, ts, m["id"].(string), StateDone)
+
+	// The canonical spelling still works: the shared cache key the
+	// mixed-case job populated must hold the circuit, not an error.
+	code, m = postJob(t, ts, smallJob)
+	if code != http.StatusAccepted {
+		t.Fatalf("lowercase submit: status %d (%v)", code, m)
+	}
+	waitState(t, ts, m["id"].(string), StateDone)
 }
 
 // TestConfigValidation checks the daemon-side limits reject negative
@@ -528,6 +558,17 @@ func TestDrainDeadlineCancels(t *testing.T) {
 		if m["state"] != string(StateCancelled) {
 			t.Fatalf("post-drain job %s state %v, want cancelled", id, m["state"])
 		}
+	}
+
+	// Accounting must balance: cancelling a queued job at the deadline
+	// and the worker's subsequent dequeue of the same job must decrement
+	// the queued counter exactly once, not twice.
+	_, m = getJSON(t, ts, "/healthz")
+	if q := m["queued"].(float64); q != 0 {
+		t.Fatalf("post-drain queued = %v, want 0", q)
+	}
+	if r := m["running"].(float64); r != 0 {
+		t.Fatalf("post-drain running = %v, want 0", r)
 	}
 }
 
